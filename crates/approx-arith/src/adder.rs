@@ -1,0 +1,364 @@
+//! Larger bit-width ripple-carry adders with approximate LSB cells
+//! (XBioSiP Fig 6).
+//!
+//! The paper constructs an N-bit adder from 1-bit full-adder cells and
+//! replaces the `k` least-significant cells with an approximate variant,
+//! keeping the upper `N−k` cells accurate to bound the error magnitude at
+//! roughly `2^k`.
+//!
+//! [`RippleCarryAdder::add`] evaluates the structure bit by bit, exactly as
+//! the RTL would. Two fast paths cover the configurations that dominate the
+//! paper's experiments without changing semantics (property-tested against
+//! the bit-level evaluator):
+//!
+//! * `k = 0` or an accurate cell kind ⇒ plain two's-complement addition;
+//! * AMA5 cells (`Sum = B`, `Cout = A`) ⇒ the low `k` result bits equal `B`'s
+//!   low bits and the carry into cell `k` equals bit `k−1` of `A`.
+
+use crate::full_adder::FullAdderKind;
+use crate::word::Word;
+
+/// An N-bit ripple-carry adder whose `approx_lsbs` least-significant cells
+/// use the approximate full adder `kind` (paper Fig 6).
+///
+/// Inputs and output are interpreted as `width`-bit two's-complement words;
+/// like the hardware, the carry out of the final cell is discarded
+/// (wrap-around arithmetic).
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{FullAdderKind, RippleCarryAdder};
+///
+/// let exact = RippleCarryAdder::new(32, 0, FullAdderKind::Ama5);
+/// assert_eq!(exact.add(123_456, -789), 122_667);
+///
+/// let approx = RippleCarryAdder::new(32, 8, FullAdderKind::Ama5);
+/// let sum = approx.add(123_456, -789);
+/// assert!((sum - 122_667).abs() < 1 << 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RippleCarryAdder {
+    width: u32,
+    approx_lsbs: u32,
+    kind: FullAdderKind,
+}
+
+impl RippleCarryAdder {
+    /// Creates an adder of `width` bits with `approx_lsbs` approximate cells
+    /// of the given `kind` at the least-significant end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=63` or `approx_lsbs > width`.
+    #[must_use]
+    pub fn new(width: u32, approx_lsbs: u32, kind: FullAdderKind) -> Self {
+        assert!(
+            (1..=crate::word::MAX_WIDTH).contains(&width),
+            "adder width {width} out of range"
+        );
+        assert!(
+            approx_lsbs <= width,
+            "cannot approximate {approx_lsbs} LSBs of a {width}-bit adder"
+        );
+        Self {
+            width,
+            approx_lsbs,
+            kind,
+        }
+    }
+
+    /// A fully accurate adder of the given width.
+    #[must_use]
+    pub fn accurate(width: u32) -> Self {
+        Self::new(width, 0, FullAdderKind::Accurate)
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of approximate LSB cells.
+    #[must_use]
+    pub fn approx_lsbs(&self) -> u32 {
+        self.approx_lsbs
+    }
+
+    /// The approximate cell kind used in the LSB region.
+    #[must_use]
+    pub fn kind(&self) -> FullAdderKind {
+        self.kind
+    }
+
+    /// Whether every cell computes exactly.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.approx_lsbs == 0 || self.kind.is_accurate()
+    }
+
+    /// Adds two `width`-bit words, returning the `width`-bit result
+    /// (sign-extended to `i64`). Inputs wrap into the adder width first,
+    /// like driving a hardware bus.
+    #[must_use]
+    pub fn add(&self, a: i64, b: i64) -> i64 {
+        self.add_words(Word::new(a, self.width), Word::new(b, self.width))
+            .value()
+    }
+
+    /// Adds two words; widths must match the adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand width differs from the adder width.
+    #[must_use]
+    pub fn add_words(&self, a: Word, b: Word) -> Word {
+        assert_eq!(a.width(), self.width, "operand width mismatch");
+        assert_eq!(b.width(), self.width, "operand width mismatch");
+        if self.is_exact() {
+            // Fast path: plain wrap-around addition.
+            return Word::new(a.value().wrapping_add(b.value()), self.width);
+        }
+        if self.kind == FullAdderKind::Ama5 {
+            return self.add_words_ama5(a, b);
+        }
+        self.add_words_bitwise(a, b)
+    }
+
+    /// Word-level fast path for AMA5 (`Sum = B`, `Cout = A`): the low `k`
+    /// result bits are `B`'s bits and the carry entering the accurate region
+    /// is bit `k−1` of `A`.
+    fn add_words_ama5(&self, a: Word, b: Word) -> Word {
+        let k = self.approx_lsbs;
+        if k >= self.width {
+            // Entirely approximate: result is simply B.
+            return b;
+        }
+        let low_mask = (1u64 << k) - 1;
+        let low = b.bits() & low_mask;
+        let carry = if k == 0 { 0 } else { (a.bits() >> (k - 1)) & 1 };
+        let hi_a = a.bits() >> k;
+        let hi_b = b.bits() >> k;
+        let hi = hi_a.wrapping_add(hi_b).wrapping_add(carry);
+        Word::from_bits(low | (hi << k), self.width)
+    }
+
+    /// Reference bit-level evaluation: ripples a carry through every cell,
+    /// exactly like the RTL netlist.
+    fn add_words_bitwise(&self, a: Word, b: Word) -> Word {
+        let mut out = Word::from_bits(0, self.width);
+        let mut carry = false;
+        for i in 0..self.width {
+            let kind = if i < self.approx_lsbs {
+                self.kind
+            } else {
+                FullAdderKind::Accurate
+            };
+            let cell = kind.eval(a.bit(i), b.bit(i), carry);
+            out = out.with_bit(i, cell.sum);
+            carry = cell.cout;
+        }
+        out
+    }
+
+    /// Bit-level evaluation exposed for cross-validation; always uses the
+    /// per-cell netlist walk regardless of fast paths.
+    #[must_use]
+    pub fn add_words_reference(&self, a: Word, b: Word) -> Word {
+        assert_eq!(a.width(), self.width, "operand width mismatch");
+        assert_eq!(b.width(), self.width, "operand width mismatch");
+        self.add_words_bitwise(a, b)
+    }
+
+    /// Worst-case absolute error bound of this configuration, valid when the
+    /// exact sum does not overflow the adder width (wrap-around aliases the
+    /// error across the sign boundary, as it would in the RTL).
+    ///
+    /// Each approximate cell can corrupt its sum bit; a corrupted carry out
+    /// of the approximate region propagates as one unit at weight `2^k`. The
+    /// bound below is conservative but tight in order of magnitude: `2^(k+1)`.
+    #[must_use]
+    pub fn error_bound(&self) -> i64 {
+        if self.is_exact() {
+            0
+        } else {
+            1i64 << (self.approx_lsbs + 1).min(62)
+        }
+    }
+
+    /// Number of accurate and approximate cells, for cost accounting:
+    /// `(accurate_cells, approximate_cells)`.
+    #[must_use]
+    pub fn cell_counts(&self) -> (u32, u32) {
+        if self.kind.is_accurate() {
+            (self.width, 0)
+        } else {
+            (self.width - self.approx_lsbs, self.approx_lsbs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_adder_matches_integer_addition() {
+        let adder = RippleCarryAdder::accurate(16);
+        for (a, b) in [(0, 0), (1, 2), (-5, 9), (32767, 1), (-32768, -1)] {
+            let expected = Word::new(a + b, 16).value();
+            assert_eq!(adder.add(a, b), expected, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn zero_approx_lsbs_is_exact_for_all_kinds() {
+        for kind in FullAdderKind::ALL {
+            let adder = RippleCarryAdder::new(16, 0, kind);
+            assert!(adder.is_exact());
+            assert_eq!(adder.add(1234, 4321), 5555);
+        }
+    }
+
+    #[test]
+    fn fully_approximate_ama5_returns_b() {
+        let adder = RippleCarryAdder::new(16, 16, FullAdderKind::Ama5);
+        assert_eq!(adder.add(12345, 678), 678);
+        assert_eq!(adder.add(-1, 42), 42);
+    }
+
+    #[test]
+    fn ama5_fast_path_matches_reference_bitwise() {
+        for k in 0..=16u32 {
+            let adder = RippleCarryAdder::new(16, k, FullAdderKind::Ama5);
+            for (a, b) in [
+                (0i64, 0i64),
+                (1, 1),
+                (255, 255),
+                (-1, 1),
+                (32767, -32768),
+                (1234, -4321),
+                (257, 513),
+            ] {
+                let wa = Word::new(a, 16);
+                let wb = Word::new(b, 16);
+                assert_eq!(
+                    adder.add_words(wa, wb),
+                    adder.add_words_reference(wa, wb),
+                    "k={k} a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_is_bounded_by_two_to_k_plus_one() {
+        for kind in FullAdderKind::APPROXIMATE {
+            for k in 0..=12u32 {
+                let adder = RippleCarryAdder::new(20, k, kind);
+                let bound = adder.error_bound();
+                for (a, b) in [(1000i64, 2000i64), (-555, 444), (65535, 1)] {
+                    let exact = Word::new(a + b, 20).value();
+                    let approx = adder.add(a, b);
+                    assert!(
+                        (approx - exact).abs() <= bound,
+                        "{kind} k={k}: |{approx}-{exact}| > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_counts_partition_width() {
+        let adder = RippleCarryAdder::new(32, 12, FullAdderKind::Ama3);
+        assert_eq!(adder.cell_counts(), (20, 12));
+        let exact = RippleCarryAdder::accurate(32);
+        assert_eq!(exact.cell_counts(), (32, 0));
+    }
+
+    #[test]
+    fn accurate_kind_counts_no_approx_cells_even_with_k() {
+        // An "approximate region" built from accurate cells is accurate.
+        let adder = RippleCarryAdder::new(32, 12, FullAdderKind::Accurate);
+        assert_eq!(adder.cell_counts(), (32, 0));
+        assert!(adder.is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot approximate")]
+    fn approx_region_wider_than_adder_rejected() {
+        let _ = RippleCarryAdder::new(8, 9, FullAdderKind::Ama5);
+    }
+
+    #[test]
+    fn upper_bits_unaffected_when_carry_region_clean() {
+        // With AMA5 and positive operands whose low k bits are zero, the
+        // result must be exact.
+        let adder = RippleCarryAdder::new(16, 4, FullAdderKind::Ama5);
+        assert_eq!(adder.add(0x0F0, 0x100), 0x1F0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fast_paths_equal_reference(
+            a in -(1i64 << 30)..(1i64 << 30),
+            b in -(1i64 << 30)..(1i64 << 30),
+            k in 0u32..=32,
+            kind_idx in 0usize..6,
+        ) {
+            let kind = FullAdderKind::ALL[kind_idx];
+            let adder = RippleCarryAdder::new(32, k, kind);
+            let wa = Word::new(a, 32);
+            let wb = Word::new(b, 32);
+            prop_assert_eq!(
+                adder.add_words(wa, wb),
+                adder.add_words_reference(wa, wb)
+            );
+        }
+
+        #[test]
+        fn prop_exact_when_k_zero(
+            a in any::<i32>(),
+            b in any::<i32>(),
+            kind_idx in 0usize..6,
+        ) {
+            let kind = FullAdderKind::ALL[kind_idx];
+            let adder = RippleCarryAdder::new(32, 0, kind);
+            let expected = Word::new(i64::from(a) + i64::from(b), 32).value();
+            prop_assert_eq!(adder.add(i64::from(a), i64::from(b)), expected);
+        }
+
+        #[test]
+        fn prop_error_bound_holds(
+            a in -(1i64 << 28)..(1i64 << 28),
+            b in -(1i64 << 28)..(1i64 << 28),
+            k in 0u32..=16,
+            kind_idx in 0usize..6,
+        ) {
+            let kind = FullAdderKind::ALL[kind_idx];
+            let adder = RippleCarryAdder::new(32, k, kind);
+            let exact = Word::new(a + b, 32).value();
+            let approx = adder.add(a, b);
+            prop_assert!((approx - exact).abs() <= adder.error_bound());
+        }
+
+        #[test]
+        fn prop_commutative_for_symmetric_kinds(
+            a in any::<i16>(),
+            b in any::<i16>(),
+            k in 0u32..=16,
+        ) {
+            // The accurate cell is symmetric in (A, B); the adder built from
+            // it must commute. (Approximate kinds like AMA5 are deliberately
+            // asymmetric.)
+            let adder = RippleCarryAdder::new(16, k, FullAdderKind::Accurate);
+            prop_assert_eq!(
+                adder.add(i64::from(a), i64::from(b)),
+                adder.add(i64::from(b), i64::from(a))
+            );
+        }
+    }
+}

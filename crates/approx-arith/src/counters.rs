@@ -1,0 +1,122 @@
+//! Operation counters: how many adder/multiplier block invocations a
+//! simulation performed.
+//!
+//! The hardware cost model converts *structure* into per-invocation cost via
+//! [`crate::multiplier::ModuleCensus`]; the missing ingredient is *activity*
+//! — how many times each block fired. Pipelines thread an [`OpCounter`]
+//! through their inner loops so that energy can be integrated as
+//! `invocations × per-invocation energy`.
+
+use std::fmt;
+
+/// Counts block-level invocations (word adds and word multiplies).
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::OpCounter;
+///
+/// let mut ops = OpCounter::new();
+/// ops.count_add();
+/// ops.count_mul();
+/// ops.count_mul();
+/// assert_eq!(ops.adds(), 1);
+/// assert_eq!(ops.muls(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct OpCounter {
+    adds: u64,
+    muls: u64,
+}
+
+impl OpCounter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one word-level adder invocation.
+    pub fn count_add(&mut self) {
+        self.adds += 1;
+    }
+
+    /// Records one word-level multiplier invocation.
+    pub fn count_mul(&mut self) {
+        self.muls += 1;
+    }
+
+    /// Records `n` adder invocations at once.
+    pub fn count_adds(&mut self, n: u64) {
+        self.adds += n;
+    }
+
+    /// Records `n` multiplier invocations at once.
+    pub fn count_muls(&mut self, n: u64) {
+        self.muls += n;
+    }
+
+    /// Total adder invocations.
+    #[must_use]
+    pub fn adds(&self) -> u64 {
+        self.adds
+    }
+
+    /// Total multiplier invocations.
+    #[must_use]
+    pub fn muls(&self) -> u64 {
+        self.muls
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.adds += other.adds;
+        self.muls += other.muls;
+    }
+
+    /// Resets both counts to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl fmt::Display for OpCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} adds, {} muls", self.adds, self.muls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = OpCounter::new();
+        c.count_add();
+        c.count_adds(4);
+        c.count_mul();
+        c.count_muls(2);
+        assert_eq!(c.adds(), 5);
+        assert_eq!(c.muls(), 3);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = OpCounter::new();
+        a.count_add();
+        let mut b = OpCounter::new();
+        b.count_mul();
+        a.merge(&b);
+        assert_eq!((a.adds(), a.muls()), (1, 1));
+        a.reset();
+        assert_eq!((a.adds(), a.muls()), (0, 0));
+    }
+
+    #[test]
+    fn display_format() {
+        let mut c = OpCounter::new();
+        c.count_adds(7);
+        assert_eq!(c.to_string(), "7 adds, 0 muls");
+    }
+}

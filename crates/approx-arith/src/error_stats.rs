@@ -1,0 +1,224 @@
+//! Error statistics for approximate arithmetic blocks.
+//!
+//! Approximate-computing papers characterise units by error rate, mean error
+//! distance (MED), normalised MED and worst-case error. [`ErrorStats`]
+//! accumulates these online (streaming) so both exhaustive 8/16-bit sweeps
+//! and Monte-Carlo 32-bit sweeps share one implementation.
+
+use std::fmt;
+
+/// Streaming error statistics between an approximate and an exact series of
+/// values.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{ErrorStats, FullAdderKind, RippleCarryAdder};
+///
+/// let adder = RippleCarryAdder::new(8, 4, FullAdderKind::Ama5);
+/// let mut stats = ErrorStats::new();
+/// // Stay clear of 8-bit overflow so errors don't alias across the sign
+/// // boundary.
+/// for a in -64..64 {
+///     for b in -63..64 {
+///         stats.record(adder.add(a, b), a + b);
+///     }
+/// }
+/// assert!(stats.error_rate() > 0.0);
+/// assert!(stats.max_abs_error() <= adder.error_bound());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    samples: u64,
+    errors: u64,
+    abs_error_sum: f64,
+    sq_error_sum: f64,
+    max_abs_error: i64,
+    signed_error_sum: f64,
+}
+
+impl ErrorStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (approximate, exact) observation.
+    pub fn record(&mut self, approx: i64, exact: i64) {
+        let err = approx - exact;
+        self.samples += 1;
+        if err != 0 {
+            self.errors += 1;
+        }
+        let abs = err.abs();
+        self.abs_error_sum += abs as f64;
+        self.sq_error_sum += (abs as f64) * (abs as f64);
+        self.signed_error_sum += err as f64;
+        self.max_abs_error = self.max_abs_error.max(abs);
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Fraction of observations with nonzero error, in `0.0..=1.0`.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean error distance (mean absolute error).
+    #[must_use]
+    pub fn mean_error_distance(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.abs_error_sum / self.samples as f64
+        }
+    }
+
+    /// Mean signed error (bias); negative means the unit under-estimates.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.signed_error_sum / self.samples as f64
+        }
+    }
+
+    /// Root-mean-square error.
+    #[must_use]
+    pub fn rms_error(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.sq_error_sum / self.samples as f64).sqrt()
+        }
+    }
+
+    /// Worst absolute error observed.
+    #[must_use]
+    pub fn max_abs_error(&self) -> i64 {
+        self.max_abs_error
+    }
+
+    /// Mean error distance normalised by a reference magnitude (e.g. the
+    /// maximum exact output), the NMED metric.
+    #[must_use]
+    pub fn normalized_med(&self, reference: f64) -> f64 {
+        if reference == 0.0 {
+            0.0
+        } else {
+            self.mean_error_distance() / reference
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.samples += other.samples;
+        self.errors += other.errors;
+        self.abs_error_sum += other.abs_error_sum;
+        self.sq_error_sum += other.sq_error_sum;
+        self.signed_error_sum += other.signed_error_sum;
+        self.max_abs_error = self.max_abs_error.max(other.max_abs_error);
+    }
+}
+
+impl fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} rate={:.4} med={:.3} rms={:.3} max={} bias={:.3}",
+            self.samples,
+            self.error_rate(),
+            self.mean_error_distance(),
+            self.rms_error(),
+            self.max_abs_error,
+            self.bias()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ErrorStats::new();
+        assert_eq!(s.samples(), 0);
+        assert_eq!(s.error_rate(), 0.0);
+        assert_eq!(s.mean_error_distance(), 0.0);
+        assert_eq!(s.rms_error(), 0.0);
+        assert_eq!(s.max_abs_error(), 0);
+    }
+
+    #[test]
+    fn exact_observations_yield_zero_error() {
+        let mut s = ErrorStats::new();
+        for v in 0..100 {
+            s.record(v, v);
+        }
+        assert_eq!(s.samples(), 100);
+        assert_eq!(s.error_rate(), 0.0);
+        assert_eq!(s.max_abs_error(), 0);
+    }
+
+    #[test]
+    fn known_error_pattern() {
+        let mut s = ErrorStats::new();
+        s.record(10, 10); // exact
+        s.record(12, 10); // +2
+        s.record(7, 10); // -3
+        s.record(10, 10); // exact
+        assert_eq!(s.samples(), 4);
+        assert!((s.error_rate() - 0.5).abs() < 1e-12);
+        assert!((s.mean_error_distance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.max_abs_error(), 3);
+        assert!((s.bias() - (-0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_matches_hand_computation() {
+        let mut s = ErrorStats::new();
+        s.record(13, 10); // err 3
+        s.record(6, 10); // err -4
+        let expected = ((9.0 + 16.0) / 2.0f64).sqrt();
+        assert!((s.rms_error() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_accumulators() {
+        let mut a = ErrorStats::new();
+        a.record(11, 10);
+        let mut b = ErrorStats::new();
+        b.record(8, 10);
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert_eq!(a.max_abs_error(), 2);
+        assert!((a.mean_error_distance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_med_scales() {
+        let mut s = ErrorStats::new();
+        s.record(12, 10);
+        assert!((s.normalized_med(100.0) - 0.02).abs() < 1e-12);
+        assert_eq!(s.normalized_med(0.0), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = ErrorStats::new();
+        s.record(1, 2);
+        assert!(s.to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Stuck-at fault injection for composed adders — the classical contrast to
+//! *designed* approximation.
+//!
+//! Approximate-computing papers (including XBioSiP's framing of "limiting
+//! the maximum error" by approximating only LSBs) implicitly argue that a
+//! *chosen* error distribution is far less harmful than an *accidental* one
+//! of the same magnitude. This module makes that claim testable: inject
+//! stuck-at-0/1 faults into arbitrary cells of a ripple-carry adder and
+//! compare the damage against an LSB-approximate adder of equal cell count.
+//!
+//! This implements the failure-injection extension listed in `DESIGN.md`
+//! §9; the experiment lives in `xbiosip-bench --bin ext_fault_injection`.
+
+use crate::full_adder::FullAdderKind;
+use crate::word::Word;
+
+/// Which output of a full-adder cell is faulty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The sum output is stuck.
+    Sum,
+    /// The carry output is stuck.
+    Carry,
+}
+
+/// A stuck-at fault at one cell of an adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckAtFault {
+    /// Cell position (0 = LSB).
+    pub bit: u32,
+    /// Faulty output.
+    pub site: FaultSite,
+    /// The value the output is stuck at.
+    pub value: bool,
+}
+
+impl StuckAtFault {
+    /// A stuck-at fault on the sum output.
+    #[must_use]
+    pub fn sum(bit: u32, value: bool) -> Self {
+        Self {
+            bit,
+            site: FaultSite::Sum,
+            value,
+        }
+    }
+
+    /// A stuck-at fault on the carry output.
+    #[must_use]
+    pub fn carry(bit: u32, value: bool) -> Self {
+        Self {
+            bit,
+            site: FaultSite::Carry,
+            value,
+        }
+    }
+}
+
+/// A ripple-carry adder with stuck-at faults injected at given cells.
+///
+/// All cells are otherwise accurate; the fault model isolates the effect of
+/// *where* errors occur from *how many* occur.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::faults::{FaultyAdder, StuckAtFault};
+///
+/// // A sum output stuck at 0 in bit 10 erases that bit of the result...
+/// let adder = FaultyAdder::new(16, vec![StuckAtFault::sum(10, false)]);
+/// assert_eq!(adder.add(1024, 0), 0);
+/// // ...but results that don't use bit 10 pass through unharmed (the
+/// // carry chain is intact).
+/// assert_eq!(adder.add(1024, 1024), 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyAdder {
+    width: u32,
+    faults: Vec<StuckAtFault>,
+}
+
+impl FaultyAdder {
+    /// Creates a faulty adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is out of range or a fault names a cell beyond
+    /// the width.
+    #[must_use]
+    pub fn new(width: u32, faults: Vec<StuckAtFault>) -> Self {
+        assert!(
+            (1..=crate::word::MAX_WIDTH).contains(&width),
+            "adder width {width} out of range"
+        );
+        for f in &faults {
+            assert!(f.bit < width, "fault bit {} beyond width {width}", f.bit);
+        }
+        Self { width, faults }
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The injected faults.
+    #[must_use]
+    pub fn faults(&self) -> &[StuckAtFault] {
+        &self.faults
+    }
+
+    /// Adds two words through the faulty netlist.
+    #[must_use]
+    pub fn add(&self, a: i64, b: i64) -> i64 {
+        let wa = Word::new(a, self.width);
+        let wb = Word::new(b, self.width);
+        let mut out = Word::from_bits(0, self.width);
+        let mut carry = false;
+        for i in 0..self.width {
+            let cell = FullAdderKind::Accurate.eval(wa.bit(i), wb.bit(i), carry);
+            let mut sum = cell.sum;
+            let mut cout = cell.cout;
+            for f in &self.faults {
+                if f.bit == i {
+                    match f.site {
+                        FaultSite::Sum => sum = f.value,
+                        FaultSite::Carry => cout = f.value,
+                    }
+                }
+            }
+            out = out.with_bit(i, sum);
+            carry = cout;
+        }
+        out.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::RippleCarryAdder;
+    use crate::error_stats::ErrorStats;
+
+    #[test]
+    fn no_faults_means_exact() {
+        let adder = FaultyAdder::new(16, vec![]);
+        for (a, b) in [(0i64, 0i64), (123, 456), (-5, 5), (30000, 2000)] {
+            assert_eq!(adder.add(a, b), Word::new(a + b, 16).value());
+        }
+    }
+
+    #[test]
+    fn sum_stuck_at_zero_clears_the_bit() {
+        let adder = FaultyAdder::new(16, vec![StuckAtFault::sum(3, false)]);
+        assert_eq!(adder.add(8, 0), 0);
+        assert_eq!(adder.add(16, 0), 16); // other bits unaffected
+    }
+
+    #[test]
+    fn sum_stuck_at_one_sets_the_bit() {
+        let adder = FaultyAdder::new(16, vec![StuckAtFault::sum(3, true)]);
+        assert_eq!(adder.add(0, 0), 8);
+    }
+
+    #[test]
+    fn carry_fault_propagates_upward() {
+        // Carry stuck at 1 in bit 0 adds 2 whenever the true carry is 0.
+        let adder = FaultyAdder::new(16, vec![StuckAtFault::carry(0, true)]);
+        assert_eq!(adder.add(0, 0), 2);
+        // When the true carry is already 1, no extra error.
+        assert_eq!(adder.add(1, 1), 2);
+    }
+
+    #[test]
+    fn msb_fault_is_catastrophic_lsb_fault_is_not() {
+        // The quantitative heart of the "approximate LSBs only" argument.
+        let lsb = FaultyAdder::new(16, vec![StuckAtFault::sum(0, true)]);
+        let msb = FaultyAdder::new(16, vec![StuckAtFault::sum(14, true)]);
+        let mut lsb_stats = ErrorStats::new();
+        let mut msb_stats = ErrorStats::new();
+        for a in (0..8000i64).step_by(37) {
+            for b in (0..8000i64).step_by(97) {
+                lsb_stats.record(lsb.add(a, b), a + b);
+                msb_stats.record(msb.add(a, b), a + b);
+            }
+        }
+        assert!(lsb_stats.max_abs_error() <= 1);
+        assert!(msb_stats.max_abs_error() >= 1 << 14);
+        assert!(msb_stats.mean_error_distance() > 100.0 * lsb_stats.mean_error_distance());
+    }
+
+    #[test]
+    fn designed_approximation_beats_random_msb_fault_at_equal_cell_count() {
+        // 8 approximate LSB cells vs a single stuck cell at bit 12: the
+        // designed approximation has *more* faulty cells yet less damage.
+        let approx = RippleCarryAdder::new(16, 8, FullAdderKind::Ama5);
+        let fault = FaultyAdder::new(16, vec![StuckAtFault::sum(12, true)]);
+        let mut approx_stats = ErrorStats::new();
+        let mut fault_stats = ErrorStats::new();
+        for a in (0..8000i64).step_by(41) {
+            for b in (0..8000i64).step_by(89) {
+                approx_stats.record(approx.add(a, b), a + b);
+                fault_stats.record(fault.add(a, b), a + b);
+            }
+        }
+        assert!(
+            approx_stats.max_abs_error() < fault_stats.max_abs_error(),
+            "designed {} vs fault {}",
+            approx_stats.max_abs_error(),
+            fault_stats.max_abs_error()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond width")]
+    fn fault_beyond_width_rejected() {
+        let _ = FaultyAdder::new(8, vec![StuckAtFault::sum(8, true)]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Behavioral models of the accurate mirror adder (MA) and the five
+//! approximate mirror adders (AMA1..AMA5) of Gupta et al.
+//! (IMPACT, ISLPED'11; TCAD'13), i.e. the `AccAdd` / `ApproxAdd1..5` cells of
+//! XBioSiP Fig 5.
+//!
+//! Each approximation removes transistors from the 24-transistor mirror
+//! adder, trading truth-table accuracy for area/power/delay. The spectrum
+//! ends at AMA5 which is *pure wiring* — `Sum = B`, `Cout = A` — matching the
+//! all-zero row for `ApproxAdd5` in the paper's Table 1.
+//!
+//! The truth tables implemented here follow the published circuit
+//! simplifications:
+//!
+//! | kind | simplification                        | Sum errors | Cout errors |
+//! |------|---------------------------------------|------------|-------------|
+//! | MA   | exact                                 | 0/8        | 0/8         |
+//! | AMA1 | Sum stage pruned                      | 2/8        | 0/8         |
+//! | AMA2 | `Sum = !Cout`                         | 2/8        | 0/8         |
+//! | AMA3 | `Sum = !Cout`, `Cout = A·B + A·Cin`   | 3/8        | 1/8         |
+//! | AMA4 | `Cout = A`, `Sum = !A`                | 4/8        | 2/8         |
+//! | AMA5 | `Sum = B`, `Cout = A` (wires only)    | 4/8        | 2/8         |
+
+use std::fmt;
+
+/// Output of a 1-bit full adder: sum and carry-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FullAdder {
+    /// Sum output bit.
+    pub sum: bool,
+    /// Carry output bit.
+    pub cout: bool,
+}
+
+/// The kinds of 1-bit full adder cells in the XBioSiP elementary library
+/// (paper Fig 5): the accurate mirror adder plus `ApproxAdd1..5`.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::FullAdderKind;
+///
+/// // AMA5 is just wires: Sum = B, Cout = A.
+/// let out = FullAdderKind::Ama5.eval(true, false, true);
+/// assert_eq!(out.sum, false);
+/// assert_eq!(out.cout, true);
+///
+/// // The accurate cell computes A + B + Cin exactly.
+/// let out = FullAdderKind::Accurate.eval(true, false, true);
+/// assert_eq!(out.sum, false);
+/// assert_eq!(out.cout, true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum FullAdderKind {
+    /// Exact mirror adder (`AccAdd`).
+    #[default]
+    Accurate,
+    /// `ApproxAdd1` — Sum stage pruned; Cout exact.
+    Ama1,
+    /// `ApproxAdd2` — `Sum = !Cout`; Cout exact.
+    Ama2,
+    /// `ApproxAdd3` — `Sum = !Cout` with `Cout = A·B + A·Cin`.
+    Ama3,
+    /// `ApproxAdd4` — `Cout = A`, `Sum = !A`.
+    Ama4,
+    /// `ApproxAdd5` — `Sum = B`, `Cout = A`; zero transistors.
+    Ama5,
+}
+
+impl FullAdderKind {
+    /// All kinds, ordered from most accurate to most approximate (the
+    /// descending-energy order the paper's design methodology iterates over).
+    pub const ALL: [FullAdderKind; 6] = [
+        FullAdderKind::Accurate,
+        FullAdderKind::Ama1,
+        FullAdderKind::Ama2,
+        FullAdderKind::Ama3,
+        FullAdderKind::Ama4,
+        FullAdderKind::Ama5,
+    ];
+
+    /// The approximate kinds only (`ApproxAdd1..5`).
+    pub const APPROXIMATE: [FullAdderKind; 5] = [
+        FullAdderKind::Ama1,
+        FullAdderKind::Ama2,
+        FullAdderKind::Ama3,
+        FullAdderKind::Ama4,
+        FullAdderKind::Ama5,
+    ];
+
+    /// Evaluates the cell on inputs `a`, `b`, carry-in `cin`.
+    #[must_use]
+    pub fn eval(self, a: bool, b: bool, cin: bool) -> FullAdder {
+        let exact_sum = a ^ b ^ cin;
+        let exact_cout = (a & b) | (cin & (a ^ b));
+        match self {
+            FullAdderKind::Accurate => FullAdder {
+                sum: exact_sum,
+                cout: exact_cout,
+            },
+            FullAdderKind::Ama1 => {
+                // Pruned Sum stage: errors at (0,1,1) -> Sum 1 and
+                // (1,0,0) -> Sum 0; Cout exact.
+                let sum = match (a, b, cin) {
+                    (false, true, true) => true,
+                    (true, false, false) => false,
+                    _ => exact_sum,
+                };
+                FullAdder {
+                    sum,
+                    cout: exact_cout,
+                }
+            }
+            FullAdderKind::Ama2 => FullAdder {
+                // Sum approximated as the complement of the (exact) carry.
+                sum: !exact_cout,
+                cout: exact_cout,
+            },
+            FullAdderKind::Ama3 => {
+                // Carry loses the B·Cin term; Sum = !Cout on the approximate
+                // carry.
+                let cout = (a & b) | (a & cin);
+                FullAdder { sum: !cout, cout }
+            }
+            FullAdderKind::Ama4 => FullAdder {
+                sum: !a,
+                cout: a,
+            },
+            FullAdderKind::Ama5 => FullAdder { sum: b, cout: a },
+        }
+    }
+
+    /// Number of input rows (out of 8) where the sum bit is wrong.
+    #[must_use]
+    pub fn sum_error_rows(self) -> u32 {
+        self.count_errors().0
+    }
+
+    /// Number of input rows (out of 8) where the carry-out bit is wrong.
+    #[must_use]
+    pub fn cout_error_rows(self) -> u32 {
+        self.count_errors().1
+    }
+
+    fn count_errors(self) -> (u32, u32) {
+        let mut sum_err = 0;
+        let mut cout_err = 0;
+        for i in 0..8u32 {
+            let a = i & 1 != 0;
+            let b = i & 2 != 0;
+            let cin = i & 4 != 0;
+            let exact = FullAdderKind::Accurate.eval(a, b, cin);
+            let approx = self.eval(a, b, cin);
+            if exact.sum != approx.sum {
+                sum_err += 1;
+            }
+            if exact.cout != approx.cout {
+                cout_err += 1;
+            }
+        }
+        (sum_err, cout_err)
+    }
+
+    /// Whether this kind computes exactly (only [`FullAdderKind::Accurate`]).
+    #[must_use]
+    pub fn is_accurate(self) -> bool {
+        self == FullAdderKind::Accurate
+    }
+
+    /// Short library name as used in the paper (`AccAdd`, `ApproxAdd1`, ...).
+    #[must_use]
+    pub fn library_name(self) -> &'static str {
+        match self {
+            FullAdderKind::Accurate => "AccAdd",
+            FullAdderKind::Ama1 => "ApproxAdd1",
+            FullAdderKind::Ama2 => "ApproxAdd2",
+            FullAdderKind::Ama3 => "ApproxAdd3",
+            FullAdderKind::Ama4 => "ApproxAdd4",
+            FullAdderKind::Ama5 => "ApproxAdd5",
+        }
+    }
+
+    /// Parses a library name (`"AccAdd"`, `"ApproxAdd3"`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKindError`] when the name is not in the library.
+    pub fn from_library_name(name: &str) -> Result<Self, ParseKindError> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.library_name() == name)
+            .ok_or_else(|| ParseKindError::new(name))
+    }
+}
+
+impl fmt::Display for FullAdderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.library_name())
+    }
+}
+
+/// Error returned when a module name does not exist in the elementary
+/// library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKindError {
+    name: String,
+}
+
+impl ParseKindError {
+    pub(crate) fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown elementary module name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseKindError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(a: bool, b: bool, cin: bool) -> (bool, bool) {
+        let s = a ^ b ^ cin;
+        let c = (a & b) | (cin & (a ^ b));
+        (s, c)
+    }
+
+    #[test]
+    fn accurate_matches_boolean_algebra() {
+        for i in 0..8u32 {
+            let (a, b, cin) = (i & 1 != 0, i & 2 != 0, i & 4 != 0);
+            let out = FullAdderKind::Accurate.eval(a, b, cin);
+            let (s, c) = exact(a, b, cin);
+            assert_eq!((out.sum, out.cout), (s, c), "row {i}");
+        }
+    }
+
+    #[test]
+    fn accurate_matches_integer_addition() {
+        for i in 0..8u32 {
+            let (a, b, cin) = (i & 1, (i >> 1) & 1, (i >> 2) & 1);
+            let out =
+                FullAdderKind::Accurate.eval(a != 0, b != 0, cin != 0);
+            let total = a + b + cin;
+            assert_eq!(u32::from(out.sum), total & 1);
+            assert_eq!(u32::from(out.cout), total >> 1);
+        }
+    }
+
+    #[test]
+    fn ama1_error_profile() {
+        assert_eq!(FullAdderKind::Ama1.sum_error_rows(), 2);
+        assert_eq!(FullAdderKind::Ama1.cout_error_rows(), 0);
+    }
+
+    #[test]
+    fn ama2_error_profile() {
+        assert_eq!(FullAdderKind::Ama2.sum_error_rows(), 2);
+        assert_eq!(FullAdderKind::Ama2.cout_error_rows(), 0);
+    }
+
+    #[test]
+    fn ama2_sum_is_not_cout() {
+        for i in 0..8u32 {
+            let (a, b, cin) = (i & 1 != 0, i & 2 != 0, i & 4 != 0);
+            let out = FullAdderKind::Ama2.eval(a, b, cin);
+            assert_eq!(out.sum, !out.cout);
+        }
+    }
+
+    #[test]
+    fn ama3_error_profile() {
+        assert_eq!(FullAdderKind::Ama3.sum_error_rows(), 3);
+        assert_eq!(FullAdderKind::Ama3.cout_error_rows(), 1);
+    }
+
+    #[test]
+    fn ama4_error_profile() {
+        assert_eq!(FullAdderKind::Ama4.sum_error_rows(), 4);
+        assert_eq!(FullAdderKind::Ama4.cout_error_rows(), 2);
+    }
+
+    #[test]
+    fn ama5_is_wires() {
+        for i in 0..8u32 {
+            let (a, b, cin) = (i & 1 != 0, i & 2 != 0, i & 4 != 0);
+            let out = FullAdderKind::Ama5.eval(a, b, cin);
+            assert_eq!(out.sum, b);
+            assert_eq!(out.cout, a);
+        }
+        assert_eq!(FullAdderKind::Ama5.sum_error_rows(), 4);
+        assert_eq!(FullAdderKind::Ama5.cout_error_rows(), 2);
+    }
+
+    #[test]
+    fn error_rows_monotonically_nondecreasing_along_library_order() {
+        let totals: Vec<u32> = FullAdderKind::ALL
+            .iter()
+            .map(|k| k.sum_error_rows() + k.cout_error_rows())
+            .collect();
+        for pair in totals.windows(2) {
+            assert!(
+                pair[0] <= pair[1],
+                "library order must not decrease total error rows: {totals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn library_names_round_trip() {
+        for k in FullAdderKind::ALL {
+            assert_eq!(
+                FullAdderKind::from_library_name(k.library_name()).unwrap(),
+                k
+            );
+        }
+        assert!(FullAdderKind::from_library_name("NotAnAdder").is_err());
+    }
+
+    #[test]
+    fn display_uses_library_name() {
+        assert_eq!(FullAdderKind::Ama5.to_string(), "ApproxAdd5");
+        assert_eq!(FullAdderKind::Accurate.to_string(), "AccAdd");
+    }
+
+    #[test]
+    fn default_is_accurate() {
+        assert_eq!(FullAdderKind::default(), FullAdderKind::Accurate);
+        assert!(FullAdderKind::default().is_accurate());
+        assert!(!FullAdderKind::Ama1.is_accurate());
+    }
+}

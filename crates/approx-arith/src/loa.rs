@@ -1,0 +1,220 @@
+//! The lower-part-OR adder (LOA) — an alternative approximate-adder family
+//! (Mahdiani et al., IEEE TCAS-I 2010) added as an extension point beyond
+//! the paper's AMA library.
+//!
+//! Where the AMA cells approximate the full-adder *truth table*, the LOA
+//! approximates the *architecture*: the low `k` result bits are computed by
+//! a single OR gate per bit (`s_i = a_i | b_i`, no carry chain at all), and
+//! one AND gate feeds `a_{k-1} & b_{k-1}` as carry-in to the accurate upper
+//! part. Its error profile differs from AMA5 in a useful way: the OR never
+//! *loses* set bits (AMA5's `Sum = B` ignores `A` entirely), so the LOA
+//! biases high where AMA5's bias follows one operand.
+//!
+//! The ablation comparing the two families on the Pan-Tompkins pipeline is
+//! `xbiosip-bench --bin ext_adder_families`.
+
+use crate::word::Word;
+
+/// A lower-part-OR adder: OR gates for the low `k` bits, an accurate adder
+/// above, with `a_{k-1} & b_{k-1}` as the carry into the upper part.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::loa::LowerOrAdder;
+///
+/// let loa = LowerOrAdder::new(16, 4);
+/// // Low bits OR instead of adding: 3 | 1 = 3 (exact sum would be 4).
+/// assert_eq!(loa.add(3, 1), 3);
+/// // Upper bits stay exact.
+/// assert_eq!(loa.add(0x100, 0x200), 0x300);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LowerOrAdder {
+    width: u32,
+    or_bits: u32,
+}
+
+impl LowerOrAdder {
+    /// Creates a LOA of `width` bits with `or_bits` OR-approximated LSBs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is out of range or `or_bits > width`.
+    #[must_use]
+    pub fn new(width: u32, or_bits: u32) -> Self {
+        assert!(
+            (1..=crate::word::MAX_WIDTH).contains(&width),
+            "adder width {width} out of range"
+        );
+        assert!(or_bits <= width, "OR region exceeds adder width");
+        Self { width, or_bits }
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of OR-approximated low bits.
+    #[must_use]
+    pub fn or_bits(&self) -> u32 {
+        self.or_bits
+    }
+
+    /// Adds two `width`-bit words through the LOA structure.
+    #[must_use]
+    pub fn add(&self, a: i64, b: i64) -> i64 {
+        let wa = Word::new(a, self.width);
+        let wb = Word::new(b, self.width);
+        let k = self.or_bits;
+        if k == 0 {
+            return Word::new(a.wrapping_add(b), self.width).value();
+        }
+        if k >= self.width {
+            return Word::from_bits(wa.bits() | wb.bits(), self.width).value();
+        }
+        let low_mask = (1u64 << k) - 1;
+        let low = (wa.bits() | wb.bits()) & low_mask;
+        // The single AND gate approximating the carry into the upper part.
+        let carry = (wa.bits() >> (k - 1)) & (wb.bits() >> (k - 1)) & 1;
+        let hi = (wa.bits() >> k)
+            .wrapping_add(wb.bits() >> k)
+            .wrapping_add(carry);
+        Word::from_bits(low | (hi << k), self.width).value()
+    }
+
+    /// Worst-case absolute error (no output wrap): the OR part can
+    /// underestimate by at most `2^k − 2` and the carry approximation is off
+    /// by at most `2^k`.
+    #[must_use]
+    pub fn error_bound(&self) -> i64 {
+        if self.or_bits == 0 {
+            0
+        } else {
+            1i64 << (self.or_bits + 1).min(62)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::RippleCarryAdder;
+    use crate::error_stats::ErrorStats;
+    use crate::full_adder::FullAdderKind;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_or_bits_is_exact() {
+        let loa = LowerOrAdder::new(16, 0);
+        for (a, b) in [(1i64, 2i64), (-7, 7), (30000, 1000)] {
+            assert_eq!(loa.add(a, b), Word::new(a + b, 16).value());
+        }
+    }
+
+    #[test]
+    fn or_semantics_in_low_bits() {
+        let loa = LowerOrAdder::new(16, 4);
+        assert_eq!(loa.add(0b0101, 0b0011), 0b0111); // OR, not sum
+        assert_eq!(loa.add(0b1000, 0b0000), 0b1000);
+    }
+
+    #[test]
+    fn carry_and_gate_feeds_upper_part() {
+        let loa = LowerOrAdder::new(16, 4);
+        // Both bit-3 operands set -> AND gate raises carry into bit 4.
+        assert_eq!(loa.add(0b1000, 0b1000), 0b1_1000); // low OR=8, carry adds 16
+    }
+
+    #[test]
+    fn fully_or_adder() {
+        let loa = LowerOrAdder::new(8, 8);
+        assert_eq!(loa.add(0x0F, 0x31), 0x3F);
+    }
+
+    #[test]
+    fn disjoint_operands_are_exact() {
+        // When no bit position is shared, OR equals addition.
+        let loa = LowerOrAdder::new(16, 8);
+        assert_eq!(loa.add(0b10101010, 0b01010101), 0xFF);
+    }
+
+    #[test]
+    fn error_bounded() {
+        let loa = LowerOrAdder::new(20, 8);
+        let bound = loa.error_bound();
+        for a in (0..5000i64).step_by(83) {
+            for b in (0..5000i64).step_by(71) {
+                let err = (loa.add(a, b) - (a + b)).abs();
+                assert!(err <= bound, "{a}+{b}: err {err} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn loa_never_sets_a_low_bit_that_neither_operand_has() {
+        let loa = LowerOrAdder::new(16, 8);
+        for (a, b) in [(0x34i64, 0x12i64), (0x80, 0x01), (0xFF, 0x00)] {
+            let out = loa.add(a, b) as u64 & 0xFF;
+            assert_eq!(out & !((a as u64 | b as u64) & 0xFF), 0);
+        }
+    }
+
+    #[test]
+    fn error_profile_differs_from_ama5_structurally() {
+        // AMA5's low bits are simply operand B — a set bit of A vanishes
+        // when B has a zero there. The LOA's OR can never lose a set bit.
+        let loa = LowerOrAdder::new(16, 8);
+        let ama5 = RippleCarryAdder::new(16, 8, FullAdderKind::Ama5);
+        assert_eq!(ama5.add(0x00FF, 0x0000) & 0xFF, 0, "AMA5 drops A's bits");
+        assert_eq!(loa.add(0x00FF, 0x0000) & 0xFF, 0xFF, "LOA keeps A's bits");
+
+        // And over a sweep, the LOA's *worst* error should not exceed
+        // AMA5's (it keeps more information in the low part).
+        let mut loa_stats = ErrorStats::new();
+        let mut ama_stats = ErrorStats::new();
+        for a in (0..8000i64).step_by(53) {
+            for b in (0..8000i64).step_by(67) {
+                loa_stats.record(loa.add(a, b), a + b);
+                ama_stats.record(ama5.add(a, b), a + b);
+            }
+        }
+        assert!(
+            loa_stats.max_abs_error() <= ama_stats.max_abs_error(),
+            "LOA worst error {} vs AMA5 {}",
+            loa_stats.max_abs_error(),
+            ama_stats.max_abs_error()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds adder width")]
+    fn oversized_or_region_rejected() {
+        let _ = LowerOrAdder::new(8, 9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bounded(
+            a in 0i64..(1 << 20),
+            b in 0i64..(1 << 20),
+            k in 0u32..=16,
+        ) {
+            let loa = LowerOrAdder::new(24, k);
+            prop_assert!((loa.add(a, b) - (a + b)).abs() <= loa.error_bound());
+        }
+
+        #[test]
+        fn prop_commutative(
+            a in any::<i16>(),
+            b in any::<i16>(),
+            k in 0u32..=16,
+        ) {
+            // OR and AND are symmetric, so the LOA commutes — unlike AMA5.
+            let loa = LowerOrAdder::new(16, k);
+            prop_assert_eq!(loa.add(a.into(), b.into()), loa.add(b.into(), a.into()));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Behavioral models of the elementary 2×2 multiplier modules (XBioSiP
+//! Fig 5): the accurate module, the under-designed multiplier of Kulkarni et
+//! al. (VLSID'11) as `AppMultV1`, and a shorter-critical-path variant in the
+//! spirit of Rehman et al. (ICCAD'16) as `AppMultV2`.
+//!
+//! `AppMultV1` produces `3 × 3 = 7` instead of `9` (the single wrong row of
+//! 16), which lets the implementation drop the `Out(3)` output entirely.
+//! The paper does not print `AppMultV2`'s truth table; we implement a
+//! documented substitution (see `DESIGN.md`): the `A(0)·B(1)` partial product
+//! is removed from the middle output bit, shortening the critical path at the
+//! cost of 4/16 wrong rows. Both approximations only ever *underestimate* the
+//! product, which matches the published modules' error direction.
+
+use std::fmt;
+
+use crate::full_adder::ParseKindError;
+
+/// The kinds of elementary 2×2 multiplier modules in the XBioSiP library.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::Mult2x2Kind;
+///
+/// assert_eq!(Mult2x2Kind::Accurate.eval(3, 3), 9);
+/// assert_eq!(Mult2x2Kind::V1.eval(3, 3), 7); // Kulkarni's single error row
+/// assert_eq!(Mult2x2Kind::V1.eval(2, 3), 6); // every other row exact
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Mult2x2Kind {
+    /// Exact 2×2 multiplier (`AccMult`).
+    #[default]
+    Accurate,
+    /// `AppMultV1` — Kulkarni's under-designed multiplier: `3×3 → 7`.
+    V1,
+    /// `AppMultV2` — drops the `A(0)·B(1)` term of `Out(1)`; 4/16 rows wrong,
+    /// shortest critical path.
+    V2,
+}
+
+impl Mult2x2Kind {
+    /// All kinds, from most accurate to most approximate (descending energy,
+    /// per the paper's Table 1).
+    pub const ALL: [Mult2x2Kind; 3] =
+        [Mult2x2Kind::Accurate, Mult2x2Kind::V1, Mult2x2Kind::V2];
+
+    /// The approximate kinds only.
+    pub const APPROXIMATE: [Mult2x2Kind; 2] = [Mult2x2Kind::V1, Mult2x2Kind::V2];
+
+    /// Multiplies two 2-bit operands (values 0..=3), returning a 4-bit
+    /// product (0..=15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand exceeds 3.
+    #[must_use]
+    pub fn eval(self, a: u8, b: u8) -> u8 {
+        assert!(a <= 3 && b <= 3, "2x2 multiplier operands must be 2-bit");
+        let (a0, a1) = (a & 1, (a >> 1) & 1);
+        let (b0, b1) = (b & 1, (b >> 1) & 1);
+        match self {
+            Mult2x2Kind::Accurate => a * b,
+            Mult2x2Kind::V1 => {
+                // Out(0) = A0·B0; Out(1) = A1·B0 | A0·B1; Out(2) = A1·B1;
+                // Out(3) removed. Exact except 3×3 = 0b0111.
+                let o0 = a0 & b0;
+                let o1 = (a1 & b0) | (a0 & b1);
+                let o2 = a1 & b1;
+                o0 | (o1 << 1) | (o2 << 2)
+            }
+            Mult2x2Kind::V2 => {
+                // Out(1) further loses the A0·B1 term.
+                let o0 = a0 & b0;
+                let o1 = a1 & b0;
+                let o2 = a1 & b1;
+                o0 | (o1 << 1) | (o2 << 2)
+            }
+        }
+    }
+
+    /// Number of wrong rows in the 16-entry truth table.
+    #[must_use]
+    pub fn error_rows(self) -> u32 {
+        let mut n = 0;
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                if self.eval(a, b) != a * b {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Largest absolute output error over the truth table.
+    #[must_use]
+    pub fn max_error(self) -> u32 {
+        let mut worst = 0i32;
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let e = (i32::from(self.eval(a, b)) - i32::from(a * b)).abs();
+                worst = worst.max(e);
+            }
+        }
+        worst as u32
+    }
+
+    /// Whether this kind computes exactly (only [`Mult2x2Kind::Accurate`]).
+    #[must_use]
+    pub fn is_accurate(self) -> bool {
+        self == Mult2x2Kind::Accurate
+    }
+
+    /// Short library name as used in the paper (`AccMult`, `AppMultV1`, ...).
+    #[must_use]
+    pub fn library_name(self) -> &'static str {
+        match self {
+            Mult2x2Kind::Accurate => "AccMult",
+            Mult2x2Kind::V1 => "AppMultV1",
+            Mult2x2Kind::V2 => "AppMultV2",
+        }
+    }
+
+    /// Parses a library name (`"AccMult"`, `"AppMultV2"`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKindError`] when the name is not in the library.
+    pub fn from_library_name(name: &str) -> Result<Self, ParseKindError> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.library_name() == name)
+            .ok_or_else(|| ParseKindError::new(name))
+    }
+}
+
+impl fmt::Display for Mult2x2Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.library_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_is_exact_on_all_rows() {
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                assert_eq!(Mult2x2Kind::Accurate.eval(a, b), a * b);
+            }
+        }
+        assert_eq!(Mult2x2Kind::Accurate.error_rows(), 0);
+        assert_eq!(Mult2x2Kind::Accurate.max_error(), 0);
+    }
+
+    #[test]
+    fn v1_single_error_row() {
+        assert_eq!(Mult2x2Kind::V1.error_rows(), 1);
+        assert_eq!(Mult2x2Kind::V1.eval(3, 3), 7);
+        assert_eq!(Mult2x2Kind::V1.max_error(), 2);
+    }
+
+    #[test]
+    fn v1_exact_everywhere_else() {
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                if (a, b) != (3, 3) {
+                    assert_eq!(Mult2x2Kind::V1.eval(a, b), a * b, "{a}x{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v1_output_fits_three_bits() {
+        // The whole point of Kulkarni's design: Out(3) can be removed.
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                assert!(Mult2x2Kind::V1.eval(a, b) < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_error_profile() {
+        assert_eq!(Mult2x2Kind::V2.error_rows(), 4);
+        // The wrong rows and their approximate values:
+        assert_eq!(Mult2x2Kind::V2.eval(1, 2), 0);
+        assert_eq!(Mult2x2Kind::V2.eval(1, 3), 1);
+        assert_eq!(Mult2x2Kind::V2.eval(3, 2), 4);
+        assert_eq!(Mult2x2Kind::V2.eval(3, 3), 7);
+    }
+
+    #[test]
+    fn approximations_never_overestimate() {
+        for kind in Mult2x2Kind::APPROXIMATE {
+            for a in 0..4u8 {
+                for b in 0..4u8 {
+                    assert!(
+                        kind.eval(a, b) <= a * b,
+                        "{kind} over-estimated {a}x{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_by_zero_is_zero_for_all_kinds() {
+        for kind in Mult2x2Kind::ALL {
+            for x in 0..4u8 {
+                assert_eq!(kind.eval(0, x), 0, "{kind} 0x{x}");
+                assert_eq!(kind.eval(x, 0), 0, "{kind} {x}x0");
+            }
+        }
+    }
+
+    #[test]
+    fn error_rows_monotone_along_library_order() {
+        let rows: Vec<u32> =
+            Mult2x2Kind::ALL.iter().map(|k| k.error_rows()).collect();
+        for pair in rows.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn library_names_round_trip() {
+        for k in Mult2x2Kind::ALL {
+            assert_eq!(
+                Mult2x2Kind::from_library_name(k.library_name()).unwrap(),
+                k
+            );
+        }
+        assert!(Mult2x2Kind::from_library_name("Bogus").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "2-bit")]
+    fn wide_operands_rejected() {
+        let _ = Mult2x2Kind::Accurate.eval(4, 1);
+    }
+}

@@ -1,0 +1,538 @@
+//! Recursively partitioned approximate multipliers (XBioSiP Fig 7).
+//!
+//! A `W×W` multiplier is partitioned into four `W/2 × W/2` blocks whose
+//! outputs are accumulated by three `2W`-bit adders:
+//!
+//! ```text
+//! A×B = AL·BL + (AH·BL + AL·BH)·2^(W/2) + AH·BH·2^W
+//! ```
+//!
+//! The recursion bottoms out at the elementary 2×2 modules of
+//! [`crate::mult2x2`]. For a 16×16 multiplier this yields 64 elementary 2×2
+//! modules and 672 full-adder cells (three 32-bit adders at the top, three
+//! 16-bit adders in each 8×8 block, three 8-bit adders in each 4×4 block) —
+//! the structure the paper synthesizes.
+//!
+//! **Approximation rule** (paper §2: "the number of LSBs approximated decides
+//! which of the computationally accurate 1-bit full-adder and elementary 2×2
+//! multiplier modules are replaced"): given `k` approximated output LSBs,
+//!
+//! * an elementary 2×2 module whose 4-bit result lands entirely below bit `k`
+//!   (absolute output weight `w` with `w + 4 ≤ k`) becomes `mult_kind`;
+//! * every accumulation adder approximates the cells whose absolute output
+//!   weight is below `k` with `adder_kind`.
+
+use crate::adder::RippleCarryAdder;
+use crate::full_adder::FullAdderKind;
+use crate::mult2x2::Mult2x2Kind;
+use crate::word::Word;
+
+/// Census of elementary modules inside a composed arithmetic block, used by
+/// hardware cost models to turn structure into area/power/energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModuleCensus {
+    /// Accurate 1-bit full-adder cells.
+    pub exact_fa: u64,
+    /// Approximate 1-bit full-adder cells (of the block's adder kind).
+    pub approx_fa: u64,
+    /// Accurate elementary 2×2 multiplier modules.
+    pub exact_mult2x2: u64,
+    /// Approximate elementary 2×2 multiplier modules (of the block's kind).
+    pub approx_mult2x2: u64,
+}
+
+impl ModuleCensus {
+    /// Merges another census into this one (e.g. to total a whole stage).
+    pub fn merge(&mut self, other: &ModuleCensus) {
+        self.exact_fa += other.exact_fa;
+        self.approx_fa += other.approx_fa;
+        self.exact_mult2x2 += other.exact_mult2x2;
+        self.approx_mult2x2 += other.approx_mult2x2;
+    }
+
+    /// Census scaled by a replication count (`n` identical blocks).
+    #[must_use]
+    pub fn repeated(&self, n: u64) -> ModuleCensus {
+        ModuleCensus {
+            exact_fa: self.exact_fa * n,
+            approx_fa: self.approx_fa * n,
+            exact_mult2x2: self.exact_mult2x2 * n,
+            approx_mult2x2: self.approx_mult2x2 * n,
+        }
+    }
+
+    /// Total full-adder cells.
+    #[must_use]
+    pub fn total_fa(&self) -> u64 {
+        self.exact_fa + self.approx_fa
+    }
+
+    /// Total elementary 2×2 modules.
+    #[must_use]
+    pub fn total_mult2x2(&self) -> u64 {
+        self.exact_mult2x2 + self.approx_mult2x2
+    }
+}
+
+/// A `width × width` recursive multiplier with the `approx_lsbs`-LSB output
+/// region approximated (paper Fig 7).
+///
+/// Signed multiplication follows the behavioral reference models:
+/// sign-magnitude — the unsigned core multiplies `|a|·|b|` and the sign is
+/// restored exactly afterwards, so only the magnitude datapath is
+/// approximate.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{FullAdderKind, Mult2x2Kind, RecursiveMultiplier};
+///
+/// let exact = RecursiveMultiplier::accurate(16);
+/// assert_eq!(exact.mul(-321, 123), -321 * 123);
+///
+/// let approx = RecursiveMultiplier::new(16, 8, Mult2x2Kind::V1, FullAdderKind::Ama5);
+/// let p = approx.mul(-321, 123);
+/// assert!((p - (-321 * 123)).abs() < 1 << 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecursiveMultiplier {
+    width: u32,
+    approx_lsbs: u32,
+    mult_kind: Mult2x2Kind,
+    adder_kind: FullAdderKind,
+}
+
+impl RecursiveMultiplier {
+    /// Creates a multiplier for `width`-bit operands (`width ∈ {2,4,8,16}`)
+    /// with `approx_lsbs` of the `2·width`-bit output approximated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two in `2..=16` or if
+    /// `approx_lsbs > 2·width`.
+    #[must_use]
+    pub fn new(
+        width: u32,
+        approx_lsbs: u32,
+        mult_kind: Mult2x2Kind,
+        adder_kind: FullAdderKind,
+    ) -> Self {
+        assert!(
+            width.is_power_of_two() && (2..=16).contains(&width),
+            "multiplier width {width} must be a power of two in 2..=16"
+        );
+        assert!(
+            approx_lsbs <= 2 * width,
+            "cannot approximate {approx_lsbs} LSBs of a {}-bit product",
+            2 * width
+        );
+        Self {
+            width,
+            approx_lsbs,
+            mult_kind,
+            adder_kind,
+        }
+    }
+
+    /// A fully accurate multiplier of the given operand width.
+    #[must_use]
+    pub fn accurate(width: u32) -> Self {
+        Self::new(width, 0, Mult2x2Kind::Accurate, FullAdderKind::Accurate)
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Product width in bits (`2 × width`).
+    #[must_use]
+    pub fn output_width(&self) -> u32 {
+        2 * self.width
+    }
+
+    /// Number of approximated output LSBs.
+    #[must_use]
+    pub fn approx_lsbs(&self) -> u32 {
+        self.approx_lsbs
+    }
+
+    /// Elementary multiplier kind in the approximate region.
+    #[must_use]
+    pub fn mult_kind(&self) -> Mult2x2Kind {
+        self.mult_kind
+    }
+
+    /// Full-adder kind in the approximate region of accumulation adders.
+    #[must_use]
+    pub fn adder_kind(&self) -> FullAdderKind {
+        self.adder_kind
+    }
+
+    /// Whether the configuration computes exactly.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.approx_lsbs == 0
+            || (self.mult_kind.is_accurate() && self.adder_kind.is_accurate())
+    }
+
+    /// Multiplies two unsigned operands that must fit in `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `width` bits.
+    #[must_use]
+    pub fn mul_unsigned(&self, a: u64, b: u64) -> u64 {
+        assert!(
+            a < (1u64 << self.width) && b < (1u64 << self.width),
+            "operands must fit in {} bits",
+            self.width
+        );
+        if self.is_exact() {
+            return a * b;
+        }
+        let wa = Word::from_bits(a, self.width);
+        let wb = Word::from_bits(b, self.width);
+        self.mul_rec(wa, wb, 0).bits()
+    }
+
+    /// Multiplies two signed operands (sign-magnitude; the sign is exact).
+    ///
+    /// Operands must lie in the symmetric `width`-bit signed range
+    /// `-2^(width-1) ..= 2^(width-1)` (the magnitude `2^(width-1)` itself is
+    /// representable unsigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand magnitude exceeds `2^(width-1)`.
+    #[must_use]
+    pub fn mul(&self, a: i64, b: i64) -> i64 {
+        let limit = 1i64 << (self.width - 1);
+        assert!(
+            a.abs() <= limit && b.abs() <= limit,
+            "signed operand magnitude exceeds {limit}"
+        );
+        let negative = (a < 0) ^ (b < 0);
+        // The magnitude 2^(width-1) (from the most negative input) still fits
+        // the unsigned core, so every in-range operand takes the same path.
+        let mag = self.mul_unsigned(a.unsigned_abs(), b.unsigned_abs()) as i64;
+        if negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    fn mul_rec(&self, a: Word, b: Word, base_weight: u32) -> Word {
+        let w = a.width();
+        let out_w = 2 * w;
+        if w == 2 {
+            let kind = if base_weight + 4 <= self.approx_lsbs {
+                self.mult_kind
+            } else {
+                Mult2x2Kind::Accurate
+            };
+            let p = kind.eval(a.bits() as u8, b.bits() as u8);
+            return Word::from_bits(u64::from(p), 4);
+        }
+        let half = w / 2;
+        let (al, ah) = a.split_halves();
+        let (bl, bh) = b.split_halves();
+        let ll = self.mul_rec(al, bl, base_weight);
+        let hl = self.mul_rec(ah, bl, base_weight + half);
+        let lh = self.mul_rec(al, bh, base_weight + half);
+        let hh = self.mul_rec(ah, bh, base_weight + w);
+        let adder = self.acc_adder(out_w, base_weight);
+        let shift = |p: Word, by: u32| Word::from_bits(p.bits() << by, out_w);
+        let t1 = adder.add_words(shift(ll, 0), shift(hl, half));
+        let t2 = adder.add_words(t1, shift(lh, half));
+        adder.add_words(t2, shift(hh, w))
+    }
+
+    /// The accumulation adder used at `base_weight` with output width
+    /// `width` — its approximate region covers absolute output bits `< k`.
+    fn acc_adder(&self, width: u32, base_weight: u32) -> RippleCarryAdder {
+        let local_k = self
+            .approx_lsbs
+            .saturating_sub(base_weight)
+            .min(width);
+        RippleCarryAdder::new(width, local_k, self.adder_kind)
+    }
+
+    /// Counts the elementary modules in this multiplier's structure.
+    ///
+    /// For a fully accurate 16×16 multiplier this reports 64 exact 2×2
+    /// modules and 672 exact full-adder cells.
+    #[must_use]
+    pub fn census(&self) -> ModuleCensus {
+        let mut census = ModuleCensus::default();
+        self.census_rec(self.width, 0, &mut census);
+        census
+    }
+
+    fn census_rec(&self, w: u32, base_weight: u32, census: &mut ModuleCensus) {
+        if w == 2 {
+            if base_weight + 4 <= self.approx_lsbs
+                && !self.mult_kind.is_accurate()
+            {
+                census.approx_mult2x2 += 1;
+            } else {
+                census.exact_mult2x2 += 1;
+            }
+            return;
+        }
+        let half = w / 2;
+        self.census_rec(half, base_weight, census);
+        self.census_rec(half, base_weight + half, census);
+        self.census_rec(half, base_weight + half, census);
+        self.census_rec(half, base_weight + w, census);
+        let adder = self.acc_adder(2 * w, base_weight);
+        let (exact, approx) = adder.cell_counts();
+        census.exact_fa += 3 * u64::from(exact);
+        census.approx_fa += 3 * u64::from(approx);
+    }
+
+    /// Conservative worst-case absolute error bound (`≈ 2^(k+8)`; see module
+    /// docs — every approximate adder contributes at most `2^(k+1)` and every
+    /// approximate 2×2 module at most `2·2^(k-4)`).
+    #[must_use]
+    pub fn error_bound(&self) -> i64 {
+        if self.is_exact() {
+            0
+        } else {
+            1i64 << (self.approx_lsbs + 8).min(62)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accurate_matches_integer_multiplication() {
+        for width in [2u32, 4, 8, 16] {
+            let m = RecursiveMultiplier::accurate(width);
+            let max = (1u64 << width) - 1;
+            for (a, b) in [(0, 0), (1, 1), (max, max), (max / 3, 5 % (max + 1))]
+            {
+                assert_eq!(m.mul_unsigned(a, b), a * b, "w={width} {a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_16x16_exhaustive_boundary_cases() {
+        let m = RecursiveMultiplier::accurate(16);
+        for a in [0u64, 1, 2, 3, 255, 256, 32767, 32768, 65535] {
+            for b in [0u64, 1, 2, 3, 255, 256, 32767, 32768, 65535] {
+                assert_eq!(m.mul_unsigned(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_4x4_exhaustive() {
+        let m = RecursiveMultiplier::accurate(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(m.mul_unsigned(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_8x8_exhaustive() {
+        let m = RecursiveMultiplier::accurate(8);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(m.mul_unsigned(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn census_of_accurate_16x16_matches_paper_structure() {
+        let m = RecursiveMultiplier::accurate(16);
+        let c = m.census();
+        assert_eq!(c.exact_mult2x2, 64, "16x16 = 64 elementary 2x2 modules");
+        // 3×32-bit (top) + 12×16-bit (8x8 blocks) + 48×8-bit (4x4 blocks)
+        assert_eq!(c.exact_fa, 3 * 32 + 12 * 16 + 48 * 8);
+        assert_eq!(c.approx_fa, 0);
+        assert_eq!(c.approx_mult2x2, 0);
+    }
+
+    #[test]
+    fn census_fully_approximate_16x16() {
+        let m = RecursiveMultiplier::new(
+            16,
+            32,
+            Mult2x2Kind::V1,
+            FullAdderKind::Ama5,
+        );
+        let c = m.census();
+        assert_eq!(c.approx_mult2x2, 64);
+        assert_eq!(c.exact_mult2x2, 0);
+        assert_eq!(c.approx_fa, 672);
+        assert_eq!(c.exact_fa, 0);
+    }
+
+    #[test]
+    fn census_partitions_totals_for_any_k() {
+        for k in 0..=32u32 {
+            let m = RecursiveMultiplier::new(
+                16,
+                k,
+                Mult2x2Kind::V1,
+                FullAdderKind::Ama5,
+            );
+            let c = m.census();
+            assert_eq!(c.total_mult2x2(), 64, "k={k}");
+            assert_eq!(c.total_fa(), 672, "k={k}");
+        }
+    }
+
+    #[test]
+    fn census_approximate_share_monotone_in_k() {
+        let mut prev = 0;
+        for k in 0..=32u32 {
+            let m = RecursiveMultiplier::new(
+                16,
+                k,
+                Mult2x2Kind::V1,
+                FullAdderKind::Ama5,
+            );
+            let c = m.census();
+            let approx = c.approx_fa + c.approx_mult2x2;
+            assert!(approx >= prev, "k={k}: approx share decreased");
+            prev = approx;
+        }
+    }
+
+    #[test]
+    fn k_zero_is_exact_even_with_approximate_kinds() {
+        let m = RecursiveMultiplier::new(
+            16,
+            0,
+            Mult2x2Kind::V2,
+            FullAdderKind::Ama5,
+        );
+        assert!(m.is_exact());
+        assert_eq!(m.mul_unsigned(54321, 12345), 54321 * 12345);
+    }
+
+    #[test]
+    fn signed_multiplication_sign_grid() {
+        let m = RecursiveMultiplier::accurate(16);
+        for (a, b) in [(5i64, 7i64), (-5, 7), (5, -7), (-5, -7), (0, -7)] {
+            assert_eq!(m.mul(a, b), a * b, "{a}x{b}");
+        }
+    }
+
+    #[test]
+    fn signed_boundary_magnitude_accepted() {
+        let m = RecursiveMultiplier::accurate(16);
+        assert_eq!(m.mul(-32768, 2), -65536);
+        assert_eq!(m.mul(32768, -1), -32768);
+    }
+
+    #[test]
+    fn approximate_error_is_bounded() {
+        for k in [4u32, 8, 12, 16] {
+            let m = RecursiveMultiplier::new(
+                16,
+                k,
+                Mult2x2Kind::V1,
+                FullAdderKind::Ama5,
+            );
+            let bound = m.error_bound();
+            for (a, b) in [(1234u64, 567u64), (65535, 65535), (999, 31)] {
+                let approx = m.mul_unsigned(a, b) as i64;
+                let exact = (a * b) as i64;
+                assert!(
+                    (approx - exact).abs() <= bound,
+                    "k={k} {a}x{b}: |{approx}-{exact}| > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_by_zero_stays_small_under_approximation() {
+        // AMA5 accumulation (Sum = B) can produce nonzero garbage in the
+        // approximate region even for a zero operand, but it must stay below
+        // the error bound.
+        for k in [4u32, 8, 16] {
+            let m = RecursiveMultiplier::new(
+                16,
+                k,
+                Mult2x2Kind::V1,
+                FullAdderKind::Ama5,
+            );
+            let p = m.mul_unsigned(0, 54321) as i64;
+            assert!(p.abs() <= m.error_bound(), "k={k}: 0 x n = {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_unsigned_operand_rejected() {
+        let _ = RecursiveMultiplier::accurate(8).mul_unsigned(256, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_width_rejected() {
+        let _ = RecursiveMultiplier::accurate(12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_accurate_16x16_matches_native(
+            a in 0u64..65536,
+            b in 0u64..65536,
+        ) {
+            let m = RecursiveMultiplier::accurate(16);
+            prop_assert_eq!(m.mul_unsigned(a, b), a * b);
+        }
+
+        #[test]
+        fn prop_error_bounded_for_all_configs(
+            a in 0u64..65536,
+            b in 0u64..65536,
+            k in 0u32..=32,
+            mk in 0usize..3,
+            ak in 0usize..6,
+        ) {
+            let m = RecursiveMultiplier::new(
+                16,
+                k,
+                Mult2x2Kind::ALL[mk],
+                FullAdderKind::ALL[ak],
+            );
+            let approx = m.mul_unsigned(a, b) as i64;
+            let exact = (a * b) as i64;
+            prop_assert!((approx - exact).abs() <= m.error_bound());
+        }
+
+        #[test]
+        fn prop_signed_sign_handling_exact(
+            a in -32768i64..=32767,
+            b in -32768i64..=32767,
+            k in 0u32..=16,
+        ) {
+            let m = RecursiveMultiplier::new(
+                16, k, Mult2x2Kind::V1, FullAdderKind::Ama5,
+            );
+            let p = m.mul(a, b);
+            let exact = a * b;
+            // Sign must match whenever the magnitude survives approximation.
+            if p != 0 && exact != 0 {
+                prop_assert_eq!(p.signum(), exact.signum());
+            }
+            prop_assert!((p - exact).abs() <= m.error_bound());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Saturating signed front-end for the recursive multiplier.
+//!
+//! The Pan-Tompkins datapath multiplies 16-bit samples by small filter
+//! coefficients, but intermediate signals can exceed the 16-bit range before
+//! the inter-stage rescaling brings them back. Real fixed-point hardware
+//! saturates at the bus limits; [`SignedMultiplier`] models that behaviour
+//! and records how often it happens so experiments can verify saturation is
+//! not silently distorting results.
+
+use std::cell::Cell;
+
+use crate::full_adder::FullAdderKind;
+use crate::mult2x2::Mult2x2Kind;
+use crate::multiplier::{ModuleCensus, RecursiveMultiplier};
+
+/// A signed, saturating wrapper around [`RecursiveMultiplier`].
+///
+/// Operands are clamped into the symmetric `width`-bit signed range before
+/// multiplication; a counter records every clamping event.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::SignedMultiplier;
+///
+/// let m = SignedMultiplier::accurate(16);
+/// assert_eq!(m.mul(-1000, 30), -30_000);
+///
+/// // Out-of-range operands saturate instead of panicking:
+/// assert_eq!(m.mul(1 << 20, 1), 32767);
+/// assert_eq!(m.saturation_events(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignedMultiplier {
+    core: RecursiveMultiplier,
+    saturations: Cell<u64>,
+}
+
+impl SignedMultiplier {
+    /// Creates a saturating signed multiplier over the given core
+    /// configuration.
+    #[must_use]
+    pub fn new(
+        width: u32,
+        approx_lsbs: u32,
+        mult_kind: Mult2x2Kind,
+        adder_kind: FullAdderKind,
+    ) -> Self {
+        Self {
+            core: RecursiveMultiplier::new(width, approx_lsbs, mult_kind, adder_kind),
+            saturations: Cell::new(0),
+        }
+    }
+
+    /// A fully accurate saturating multiplier.
+    #[must_use]
+    pub fn accurate(width: u32) -> Self {
+        Self {
+            core: RecursiveMultiplier::accurate(width),
+            saturations: Cell::new(0),
+        }
+    }
+
+    /// The underlying recursive multiplier.
+    #[must_use]
+    pub fn core(&self) -> &RecursiveMultiplier {
+        &self.core
+    }
+
+    /// Multiplies after clamping both operands into the signed
+    /// `width`-bit range.
+    #[must_use]
+    pub fn mul(&self, a: i64, b: i64) -> i64 {
+        let hi = (1i64 << (self.core.width() - 1)) - 1;
+        let lo = -hi - 1;
+        let ca = a.clamp(lo, hi);
+        let cb = b.clamp(lo, hi);
+        if ca != a || cb != b {
+            self.saturations.set(self.saturations.get() + 1);
+        }
+        self.core.mul(ca, cb)
+    }
+
+    /// Number of multiplications in which at least one operand saturated.
+    #[must_use]
+    pub fn saturation_events(&self) -> u64 {
+        self.saturations.get()
+    }
+
+    /// Resets the saturation counter.
+    pub fn reset_saturation_events(&self) {
+        self.saturations.set(0);
+    }
+
+    /// Elementary-module census of the underlying structure.
+    #[must_use]
+    pub fn census(&self) -> ModuleCensus {
+        self.core.census()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_operands_do_not_saturate() {
+        let m = SignedMultiplier::accurate(16);
+        assert_eq!(m.mul(100, -200), -20_000);
+        assert_eq!(m.saturation_events(), 0);
+    }
+
+    #[test]
+    fn clamps_to_symmetric_range() {
+        let m = SignedMultiplier::accurate(16);
+        assert_eq!(m.mul(1 << 20, 1), 32767);
+        assert_eq!(m.mul(-(1 << 20), 1), -32768);
+        assert_eq!(m.saturation_events(), 2);
+    }
+
+    #[test]
+    fn reset_clears_counter() {
+        let m = SignedMultiplier::accurate(16);
+        let _ = m.mul(1 << 20, 1);
+        assert_eq!(m.saturation_events(), 1);
+        m.reset_saturation_events();
+        assert_eq!(m.saturation_events(), 0);
+    }
+
+    #[test]
+    fn approximate_core_is_used() {
+        let approx = SignedMultiplier::new(
+            16,
+            16,
+            Mult2x2Kind::V1,
+            FullAdderKind::Ama5,
+        );
+        let exact = SignedMultiplier::accurate(16);
+        // At 16 approximated LSBs the two must differ on some inputs.
+        let mut differs = false;
+        for a in [3i64, 255, 4097, 32767] {
+            for b in [3i64, 255, 4097, 32767] {
+                if approx.mul(a, b) != exact.mul(a, b) {
+                    differs = true;
+                }
+            }
+        }
+        assert!(differs, "approximate core had no effect");
+    }
+
+    #[test]
+    fn census_passthrough() {
+        let m = SignedMultiplier::accurate(16);
+        assert_eq!(m.census().total_mult2x2(), 64);
+    }
+}

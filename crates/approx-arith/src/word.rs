@@ -1,0 +1,292 @@
+//! Fixed-width two's-complement words.
+//!
+//! The RTL models in the paper operate on fixed-width buses (16-bit ADC
+//! samples, 32-bit adders, 16×16 multipliers). [`Word`] captures that
+//! semantics on top of `i64`: a value together with a bus width, with
+//! wrap-around (modulo 2^W) on construction and sign extension on read-back.
+
+use std::fmt;
+
+/// Maximum supported bus width in bits.
+pub const MAX_WIDTH: u32 = 63;
+
+/// A fixed-width two's-complement word.
+///
+/// The raw bits are stored in the low `width` bits of a `u64`; [`Word::value`]
+/// sign-extends them back to an `i64`. Construction wraps modulo `2^width`,
+/// mirroring what a hardware bus does.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::Word;
+///
+/// let w = Word::new(-5, 8);
+/// assert_eq!(w.bits(), 0xFB);       // two's complement of 5 in 8 bits
+/// assert_eq!(w.value(), -5);
+/// assert_eq!(w.bit(7), true);       // sign bit
+///
+/// // Wrap-around like a real 8-bit bus:
+/// assert_eq!(Word::new(300, 8).value(), 44);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word {
+    bits: u64,
+    width: u32,
+}
+
+impl Word {
+    /// Creates a word of `width` bits holding `value` modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn new(value: i64, width: u32) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "word width {width} out of range 1..={MAX_WIDTH}"
+        );
+        let mask = Self::mask_for(width);
+        Self {
+            bits: (value as u64) & mask,
+            width,
+        }
+    }
+
+    /// Creates a word from raw bits (low `width` bits are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn from_bits(bits: u64, width: u32) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "word width {width} out of range 1..={MAX_WIDTH}"
+        );
+        Self {
+            bits: bits & Self::mask_for(width),
+            width,
+        }
+    }
+
+    fn mask_for(width: u32) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Bus width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Raw bit pattern (low `width` bits).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Signed value after sign extension from bit `width-1`.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        let shift = 64 - self.width;
+        ((self.bits << shift) as i64) >> shift
+    }
+
+    /// Unsigned interpretation of the bit pattern.
+    #[must_use]
+    pub fn unsigned(&self) -> u64 {
+        self.bits
+    }
+
+    /// The bit at position `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of width {}", self.width);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn with_bit(mut self, i: u32, b: bool) -> Self {
+        assert!(i < self.width, "bit index {i} out of width {}", self.width);
+        if b {
+            self.bits |= 1 << i;
+        } else {
+            self.bits &= !(1 << i);
+        }
+        self
+    }
+
+    /// Zero-extends or truncates to a new width.
+    #[must_use]
+    pub fn resize_unsigned(&self, width: u32) -> Self {
+        Self::from_bits(self.bits, width)
+    }
+
+    /// Sign-extends or truncates to a new width.
+    #[must_use]
+    pub fn resize_signed(&self, width: u32) -> Self {
+        Self::new(self.value(), width)
+    }
+
+    /// Splits into (low half, high half), each `width/2` bits wide, matching
+    /// the `A = {A_H, A_L}` partitioning of the recursive multiplier (paper
+    /// Fig 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is odd.
+    #[must_use]
+    pub fn split_halves(&self) -> (Word, Word) {
+        assert!(self.width.is_multiple_of(2), "cannot halve odd width {}", self.width);
+        let half = self.width / 2;
+        let lo = Word::from_bits(self.bits, half);
+        let hi = Word::from_bits(self.bits >> half, half);
+        (lo, hi)
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({}w{})", self.value(), self.width)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.width as usize)
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_round_trip() {
+        for v in [0i64, 1, 5, 127] {
+            assert_eq!(Word::new(v, 8).value(), v);
+        }
+    }
+
+    #[test]
+    fn negative_round_trip() {
+        for v in [-1i64, -5, -128] {
+            assert_eq!(Word::new(v, 8).value(), v);
+        }
+    }
+
+    #[test]
+    fn wraps_modulo_width() {
+        assert_eq!(Word::new(128, 8).value(), -128);
+        assert_eq!(Word::new(256, 8).value(), 0);
+        assert_eq!(Word::new(300, 8).value(), 44);
+        assert_eq!(Word::new(-129, 8).value(), 127);
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let w = Word::new(0b1010, 4);
+        assert!(!w.bit(0));
+        assert!(w.bit(1));
+        assert!(!w.bit(2));
+        assert!(w.bit(3));
+        assert_eq!(w.bits(), 0b1010);
+    }
+
+    #[test]
+    fn with_bit_sets_and_clears() {
+        let w = Word::new(0, 4).with_bit(2, true);
+        assert_eq!(w.bits(), 0b0100);
+        let w = w.with_bit(2, false);
+        assert_eq!(w.bits(), 0);
+    }
+
+    #[test]
+    fn split_halves_matches_partition() {
+        let w = Word::new(0xAB, 8);
+        let (lo, hi) = w.split_halves();
+        assert_eq!(lo.bits(), 0xB);
+        assert_eq!(hi.bits(), 0xA);
+        assert_eq!(lo.width(), 4);
+        assert_eq!(hi.width(), 4);
+    }
+
+    #[test]
+    fn resize_signed_preserves_value_when_widening() {
+        let w = Word::new(-7, 8);
+        assert_eq!(w.resize_signed(16).value(), -7);
+        assert_eq!(w.resize_signed(16).width(), 16);
+    }
+
+    #[test]
+    fn resize_unsigned_zero_extends() {
+        let w = Word::new(-1, 4); // bits 1111
+        assert_eq!(w.resize_unsigned(8).value(), 15);
+    }
+
+    #[test]
+    fn sign_bit_is_msb() {
+        let w = Word::new(-5, 8);
+        assert!(w.bit(7));
+        let w = Word::new(5, 8);
+        assert!(!w.bit(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = Word::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_index_out_of_range_rejected() {
+        let _ = Word::new(0, 4).bit(4);
+    }
+
+    #[test]
+    fn unsigned_view() {
+        assert_eq!(Word::new(-1, 8).unsigned(), 0xFF);
+    }
+
+    #[test]
+    fn display_and_binary_formatting() {
+        let w = Word::new(5, 4);
+        assert_eq!(format!("{w}"), "5");
+        assert_eq!(format!("{w:b}"), "0101");
+        assert_eq!(format!("{w:?}"), "Word(5w4)");
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion bench: composed-block throughput (Fig 6 adders, Fig 7
+//! multipliers) — exact fast path vs AMA5 word-level fast path vs the
+//! generic bit-level netlist walk, and the recursive multiplier across
+//! approximation depths.
+
+use approx_arith::{FullAdderKind, Mult2x2Kind, RecursiveMultiplier, RippleCarryAdder, Word};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_adders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rca32_add");
+    let cases = [
+        ("exact", RippleCarryAdder::accurate(32)),
+        ("ama5_k8", RippleCarryAdder::new(32, 8, FullAdderKind::Ama5)),
+        ("ama5_k32", RippleCarryAdder::new(32, 32, FullAdderKind::Ama5)),
+        ("ama2_k8_bitwise", RippleCarryAdder::new(32, 8, FullAdderKind::Ama2)),
+    ];
+    for (name, adder) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for i in 0..64i64 {
+                    acc ^= adder.add(black_box(123_456 + i * 997), black_box(-98_765 + i));
+                }
+                acc
+            });
+        });
+    }
+    // Reference bit-level walk for the same AMA5 configuration, to expose
+    // the fast-path gain.
+    let adder = RippleCarryAdder::new(32, 8, FullAdderKind::Ama5);
+    group.bench_function("ama5_k8_reference_bitwise", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..64i64 {
+                let wa = Word::new(black_box(123_456 + i * 997), 32);
+                let wb = Word::new(black_box(-98_765 + i), 32);
+                acc ^= adder.add_words_reference(wa, wb).bits();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_multipliers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mul16x16");
+    let cases = [
+        ("exact", RecursiveMultiplier::accurate(16)),
+        (
+            "v1_ama5_k8",
+            RecursiveMultiplier::new(16, 8, Mult2x2Kind::V1, FullAdderKind::Ama5),
+        ),
+        (
+            "v1_ama5_k16",
+            RecursiveMultiplier::new(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5),
+        ),
+        (
+            "v2_ama3_k16",
+            RecursiveMultiplier::new(16, 16, Mult2x2Kind::V2, FullAdderKind::Ama3),
+        ),
+    ];
+    for (name, mul) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for i in 0..64i64 {
+                    acc ^= mul.mul(black_box(1234 + i * 37), black_box(-567 - i));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adders, bench_multipliers);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: design-space search cost — Algorithm 1 versus the
+//! heuristic grid on the two-stage pre-processing space. The wall-clock
+//! ratio between the two is the measured counterpart of the paper's Fig 11
+//! speed-up claim.
+
+use approx_arith::{FullAdderKind, Mult2x2Kind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pan_tompkins::{PipelineConfig, StageKind};
+use xbiosip::exhaustive::heuristic_search;
+use xbiosip::generation::{DesignGenerator, StageSearchSpace};
+use xbiosip::quality_eval::{Evaluator, QualityConstraint};
+
+fn bench_searches(c: &mut Criterion) {
+    // A short record keeps criterion iterations tractable; the point is the
+    // *ratio* between the two searches, not absolute time.
+    let record = ecg::nsrdb::paper_record().truncated(3_000);
+    let mut group = c.benchmark_group("design_search_preproc");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(15));
+
+    group.bench_function("algorithm1", |b| {
+        b.iter(|| {
+            let mut evaluator = Evaluator::new(&record);
+            let (adds, mults) = DesignGenerator::paper_lists();
+            let outcome = DesignGenerator::new(
+                &mut evaluator,
+                QualityConstraint::MinPsnr(20.0),
+                adds,
+                mults,
+                PipelineConfig::exact(),
+            )
+            .generate(vec![
+                StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.5),
+                StageSearchSpace::even_lsbs(StageKind::Hpf, 16, 68.0),
+            ]);
+            black_box(outcome.explored.len())
+        });
+    });
+
+    group.bench_function("heuristic_grid_5x5", |b| {
+        // A reduced grid (LSBs to 8) keeps the benchmark meaningful without
+        // multiplying runtime by 81/11.
+        b.iter(|| {
+            let mut evaluator = Evaluator::new(&record);
+            let result = heuristic_search(
+                &mut evaluator,
+                QualityConstraint::MinPsnr(20.0),
+                &[(StageKind::Lpf, 8), (StageKind::Hpf, 8)],
+                FullAdderKind::Ama5,
+                Mult2x2Kind::V1,
+                PipelineConfig::exact(),
+            );
+            black_box(result.points.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_searches);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: behavioral-model throughput of the elementary library
+//! (Fig 5 modules) — how fast one full-adder cell / 2×2 multiplier row
+//! evaluates, across all library kinds.
+
+use approx_arith::{FullAdderKind, Mult2x2Kind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_full_adders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_adder_eval");
+    for kind in FullAdderKind::ALL {
+        group.bench_function(kind.library_name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..8u32 {
+                    let out = kind.eval(
+                        black_box(i & 1 != 0),
+                        black_box(i & 2 != 0),
+                        black_box(i & 4 != 0),
+                    );
+                    acc += u32::from(out.sum) + u32::from(out.cout);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mult2x2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mult2x2_eval");
+    for kind in Mult2x2Kind::ALL {
+        group.bench_function(kind.library_name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for a in 0..4u8 {
+                    for bb in 0..4u8 {
+                        acc += u32::from(kind.eval(black_box(a), black_box(bb)));
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_adders, bench_mult2x2);
+criterion_main!(benches);

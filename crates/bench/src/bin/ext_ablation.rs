@@ -1,0 +1,104 @@
+//! **Ablation experiments** on the design-generation methodology:
+//!
+//! 1. *Phase III off* — what does the diagonal LSB trade contribute?
+//! 2. *Module choice* — run the search with `ApproxAdd3`/`AppMultV2`
+//!    instead of the paper's `ApproxAdd5`/`AppMultV1` singletons and
+//!    compare quality and module-sum energy of the chosen designs.
+
+use approx_arith::{FullAdderKind, Mult2x2Kind};
+use hwmodel::report::fmt_f64;
+use hwmodel::Table;
+use pan_tompkins::{PipelineConfig, StageKind};
+use xbiosip::generation::{DesignGenerator, StageSearchSpace};
+use xbiosip::quality_eval::{module_sum_reduction, Evaluator, QualityConstraint};
+
+fn spaces() -> Vec<StageSearchSpace> {
+    vec![
+        StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.5),
+        StageSearchSpace::even_lsbs(StageKind::Hpf, 16, 68.0),
+    ]
+}
+
+fn main() {
+    let record = xbiosip_bench::quick_record();
+    xbiosip_bench::banner(
+        "Ablations — Algorithm 1 phases and module choice",
+        &format!("{record}; constraint PSNR >= 20 dB"),
+    );
+
+    let mut table = Table::new(&[
+        "variant",
+        "evals",
+        "satisfying",
+        "chosen (LPF,HPF)",
+        "PSNR [dB]",
+        "energy red. (calibrated)",
+        "energy red. (module-sum)",
+    ]);
+
+    struct Variant {
+        name: &'static str,
+        adds: Vec<FullAdderKind>,
+        mults: Vec<Mult2x2Kind>,
+        phase_three: bool,
+    }
+    let variants = [
+        Variant {
+            name: "paper (Add5/V1, 3 phases)",
+            adds: vec![FullAdderKind::Ama5],
+            mults: vec![Mult2x2Kind::V1],
+            phase_three: true,
+        },
+        Variant {
+            name: "no phase III",
+            adds: vec![FullAdderKind::Ama5],
+            mults: vec![Mult2x2Kind::V1],
+            phase_three: false,
+        },
+        Variant {
+            name: "Add3/V2 modules",
+            adds: vec![FullAdderKind::Ama3],
+            mults: vec![Mult2x2Kind::V2],
+            phase_three: true,
+        },
+        Variant {
+            name: "two-adder list (Add3,Add5)",
+            adds: vec![FullAdderKind::Ama3, FullAdderKind::Ama5],
+            mults: vec![Mult2x2Kind::V1],
+            phase_three: true,
+        },
+    ];
+
+    for v in variants {
+        let mut evaluator = Evaluator::new(&record);
+        let mut generator = DesignGenerator::new(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(20.0),
+            v.adds,
+            v.mults,
+            PipelineConfig::exact(),
+        );
+        if !v.phase_three {
+            generator = generator.without_phase_three();
+        }
+        let outcome = generator.generate(spaces());
+        let lsbs = outcome.config.lsb_vector();
+        table.row_owned(vec![
+            v.name.to_owned(),
+            outcome.explored.len().to_string(),
+            outcome.satisfying().to_string(),
+            format!("({},{})", lsbs[0], lsbs[1]),
+            fmt_f64(outcome.report.psnr_db, 2),
+            format!("{}x", fmt_f64(outcome.report.energy_reduction_calibrated, 2)),
+            format!("{}x", fmt_f64(module_sum_reduction(&outcome.config), 2)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Reading: phase III buys a better previous/current LSB split at the\n\
+         cost of extra evaluations; swapping in less aggressive modules\n\
+         (Add3/V2) changes the quality-energy frontier the search walks.\n\
+         The calibrated model keys on LSB counts only, so module-choice\n\
+         effects show up in the module-sum column."
+    );
+}

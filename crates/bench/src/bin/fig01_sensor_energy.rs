@@ -1,0 +1,42 @@
+//! Regenerates **Fig 1**: sensing vs total energy consumption of five
+//! bio-signal monitoring sensor nodes (data adapted from Nia et al. 2015
+//! \[16\] and Rault 2015 \[18\]), plus the on-sensor-processing share that
+//! motivates XBioSiP — and the projected device-level impact of the paper's
+//! headline B9 design (19.7× processing-energy reduction).
+
+use hwmodel::report::fmt_f64;
+use hwmodel::{Table, SENSOR_NODES};
+
+fn main() {
+    xbiosip_bench::banner(
+        "Fig 1 — sensor-node energy profile",
+        "literature data (paper refs [16], [18])",
+    );
+
+    let mut table = Table::new(&[
+        "node",
+        "sensing [J/day]",
+        "total [J/day]",
+        "gap [orders]",
+        "processing share",
+        "processing [J/day]",
+        "total w/ B9 (19.7x)",
+    ]);
+    for node in SENSOR_NODES {
+        table.row_owned(vec![
+            node.name.to_owned(),
+            format!("{:.2e}", node.sensing_j_per_day),
+            format!("{:.2e}", node.total_j_per_day),
+            fmt_f64(node.sensing_gap_orders(), 1),
+            format!("{:.0}%", node.processing_fraction * 100.0),
+            format!("{:.1}", node.processing_j_per_day()),
+            format!("{:.1}", node.total_after_processing_reduction(19.7)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper's reading: sensing energy is >= 6 orders of magnitude below total\n\
+         energy; on-sensor processing is 40-60% of the total, so approximating\n\
+         the processing datapath is where the energy is."
+    );
+}

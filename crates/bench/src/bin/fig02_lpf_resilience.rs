@@ -1,0 +1,68 @@
+//! Regenerates **Fig 2**: error resilience of the low-pass-filter stage.
+//!
+//! Sweeps the number of approximated LSBs in the LPF (all other stages
+//! exact) with the least-energy modules (`ApproxAdd5`/`AppMultV1`) and
+//! reports hardware reductions next to output quality — the paper's
+//! observations to reproduce:
+//!
+//! * reductions grow with the number of approximated LSBs;
+//! * peak-detection accuracy stays at 100 % up to the 14-LSB
+//!   error-resilience threshold, then collapses;
+//! * SSIM (the physician-facing signal quality) degrades much earlier.
+
+use hwmodel::report::fmt_f64;
+use hwmodel::Table;
+use pan_tompkins::StageKind;
+use xbiosip::quality_eval::Evaluator;
+use xbiosip::resilience::ResilienceProfile;
+
+fn main() {
+    let record = xbiosip_bench::experiment_record();
+    xbiosip_bench::banner(
+        "Fig 2 — error resilience of the LPF stage",
+        &format!("{record}"),
+    );
+
+    let mut evaluator = Evaluator::new(&record);
+    let profile = ResilienceProfile::analyze_up_to(&mut evaluator, StageKind::Lpf, 16);
+
+    let mut table = Table::new(&[
+        "LSBs",
+        "area red.",
+        "latency red.",
+        "power red.",
+        "energy red. (module-sum)",
+        "energy red. (calibrated)",
+        "SSIM",
+        "peak acc.",
+    ]);
+    for p in &profile.points {
+        table.row_owned(vec![
+            p.lsbs.to_string(),
+            format!("{}x", fmt_f64(p.reductions.area, 2)),
+            format!("{}x", fmt_f64(p.reductions.delay, 2)),
+            format!("{}x", fmt_f64(p.reductions.power, 2)),
+            format!("{}x", fmt_f64(p.reductions.energy, 2)),
+            format!("{}x", fmt_f64(p.calibrated_energy, 2)),
+            fmt_f64(p.report.ssim, 3),
+            format!("{:.1}%", p.report.peak_accuracy * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    let threshold = profile.resilience_threshold(0.999);
+    let ssim_half = profile.ssim_threshold(0.5);
+    println!("error-resilience threshold (100% accuracy): {threshold} LSBs  (paper: 14)");
+    println!("max LSBs with SSIM >= 0.5:                  {ssim_half} LSBs");
+    println!(
+        "calibrated energy reduction at the threshold: {}x  (paper: ~5x at 14 LSBs)",
+        fmt_f64(
+            profile
+                .points
+                .iter()
+                .find(|p| p.lsbs == threshold)
+                .map_or(1.0, |p| p.calibrated_energy),
+            2
+        )
+    );
+}

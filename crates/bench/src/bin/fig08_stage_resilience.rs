@@ -1,0 +1,64 @@
+//! Regenerates **Fig 8 (a–d)**: error-resilience analysis of the remaining
+//! Pan-Tompkins stages — HPF, derivative, squarer and moving-window
+//! integrator — one LSB sweep per stage with every other stage exact.
+//!
+//! Paper observations to reproduce: the HPF offers the largest energy
+//! reductions; the derivative is the most fragile stage ("approximating
+//! more than 4 LSBs truncates all active paths"); the squarer holds 100 %
+//! accuracy through its 8-LSB bound; the integrator is extremely
+//! error-resilient, tolerating 16 LSBs at ~12× stage energy reduction.
+
+use hwmodel::report::fmt_f64;
+use hwmodel::Table;
+use pan_tompkins::StageKind;
+use xbiosip::quality_eval::Evaluator;
+use xbiosip::resilience::ResilienceProfile;
+
+fn main() {
+    let record = xbiosip_bench::experiment_record();
+    xbiosip_bench::banner(
+        "Fig 8(a-d) — error resilience of HPF / DER / SQR / MWI",
+        &format!("{record}"),
+    );
+
+    let mut evaluator = Evaluator::new(&record);
+    let panels = [
+        (StageKind::Hpf, 16u32, "(a) High Pass Filter"),
+        (StageKind::Derivative, 8, "(b) Differentiator"),
+        (StageKind::Squarer, 8, "(c) Squarer"),
+        (StageKind::Mwi, 16, "(d) Moving Window Integration"),
+    ];
+
+    for (stage, max_lsbs, title) in panels {
+        println!("--- {title} ---");
+        let profile =
+            ResilienceProfile::analyze_up_to(&mut evaluator, stage, max_lsbs);
+        let mut table = Table::new(&[
+            "LSBs",
+            "energy red. (module-sum)",
+            "energy red. (calibrated)",
+            "SSIM",
+            "peak acc.",
+        ]);
+        for p in &profile.points {
+            table.row_owned(vec![
+                p.lsbs.to_string(),
+                format!("{}x", fmt_f64(p.reductions.energy, 2)),
+                format!("{}x", fmt_f64(p.calibrated_energy, 2)),
+                fmt_f64(p.report.ssim, 3),
+                format!("{:.1}%", p.report.peak_accuracy * 100.0),
+            ]);
+        }
+        println!("{table}");
+        println!(
+            "threshold (100% acc): {} LSBs; max calibrated reduction {}x\n",
+            profile.resilience_threshold(0.999),
+            fmt_f64(profile.max_energy_reduction(), 1)
+        );
+    }
+
+    println!(
+        "Paper anchors: HPF ~60x @ 8 LSBs (calibrated model), DER limited and\n\
+         fragile, SQR holds through 8 LSBs, MWI ~12x @ 16 LSBs at full accuracy."
+    );
+}

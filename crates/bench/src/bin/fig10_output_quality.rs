@@ -1,0 +1,71 @@
+//! Regenerates **Fig 10**: output-quality comparison between accurate and
+//! approximate processing with 4 LSBs approximated at *all five* stages.
+//!
+//! The paper reports: the approximate high-pass-filtered signal has a PSNR
+//! of 19.24 dB against the accurate one, and both pipelines detect the same
+//! 11 peaks over the plotted sample window — i.e. visibly degraded signal,
+//! identical diagnosis.
+
+use pan_tompkins::{PipelineConfig, QrsDetector};
+use quality::psnr::psnr;
+use quality::Ssim;
+
+fn main() {
+    let record = xbiosip_bench::experiment_record();
+    xbiosip_bench::banner(
+        "Fig 10 — accurate vs approximate output quality (4 LSBs everywhere)",
+        &format!("{record}"),
+    );
+
+    let accurate = QrsDetector::new(PipelineConfig::exact()).detect(record.samples());
+
+    // The paper's exact setting (4 LSBs at all five stages) plus a deeper
+    // setting that lands in the paper's *visibly degraded* PSNR regime on
+    // our gentler datapath — both must keep the diagnosis identical.
+    let cases = [
+        ("4 LSBs everywhere (paper's Fig 10 setting)", [4u32; 5]),
+        ("12/12/4/8/16 LSBs (visibly degraded regime)", [12, 12, 4, 8, 16]),
+    ];
+
+    let start = 400usize;
+    let reference: Vec<f64> = accurate.signals().hpf[start..]
+        .iter()
+        .map(|v| *v as f64)
+        .collect();
+    let window = 400..2400usize;
+    let count = |peaks: &[usize]| peaks.iter().filter(|p| window.contains(p)).count();
+    let acc_peaks = count(accurate.r_peaks());
+
+    let mut excerpt: Vec<i64> = Vec::new();
+    for (label, lsbs) in cases {
+        let approx =
+            QrsDetector::new(PipelineConfig::least_energy(lsbs)).detect(record.samples());
+        let signal: Vec<f64> = approx.signals().hpf[start..]
+            .iter()
+            .map(|v| *v as f64)
+            .collect();
+        let db = psnr(&reference, &signal);
+        let ssim = Ssim::default().mean(&reference, &signal);
+        println!("--- {label} ---");
+        println!("  HPF-output PSNR: {db:.2} dB   (paper @4 LSBs: 19.24 dB)");
+        println!("  HPF-output SSIM: {ssim:.3}");
+        println!(
+            "  peaks in the plotted 10 s window: accurate {acc_peaks}, approximate {}   (paper: 11 vs 11)",
+            count(approx.r_peaks())
+        );
+        println!(
+            "  peaks in the full record:         accurate {}, approximate {}\n",
+            accurate.r_peaks().len(),
+            approx.r_peaks().len()
+        );
+        excerpt = approx.signals().hpf[1000..1020].to_vec();
+    }
+
+    // A small waveform excerpt of the degraded case so the "visible
+    // degradation" is inspectable next to the accurate trace.
+    println!("HPF-output excerpt (samples 1000..1020): accurate vs degraded");
+    for (offset, v) in excerpt.iter().enumerate() {
+        let i = 1000 + offset;
+        println!("  [{i}] {:>8} {:>8}", accurate.signals().hpf[i], v);
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerates **Fig 11**: exploration-time analysis of Algorithm 1 versus
+//! the exhaustive and heuristic searches, for 1..6 approximated stages.
+//!
+//! Two views are printed:
+//!
+//! * the *projected* durations at the paper's ~300 s per behavioral
+//!   evaluation (exhaustive lands in the `10^x years` regime of the
+//!   figure's log axis; the heuristic in hours);
+//! * the *measured* wall-clock of our Rust evaluator on the two-stage
+//!   pre-processing search (real heuristic grid vs real Algorithm 1 run),
+//!   whose ratio is the honest counterpart of the paper's "23.6× on
+//!   average".
+
+use std::time::Instant;
+
+use approx_arith::{FullAdderKind, Mult2x2Kind};
+use hwmodel::report::fmt_f64;
+use hwmodel::Table;
+use pan_tompkins::{PipelineConfig, StageKind};
+use xbiosip::exhaustive::heuristic_search;
+use xbiosip::exploration::{exploration_table, SECONDS_PER_EVALUATION};
+use xbiosip::generation::{DesignGenerator, StageSearchSpace};
+use xbiosip::quality_eval::{Evaluator, QualityConstraint};
+
+fn main() {
+    xbiosip_bench::banner(
+        "Fig 11 — exploration-time analysis",
+        "counting model (17 LSB x 6 adders x 3 multipliers per stage) + measured 2-stage search",
+    );
+
+    println!(
+        "projected at the paper's {SECONDS_PER_EVALUATION} s per behavioral evaluation:\n"
+    );
+    let mut table = Table::new(&[
+        "stages",
+        "exhaustive pts",
+        "exhaustive [yrs]",
+        "heuristic pts",
+        "heuristic [h]",
+        "Alg 1 pts",
+        "Alg 1 [h]",
+        "speedup vs heuristic",
+    ]);
+    for row in exploration_table(6) {
+        table.row_owned(vec![
+            row.stages.to_string(),
+            format!("{:.2e}", row.exhaustive_points as f64),
+            format!("{:.2e}", row.exhaustive_years()),
+            row.heuristic_points.to_string(),
+            fmt_f64(row.heuristic_hours(), 2),
+            row.algorithm1_points.to_string(),
+            fmt_f64(row.algorithm1_hours(), 2),
+            format!("{}x", fmt_f64(row.speedup_vs_heuristic(), 1)),
+        ]);
+    }
+    println!("{table}");
+    let rows = exploration_table(6);
+    let avg: f64 = rows
+        .iter()
+        .map(xbiosip::exploration::ExplorationRow::speedup_vs_heuristic)
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!(
+        "average speed-up of Algorithm 1 over the heuristic: {}x (paper: 23.6x)\n",
+        fmt_f64(avg, 1)
+    );
+
+    // Measured: the real two-stage search with our evaluator.
+    let record = xbiosip_bench::quick_record();
+    let mut ev1 = Evaluator::new(&record);
+    let t0 = Instant::now();
+    let grid = heuristic_search(
+        &mut ev1,
+        QualityConstraint::MinPsnr(20.0),
+        &[(StageKind::Lpf, 16), (StageKind::Hpf, 16)],
+        FullAdderKind::Ama5,
+        Mult2x2Kind::V1,
+        PipelineConfig::exact(),
+    );
+    let heuristic_time = t0.elapsed();
+
+    let mut ev2 = Evaluator::new(&record);
+    let (adds, mults) = DesignGenerator::paper_lists();
+    let t1 = Instant::now();
+    let outcome = DesignGenerator::new(
+        &mut ev2,
+        QualityConstraint::MinPsnr(20.0),
+        adds,
+        mults,
+        PipelineConfig::exact(),
+    )
+    .generate(vec![
+        StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.5),
+        StageSearchSpace::even_lsbs(StageKind::Hpf, 16, 68.0),
+    ]);
+    let alg_time = t1.elapsed();
+
+    println!("measured on this machine (two-stage pre-processing search):");
+    println!(
+        "  heuristic: {} evaluations in {:.2?}",
+        grid.points.len(),
+        heuristic_time
+    );
+    println!(
+        "  Algorithm 1: {} evaluations in {:.2?}",
+        outcome.explored.len(),
+        alg_time
+    );
+    println!(
+        "  measured speed-up: {}x",
+        fmt_f64(
+            heuristic_time.as_secs_f64() / alg_time.as_secs_f64().max(1e-9),
+            1
+        )
+    );
+}

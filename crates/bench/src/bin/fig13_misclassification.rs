@@ -1,0 +1,105 @@
+//! Regenerates **Fig 13**: heartbeat misclassification analysis of an
+//! approximate processing unit.
+//!
+//! The paper dissects why design B10 misses <1 % of beats: approximation
+//! errors create a spurious peak *before* the true QRS complex; the
+//! detected MWI peak then misaligns with the HPF peak beyond the preset
+//! threshold, and the beat is omitted.
+//!
+//! On our (cleaner) behavioral datapath B10 detects every beat, so after
+//! scoring B10 itself the analysis provokes the same mechanism by pushing
+//! the pre-processing approximation to the edge of its resilience
+//! (LPF 14 / HPF 14) and tightening the alignment threshold — and prints
+//! the per-beat diagnosis around each omission.
+
+use pan_tompkins::{PipelineConfig, QrsDetector};
+use quality::PeakMatcher;
+
+fn score(record: &ecg::EcgRecord, result: &pan_tompkins::DetectionResult) -> (usize, usize) {
+    let end = record.len().saturating_sub(60);
+    let reference: Vec<usize> = record
+        .r_peaks()
+        .iter()
+        .copied()
+        .filter(|p| *p >= 400 && *p < end)
+        .collect();
+    let detected: Vec<usize> = result
+        .r_peaks()
+        .iter()
+        .copied()
+        .filter(|p| *p >= 400 && *p < end)
+        .collect();
+    let m = PeakMatcher::default().match_peaks(&reference, &detected);
+    (m.true_positives(), reference.len())
+}
+
+fn analyze(name: &str, record: &ecg::EcgRecord, mut detector: QrsDetector) {
+    let result = detector.detect(record.samples());
+    let (tp, total) = score(record, &result);
+    println!(
+        "{name}: {tp}/{total} beats detected ({:.2}%), {} omitted by the alignment check",
+        100.0 * tp as f64 / total.max(1) as f64,
+        result.omitted().len()
+    );
+    for o in result.omitted().iter().take(5) {
+        println!(
+            "  omitted beat: MWI peak @ {} -> expected HPF peak @ {}, found @ {} (misalignment {} samples)",
+            o.mwi_index,
+            o.mwi_index.saturating_sub(16),
+            o.hpf_index,
+            o.misalignment
+        );
+        // Show the two channels around the omission, like the figure's
+        // aligned waveform strips.
+        let lo = o.mwi_index.saturating_sub(25);
+        let hi = (o.mwi_index + 5).min(result.signals().mwi.len());
+        println!("    idx :  HPF       MWI");
+        for i in (lo..hi).step_by(5) {
+            println!(
+                "    {i:>5}: {:>8} {:>9}",
+                result.signals().hpf[i],
+                result.signals().mwi[i]
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let record = xbiosip_bench::experiment_record();
+    xbiosip_bench::banner(
+        "Fig 13 — heartbeat misclassification analysis",
+        &format!("{record}"),
+    );
+
+    // The paper's B10 design.
+    analyze(
+        "B10 (10,12,4,8,16)",
+        &record,
+        QrsDetector::new(PipelineConfig::least_energy([10, 12, 4, 8, 16])),
+    );
+
+    // Provoke the mechanism: resilience-edge pre-processing + a strict
+    // alignment threshold (the paper's "preset threshold" tuned tight).
+    analyze(
+        "edge design (14,14,4,8,16), strict alignment (8 samples)",
+        &record,
+        QrsDetector::new(PipelineConfig::least_energy([14, 14, 4, 8, 16]))
+            .with_max_misalignment(8),
+    );
+
+    // Fully saturated pre-processing: accuracy collapses, which is the
+    // figure's "approximation errors cause a new peak before the actual
+    // QRS complex" regime.
+    analyze(
+        "beyond threshold (16,16,4,8,16)",
+        &record,
+        QrsDetector::new(PipelineConfig::least_energy([16, 16, 4, 8, 16])),
+    );
+
+    println!(
+        "Mechanism (paper): approximation errors fabricate a peak ahead of the\n\
+         true QRS; the MWI and HPF peaks then disagree in position beyond the\n\
+         preset threshold, and the detector omits the beat."
+    );
+}

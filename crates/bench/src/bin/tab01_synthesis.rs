@@ -1,0 +1,104 @@
+//! Regenerates **Table 1** (and the Fig 5 module roster): the elementary
+//! approximate adder and multiplier library with area / delay / power /
+//! energy, plus the composed 32-bit adder and 16×16 multiplier costs the
+//! module-sum model derives from it (paper Figs 6 and 7).
+
+use approx_arith::{FullAdderKind, Mult2x2Kind};
+use hwmodel::report::fmt_f64;
+use hwmodel::{AdderCost, MultiplierCost, Table, COST_TABLE};
+
+fn main() {
+    xbiosip_bench::banner(
+        "Table 1 — synthesis results of the elementary module library",
+        "65 nm Synopsys DC figures reproduced as model input data",
+    );
+
+    let mut adders = Table::new(&[
+        "module",
+        "area [um^2]",
+        "delay [ns]",
+        "power [uW]",
+        "energy [fJ]",
+        "sum err rows",
+        "cout err rows",
+    ]);
+    for kind in FullAdderKind::ALL {
+        let c = COST_TABLE.full_adder(kind);
+        adders.row_owned(vec![
+            kind.library_name().to_owned(),
+            fmt_f64(c.area_um2, 2),
+            fmt_f64(c.delay_ns, 2),
+            fmt_f64(c.power_uw, 2),
+            fmt_f64(c.energy_fj, 3),
+            format!("{}/8", kind.sum_error_rows()),
+            format!("{}/8", kind.cout_error_rows()),
+        ]);
+    }
+    println!("{adders}");
+
+    let mut mults = Table::new(&[
+        "module",
+        "area [um^2]",
+        "delay [ns]",
+        "power [uW]",
+        "energy [fJ]",
+        "err rows",
+        "max err",
+    ]);
+    for kind in Mult2x2Kind::ALL {
+        let c = COST_TABLE.mult2x2(kind);
+        mults.row_owned(vec![
+            kind.library_name().to_owned(),
+            fmt_f64(c.area_um2, 2),
+            fmt_f64(c.delay_ns, 2),
+            fmt_f64(c.power_uw, 2),
+            fmt_f64(c.energy_fj, 3),
+            format!("{}/16", kind.error_rows()),
+            format!("{}", kind.max_error()),
+        ]);
+    }
+    println!("{mults}");
+
+    println!("Composed blocks (module-sum over the Fig 6 / Fig 7 structures):\n");
+    let mut blocks = Table::new(&["block", "config", "energy [fJ]", "vs exact"]);
+    let exact_add = AdderCost::ripple_carry(32, 0, FullAdderKind::Accurate).cost();
+    let exact_mul = MultiplierCost::recursive(
+        16,
+        0,
+        Mult2x2Kind::Accurate,
+        FullAdderKind::Accurate,
+    )
+    .cost();
+    for k in [0u32, 4, 8, 16, 32] {
+        let c = AdderCost::ripple_carry(32, k, FullAdderKind::Ama5).cost();
+        blocks.row_owned(vec![
+            "32-bit RCA".into(),
+            format!("{k} LSB ApproxAdd5"),
+            fmt_f64(c.energy_fj, 2),
+            format!("{}x", fmt_f64(exact_add.energy_fj / c.energy_fj.max(f64::MIN_POSITIVE), 2)),
+        ]);
+    }
+    for k in [0u32, 8, 16, 32] {
+        let c = MultiplierCost::recursive(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5).cost();
+        blocks.row_owned(vec![
+            "16x16 recursive".into(),
+            format!("{k} LSB AppMultV1/ApproxAdd5"),
+            fmt_f64(c.energy_fj, 2),
+            format!("{}x", fmt_f64(exact_mul.energy_fj / c.energy_fj, 2)),
+        ]);
+    }
+    println!("{blocks}");
+    println!(
+        "Energy-sorted lists consumed by the design methodology (Fig 4):\n  AddList  = {:?}\n  MultList = {:?}",
+        COST_TABLE
+            .adders_by_descending_energy()
+            .iter()
+            .map(|k| k.library_name())
+            .collect::<Vec<_>>(),
+        COST_TABLE
+            .mults_by_descending_energy()
+            .iter()
+            .map(|k| k.library_name())
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,59 @@
+//! Shared harness utilities for the table/figure-regenerating binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §6 for the index and `EXPERIMENTS.md` for
+//! paper-vs-measured numbers). They all print plain-text tables to stdout
+//! so their output can be diffed across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ecg::EcgRecord;
+
+/// The evaluation record every experiment binary uses by default — the
+/// synthetic stand-in for the paper's NSRDB recording (20 000 samples at
+/// 200 Hz; see `ecg::nsrdb`).
+#[must_use]
+pub fn experiment_record() -> EcgRecord {
+    ecg::nsrdb::paper_record()
+}
+
+/// A shorter record for experiments that sweep many design points.
+#[must_use]
+pub fn quick_record() -> EcgRecord {
+    ecg::nsrdb::paper_record().truncated(8_000)
+}
+
+/// Prints the standard experiment banner: which figure/table of the paper
+/// is being regenerated and on what workload.
+pub fn banner(experiment: &str, workload: &str) {
+    println!("================================================================");
+    println!("XBioSiP reproduction — {experiment}");
+    println!("workload: {workload}");
+    println!("================================================================");
+}
+
+/// Formats a reduction factor with sensible precision (`inf` for free
+/// designs).
+#[must_use]
+pub fn fmt_factor(v: f64) -> String {
+    hwmodel::report::fmt_f64(v, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_have_expected_shape() {
+        assert_eq!(experiment_record().len(), 20_000);
+        assert_eq!(quick_record().len(), 8_000);
+        assert_eq!(experiment_record().fs(), 200.0);
+    }
+
+    #[test]
+    fn fmt_factor_handles_infinity() {
+        assert_eq!(fmt_factor(f64::INFINITY), "inf");
+        assert_eq!(fmt_factor(2.5), "2.50");
+    }
+}

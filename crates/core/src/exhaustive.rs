@@ -1,0 +1,207 @@
+//! Baseline design-space searches: exhaustive and the paper's "heuristic".
+//!
+//! * **Exhaustive** enumerates every combination of per-stage LSB count,
+//!   elementary adder and elementary multiplier — the search whose
+//!   projected runtime Fig 11 shows in *years*.
+//! * **Heuristic** (paper §6.1) restricts to one global elementary module
+//!   pair and even LSB counts — 9×9 = 81 points for the two pre-processing
+//!   stages (Table 2's grid, ~7 hours in the paper's MATLAB flow).
+
+use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
+use pan_tompkins::{PipelineConfig, StageKind};
+
+use crate::quality_eval::{Evaluator, QualityConstraint, QualityReport};
+
+/// One evaluated grid point of a baseline search.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Per-stage LSB assignment.
+    pub lsbs: [u32; 5],
+    /// Quality report.
+    pub report: QualityReport,
+    /// Whether the constraint holds.
+    pub satisfied: bool,
+}
+
+/// Result of a baseline search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Every evaluated point, in enumeration order.
+    pub points: Vec<GridPoint>,
+    /// Index (into `points`) of the best satisfying design by calibrated
+    /// energy reduction, if any satisfied the constraint.
+    pub best: Option<usize>,
+}
+
+impl SearchResult {
+    /// Number of points that satisfied the constraint.
+    #[must_use]
+    pub fn satisfying(&self) -> usize {
+        self.points.iter().filter(|p| p.satisfied).count()
+    }
+
+    /// The best satisfying point, if any.
+    #[must_use]
+    pub fn best_point(&self) -> Option<&GridPoint> {
+        self.best.map(|i| &self.points[i])
+    }
+}
+
+/// The heuristic search: a fixed global module pair, even LSB counts per
+/// stage (`0, 2, ..., max`), full cross product over the given stages.
+///
+/// With the paper's pre-processing stages (LPF and HPF to 16 LSBs) this is
+/// the 81-point grid of Table 2.
+pub fn heuristic_search(
+    evaluator: &mut Evaluator,
+    constraint: QualityConstraint,
+    stages: &[(StageKind, u32)],
+    add: FullAdderKind,
+    mult: Mult2x2Kind,
+    base: PipelineConfig,
+) -> SearchResult {
+    let axes: Vec<Vec<u32>> = stages
+        .iter()
+        .map(|(_, max)| (0..=max / 2).map(|i| i * 2).collect())
+        .collect();
+    let mut points: Vec<GridPoint> = Vec::new();
+    let mut best: Option<usize> = None;
+    let mut index = vec![0usize; stages.len()];
+    loop {
+        let mut config = base;
+        for (axis, (stage, _)) in stages.iter().enumerate() {
+            let k = axes[axis][index[axis]];
+            let arith = if k == 0 {
+                StageArith::exact()
+            } else {
+                StageArith::new(k, mult, add)
+            };
+            config = config.with_stage(*stage, arith);
+        }
+        let report = evaluator.evaluate(&config);
+        let satisfied = constraint.is_satisfied_by(&report);
+        let point = GridPoint {
+            lsbs: config.lsb_vector(),
+            report,
+            satisfied,
+        };
+        if satisfied {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    report.energy_reduction_calibrated
+                        > points[b]
+                            .report
+                            .energy_reduction_calibrated
+                }
+            };
+            if better {
+                best = Some(points.len());
+            }
+        }
+        points.push(point);
+
+        // Odometer increment over the axes.
+        let mut carry = true;
+        for (i, idx) in index.iter_mut().enumerate() {
+            if carry {
+                *idx += 1;
+                if *idx >= axes[i].len() {
+                    *idx = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    SearchResult { points, best }
+}
+
+/// Number of design points an *exhaustive* search would evaluate for the
+/// given per-stage LSB list lengths: every stage independently picks an LSB
+/// count, an elementary adder (6 kinds) and an elementary multiplier
+/// (3 kinds). Returned as `u128` because the paper's Fig 11 projects this
+/// into the `10^x years` regime.
+#[must_use]
+pub fn exhaustive_point_count(lsb_options_per_stage: &[u64]) -> u128 {
+    lsb_options_per_stage
+        .iter()
+        .map(|n| u128::from(*n) * 6 * 3)
+        .product()
+}
+
+/// Number of points the heuristic evaluates: one global module pair, even
+/// LSBs only.
+#[must_use]
+pub fn heuristic_point_count(even_lsb_options_per_stage: &[u64]) -> u128 {
+    even_lsb_options_per_stage
+        .iter()
+        .map(|n| u128::from(*n))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_count_matches_hand_computation() {
+        // One stage, 17 LSB options (0..=16): 17 * 6 * 3 = 306.
+        assert_eq!(exhaustive_point_count(&[17]), 306);
+        // Two stages: 306^2.
+        assert_eq!(exhaustive_point_count(&[17, 17]), 306 * 306);
+    }
+
+    #[test]
+    fn heuristic_count_is_81_for_preprocessing() {
+        // 9 even-LSB options (0,2,..,16) per pre-processing stage.
+        assert_eq!(heuristic_point_count(&[9, 9]), 81);
+    }
+
+    #[test]
+    fn heuristic_grid_covers_the_full_cross_product() {
+        let record = ecg::nsrdb::paper_record().truncated(4000);
+        let mut evaluator = Evaluator::new(&record);
+        let result = heuristic_search(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(15.0),
+            &[(StageKind::Lpf, 4), (StageKind::Hpf, 4)],
+            FullAdderKind::Ama5,
+            Mult2x2Kind::V1,
+            PipelineConfig::exact(),
+        );
+        // 3 x 3 grid (0, 2, 4 on both axes).
+        assert_eq!(result.points.len(), 9);
+        let mut seen: Vec<(u32, u32)> =
+            result.points.iter().map(|p| (p.lsbs[0], p.lsbs[1])).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 9, "grid points not unique");
+    }
+
+    #[test]
+    fn best_point_maximises_energy_among_satisfying() {
+        let record = ecg::nsrdb::paper_record().truncated(4000);
+        let mut evaluator = Evaluator::new(&record);
+        let result = heuristic_search(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(10.0),
+            &[(StageKind::Lpf, 8)],
+            FullAdderKind::Ama5,
+            Mult2x2Kind::V1,
+            PipelineConfig::exact(),
+        );
+        let best = result.best_point().expect("some point satisfies 10 dB");
+        for p in &result.points {
+            if p.satisfied {
+                assert!(
+                    best.report.energy_reduction_calibrated
+                        >= p.report.energy_reduction_calibrated
+                );
+            }
+        }
+    }
+}

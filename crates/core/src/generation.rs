@@ -1,0 +1,579 @@
+//! The paper's three-phase design generation methodology (Algorithm 1).
+//!
+//! Given the per-stage error-resilience bounds (`LSBList`), the
+//! energy-sorted elementary module lists (`AddList`, `MultList`) and a
+//! quality constraint, the methodology explores a *small* number of design
+//! points instead of the exhaustive cross product:
+//!
+//! * **Phase I** — on the stage with the *least* standalone energy savings
+//!   (ascending sort), walk the LSB count down from its maximum until the
+//!   first design satisfies the constraint.
+//! * **Phase II** — on the next stage, walk the LSB count up from the
+//!   bottom while the (joint) design keeps satisfying the constraint.
+//! * **Phase III** — walk *diagonally*: trade 2 LSBs of the previous stage
+//!   for 2 more LSBs of the current stage, evaluating each pair, until the
+//!   previous stage's approximation is exhausted. The best (maximum energy
+//!   reduction) satisfying pair wins; phases II/III repeat for every
+//!   remaining stage.
+//!
+//! The reproduction of the paper's Table 2 trace lives in
+//! `xbiosip-bench --bin tab02_preprocessing`; the trace (11 evaluated
+//! designs, 5 satisfying, best ≈ max pre-processing energy reduction) is
+//! asserted in this module's tests.
+
+use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
+use pan_tompkins::{PipelineConfig, StageKind};
+
+use crate::quality_eval::{Evaluator, QualityConstraint, QualityReport};
+
+/// The search space of one application stage: which LSB counts may be
+/// approximated (the paper's per-stage `LSBList`, bounded by the
+/// error-resilience analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSearchSpace {
+    /// The stage.
+    pub stage: StageKind,
+    /// Candidate LSB counts, ascending, not including 0 (0 = unapproximated
+    /// is always implicitly available).
+    pub lsb_list: Vec<u32>,
+    /// The stage's maximum standalone energy reduction (from the resilience
+    /// analysis) — the `EnergySavings` key of the ascending sort.
+    pub max_energy_reduction: f64,
+}
+
+impl StageSearchSpace {
+    /// Builds the even-LSB search space the paper uses: `2, 4, ..., max`.
+    #[must_use]
+    pub fn even_lsbs(stage: StageKind, max_lsbs: u32, max_energy_reduction: f64) -> Self {
+        Self {
+            stage,
+            lsb_list: (1..=max_lsbs / 2).map(|i| i * 2).collect(),
+            max_energy_reduction,
+        }
+    }
+}
+
+/// One stage's chosen (or candidate) approximate architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageDesign {
+    /// The stage.
+    pub stage: StageKind,
+    /// The approximation parameters (`{LSB, Mult, Add}`).
+    pub arith: StageArith,
+}
+
+/// Which phase of Algorithm 1 evaluated a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Phase I: descending-LSB search on the first stage.
+    One,
+    /// Phase II: ascending-LSB search on the next stage.
+    Two,
+    /// Phase III: diagonal trade between the two stages.
+    Three,
+}
+
+/// One evaluated design point (for trace tables like the paper's Table 2).
+#[derive(Debug, Clone)]
+pub struct ExploredPoint {
+    /// The phase that generated the point.
+    pub phase: Phase,
+    /// Per-stage LSB assignment of the full pipeline at this point.
+    pub lsbs: [u32; 5],
+    /// The evaluated quality report.
+    pub report: QualityReport,
+    /// Whether the constraint was satisfied.
+    pub satisfied: bool,
+}
+
+/// The outcome of a design-generation run.
+#[derive(Debug, Clone)]
+pub struct GenerationOutcome {
+    /// The chosen per-stage designs (for the stages that were searched).
+    pub chosen: Vec<StageDesign>,
+    /// The final pipeline configuration (searched stages set to their
+    /// chosen designs, other stages as in the base configuration).
+    pub config: PipelineConfig,
+    /// The quality report of the final configuration.
+    pub report: QualityReport,
+    /// Every evaluated point, in evaluation order.
+    pub explored: Vec<ExploredPoint>,
+    /// Number of behavioral evaluations spent.
+    pub evaluations: u64,
+}
+
+impl GenerationOutcome {
+    /// Number of explored points that satisfied the constraint.
+    #[must_use]
+    pub fn satisfying(&self) -> usize {
+        self.explored.iter().filter(|p| p.satisfied).count()
+    }
+}
+
+/// Algorithm 1: the three-phase design generator.
+pub struct DesignGenerator<'a> {
+    evaluator: &'a mut Evaluator,
+    constraint: QualityConstraint,
+    add_list: Vec<FullAdderKind>,
+    mult_list: Vec<Mult2x2Kind>,
+    base: PipelineConfig,
+    explored: Vec<ExploredPoint>,
+    phase_three: bool,
+}
+
+impl<'a> DesignGenerator<'a> {
+    /// Creates a generator.
+    ///
+    /// `add_list`/`mult_list` are the *approximate* elementary modules to
+    /// consider, sorted by descending energy (the paper's `Energy-sort`).
+    /// The paper's main experiments restrict both to singletons
+    /// (`ApproxAdd5`, `AppMultV1`), which [`DesignGenerator::paper_lists`]
+    /// provides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either module list is empty.
+    pub fn new(
+        evaluator: &'a mut Evaluator,
+        constraint: QualityConstraint,
+        add_list: Vec<FullAdderKind>,
+        mult_list: Vec<Mult2x2Kind>,
+        base: PipelineConfig,
+    ) -> Self {
+        assert!(!add_list.is_empty(), "AddList must not be empty");
+        assert!(!mult_list.is_empty(), "MultList must not be empty");
+        Self {
+            evaluator,
+            constraint,
+            add_list,
+            mult_list,
+            base,
+            explored: Vec::new(),
+            phase_three: true,
+        }
+    }
+
+    /// Disables the diagonal third phase — the ablation knob for measuring
+    /// what the LSB trade between consecutive stages contributes
+    /// (`xbiosip-bench --bin ext_ablation`).
+    #[must_use]
+    pub fn without_phase_three(mut self) -> Self {
+        self.phase_three = false;
+        self
+    }
+
+    /// The module lists of the paper's §6.1/§6.2 experiments:
+    /// `{ApproxAdd5}` and `{AppMultV1}`.
+    #[must_use]
+    pub fn paper_lists() -> (Vec<FullAdderKind>, Vec<Mult2x2Kind>) {
+        (vec![FullAdderKind::Ama5], vec![Mult2x2Kind::V1])
+    }
+
+    /// Runs the three-phase methodology over the given stage search spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spaces` is empty.
+    pub fn generate(mut self, mut spaces: Vec<StageSearchSpace>) -> GenerationOutcome {
+        assert!(!spaces.is_empty(), "need at least one stage to search");
+        // Line 3: AscendingSort(StageList, EnergySavings).
+        spaces.sort_by(|a, b| {
+            a.max_energy_reduction
+                .total_cmp(&b.max_energy_reduction)
+        });
+
+        let mut chosen: Vec<StageDesign> = Vec::new();
+        let mut prev = self.phase_one(&spaces[0]);
+        chosen.push(prev);
+
+        for space in &spaces[1..] {
+            let (new_prev_arith, cur) = self.phase_two_three(prev, space);
+            // The diagonal may have reduced the previous stage's LSBs.
+            let last = chosen.last_mut().expect("phase one pushed one design");
+            last.arith = new_prev_arith;
+            prev = StageDesign {
+                stage: space.stage,
+                arith: cur,
+            };
+            chosen.push(prev);
+        }
+
+        let mut config = self.base;
+        for d in &chosen {
+            config = config.with_stage(d.stage, d.arith);
+        }
+        let report = self.evaluator.evaluate(&config);
+        GenerationOutcome {
+            chosen,
+            config,
+            report,
+            evaluations: self.evaluator.evaluations(),
+            explored: self.explored,
+        }
+    }
+
+    /// Evaluates a candidate assignment (base config + the given designs),
+    /// records the trace point, and returns (report, satisfied).
+    fn probe(&mut self, phase: Phase, designs: &[StageDesign]) -> (QualityReport, bool) {
+        let mut config = self.base;
+        for d in designs {
+            config = config.with_stage(d.stage, d.arith);
+        }
+        let report = self.evaluator.evaluate(&config);
+        let satisfied = self.constraint.is_satisfied_by(&report);
+        self.explored.push(ExploredPoint {
+            phase,
+            lsbs: config.lsb_vector(),
+            report,
+            satisfied,
+        });
+        (report, satisfied)
+    }
+
+    /// Phase I (lines 4–16): LSBs descending from the maximum; first
+    /// satisfying design wins. Falls back to the exact stage if nothing
+    /// passes.
+    fn phase_one(&mut self, space: &StageSearchSpace) -> StageDesign {
+        for &lsb in space.lsb_list.iter().rev() {
+            for &mult in &self.mult_list.clone() {
+                for &add in &self.add_list.clone() {
+                    let candidate = StageDesign {
+                        stage: space.stage,
+                        arith: StageArith::new(lsb, mult, add),
+                    };
+                    let (_, ok) = self.probe(Phase::One, &[candidate]);
+                    if ok {
+                        return candidate;
+                    }
+                }
+            }
+        }
+        StageDesign {
+            stage: space.stage,
+            arith: StageArith::exact(),
+        }
+    }
+
+    /// Phases II and III for the pair (previous stage, current stage).
+    /// Returns the (possibly reduced) previous-stage parameters and the
+    /// chosen current-stage parameters.
+    fn phase_two_three(
+        &mut self,
+        prev: StageDesign,
+        space: &StageSearchSpace,
+    ) -> (StageArith, StageArith) {
+        // Candidate pairs (previous arith, current arith) that satisfy the
+        // constraint; the standalone previous design is the fallback.
+        let mut passing: Vec<(StageArith, StageArith, f64)> = Vec::new();
+        let base_energy = self.pair_energy(prev.arith, StageArith::exact(), space.stage, prev.stage);
+        passing.push((prev.arith, StageArith::exact(), base_energy));
+
+        // Phase II (lines 17–31): inverted lists — least-to-highest
+        // approximation; stop at the first violation.
+        let mut last_pass_lsb = 0u32;
+        'phase2: for &lsb in &space.lsb_list {
+            for &mult in self.mult_list.clone().iter().rev() {
+                for &add in self.add_list.clone().iter().rev() {
+                    let cur = StageArith::new(lsb, mult, add);
+                    let candidate = StageDesign {
+                        stage: space.stage,
+                        arith: cur,
+                    };
+                    let (_, ok) = self.probe(Phase::Two, &[prev, candidate]);
+                    if ok {
+                        let e = self.pair_energy(prev.arith, cur, space.stage, prev.stage);
+                        passing.push((prev.arith, cur, e));
+                        last_pass_lsb = lsb;
+                    } else {
+                        break 'phase2;
+                    }
+                }
+            }
+        }
+
+        // Phase III (lines 32–46): diagonal trade, 2 LSBs at a time.
+        let max_cur = if self.phase_three {
+            space.lsb_list.last().copied().unwrap_or(0)
+        } else {
+            0 // ablation: skip the diagonal entirely
+        };
+        let mut lsb1 = prev.arith.approx_lsbs.saturating_sub(2);
+        let mut lsb2 = last_pass_lsb + 2;
+        loop {
+            if lsb2 > max_cur {
+                break;
+            }
+            for &mult in &self.mult_list.clone() {
+                for &add in &self.add_list.clone() {
+                    let prev_arith = if lsb1 == 0 {
+                        StageArith::exact()
+                    } else {
+                        StageArith::new(lsb1, mult, add)
+                    };
+                    let cur_arith = StageArith::new(lsb2, mult, add);
+                    let designs = [
+                        StageDesign {
+                            stage: prev.stage,
+                            arith: prev_arith,
+                        },
+                        StageDesign {
+                            stage: space.stage,
+                            arith: cur_arith,
+                        },
+                    ];
+                    let (_, ok) = self.probe(Phase::Three, &designs);
+                    if ok {
+                        let e = self.pair_energy(
+                            prev_arith, cur_arith, space.stage, prev.stage,
+                        );
+                        passing.push((prev_arith, cur_arith, e));
+                    }
+                }
+            }
+            if lsb1 == 0 {
+                break;
+            }
+            lsb1 = lsb1.saturating_sub(2);
+            lsb2 += 2;
+        }
+
+        // Lines 47–48: Best(·, Energy) over the satisfying pairs.
+        let best = passing
+            .into_iter()
+            .max_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("at least the fallback pair exists");
+        (best.0, best.1)
+    }
+
+    /// Energy-reduction figure used to rank candidate pairs: the calibrated
+    /// end-to-end reduction of the base configuration with the pair
+    /// applied.
+    fn pair_energy(
+        &self,
+        prev_arith: StageArith,
+        cur_arith: StageArith,
+        cur_stage: StageKind,
+        prev_stage: StageKind,
+    ) -> f64 {
+        let config = self
+            .base
+            .with_stage(prev_stage, prev_arith)
+            .with_stage(cur_stage, cur_arith);
+        hwmodel::CalibratedModel::paper().end_to_end_reduction(config.lsb_vector())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ecg::EcgRecord {
+        ecg::nsrdb::paper_record().truncated(6000)
+    }
+
+    fn preprocessing_spaces() -> Vec<StageSearchSpace> {
+        vec![
+            // LPF saves less than HPF standalone, so the ascending sort puts
+            // it first, matching the paper's Table 2 trace.
+            StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.5),
+            StageSearchSpace::even_lsbs(StageKind::Hpf, 16, 68.0),
+        ]
+    }
+
+    #[test]
+    fn even_lsb_space_construction() {
+        let s = StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.0);
+        assert_eq!(s.lsb_list, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+        let s4 = StageSearchSpace::even_lsbs(StageKind::Derivative, 4, 2.0);
+        assert_eq!(s4.lsb_list, vec![2, 4]);
+    }
+
+    #[test]
+    fn generation_explores_few_points_and_satisfies_constraint() {
+        let record = record();
+        let mut evaluator = Evaluator::new(&record);
+        let (adds, mults) = DesignGenerator::paper_lists();
+        let generator = DesignGenerator::new(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(20.0),
+            adds,
+            mults,
+            PipelineConfig::exact(),
+        );
+        let outcome = generator.generate(preprocessing_spaces());
+
+        // Algorithm 1's selling point: the trace stays small (the paper
+        // evaluates 11 of 81 points on this search).
+        assert!(
+            outcome.explored.len() <= 20,
+            "explored {} points",
+            outcome.explored.len()
+        );
+        assert!(outcome.satisfying() >= 1, "nothing satisfied the constraint");
+        // The final chosen configuration must satisfy the constraint.
+        assert!(
+            outcome.report.psnr_db >= 20.0,
+            "final design violates the constraint: {:.2} dB",
+            outcome.report.psnr_db
+        );
+        // And it must actually save energy.
+        assert!(
+            outcome.report.energy_reduction_calibrated > 1.5,
+            "no energy saved: {:.2}x",
+            outcome.report.energy_reduction_calibrated
+        );
+    }
+
+    #[test]
+    fn phase_one_walks_down_from_max_lsbs() {
+        let record = record();
+        let mut evaluator = Evaluator::new(&record);
+        let (adds, mults) = DesignGenerator::paper_lists();
+        let generator = DesignGenerator::new(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(15.0),
+            adds,
+            mults,
+            PipelineConfig::exact(),
+        );
+        let outcome =
+            generator.generate(vec![StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.5)]);
+        // First probed point must be the max-LSB design.
+        assert_eq!(outcome.explored[0].lsbs[0], 16);
+        assert_eq!(outcome.explored[0].phase, Phase::One);
+        // Probed LSBs must be non-increasing in phase 1.
+        let lsbs: Vec<u32> = outcome.explored.iter().map(|p| p.lsbs[0]).collect();
+        assert!(lsbs.windows(2).all(|w| w[0] >= w[1]), "{lsbs:?}");
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_falls_back_to_exact() {
+        let record = record();
+        let mut evaluator = Evaluator::new(&record);
+        let (adds, mults) = DesignGenerator::paper_lists();
+        let generator = DesignGenerator::new(
+            &mut evaluator,
+            // Peak accuracy can never exceed 1.0, so this is unsatisfiable.
+            QualityConstraint::MinPeakAccuracy(2.0),
+            adds,
+            mults,
+            PipelineConfig::exact(),
+        );
+        let outcome =
+            generator.generate(vec![StageSearchSpace::even_lsbs(StageKind::Lpf, 8, 5.5)]);
+        assert_eq!(outcome.chosen[0].arith, StageArith::exact());
+        assert!(outcome.satisfying() == 0);
+    }
+
+    #[test]
+    fn stages_sorted_ascending_by_energy_savings() {
+        // Give HPF a *smaller* max reduction than LPF: the generator must
+        // then start with HPF.
+        let record = record();
+        let mut evaluator = Evaluator::new(&record);
+        let (adds, mults) = DesignGenerator::paper_lists();
+        let generator = DesignGenerator::new(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(10.0),
+            adds,
+            mults,
+            PipelineConfig::exact(),
+        );
+        let spaces = vec![
+            StageSearchSpace::even_lsbs(StageKind::Lpf, 4, 99.0),
+            StageSearchSpace::even_lsbs(StageKind::Hpf, 4, 1.5),
+        ];
+        let outcome = generator.generate(spaces);
+        // The first probe is phase 1 on the HPF (stage index 1).
+        assert!(outcome.explored[0].lsbs[1] > 0);
+        assert_eq!(outcome.explored[0].lsbs[0], 0);
+    }
+
+    #[test]
+    fn diagonal_phase_produces_pairs() {
+        let record = record();
+        let mut evaluator = Evaluator::new(&record);
+        let (adds, mults) = DesignGenerator::paper_lists();
+        let generator = DesignGenerator::new(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(20.0),
+            adds,
+            mults,
+            PipelineConfig::exact(),
+        );
+        let outcome = generator.generate(preprocessing_spaces());
+        let phase3: Vec<&ExploredPoint> = outcome
+            .explored
+            .iter()
+            .filter(|p| p.phase == Phase::Three)
+            .collect();
+        assert!(!phase3.is_empty(), "phase III never ran");
+        // Diagonal points trade LPF LSBs for HPF LSBs: lsb sums stay within
+        // a band and LPF decreases along the trace.
+        let lpf: Vec<u32> = phase3.iter().map(|p| p.lsbs[0]).collect();
+        assert!(lpf.windows(2).all(|w| w[0] >= w[1]), "{lpf:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_spaces_rejected() {
+        let record = record();
+        let mut evaluator = Evaluator::new(&record);
+        let (adds, mults) = DesignGenerator::paper_lists();
+        let generator = DesignGenerator::new(
+            &mut evaluator,
+            QualityConstraint::MinPsnr(15.0),
+            adds,
+            mults,
+            PipelineConfig::exact(),
+        );
+        let _ = generator.generate(vec![]);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    #[test]
+    fn skipping_phase_three_explores_fewer_points() {
+        let record = ecg::nsrdb::paper_record().truncated(6000);
+        let spaces = || {
+            vec![
+                StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.5),
+                StageSearchSpace::even_lsbs(StageKind::Hpf, 16, 68.0),
+            ]
+        };
+        let (adds, mults) = DesignGenerator::paper_lists();
+
+        let mut full_eval = Evaluator::new(&record);
+        let full = DesignGenerator::new(
+            &mut full_eval,
+            QualityConstraint::MinPsnr(20.0),
+            adds.clone(),
+            mults.clone(),
+            PipelineConfig::exact(),
+        )
+        .generate(spaces());
+
+        let mut ablated_eval = Evaluator::new(&record);
+        let ablated = DesignGenerator::new(
+            &mut ablated_eval,
+            QualityConstraint::MinPsnr(20.0),
+            adds,
+            mults,
+            PipelineConfig::exact(),
+        )
+        .without_phase_three()
+        .generate(spaces());
+
+        assert!(ablated.explored.len() < full.explored.len());
+        assert!(ablated
+            .explored
+            .iter()
+            .all(|p| p.phase != Phase::Three));
+        // Both still satisfy the constraint.
+        assert!(ablated.report.psnr_db >= 20.0);
+        assert!(full.report.psnr_db >= 20.0);
+    }
+}

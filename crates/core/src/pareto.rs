@@ -1,0 +1,130 @@
+//! Pareto-frontier extraction over (quality, energy-reduction) design
+//! points — "we obtain two Pareto-optimal points from the design space by
+//! extracting the Pareto-frontier" (paper §6.2).
+//!
+//! A design dominates another when it is at least as good on both axes and
+//! strictly better on one. The frontier is every non-dominated design.
+
+/// One design point in the quality/energy plane (both axes maximised:
+/// higher quality is better, higher energy *reduction* is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Output quality (e.g. peak-detection accuracy or PSNR).
+    pub quality: f64,
+    /// Energy-reduction factor.
+    pub energy_reduction: f64,
+}
+
+impl ParetoPoint {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(quality: f64, energy_reduction: f64) -> Self {
+        Self {
+            quality,
+            energy_reduction,
+        }
+    }
+
+    /// Whether `self` dominates `other` (≥ on both axes, > on at least
+    /// one).
+    #[must_use]
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.quality >= other.quality
+            && self.energy_reduction >= other.energy_reduction
+            && (self.quality > other.quality
+                || self.energy_reduction > other.energy_reduction)
+    }
+}
+
+/// Indices of the non-dominated points, in input order.
+///
+/// Duplicate points all survive (none strictly dominates its twin).
+///
+/// # Example
+///
+/// ```
+/// use xbiosip::pareto::{pareto_frontier, ParetoPoint};
+///
+/// let points = vec![
+///     ParetoPoint::new(1.00, 5.0),   // frontier
+///     ParetoPoint::new(0.99, 20.0),  // frontier
+///     ParetoPoint::new(0.99, 10.0),  // dominated by the 20x point
+///     ParetoPoint::new(0.90, 22.0),  // frontier
+/// ];
+/// assert_eq!(pareto_frontier(&points), vec![0, 1, 3]);
+/// ```
+#[must_use]
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.dominates(&points[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_frontier(&[ParetoPoint::new(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn empty_input_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn dominated_point_excluded() {
+        let points = [
+            ParetoPoint::new(1.0, 10.0),
+            ParetoPoint::new(0.9, 5.0), // worse on both
+        ];
+        assert_eq!(pareto_frontier(&points), vec![0]);
+    }
+
+    #[test]
+    fn trade_off_points_all_survive() {
+        let points = [
+            ParetoPoint::new(1.0, 5.0),
+            ParetoPoint::new(0.95, 10.0),
+            ParetoPoint::new(0.90, 20.0),
+        ];
+        assert_eq!(pareto_frontier(&points), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_both_survive() {
+        let points = [ParetoPoint::new(1.0, 5.0), ParetoPoint::new(1.0, 5.0)];
+        assert_eq!(pareto_frontier(&points), vec![0, 1]);
+    }
+
+    #[test]
+    fn dominance_is_strict_on_at_least_one_axis() {
+        let a = ParetoPoint::new(1.0, 5.0);
+        let b = ParetoPoint::new(1.0, 5.0);
+        assert!(!a.dominates(&b));
+        assert!(ParetoPoint::new(1.0, 6.0).dominates(&b));
+        assert!(ParetoPoint::new(1.1, 5.0).dominates(&b));
+        assert!(!ParetoPoint::new(1.1, 4.0).dominates(&b));
+    }
+
+    #[test]
+    fn b_design_style_frontier() {
+        // Shaped like the paper's Fig 12: the accurate design (quality 1.0,
+        // reduction 1x) is on the frontier; so are the best trade-offs.
+        let points = [
+            ParetoPoint::new(1.00, 1.0),   // A2
+            ParetoPoint::new(1.00, 19.7),  // B9 — dominates A2's reduction
+            ParetoPoint::new(0.99, 22.0),  // B10
+            ParetoPoint::new(0.99, 20.0),  // dominated by B10
+            ParetoPoint::new(0.97, 21.0),  // dominated by B10
+        ];
+        assert_eq!(pareto_frontier(&points), vec![1, 2]);
+    }
+}

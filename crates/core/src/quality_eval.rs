@@ -1,0 +1,316 @@
+//! The paper's two-stage quality evaluation (§4): a *signal* gate
+//! (PSNR/SSIM on the pre-processed, i.e. high-pass-filtered, signal) and an
+//! *application* gate (QRS peak-detection accuracy on the final output).
+
+use ecg::EcgRecord;
+use hwmodel::{CalibratedModel, StageCost};
+use pan_tompkins::{PipelineConfig, QrsDetector, StageKind};
+use quality::{psnr, PeakMatcher, Ssim};
+
+/// Samples excluded at the start of a record when scoring (the detector's
+/// 2 s learning phase).
+pub const SCORE_START: usize = 400;
+
+/// Samples excluded at the end of a record when scoring (pipeline group
+/// delay pushes the last beat's response off the record).
+pub const SCORE_TAIL: usize = 60;
+
+/// A user-defined quality constraint for one of the two evaluation points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityConstraint {
+    /// Minimum PSNR (dB) of the pre-processed signal (the paper's Table 2
+    /// uses `PSNR ≥ 15`).
+    MinPsnr(f64),
+    /// Minimum 1-D SSIM of the pre-processed signal.
+    MinSsim(f64),
+    /// Minimum final peak-detection accuracy in `0.0..=1.0` (the paper's
+    /// Fig 12 marks a 95 % threshold).
+    MinPeakAccuracy(f64),
+}
+
+impl QualityConstraint {
+    /// Checks a report against this constraint.
+    #[must_use]
+    pub fn is_satisfied_by(&self, report: &QualityReport) -> bool {
+        match *self {
+            QualityConstraint::MinPsnr(db) => report.psnr_db >= db,
+            QualityConstraint::MinSsim(s) => report.ssim >= s,
+            QualityConstraint::MinPeakAccuracy(a) => report.peak_accuracy >= a,
+        }
+    }
+}
+
+/// Quality and energy figures of one evaluated design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// PSNR (dB) of the approximate HPF output vs the accurate one.
+    pub psnr_db: f64,
+    /// 1-D SSIM of the approximate HPF output vs the accurate one.
+    pub ssim: f64,
+    /// Peak-detection accuracy (sensitivity) against the record's reference
+    /// beats.
+    pub peak_accuracy: f64,
+    /// Positive predictivity of the detections.
+    pub ppv: f64,
+    /// Beats dropped by the HPF↔MWI alignment check.
+    pub omitted_beats: usize,
+    /// Detected beat count in the scored region.
+    pub detected_beats: usize,
+    /// Reference beat count in the scored region.
+    pub reference_beats: usize,
+    /// End-to-end energy-reduction factor under the module-sum model.
+    pub energy_reduction_module_sum: f64,
+    /// End-to-end energy-reduction factor under the synthesis-calibrated
+    /// model.
+    pub energy_reduction_calibrated: f64,
+}
+
+/// Evaluates pipeline configurations against one record, caching the
+/// accurate reference run.
+///
+/// The accurate high-pass-filtered signal is the PSNR/SSIM reference
+/// ("considering the accurate High Pass Filtered signal as a reference",
+/// paper §6) and the record's annotated beats are the detection reference.
+#[derive(Debug)]
+pub struct Evaluator {
+    record: EcgRecord,
+    reference_hpf: Vec<f64>,
+    reference_beats: Vec<usize>,
+    calibrated: CalibratedModel,
+    matcher: PeakMatcher,
+    ssim: Ssim,
+    evaluations: u64,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a record, running the accurate pipeline
+    /// once to build the reference signals.
+    #[must_use]
+    pub fn new(record: &EcgRecord) -> Self {
+        Self::with_reference(record, PipelineConfig::exact())
+    }
+
+    /// Creates an evaluator whose reference run uses a custom (normally
+    /// exact) pipeline configuration — e.g. to match a non-default
+    /// `input_shift`. Configurations later passed to
+    /// [`Evaluator::evaluate`] should use the same datapath scaling.
+    #[must_use]
+    pub fn with_reference(record: &EcgRecord, reference: PipelineConfig) -> Self {
+        let mut exact = QrsDetector::new(reference);
+        let result = exact.detect(record.samples());
+        let reference_hpf: Vec<f64> =
+            result.signals().hpf.iter().map(|v| *v as f64).collect();
+        let end = record.len().saturating_sub(SCORE_TAIL);
+        let reference_beats: Vec<usize> = record
+            .r_peaks()
+            .iter()
+            .copied()
+            .filter(|p| *p >= SCORE_START && *p < end)
+            .collect();
+        Self {
+            record: record.clone(),
+            reference_hpf,
+            reference_beats,
+            calibrated: CalibratedModel::paper(),
+            matcher: PeakMatcher::default(),
+            ssim: Ssim::default(),
+            evaluations: 0,
+        }
+    }
+
+    /// The record under evaluation.
+    #[must_use]
+    pub fn record(&self) -> &EcgRecord {
+        &self.record
+    }
+
+    /// Number of behavioral evaluations performed so far (the unit of
+    /// "exploration time" in the paper's Fig 11).
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Runs the pipeline under `config` and scores it.
+    pub fn evaluate(&mut self, config: &PipelineConfig) -> QualityReport {
+        self.evaluations += 1;
+        let mut detector = QrsDetector::new(*config);
+        let result = detector.detect(self.record.samples());
+
+        // Signal gate: compare HPF outputs past the filter warm-up.
+        let start = SCORE_START.min(self.reference_hpf.len());
+        let approx_hpf: Vec<f64> = result.signals().hpf[start..]
+            .iter()
+            .map(|v| *v as f64)
+            .collect();
+        let reference = &self.reference_hpf[start..];
+        let psnr_db = if reference.is_empty() {
+            f64::INFINITY
+        } else {
+            psnr::psnr(reference, &approx_hpf)
+        };
+        let ssim = if reference.len() >= self.ssim.window() {
+            self.ssim.mean(reference, &approx_hpf)
+        } else {
+            1.0
+        };
+
+        // Application gate: peak detection accuracy.
+        let end = self.record.len().saturating_sub(SCORE_TAIL);
+        let detected: Vec<usize> = result
+            .r_peaks()
+            .iter()
+            .copied()
+            .filter(|p| *p >= SCORE_START && *p < end)
+            .collect();
+        let m = self.matcher.match_peaks(&self.reference_beats, &detected);
+
+        let lsbs = config.lsb_vector();
+        QualityReport {
+            psnr_db,
+            ssim,
+            peak_accuracy: m.detection_accuracy(),
+            ppv: m.positive_predictivity(),
+            omitted_beats: result.omitted().len(),
+            detected_beats: detected.len(),
+            reference_beats: self.reference_beats.len(),
+            energy_reduction_module_sum: module_sum_reduction(config),
+            energy_reduction_calibrated: self
+                .calibrated
+                .end_to_end_reduction(lsbs),
+        }
+    }
+
+    /// Calibrated energy reduction of the *pre-processing* section only
+    /// (LPF+HPF) — the quantity reported in the paper's Table 2.
+    #[must_use]
+    pub fn preprocessing_energy_reduction(&self, config: &PipelineConfig) -> f64 {
+        let lsbs = config.lsb_vector();
+        let w_l = self.calibrated.weight(0);
+        let w_h = self.calibrated.weight(1);
+        let denom = w_l / self.calibrated.stage_reduction(0, lsbs[0])
+            + w_h / self.calibrated.stage_reduction(1, lsbs[1]);
+        (w_l + w_h) / denom
+    }
+}
+
+/// End-to-end energy reduction under the transparent module-sum model
+/// (Table 1 composition over the five stage netlists).
+#[must_use]
+pub fn module_sum_reduction(config: &PipelineConfig) -> f64 {
+    let mut exact = 0.0;
+    let mut ours = 0.0;
+    for kind in StageKind::ALL {
+        let exact_cost = StageCost::fir(
+            kind.multipliers(),
+            kind.adders(),
+            approx_arith::StageArith::exact(),
+        )
+        .cost();
+        let our_cost =
+            StageCost::fir(kind.multipliers(), kind.adders(), config.stage(kind))
+                .cost();
+        exact += exact_cost.energy_fj;
+        ours += our_cost.energy_fj;
+    }
+    if ours == 0.0 {
+        f64::INFINITY
+    } else {
+        exact / ours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_record() -> EcgRecord {
+        ecg::nsrdb::paper_record().truncated(6000)
+    }
+
+    #[test]
+    fn exact_config_scores_perfectly() {
+        let record = short_record();
+        let mut ev = Evaluator::new(&record);
+        let r = ev.evaluate(&PipelineConfig::exact());
+        assert!(r.psnr_db.is_infinite(), "exact PSNR should be infinite");
+        assert!((r.ssim - 1.0).abs() < 1e-9);
+        assert!(r.peak_accuracy >= 0.97, "accuracy {}", r.peak_accuracy);
+        assert!((r.energy_reduction_module_sum - 1.0).abs() < 1e-9);
+        assert!((r.energy_reduction_calibrated - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_counter_increments() {
+        let record = short_record();
+        let mut ev = Evaluator::new(&record);
+        assert_eq!(ev.evaluations(), 0);
+        let _ = ev.evaluate(&PipelineConfig::exact());
+        let _ = ev.evaluate(&PipelineConfig::least_energy([2, 0, 0, 0, 0]));
+        assert_eq!(ev.evaluations(), 2);
+    }
+
+    #[test]
+    fn approximation_reduces_psnr_and_energy_together() {
+        let record = short_record();
+        let mut ev = Evaluator::new(&record);
+        let mild = ev.evaluate(&PipelineConfig::least_energy([2, 2, 0, 0, 0]));
+        let heavy = ev.evaluate(&PipelineConfig::least_energy([10, 10, 0, 0, 0]));
+        assert!(mild.psnr_db > heavy.psnr_db, "PSNR should degrade with k");
+        assert!(
+            heavy.energy_reduction_calibrated > mild.energy_reduction_calibrated,
+            "energy reduction should grow with k"
+        );
+        assert!(heavy.energy_reduction_module_sum > mild.energy_reduction_module_sum);
+    }
+
+    #[test]
+    fn ssim_degrades_with_approximation() {
+        let record = short_record();
+        let mut ev = Evaluator::new(&record);
+        let mild = ev.evaluate(&PipelineConfig::least_energy([2, 2, 0, 0, 0]));
+        let heavy = ev.evaluate(&PipelineConfig::least_energy([12, 12, 0, 0, 0]));
+        assert!(mild.ssim > heavy.ssim);
+        assert!(mild.ssim <= 1.0);
+    }
+
+    #[test]
+    fn constraints_check_the_right_field() {
+        let report = QualityReport {
+            psnr_db: 16.0,
+            ssim: 0.7,
+            peak_accuracy: 0.99,
+            ppv: 1.0,
+            omitted_beats: 0,
+            detected_beats: 99,
+            reference_beats: 100,
+            energy_reduction_module_sum: 2.0,
+            energy_reduction_calibrated: 10.0,
+        };
+        assert!(QualityConstraint::MinPsnr(15.0).is_satisfied_by(&report));
+        assert!(!QualityConstraint::MinPsnr(20.0).is_satisfied_by(&report));
+        assert!(QualityConstraint::MinSsim(0.5).is_satisfied_by(&report));
+        assert!(!QualityConstraint::MinSsim(0.8).is_satisfied_by(&report));
+        assert!(QualityConstraint::MinPeakAccuracy(0.95).is_satisfied_by(&report));
+        assert!(!QualityConstraint::MinPeakAccuracy(1.0).is_satisfied_by(&report));
+    }
+
+    #[test]
+    fn preprocessing_reduction_ignores_signal_stages() {
+        let record = short_record();
+        let ev = Evaluator::new(&record);
+        let a = ev.preprocessing_energy_reduction(&PipelineConfig::least_energy(
+            [8, 8, 0, 0, 0],
+        ));
+        let b = ev.preprocessing_energy_reduction(&PipelineConfig::least_energy(
+            [8, 8, 4, 8, 16],
+        ));
+        assert!((a - b).abs() < 1e-12, "DER/SQR/MWI leaked into Table 2 metric");
+        assert!(a > 10.0, "pre-processing reduction at (8,8) should be large");
+    }
+
+    #[test]
+    fn module_sum_reduction_of_exact_is_one() {
+        assert!((module_sum_reduction(&PipelineConfig::exact()) - 1.0).abs() < 1e-12);
+    }
+}

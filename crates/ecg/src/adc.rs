@@ -1,0 +1,155 @@
+//! The acquisition front-end of the paper's case study: "the analog ECG
+//! signal is sampled at a frequency of 200 Hz, using a 16-bit ADC" (§3).
+//!
+//! Gains follow the MIT-BIH convention of 200 ADC counts per millivolt, so a
+//! typical 1.2 mV R peak digitises to ≈240 counts — the dynamic range the
+//! paper's LSB-approximation sweeps implicitly assume.
+
+/// An idealised ADC: linear gain, saturation at the resolution limits,
+/// round-to-nearest quantisation.
+///
+/// # Example
+///
+/// ```
+/// use ecg::Adc;
+///
+/// let adc = Adc::paper_default();
+/// assert_eq!(adc.quantize(1.0), 200);      // 1 mV -> 200 counts
+/// assert_eq!(adc.quantize(-0.5), -100);
+/// assert_eq!(adc.quantize(1e6), 32767);    // saturates at 16 bits
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    gain: f64,
+    bits: u32,
+}
+
+impl Adc {
+    /// Creates an ADC with `gain` counts/mV and `bits` of resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not positive or `bits` is outside `2..=31`.
+    #[must_use]
+    pub fn new(gain: f64, bits: u32) -> Self {
+        assert!(gain > 0.0, "ADC gain must be positive");
+        assert!((2..=31).contains(&bits), "ADC resolution out of range");
+        Self { gain, bits }
+    }
+
+    /// The paper's front-end: 16-bit ADC at MIT-BIH's 200 counts/mV.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(200.0, 16)
+    }
+
+    /// Gain in counts per millivolt.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest representable count.
+    #[must_use]
+    pub fn max_count(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Smallest (most negative) representable count.
+    #[must_use]
+    pub fn min_count(&self) -> i32 {
+        -(1i32 << (self.bits - 1))
+    }
+
+    /// Quantises a millivolt value to ADC counts (round to nearest,
+    /// saturate at range limits).
+    #[must_use]
+    pub fn quantize(&self, millivolts: f64) -> i32 {
+        let raw = (millivolts * self.gain).round();
+        let clamped = raw
+            .max(f64::from(self.min_count()))
+            .min(f64::from(self.max_count()));
+        clamped as i32
+    }
+
+    /// Quantises a whole millivolt signal.
+    #[must_use]
+    pub fn quantize_signal(&self, millivolts: &[f64]) -> Vec<i32> {
+        millivolts.iter().map(|v| self.quantize(*v)).collect()
+    }
+
+    /// Converts counts back to millivolts.
+    #[must_use]
+    pub fn to_millivolts(&self, counts: i32) -> f64 {
+        f64::from(counts) / self.gain
+    }
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_parameters() {
+        let adc = Adc::paper_default();
+        assert_eq!(adc.gain(), 200.0);
+        assert_eq!(adc.bits(), 16);
+        assert_eq!(adc.max_count(), 32767);
+        assert_eq!(adc.min_count(), -32768);
+    }
+
+    #[test]
+    fn quantisation_rounds_to_nearest() {
+        let adc = Adc::new(100.0, 16);
+        assert_eq!(adc.quantize(0.004), 0); // 0.4 counts -> 0
+        assert_eq!(adc.quantize(0.006), 1); // 0.6 counts -> 1
+        assert_eq!(adc.quantize(-0.006), -1);
+    }
+
+    #[test]
+    fn saturates_at_rails() {
+        let adc = Adc::new(200.0, 8);
+        assert_eq!(adc.max_count(), 127);
+        assert_eq!(adc.quantize(10.0), 127);
+        assert_eq!(adc.quantize(-10.0), -128);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_lsb() {
+        let adc = Adc::paper_default();
+        for mv in [-2.0, -0.31, 0.0, 0.777, 1.499] {
+            let back = adc.to_millivolts(adc.quantize(mv));
+            assert!((back - mv).abs() <= 0.5 / adc.gain() + 1e-12, "{mv}");
+        }
+    }
+
+    #[test]
+    fn quantize_signal_maps_elementwise() {
+        let adc = Adc::paper_default();
+        assert_eq!(adc.quantize_signal(&[0.0, 1.0, -1.0]), vec![0, 200, -200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_gain_rejected() {
+        let _ = Adc::new(0.0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn bad_bits_rejected() {
+        let _ = Adc::new(200.0, 40);
+    }
+}

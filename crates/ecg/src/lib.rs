@@ -1,0 +1,46 @@
+//! ECG data substrate for the XBioSiP reproduction.
+//!
+//! The paper evaluates on the MIT-BIH Normal Sinus Rhythm Database (NSRDB)
+//! from PhysioNet. That data cannot ship with this repository, so this crate
+//! provides (see `DESIGN.md` §3 for the substitution argument):
+//!
+//! * [`synth`] — a seeded synthetic ECG generator (sum-of-Gaussians beat
+//!   morphology with RR-interval variability) producing normal sinus rhythm
+//!   with exact ground-truth R-peak positions;
+//! * [`noise`] — the artefacts the Pan-Tompkins stages exist to remove:
+//!   baseline wander, mains interference and muscle noise;
+//! * [`adc`] — the paper's acquisition front-end: 200 Hz sampling through a
+//!   16-bit ADC at MIT-BIH's canonical 200 counts/mV gain;
+//! * [`physionet`] — real PhysioNet format glue (`.hea` headers, format-212
+//!   and format-16 signal files, MIT annotation files), so actual NSRDB
+//!   records drop in unchanged if available;
+//! * [`nsrdb`] — a deterministic five-record synthetic stand-in for NSRDB;
+//! * [`rhythm`] — RR-interval statistics and coarse rhythm classification
+//!   (the substrate for the paper's arrhythmia-detection future work).
+//!
+//! # Example
+//!
+//! ```
+//! use ecg::synth::{EcgSynthesizer, SynthConfig};
+//!
+//! let record = EcgSynthesizer::new(SynthConfig::default()).synthesize();
+//! assert_eq!(record.fs(), 200.0);
+//! assert!(record.r_peaks().len() > 100); // ~72 bpm over 100 s
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod noise;
+pub mod nsrdb;
+pub mod physionet;
+pub mod record;
+pub mod rhythm;
+pub mod synth;
+
+pub use adc::Adc;
+pub use noise::NoiseConfig;
+pub use record::EcgRecord;
+pub use rhythm::{RhythmClass, RrStatistics};
+pub use synth::{EcgSynthesizer, SynthConfig};

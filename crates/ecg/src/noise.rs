@@ -1,0 +1,233 @@
+//! The noise sources the Pan-Tompkins pre-processing stages target.
+//!
+//! The paper motivates each filter with a specific artefact (§3): the LPF
+//! removes "high frequency noise due to muscle movement and electrical
+//! interference", the HPF removes "low frequency noise components ... such
+//! as respiration and baseline wander". This module synthesises exactly
+//! those artefacts so the pipeline has real work to do:
+//!
+//! * **baseline wander** — a slow (≈0.2–0.4 Hz) quasi-sinusoidal drift from
+//!   respiration and electrode motion;
+//! * **mains interference** — a 50/60 Hz sinusoid from capacitive coupling;
+//! * **muscle (EMG) noise** — wideband noise modelled as white Gaussian
+//!   samples.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Amplitudes and frequencies of the three artefact generators.
+///
+/// All amplitudes are in millivolts; set one to zero to disable that source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Peak amplitude of the baseline wander, mV.
+    pub baseline_wander_mv: f64,
+    /// Baseline-wander (respiration) frequency, Hz.
+    pub baseline_wander_hz: f64,
+    /// Peak amplitude of the mains-interference sinusoid, mV.
+    pub mains_mv: f64,
+    /// Mains frequency, Hz (50 in Europe, 60 in the US).
+    pub mains_hz: f64,
+    /// Standard deviation of the white muscle-noise component, mV.
+    pub muscle_mv: f64,
+}
+
+impl NoiseConfig {
+    /// A clean recording: all sources off.
+    #[must_use]
+    pub fn clean() -> Self {
+        Self {
+            baseline_wander_mv: 0.0,
+            baseline_wander_hz: 0.3,
+            mains_mv: 0.0,
+            mains_hz: 50.0,
+            muscle_mv: 0.0,
+        }
+    }
+
+    /// A realistic ambulatory recording (the default).
+    #[must_use]
+    pub fn ambulatory() -> Self {
+        Self {
+            baseline_wander_mv: 0.15,
+            baseline_wander_hz: 0.3,
+            mains_mv: 0.03,
+            mains_hz: 50.0,
+            muscle_mv: 0.02,
+        }
+    }
+
+    /// A deliberately harsh recording for robustness experiments.
+    #[must_use]
+    pub fn noisy() -> Self {
+        Self {
+            baseline_wander_mv: 0.4,
+            baseline_wander_hz: 0.35,
+            mains_mv: 0.1,
+            mains_hz: 50.0,
+            muscle_mv: 0.06,
+        }
+    }
+
+    /// Whether every source is disabled.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.baseline_wander_mv == 0.0 && self.mains_mv == 0.0 && self.muscle_mv == 0.0
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self::ambulatory()
+    }
+}
+
+/// Stateful noise generator producing one millivolt value per sample.
+#[derive(Debug)]
+pub struct NoiseGenerator<'a> {
+    config: NoiseConfig,
+    fs: f64,
+    // Random phases decouple the artefacts from the beat grid.
+    wander_phase: f64,
+    mains_phase: f64,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> NoiseGenerator<'a> {
+    /// Creates a generator for the given sampling rate, drawing randomness
+    /// (phases, muscle noise) from `rng`.
+    pub fn new(config: NoiseConfig, fs: f64, rng: &'a mut StdRng) -> Self {
+        let wander_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mains_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        Self {
+            config,
+            fs,
+            wander_phase,
+            mains_phase,
+            rng,
+        }
+    }
+
+    /// Noise value (mV) at sample index `i`.
+    pub fn sample(&mut self, i: usize) -> f64 {
+        let t = i as f64 / self.fs;
+        let c = &self.config;
+        let mut v = 0.0;
+        if c.baseline_wander_mv != 0.0 {
+            v += c.baseline_wander_mv
+                * (std::f64::consts::TAU * c.baseline_wander_hz * t + self.wander_phase).sin();
+        }
+        if c.mains_mv != 0.0 {
+            v += c.mains_mv
+                * (std::f64::consts::TAU * c.mains_hz * t + self.mains_phase).sin();
+        }
+        if c.muscle_mv != 0.0 {
+            // Box-Muller white Gaussian noise.
+            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            v += c.muscle_mv * z;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_config_generates_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gen = NoiseGenerator::new(NoiseConfig::clean(), 200.0, &mut rng);
+        for i in 0..100 {
+            assert_eq!(gen.sample(i), 0.0);
+        }
+        assert!(NoiseConfig::clean().is_clean());
+    }
+
+    #[test]
+    fn wander_is_bounded_by_amplitude() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = NoiseConfig {
+            baseline_wander_mv: 0.5,
+            mains_mv: 0.0,
+            muscle_mv: 0.0,
+            ..NoiseConfig::ambulatory()
+        };
+        let mut gen = NoiseGenerator::new(config, 200.0, &mut rng);
+        for i in 0..2000 {
+            assert!(gen.sample(i).abs() <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn wander_is_slow_mains_is_fast() {
+        // Count zero crossings over 10 s: wander at 0.3 Hz crosses ~6 times,
+        // mains at 50 Hz crosses ~1000 times.
+        let crossings = |config: NoiseConfig| -> usize {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut gen = NoiseGenerator::new(config, 200.0, &mut rng);
+            let samples: Vec<f64> = (0..2000).map(|i| gen.sample(i)).collect();
+            samples
+                .windows(2)
+                .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+                .count()
+        };
+        let wander_only = NoiseConfig {
+            baseline_wander_mv: 0.2,
+            mains_mv: 0.0,
+            muscle_mv: 0.0,
+            ..NoiseConfig::ambulatory()
+        };
+        let mains_only = NoiseConfig {
+            baseline_wander_mv: 0.0,
+            mains_mv: 0.2,
+            muscle_mv: 0.0,
+            ..NoiseConfig::ambulatory()
+        };
+        let slow = crossings(wander_only);
+        let fast = crossings(mains_only);
+        assert!(slow < 20, "wander crossed {slow} times");
+        assert!(fast > 500, "mains crossed only {fast} times");
+    }
+
+    #[test]
+    fn muscle_noise_has_roughly_configured_std() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = NoiseConfig {
+            baseline_wander_mv: 0.0,
+            mains_mv: 0.0,
+            muscle_mv: 0.1,
+            ..NoiseConfig::ambulatory()
+        };
+        let mut gen = NoiseGenerator::new(config, 200.0, &mut rng);
+        let samples: Vec<f64> = (0..20_000).map(|i| gen.sample(i)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / samples.len() as f64;
+        let std = var.sqrt();
+        assert!((std - 0.1).abs() < 0.01, "std was {std}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let run = || -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut gen =
+                NoiseGenerator::new(NoiseConfig::ambulatory(), 200.0, &mut rng);
+            (0..100).map(|i| gen.sample(i)).collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn presets_are_ordered_by_harshness() {
+        let a = NoiseConfig::ambulatory();
+        let n = NoiseConfig::noisy();
+        assert!(n.baseline_wander_mv > a.baseline_wander_mv);
+        assert!(n.muscle_mv > a.muscle_mv);
+        assert!(!a.is_clean());
+    }
+}

@@ -1,0 +1,123 @@
+//! A deterministic synthetic stand-in for the MIT-BIH Normal Sinus Rhythm
+//! Database (NSRDB).
+//!
+//! The paper draws its evaluation recordings from NSRDB via PhysioNet \[7\].
+//! The database cannot ship here, so this module fixes five synthetic
+//! records with NSRDB-like names, per-record heart rates and noise levels,
+//! all seeded so every build of this repository evaluates the *same* data.
+//! Real NSRDB records can replace them through [`crate::physionet`].
+
+use crate::noise::NoiseConfig;
+use crate::record::EcgRecord;
+use crate::synth::{EcgSynthesizer, SynthConfig};
+
+/// Number of records in the synthetic database.
+pub const RECORD_COUNT: usize = 5;
+
+/// Record names, styled after NSRDB's numeric identifiers.
+pub const RECORD_NAMES: [&str; RECORD_COUNT] =
+    ["16265", "16272", "16273", "16420", "16483"];
+
+/// Builds the `i`-th synthetic NSRDB record (20 000 samples at 200 Hz, the
+/// paper's simulation length).
+///
+/// # Panics
+///
+/// Panics if `index >= RECORD_COUNT`.
+#[must_use]
+pub fn record(index: usize) -> EcgRecord {
+    assert!(index < RECORD_COUNT, "record index out of range");
+    let heart_rates = [72.0, 65.0, 78.0, 70.0, 85.0];
+    let noises = [
+        NoiseConfig::ambulatory(),
+        NoiseConfig::ambulatory(),
+        NoiseConfig::noisy(),
+        NoiseConfig::clean(),
+        NoiseConfig::ambulatory(),
+    ];
+    let config = SynthConfig {
+        name: RECORD_NAMES[index],
+        heart_rate_bpm: heart_rates[index],
+        noise: noises[index],
+        seed: 0x5EED_0000 + index as u64,
+        ..SynthConfig::default()
+    };
+    EcgSynthesizer::new(config).synthesize()
+}
+
+/// Builds the full synthetic database.
+#[must_use]
+pub fn all_records() -> Vec<EcgRecord> {
+    (0..RECORD_COUNT).map(record).collect()
+}
+
+/// The primary record used by the paper-reproduction experiments (the
+/// counterpart of "an ECG recording ... obtained from the MIT-BIH Normal
+/// Sinus Rhythm Database", §6.1).
+#[must_use]
+pub fn paper_record() -> EcgRecord {
+    record(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_records_with_nsrdb_names() {
+        let records = all_records();
+        assert_eq!(records.len(), RECORD_COUNT);
+        for (r, name) in records.iter().zip(RECORD_NAMES) {
+            assert_eq!(r.name(), name);
+        }
+    }
+
+    #[test]
+    fn records_have_paper_workload_shape() {
+        for r in all_records() {
+            assert_eq!(r.len(), 20_000);
+            assert_eq!(r.fs(), 200.0);
+            assert!(r.r_peaks().len() > 80, "{}: too few beats", r.name());
+        }
+    }
+
+    #[test]
+    fn records_are_deterministic() {
+        assert_eq!(record(0), record(0));
+        assert_eq!(paper_record(), record(0));
+    }
+
+    #[test]
+    fn records_differ_from_each_other() {
+        let records = all_records();
+        for i in 0..RECORD_COUNT {
+            for j in (i + 1)..RECORD_COUNT {
+                assert_ne!(
+                    records[i].samples(),
+                    records[j].samples(),
+                    "records {i} and {j} identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heart_rates_span_a_realistic_range() {
+        let rates: Vec<f64> = all_records()
+            .iter()
+            .map(|r| r.mean_heart_rate_bpm().expect("beats"))
+            .collect();
+        for hr in &rates {
+            assert!((55.0..95.0).contains(hr), "HR {hr} out of range");
+        }
+        let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
+            - rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 10.0, "records should differ in heart rate");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_rejected() {
+        let _ = record(RECORD_COUNT);
+    }
+}

@@ -1,0 +1,261 @@
+//! MIT annotation files (`.atr`): the beat labels the paper scores against.
+//!
+//! The MIT format stores annotations as a stream of 16-bit little-endian
+//! words. Each word packs a 6-bit annotation code `A` and a 10-bit time
+//! delta `I` (samples since the previous annotation) as `(A << 10) | I`.
+//! Deltas that do not fit 10 bits use a `SKIP` (code 59) word with `I = 0`
+//! followed by a 32-bit delta stored as two 16-bit words, **high word
+//! first** (a PDP-11 heritage quirk). A zero word terminates the stream.
+//!
+//! We implement the beat codes the NSRDB uses; unknown codes survive a
+//! read/write round trip unchanged.
+
+use super::ParseWfdbError;
+
+/// MIT annotation codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnnCode {
+    /// Normal beat (`N`, code 1).
+    Normal,
+    /// Premature ventricular contraction (`V`, code 5).
+    Pvc,
+    /// Artifact / noise marker (code 16).
+    Noise,
+    /// Any other code, preserved verbatim.
+    Other(u8),
+}
+
+impl AnnCode {
+    const SKIP: u8 = 59;
+
+    /// The numeric MIT code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            AnnCode::Normal => 1,
+            AnnCode::Pvc => 5,
+            AnnCode::Noise => 16,
+            AnnCode::Other(c) => c,
+        }
+    }
+
+    /// Builds from a numeric MIT code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            1 => AnnCode::Normal,
+            5 => AnnCode::Pvc,
+            16 => AnnCode::Noise,
+            c => AnnCode::Other(c),
+        }
+    }
+
+    /// Whether the code marks a beat (QRS complex).
+    #[must_use]
+    pub fn is_beat(self) -> bool {
+        matches!(self, AnnCode::Normal | AnnCode::Pvc)
+    }
+}
+
+/// One annotation: a sample position and a code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Annotation {
+    /// Absolute sample index.
+    pub sample: usize,
+    /// Annotation code.
+    pub code: AnnCode,
+}
+
+/// Serialises annotations (sorted by sample) to MIT `.atr` bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::Annotation`] if the annotations are not sorted
+/// by sample position or a code collides with the `SKIP` escape.
+pub fn write_annotations(annotations: &[Annotation]) -> Result<Vec<u8>, ParseWfdbError> {
+    let mut bytes = Vec::with_capacity(annotations.len() * 2 + 2);
+    let mut prev = 0usize;
+    for a in annotations {
+        if a.sample < prev {
+            return Err(ParseWfdbError::Annotation(
+                "annotations must be sorted by sample".into(),
+            ));
+        }
+        let code = a.code.code();
+        if code >= 64 {
+            return Err(ParseWfdbError::Annotation(format!(
+                "code {code} does not fit 6 bits"
+            )));
+        }
+        if code == AnnCode::SKIP {
+            return Err(ParseWfdbError::Annotation(
+                "code 59 is reserved for SKIP".into(),
+            ));
+        }
+        let delta = a.sample - prev;
+        if delta > 1023 {
+            // SKIP escape: code 59, I = 0, then 32-bit delta high word first.
+            let word = (u16::from(AnnCode::SKIP)) << 10;
+            bytes.extend_from_slice(&word.to_le_bytes());
+            let delta32 = u32::try_from(delta).map_err(|_| {
+                ParseWfdbError::Annotation("delta exceeds 32 bits".into())
+            })?;
+            bytes.extend_from_slice(&((delta32 >> 16) as u16).to_le_bytes());
+            bytes.extend_from_slice(&((delta32 & 0xFFFF) as u16).to_le_bytes());
+            let word = (u16::from(code)) << 10;
+            bytes.extend_from_slice(&word.to_le_bytes());
+        } else {
+            let word = (u16::from(code) << 10) | delta as u16;
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        prev = a.sample;
+    }
+    bytes.extend_from_slice(&0u16.to_le_bytes()); // terminator
+    Ok(bytes)
+}
+
+/// Parses MIT `.atr` bytes into annotations.
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::Annotation`] on a truncated stream or a
+/// truncated `SKIP` escape.
+pub fn read_annotations(bytes: &[u8]) -> Result<Vec<Annotation>, ParseWfdbError> {
+    let mut out = Vec::new();
+    let mut sample = 0usize;
+    let mut pending_skip = 0usize;
+    let mut i = 0usize;
+    loop {
+        if i + 2 > bytes.len() {
+            return Err(ParseWfdbError::Annotation(
+                "stream ended without terminator".into(),
+            ));
+        }
+        let word = u16::from_le_bytes([bytes[i], bytes[i + 1]]);
+        i += 2;
+        if word == 0 {
+            return Ok(out);
+        }
+        let code = (word >> 10) as u8;
+        let delta = usize::from(word & 0x3FF);
+        if code == AnnCode::SKIP {
+            if i + 4 > bytes.len() {
+                return Err(ParseWfdbError::Annotation("truncated SKIP".into()));
+            }
+            let high = u16::from_le_bytes([bytes[i], bytes[i + 1]]);
+            let low = u16::from_le_bytes([bytes[i + 2], bytes[i + 3]]);
+            i += 4;
+            pending_skip += ((usize::from(high)) << 16) | usize::from(low);
+            continue;
+        }
+        sample += pending_skip + delta;
+        pending_skip = 0;
+        out.push(Annotation {
+            sample,
+            code: AnnCode::from_code(code),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn beats(samples: &[usize]) -> Vec<Annotation> {
+        samples
+            .iter()
+            .map(|s| Annotation {
+                sample: *s,
+                code: AnnCode::Normal,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_small_deltas() {
+        let anns = beats(&[10, 200, 900, 1900]);
+        let bytes = write_annotations(&anns).unwrap();
+        assert_eq!(read_annotations(&bytes).unwrap(), anns);
+    }
+
+    #[test]
+    fn round_trip_with_skip_escape() {
+        let anns = beats(&[5, 5000, 1_000_000]);
+        let bytes = write_annotations(&anns).unwrap();
+        assert_eq!(read_annotations(&bytes).unwrap(), anns);
+    }
+
+    #[test]
+    fn round_trip_mixed_codes() {
+        let anns = vec![
+            Annotation { sample: 100, code: AnnCode::Normal },
+            Annotation { sample: 260, code: AnnCode::Pvc },
+            Annotation { sample: 300, code: AnnCode::Noise },
+            Annotation { sample: 420, code: AnnCode::Other(38) },
+        ];
+        let bytes = write_annotations(&anns).unwrap();
+        assert_eq!(read_annotations(&bytes).unwrap(), anns);
+    }
+
+    #[test]
+    fn empty_stream_is_just_terminator() {
+        let bytes = write_annotations(&[]).unwrap();
+        assert_eq!(bytes, vec![0, 0]);
+        assert_eq!(read_annotations(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let anns = beats(&[10]);
+        let bytes = write_annotations(&anns).unwrap();
+        let err = read_annotations(&bytes[..bytes.len() - 2]).unwrap_err();
+        assert!(matches!(err, ParseWfdbError::Annotation(_)));
+    }
+
+    #[test]
+    fn truncated_skip_rejected() {
+        // SKIP word followed by only 2 of the 4 delta bytes.
+        let word = (u16::from(AnnCode::SKIP) << 10).to_le_bytes();
+        let bytes = [word[0], word[1], 0x01, 0x00];
+        assert!(read_annotations(&bytes).is_err());
+    }
+
+    #[test]
+    fn unsorted_annotations_rejected() {
+        let anns = vec![
+            Annotation { sample: 100, code: AnnCode::Normal },
+            Annotation { sample: 50, code: AnnCode::Normal },
+        ];
+        assert!(write_annotations(&anns).is_err());
+    }
+
+    #[test]
+    fn beat_classification() {
+        assert!(AnnCode::Normal.is_beat());
+        assert!(AnnCode::Pvc.is_beat());
+        assert!(!AnnCode::Noise.is_beat());
+        assert!(!AnnCode::Other(22).is_beat());
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for c in [0u8, 1, 5, 16, 38, 58, 60, 63] {
+            assert_eq!(AnnCode::from_code(c).code(), c);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(deltas in prop::collection::vec(1usize..100_000, 0..50)) {
+            let mut sample = 0usize;
+            let mut anns = Vec::new();
+            for d in deltas {
+                sample += d;
+                anns.push(Annotation { sample, code: AnnCode::Normal });
+            }
+            let bytes = write_annotations(&anns).unwrap();
+            prop_assert_eq!(read_annotations(&bytes).unwrap(), anns);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! WFDB signal format 16: little-endian 16-bit two's-complement samples.
+//!
+//! Format 16 is the natural container for the paper's 16-bit ADC samples and
+//! is what modern PhysioNet exports commonly use.
+
+use super::ParseWfdbError;
+
+/// Encodes samples into format-16 bytes (little-endian).
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::SampleOutOfRange`] if any sample exceeds the
+/// 16-bit two's-complement range.
+pub fn encode_format16(samples: &[i32]) -> Result<Vec<u8>, ParseWfdbError> {
+    let mut bytes = Vec::with_capacity(samples.len() * 2);
+    for &s in samples {
+        let v = i16::try_from(s)
+            .map_err(|_| ParseWfdbError::SampleOutOfRange { value: s, bits: 16 })?;
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(bytes)
+}
+
+/// Decodes `n_samples` samples from format-16 bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::TruncatedData`] if the byte stream is too
+/// short.
+pub fn decode_format16(bytes: &[u8], n_samples: usize) -> Result<Vec<i32>, ParseWfdbError> {
+    if bytes.len() < n_samples * 2 {
+        return Err(ParseWfdbError::TruncatedData { offset: bytes.len() });
+    }
+    Ok(bytes[..n_samples * 2]
+        .chunks_exact(2)
+        .map(|c| i32::from(i16::from_le_bytes([c[0], c[1]])))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip() {
+        let samples = vec![0, 1, -1, 32767, -32768, 1234, -4321];
+        let bytes = encode_format16(&samples).unwrap();
+        assert_eq!(bytes.len(), samples.len() * 2);
+        assert_eq!(decode_format16(&bytes, samples.len()).unwrap(), samples);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let bytes = encode_format16(&[0x0102]).unwrap();
+        assert_eq!(bytes, vec![0x02, 0x01]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(encode_format16(&[32768]).is_err());
+        assert!(encode_format16(&[-32769]).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let err = decode_format16(&[0x00], 1).unwrap_err();
+        assert!(matches!(err, ParseWfdbError::TruncatedData { .. }));
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let bytes = encode_format16(&[7, 8, 9]).unwrap();
+        assert_eq!(decode_format16(&bytes, 2).unwrap(), vec![7, 8]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(samples in prop::collection::vec(-32768i32..=32767, 0..300)) {
+            let bytes = encode_format16(&samples).unwrap();
+            prop_assert_eq!(decode_format16(&bytes, samples.len()).unwrap(), samples);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! WFDB signal format 212: pairs of 12-bit two's-complement samples packed
+//! into three bytes.
+//!
+//! Packing (per the WFDB spec): for samples `s0`, `s1`,
+//!
+//! ```text
+//! byte 0:  s0 bits 0..8
+//! byte 1:  low nibble  = s0 bits 8..12
+//!          high nibble = s1 bits 8..12
+//! byte 2:  s1 bits 0..8
+//! ```
+//!
+//! An odd trailing sample is stored in a final 3-byte group whose second
+//! sample is zero. Multi-signal records interleave samples frame-wise before
+//! packing (signal 0 sample 0, signal 1 sample 0, signal 0 sample 1, ...);
+//! callers handle interleaving — these functions operate on the flat sample
+//! stream, exactly like `rdsamp`'s inner loop.
+
+use super::ParseWfdbError;
+
+const MIN12: i32 = -2048;
+const MAX12: i32 = 2047;
+
+/// Encodes samples into format-212 bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::SampleOutOfRange`] if any sample exceeds the
+/// 12-bit two's-complement range `-2048..=2047`.
+pub fn encode_format212(samples: &[i32]) -> Result<Vec<u8>, ParseWfdbError> {
+    for &s in samples {
+        if !(MIN12..=MAX12).contains(&s) {
+            return Err(ParseWfdbError::SampleOutOfRange { value: s, bits: 12 });
+        }
+    }
+    let mut bytes = Vec::with_capacity(samples.len().div_ceil(2) * 3);
+    for pair in samples.chunks(2) {
+        let s0 = (pair[0] & 0xFFF) as u32;
+        let s1 = (*pair.get(1).unwrap_or(&0) & 0xFFF) as u32;
+        bytes.push((s0 & 0xFF) as u8);
+        bytes.push((((s0 >> 8) & 0x0F) | (((s1 >> 8) & 0x0F) << 4)) as u8);
+        bytes.push((s1 & 0xFF) as u8);
+    }
+    Ok(bytes)
+}
+
+/// Decodes `n_samples` samples from format-212 bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::TruncatedData`] if the byte stream is too short
+/// for the requested sample count.
+pub fn decode_format212(bytes: &[u8], n_samples: usize) -> Result<Vec<i32>, ParseWfdbError> {
+    let groups = n_samples.div_ceil(2);
+    if bytes.len() < groups * 3 {
+        return Err(ParseWfdbError::TruncatedData { offset: bytes.len() });
+    }
+    let mut out = Vec::with_capacity(n_samples);
+    for g in 0..groups {
+        let b0 = u32::from(bytes[g * 3]);
+        let b1 = u32::from(bytes[g * 3 + 1]);
+        let b2 = u32::from(bytes[g * 3 + 2]);
+        let s0 = sign_extend12(b0 | ((b1 & 0x0F) << 8));
+        let s1 = sign_extend12(b2 | (((b1 >> 4) & 0x0F) << 8));
+        out.push(s0);
+        if out.len() < n_samples {
+            out.push(s1);
+        }
+    }
+    Ok(out)
+}
+
+fn sign_extend12(raw: u32) -> i32 {
+    let raw = raw & 0xFFF;
+    if raw & 0x800 != 0 {
+        raw as i32 - 4096
+    } else {
+        raw as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_packing_example() {
+        // s0 = 1 (0x001), s1 = -1 (0xFFF)
+        let bytes = encode_format212(&[1, -1]).unwrap();
+        assert_eq!(bytes, vec![0x01, 0xF0, 0xFF]);
+    }
+
+    #[test]
+    fn round_trip_even_count() {
+        let samples = vec![0, 1, -1, 100, -100, 2047, -2048, 1234];
+        let bytes = encode_format212(&samples).unwrap();
+        let back = decode_format212(&bytes, samples.len()).unwrap();
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn round_trip_odd_count() {
+        let samples = vec![5, -7, 9];
+        let bytes = encode_format212(&samples).unwrap();
+        assert_eq!(bytes.len(), 6); // two 3-byte groups
+        let back = decode_format212(&bytes, 3).unwrap();
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn boundary_values() {
+        for v in [MIN12, MAX12, 0, -1, 1] {
+            let bytes = encode_format212(&[v]).unwrap();
+            assert_eq!(decode_format212(&bytes, 1).unwrap(), vec![v]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_sample_rejected() {
+        assert_eq!(
+            encode_format212(&[2048]),
+            Err(ParseWfdbError::SampleOutOfRange { value: 2048, bits: 12 })
+        );
+        assert!(encode_format212(&[-2049]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let bytes = encode_format212(&[1, 2, 3, 4]).unwrap();
+        let err = decode_format212(&bytes[..4], 4).unwrap_err();
+        assert!(matches!(err, ParseWfdbError::TruncatedData { .. }));
+    }
+
+    #[test]
+    fn three_bytes_per_two_samples() {
+        let bytes = encode_format212(&[0; 1000]).unwrap();
+        assert_eq!(bytes.len(), 1500);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(samples in prop::collection::vec(-2048i32..=2047, 0..300)) {
+            let bytes = encode_format212(&samples).unwrap();
+            let back = decode_format212(&bytes, samples.len()).unwrap();
+            prop_assert_eq!(back, samples);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Frame interleaving for multi-signal WFDB records.
+//!
+//! MIT-BIH records (including all NSRDB records) store two leads in one
+//! `.dat` file, interleaved frame-wise: `sig0[0], sig1[0], sig0[1],
+//! sig1[1], ...`. The format codecs in this crate operate on the flat
+//! interleaved stream; these helpers convert between that stream and
+//! per-signal vectors.
+
+use super::ParseWfdbError;
+
+/// Interleaves per-signal sample vectors into the flat frame-major stream.
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::Header`] if the signals differ in length, or
+/// if no signals are given.
+pub fn interleave(signals: &[Vec<i32>]) -> Result<Vec<i32>, ParseWfdbError> {
+    if signals.is_empty() {
+        return Err(ParseWfdbError::Header("no signals to interleave".into()));
+    }
+    let len = signals[0].len();
+    if signals.iter().any(|s| s.len() != len) {
+        return Err(ParseWfdbError::Header(
+            "signals must have equal length".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(len * signals.len());
+    for frame in 0..len {
+        for signal in signals {
+            out.push(signal[frame]);
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a flat frame-major stream back into `n_signals` per-signal
+/// vectors.
+///
+/// # Errors
+///
+/// Returns [`ParseWfdbError::TruncatedData`] if the stream length is not a
+/// multiple of the signal count, or [`ParseWfdbError::Header`] for a zero
+/// signal count.
+pub fn deinterleave(samples: &[i32], n_signals: usize) -> Result<Vec<Vec<i32>>, ParseWfdbError> {
+    if n_signals == 0 {
+        return Err(ParseWfdbError::Header("zero signals".into()));
+    }
+    if !samples.len().is_multiple_of(n_signals) {
+        return Err(ParseWfdbError::TruncatedData {
+            offset: samples.len(),
+        });
+    }
+    let frames = samples.len() / n_signals;
+    let mut out = vec![Vec::with_capacity(frames); n_signals];
+    for (i, &s) in samples.iter().enumerate() {
+        out[i % n_signals].push(s);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physionet::{decode_format212, encode_format212};
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_lead_round_trip() {
+        let lead1 = vec![1, 2, 3, 4];
+        let lead2 = vec![-1, -2, -3, -4];
+        let flat = interleave(&[lead1.clone(), lead2.clone()]).unwrap();
+        assert_eq!(flat, vec![1, -1, 2, -2, 3, -3, 4, -4]);
+        let back = deinterleave(&flat, 2).unwrap();
+        assert_eq!(back, vec![lead1, lead2]);
+    }
+
+    #[test]
+    fn single_signal_is_identity() {
+        let lead = vec![5, 6, 7];
+        let flat = interleave(std::slice::from_ref(&lead)).unwrap();
+        assert_eq!(flat, lead);
+        assert_eq!(deinterleave(&flat, 1).unwrap(), vec![lead]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(interleave(&[vec![1], vec![1, 2]]).is_err());
+        assert!(interleave(&[]).is_err());
+    }
+
+    #[test]
+    fn ragged_stream_rejected() {
+        assert!(deinterleave(&[1, 2, 3], 2).is_err());
+        assert!(deinterleave(&[1, 2], 0).is_err());
+    }
+
+    #[test]
+    fn full_two_lead_dat212_round_trip() {
+        // The real NSRDB path: two leads -> interleave -> format 212 ->
+        // decode -> deinterleave.
+        let lead1: Vec<i32> = (0..200).map(|i| (i * 13 % 4000) - 2000).collect();
+        let lead2: Vec<i32> = (0..200).map(|i| (i * 7 % 4000) - 2000).collect();
+        let flat = interleave(&[lead1.clone(), lead2.clone()]).unwrap();
+        let bytes = encode_format212(&flat).unwrap();
+        let decoded = decode_format212(&bytes, flat.len()).unwrap();
+        let leads = deinterleave(&decoded, 2).unwrap();
+        assert_eq!(leads[0], lead1);
+        assert_eq!(leads[1], lead2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interleave_round_trip(
+            frames in 0usize..100,
+            n_signals in 1usize..4,
+            seed in any::<u32>(),
+        ) {
+            let signals: Vec<Vec<i32>> = (0..n_signals)
+                .map(|s| {
+                    (0..frames)
+                        .map(|f| ((seed as usize + s * 31 + f * 7) % 4095) as i32 - 2048)
+                        .collect()
+                })
+                .collect();
+            let flat = interleave(&signals).unwrap();
+            prop_assert_eq!(deinterleave(&flat, n_signals).unwrap(), signals);
+        }
+    }
+}

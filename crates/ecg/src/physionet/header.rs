@@ -1,0 +1,287 @@
+//! WFDB `.hea` record headers.
+//!
+//! A header consists of a *record line* —
+//! `name n_signals sampling_frequency n_samples` — followed by one *signal
+//! specification line* per signal:
+//! `file_name format gain(baseline)/units adc_resolution adc_zero ...`.
+//! Comment lines start with `#`. We implement the fields the NSRDB records
+//! use; unknown trailing fields are preserved on read and omitted on write.
+
+use std::fmt;
+
+use super::ParseWfdbError;
+
+/// One signal specification line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalSpec {
+    /// Signal file name (e.g. `16265.dat`).
+    pub file_name: String,
+    /// Storage format (212 and 16 are supported by this crate's codecs).
+    pub format: u32,
+    /// ADC gain in counts per physical unit (counts/mV for ECG).
+    pub gain: f64,
+    /// ADC resolution in bits.
+    pub adc_resolution: u32,
+    /// ADC zero offset (counts).
+    pub adc_zero: i32,
+    /// Free-text description (lead name), if present.
+    pub description: Option<String>,
+}
+
+impl SignalSpec {
+    fn parse(line: &str) -> Result<Self, ParseWfdbError> {
+        let mut fields = line.split_whitespace();
+        let file_name = fields
+            .next()
+            .ok_or_else(|| ParseWfdbError::Header("missing file name".into()))?
+            .to_owned();
+        let format_field = fields
+            .next()
+            .ok_or_else(|| ParseWfdbError::Header("missing format".into()))?;
+        // Format may carry a "xN" samples-per-frame suffix; we support x1.
+        let format: u32 = format_field
+            .split(['x', ':', '+'])
+            .next()
+            .unwrap_or(format_field)
+            .parse()
+            .map_err(|_| ParseWfdbError::Header(format!("bad format `{format_field}`")))?;
+        let gain_field = fields.next().unwrap_or("200");
+        // gain may look like "200", "200(0)", or "200/mV".
+        let gain_text: String = gain_field
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        let gain: f64 = gain_text
+            .parse()
+            .map_err(|_| ParseWfdbError::Header(format!("bad gain `{gain_field}`")))?;
+        let adc_resolution: u32 = fields
+            .next()
+            .unwrap_or("12")
+            .parse()
+            .map_err(|_| ParseWfdbError::Header("bad adc resolution".into()))?;
+        let adc_zero: i32 = fields
+            .next()
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| ParseWfdbError::Header("bad adc zero".into()))?;
+        // Skip initial value, checksum, block size if present; the rest of
+        // the line (if any) is the description.
+        let rest: Vec<&str> = fields.collect();
+        let description = if rest.len() > 3 {
+            Some(rest[3..].join(" "))
+        } else {
+            None
+        };
+        Ok(Self {
+            file_name,
+            format,
+            gain,
+            adc_resolution,
+            adc_zero,
+            description,
+        })
+    }
+}
+
+impl fmt::Display for SignalSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}(0)/mV {} {} 0 0 0",
+            self.file_name, self.format, self.gain, self.adc_resolution, self.adc_zero
+        )?;
+        if let Some(d) = &self.description {
+            write!(f, " {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed `.hea` record header.
+///
+/// # Example
+///
+/// ```
+/// use ecg::physionet::Header;
+///
+/// let text = "16265 2 128 11730944\n\
+///             16265.dat 212 200 12 0 -69 -25764 0 ECG1\n\
+///             16265.dat 212 200 12 0 73 9371 0 ECG2\n";
+/// let header = Header::parse(text)?;
+/// assert_eq!(header.name, "16265");
+/// assert_eq!(header.signals.len(), 2);
+/// assert_eq!(header.fs, 128.0);
+/// # Ok::<(), ecg::physionet::ParseWfdbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Record name.
+    pub name: String,
+    /// Sampling frequency, Hz.
+    pub fs: f64,
+    /// Number of samples per signal.
+    pub n_samples: usize,
+    /// Signal specifications.
+    pub signals: Vec<SignalSpec>,
+}
+
+impl Header {
+    /// Parses header text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseWfdbError::Header`] on malformed record or signal
+    /// lines, or when the declared signal count does not match the
+    /// specification lines.
+    pub fn parse(text: &str) -> Result<Self, ParseWfdbError> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let record_line = lines
+            .next()
+            .ok_or_else(|| ParseWfdbError::Header("empty header".into()))?;
+        let mut fields = record_line.split_whitespace();
+        let name = fields
+            .next()
+            .ok_or_else(|| ParseWfdbError::Header("missing record name".into()))?
+            // The record name may carry a segment count ("name/segments").
+            .split('/')
+            .next()
+            .expect("split yields at least one item")
+            .to_owned();
+        let n_signals: usize = fields
+            .next()
+            .ok_or_else(|| ParseWfdbError::Header("missing signal count".into()))?
+            .parse()
+            .map_err(|_| ParseWfdbError::Header("bad signal count".into()))?;
+        let fs: f64 = match fields.next() {
+            // The frequency field may carry counter info ("360/360(0)").
+            Some(t) => t
+                .split('/')
+                .next()
+                .expect("split yields at least one item")
+                .parse()
+                .map_err(|_| ParseWfdbError::Header("bad sampling frequency".into()))?,
+            None => 250.0, // WFDB default
+        };
+        let n_samples: usize = match fields.next() {
+            Some(t) => t
+                .parse()
+                .map_err(|_| ParseWfdbError::Header("bad sample count".into()))?,
+            None => 0,
+        };
+        let signals: Vec<SignalSpec> = lines
+            .take(n_signals)
+            .map(SignalSpec::parse)
+            .collect::<Result<_, _>>()?;
+        if signals.len() != n_signals {
+            return Err(ParseWfdbError::Header(format!(
+                "expected {n_signals} signal lines, found {}",
+                signals.len()
+            )));
+        }
+        Ok(Self {
+            name,
+            fs,
+            n_samples,
+            signals,
+        })
+    }
+
+    /// Renders the header back to `.hea` text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{} {} {} {}\n",
+            self.name,
+            self.signals.len(),
+            self.fs,
+            self.n_samples
+        );
+        for s in &self.signals {
+            out.push_str(&s.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NSRDB_LIKE: &str = "16265 2 128 11730944\n\
+        16265.dat 212 200 12 0 -69 -25764 0 ECG1\n\
+        16265.dat 212 200 12 0 73 9371 0 ECG2\n";
+
+    #[test]
+    fn parses_nsrdb_style_header() {
+        let h = Header::parse(NSRDB_LIKE).unwrap();
+        assert_eq!(h.name, "16265");
+        assert_eq!(h.fs, 128.0);
+        assert_eq!(h.n_samples, 11_730_944);
+        assert_eq!(h.signals.len(), 2);
+        assert_eq!(h.signals[0].format, 212);
+        assert_eq!(h.signals[0].gain, 200.0);
+        assert_eq!(h.signals[0].adc_resolution, 12);
+        assert_eq!(h.signals[0].description.as_deref(), Some("ECG1"));
+    }
+
+    #[test]
+    fn parses_gain_with_units_suffix() {
+        let text = "r 1 200 100\nr.dat 16 200(0)/mV 16 0 0 0 0\n";
+        let h = Header::parse(text).unwrap();
+        assert_eq!(h.signals[0].gain, 200.0);
+        assert_eq!(h.signals[0].format, 16);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = format!("# a comment\n\n{NSRDB_LIKE}");
+        let h = Header::parse(&text).unwrap();
+        assert_eq!(h.name, "16265");
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let h = Header::parse(NSRDB_LIKE).unwrap();
+        let text = h.to_text();
+        let h2 = Header::parse(&text).unwrap();
+        assert_eq!(h.name, h2.name);
+        assert_eq!(h.fs, h2.fs);
+        assert_eq!(h.n_samples, h2.n_samples);
+        assert_eq!(h.signals.len(), h2.signals.len());
+        assert_eq!(h.signals[0].gain, h2.signals[0].gain);
+    }
+
+    #[test]
+    fn missing_signal_lines_rejected() {
+        let text = "r 2 200 100\nr.dat 16 200 16 0\n";
+        assert!(matches!(
+            Header::parse(text),
+            Err(ParseWfdbError::Header(_))
+        ));
+    }
+
+    #[test]
+    fn empty_header_rejected() {
+        assert!(Header::parse("").is_err());
+        assert!(Header::parse("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn fs_with_counter_suffix() {
+        let text = "r 1 360/360(0) 100\nr.dat 212 200 12 0\n";
+        let h = Header::parse(text).unwrap();
+        assert_eq!(h.fs, 360.0);
+    }
+
+    #[test]
+    fn defaults_for_short_record_line() {
+        let text = "r 1\nr.dat 212 200 12 0\n";
+        let h = Header::parse(text).unwrap();
+        assert_eq!(h.fs, 250.0);
+        assert_eq!(h.n_samples, 0);
+    }
+}

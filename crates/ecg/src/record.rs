@@ -1,0 +1,232 @@
+//! ECG record container: digitised samples plus ground-truth beat positions.
+
+use std::fmt;
+
+/// A single-lead ECG record: ADC samples at a fixed sampling rate, the ADC
+/// gain that maps counts back to millivolts, and the reference R-peak
+/// positions (ground truth for scoring detectors).
+///
+/// # Example
+///
+/// ```
+/// use ecg::EcgRecord;
+///
+/// let record = EcgRecord::new("demo", 200.0, 200.0, vec![0, 120, 240, 120, 0], vec![2]);
+/// assert_eq!(record.len(), 5);
+/// assert!((record.duration_s() - 0.025).abs() < 1e-12);
+/// assert!((record.to_millivolts()[2] - 1.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcgRecord {
+    name: String,
+    fs: f64,
+    gain: f64,
+    samples: Vec<i32>,
+    r_peaks: Vec<usize>,
+}
+
+impl EcgRecord {
+    /// Creates a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` or `gain` is not positive, if any R-peak index is out
+    /// of range, or if the peak list is not strictly increasing.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        fs: f64,
+        gain: f64,
+        samples: Vec<i32>,
+        r_peaks: Vec<usize>,
+    ) -> Self {
+        assert!(fs > 0.0, "sampling rate must be positive");
+        assert!(gain > 0.0, "ADC gain must be positive");
+        assert!(
+            r_peaks.windows(2).all(|w| w[0] < w[1]),
+            "R peaks must be strictly increasing"
+        );
+        if let Some(last) = r_peaks.last() {
+            assert!(*last < samples.len(), "R peak index beyond record end");
+        }
+        Self {
+            name: name.into(),
+            fs,
+            gain,
+            samples,
+            r_peaks,
+        }
+    }
+
+    /// Record name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sampling rate in Hz.
+    #[must_use]
+    pub fn fs(&self) -> f64 {
+        self.fs
+    }
+
+    /// ADC gain in counts per millivolt.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The digitised samples (ADC counts).
+    #[must_use]
+    pub fn samples(&self) -> &[i32] {
+        &self.samples
+    }
+
+    /// Ground-truth R-peak sample positions.
+    #[must_use]
+    pub fn r_peaks(&self) -> &[usize] {
+        &self.r_peaks
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the record holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Record duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 / self.fs
+    }
+
+    /// Mean heart rate implied by the reference beats, in bpm.
+    /// Returns `None` with fewer than two beats.
+    #[must_use]
+    pub fn mean_heart_rate_bpm(&self) -> Option<f64> {
+        if self.r_peaks.len() < 2 {
+            return None;
+        }
+        let first = self.r_peaks[0] as f64;
+        let last = *self.r_peaks.last().expect("non-empty") as f64;
+        let beats = (self.r_peaks.len() - 1) as f64;
+        let seconds = (last - first) / self.fs;
+        Some(60.0 * beats / seconds)
+    }
+
+    /// Converts samples back to millivolts using the ADC gain.
+    #[must_use]
+    pub fn to_millivolts(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| f64::from(*s) / self.gain)
+            .collect()
+    }
+
+    /// Returns a copy truncated to the first `n` samples, dropping beats
+    /// beyond the cut.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> EcgRecord {
+        let n = n.min(self.samples.len());
+        EcgRecord {
+            name: self.name.clone(),
+            fs: self.fs,
+            gain: self.gain,
+            samples: self.samples[..n].to_vec(),
+            r_peaks: self
+                .r_peaks
+                .iter()
+                .copied()
+                .take_while(|p| *p < n)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for EcgRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} samples @ {} Hz ({:.1} s), {} beats",
+            self.name,
+            self.samples.len(),
+            self.fs,
+            self.duration_s(),
+            self.r_peaks.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> EcgRecord {
+        EcgRecord::new("r1", 200.0, 200.0, vec![0; 1000], vec![100, 300, 500])
+    }
+
+    #[test]
+    fn accessors() {
+        let r = demo();
+        assert_eq!(r.name(), "r1");
+        assert_eq!(r.fs(), 200.0);
+        assert_eq!(r.gain(), 200.0);
+        assert_eq!(r.len(), 1000);
+        assert!(!r.is_empty());
+        assert_eq!(r.r_peaks(), &[100, 300, 500]);
+        assert!((r.duration_s() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heart_rate_from_beats() {
+        let r = demo();
+        // 2 intervals of 200 samples = 1 s each -> 60 bpm.
+        assert!((r.mean_heart_rate_bpm().unwrap() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heart_rate_requires_two_beats() {
+        let r = EcgRecord::new("r", 200.0, 200.0, vec![0; 10], vec![5]);
+        assert!(r.mean_heart_rate_bpm().is_none());
+    }
+
+    #[test]
+    fn millivolt_conversion_uses_gain() {
+        let r = EcgRecord::new("r", 200.0, 100.0, vec![50, -100], vec![]);
+        assert_eq!(r.to_millivolts(), vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn truncation_drops_late_beats() {
+        let r = demo().truncated(301);
+        assert_eq!(r.len(), 301);
+        assert_eq!(r.r_peaks(), &[100, 300]);
+        let r2 = demo().truncated(10_000);
+        assert_eq!(r2.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond record end")]
+    fn out_of_range_peak_rejected() {
+        let _ = EcgRecord::new("r", 200.0, 200.0, vec![0; 10], vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_peaks_rejected() {
+        let _ = EcgRecord::new("r", 200.0, 200.0, vec![0; 10], vec![5, 5]);
+    }
+
+    #[test]
+    fn display_mentions_name_and_beats() {
+        let s = demo().to_string();
+        assert!(s.contains("r1"));
+        assert!(s.contains("3 beats"));
+    }
+}

@@ -1,0 +1,225 @@
+//! RR-interval statistics and rhythm classification — the substrate for the
+//! paper's future-work direction ("extend our work to ... ECG-based
+//! arrhythmia detection", §7).
+//!
+//! Given detected R-peak positions, this module computes the RR-interval
+//! series, standard heart-rate-variability statistics (mean RR, SDNN,
+//! RMSSD, pNN50 — adapted to the 200 Hz sample clock) and a coarse rhythm
+//! label. The downstream experiment (`xbiosip-bench --bin
+//! ext_arrhythmia`) checks that approximate processing preserves not just
+//! peak *counts* but these rhythm *features*.
+
+use std::fmt;
+
+/// RR-interval statistics over a beat sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrStatistics {
+    /// Number of RR intervals.
+    pub intervals: usize,
+    /// Mean RR interval, seconds.
+    pub mean_rr_s: f64,
+    /// Standard deviation of RR intervals (SDNN), seconds.
+    pub sdnn_s: f64,
+    /// Root mean square of successive differences (RMSSD), seconds.
+    pub rmssd_s: f64,
+    /// Fraction of successive-difference pairs exceeding 50 ms (pNN50).
+    pub pnn50: f64,
+}
+
+impl RrStatistics {
+    /// Computes statistics from beat sample positions at sampling rate
+    /// `fs`. Returns `None` with fewer than three beats (two intervals).
+    #[must_use]
+    pub fn from_beats(beats: &[usize], fs: f64) -> Option<Self> {
+        if beats.len() < 3 || fs <= 0.0 {
+            return None;
+        }
+        let rr: Vec<f64> = beats
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64 / fs)
+            .collect();
+        let n = rr.len() as f64;
+        let mean = rr.iter().sum::<f64>() / n;
+        let var = rr.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let diffs: Vec<f64> = rr.windows(2).map(|w| w[1] - w[0]).collect();
+        let rmssd = if diffs.is_empty() {
+            0.0
+        } else {
+            (diffs.iter().map(|d| d * d).sum::<f64>() / diffs.len() as f64).sqrt()
+        };
+        let pnn50 = if diffs.is_empty() {
+            0.0
+        } else {
+            diffs.iter().filter(|d| d.abs() > 0.050).count() as f64
+                / diffs.len() as f64
+        };
+        Some(Self {
+            intervals: rr.len(),
+            mean_rr_s: mean,
+            sdnn_s: var.sqrt(),
+            rmssd_s: rmssd,
+            pnn50,
+        })
+    }
+
+    /// Mean heart rate in bpm.
+    #[must_use]
+    pub fn mean_heart_rate_bpm(&self) -> f64 {
+        60.0 / self.mean_rr_s
+    }
+
+    /// Coarse rhythm classification from rate and variability.
+    #[must_use]
+    pub fn classify(&self) -> RhythmClass {
+        let hr = self.mean_heart_rate_bpm();
+        // Coefficient of variation of RR intervals: normal sinus rhythm has
+        // a few percent; irregular rhythms have much more.
+        let cv = self.sdnn_s / self.mean_rr_s;
+        if cv > 0.15 {
+            RhythmClass::Irregular
+        } else if hr > 100.0 {
+            RhythmClass::Tachycardia
+        } else if hr < 60.0 {
+            RhythmClass::Bradycardia
+        } else {
+            RhythmClass::NormalSinus
+        }
+    }
+}
+
+impl fmt::Display for RrStatistics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} RR intervals, mean {:.0} ms ({:.0} bpm), SDNN {:.0} ms, RMSSD {:.0} ms, pNN50 {:.0}%",
+            self.intervals,
+            self.mean_rr_s * 1000.0,
+            self.mean_heart_rate_bpm(),
+            self.sdnn_s * 1000.0,
+            self.rmssd_s * 1000.0,
+            self.pnn50 * 100.0
+        )
+    }
+}
+
+/// Coarse rhythm label derived from RR statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RhythmClass {
+    /// 60–100 bpm with low RR variability.
+    NormalSinus,
+    /// Resting rate above 100 bpm.
+    Tachycardia,
+    /// Resting rate below 60 bpm.
+    Bradycardia,
+    /// High beat-to-beat variability (ectopy, fibrillation-like patterns).
+    Irregular,
+}
+
+impl fmt::Display for RhythmClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            RhythmClass::NormalSinus => "normal sinus rhythm",
+            RhythmClass::Tachycardia => "tachycardia",
+            RhythmClass::Bradycardia => "bradycardia",
+            RhythmClass::Irregular => "irregular rhythm",
+        };
+        f.write_str(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beats_at_bpm(bpm: f64, n: usize, fs: f64) -> Vec<usize> {
+        let rr = (60.0 / bpm * fs) as usize;
+        (0..n).map(|i| 100 + i * rr).collect()
+    }
+
+    #[test]
+    fn regular_72_bpm_is_normal_sinus() {
+        let beats = beats_at_bpm(72.0, 30, 200.0);
+        let stats = RrStatistics::from_beats(&beats, 200.0).expect("enough beats");
+        assert!((stats.mean_heart_rate_bpm() - 72.0).abs() < 1.0);
+        assert!(stats.sdnn_s < 0.01);
+        assert_eq!(stats.classify(), RhythmClass::NormalSinus);
+    }
+
+    #[test]
+    fn fast_rhythm_is_tachycardia() {
+        let beats = beats_at_bpm(130.0, 30, 200.0);
+        let stats = RrStatistics::from_beats(&beats, 200.0).expect("enough beats");
+        assert_eq!(stats.classify(), RhythmClass::Tachycardia);
+    }
+
+    #[test]
+    fn slow_rhythm_is_bradycardia() {
+        let beats = beats_at_bpm(45.0, 30, 200.0);
+        let stats = RrStatistics::from_beats(&beats, 200.0).expect("enough beats");
+        assert_eq!(stats.classify(), RhythmClass::Bradycardia);
+    }
+
+    #[test]
+    fn alternating_rr_is_irregular() {
+        // Alternate 140/260-sample intervals (bigeminy-like).
+        let mut beats = vec![100usize];
+        for i in 0..30 {
+            let step = if i % 2 == 0 { 140 } else { 260 };
+            beats.push(beats.last().expect("non-empty") + step);
+        }
+        let stats = RrStatistics::from_beats(&beats, 200.0).expect("enough beats");
+        assert_eq!(stats.classify(), RhythmClass::Irregular);
+        assert!(stats.pnn50 > 0.9, "pNN50 {}", stats.pnn50);
+        assert!(stats.rmssd_s > 0.1);
+    }
+
+    #[test]
+    fn too_few_beats_yields_none() {
+        assert!(RrStatistics::from_beats(&[100, 300], 200.0).is_none());
+        assert!(RrStatistics::from_beats(&[], 200.0).is_none());
+    }
+
+    #[test]
+    fn rmssd_zero_for_perfectly_regular() {
+        let beats = beats_at_bpm(60.0, 10, 200.0);
+        let stats = RrStatistics::from_beats(&beats, 200.0).expect("enough beats");
+        assert_eq!(stats.rmssd_s, 0.0);
+        assert_eq!(stats.pnn50, 0.0);
+    }
+
+    #[test]
+    fn synthetic_pvc_record_classified_irregular() {
+        use crate::synth::{EcgSynthesizer, SynthConfig};
+        let record = EcgSynthesizer::new(SynthConfig {
+            pvc_probability: 0.35,
+            n_samples: 12_000,
+            ..SynthConfig::default()
+        })
+        .synthesize();
+        let stats =
+            RrStatistics::from_beats(record.r_peaks(), record.fs()).expect("beats");
+        assert_eq!(stats.classify(), RhythmClass::Irregular);
+    }
+
+    #[test]
+    fn synthetic_normal_record_classified_normal() {
+        use crate::synth::{EcgSynthesizer, SynthConfig};
+        let record = EcgSynthesizer::new(SynthConfig {
+            n_samples: 12_000,
+            ..SynthConfig::default()
+        })
+        .synthesize();
+        let stats =
+            RrStatistics::from_beats(record.r_peaks(), record.fs()).expect("beats");
+        assert_eq!(stats.classify(), RhythmClass::NormalSinus);
+    }
+
+    #[test]
+    fn display_reports_all_statistics() {
+        let beats = beats_at_bpm(72.0, 10, 200.0);
+        let stats = RrStatistics::from_beats(&beats, 200.0).expect("enough beats");
+        let text = stats.to_string();
+        assert!(text.contains("bpm"));
+        assert!(text.contains("SDNN"));
+    }
+}

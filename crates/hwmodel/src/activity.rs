@@ -1,0 +1,144 @@
+//! Activity-based energy accounting: joules actually spent by a simulation
+//! run, integrated as `block invocations × per-invocation block energy`.
+//!
+//! The module-sum model in [`crate::composed`] prices the *hardware*; this
+//! module prices a *run*: the pipeline reports how many word-level adder
+//! and multiplier operations each stage performed
+//! (`approx_arith::OpCounter`), and the per-invocation energies come from
+//! the same Table 1 composition. This is the accounting a power-gated ASIC
+//! or an energy-aware scheduler would do.
+
+use approx_arith::{OpCounter, StageArith};
+
+use crate::composed::{AdderCost, MultiplierCost};
+
+/// Per-invocation energies of one stage's adder and multiplier blocks, fJ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageActivityCost {
+    /// Energy of one adder-block invocation, fJ.
+    pub add_fj: f64,
+    /// Energy of one multiplier-block invocation, fJ.
+    pub mul_fj: f64,
+}
+
+impl StageActivityCost {
+    /// Builds the per-invocation costs for a stage's approximation triple
+    /// on the paper's bus widths (32-bit adders, 16×16 multipliers).
+    #[must_use]
+    pub fn for_stage(arith: StageArith) -> Self {
+        let k_add = arith.approx_lsbs.min(32);
+        let k_mul = arith.approx_lsbs.min(32);
+        Self {
+            add_fj: AdderCost::ripple_carry(32, k_add, arith.adder_kind)
+                .cost()
+                .energy_fj,
+            mul_fj: MultiplierCost::recursive(16, k_mul, arith.mult_kind, arith.adder_kind)
+                .cost()
+                .energy_fj,
+        }
+    }
+
+    /// Energy of a run with the given operation counts, fJ.
+    #[must_use]
+    pub fn energy_fj(&self, ops: &OpCounter) -> f64 {
+        self.add_fj * ops.adds() as f64 + self.mul_fj * ops.muls() as f64
+    }
+}
+
+/// Integrates the energy of a full pipeline run: per-stage operation counts
+/// against per-stage approximation triples. Returns total femtojoules.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::{OpCounter, StageArith};
+/// use hwmodel::activity::run_energy_fj;
+///
+/// let mut ops = OpCounter::new();
+/// ops.count_adds(1000);
+/// ops.count_muls(1000);
+/// let exact = run_energy_fj(&[ops], &[StageArith::exact()]);
+/// let approx = run_energy_fj(&[ops], &[StageArith::least_energy(16)]);
+/// assert!(approx < exact);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+#[must_use]
+pub fn run_energy_fj(ops: &[OpCounter], stages: &[StageArith]) -> f64 {
+    assert_eq!(
+        ops.len(),
+        stages.len(),
+        "one OpCounter per stage configuration required"
+    );
+    ops.iter()
+        .zip(stages)
+        .map(|(o, s)| StageActivityCost::for_stage(*s).energy_fj(o))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::{FullAdderKind, Mult2x2Kind};
+
+    fn ops(adds: u64, muls: u64) -> OpCounter {
+        let mut o = OpCounter::new();
+        o.count_adds(adds);
+        o.count_muls(muls);
+        o
+    }
+
+    #[test]
+    fn exact_stage_costs_match_table1_composition() {
+        let c = StageActivityCost::for_stage(StageArith::exact());
+        assert!((c.add_fj - 32.0 * 0.409).abs() < 1e-9);
+        assert!((c.mul_fj - (64.0 * 0.288 + 672.0 * 0.409)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_activity() {
+        let c = StageActivityCost::for_stage(StageArith::exact());
+        let single = c.energy_fj(&ops(1, 1));
+        let many = c.energy_fj(&ops(1000, 1000));
+        assert!((many - 1000.0 * single).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approximate_stage_spends_less_per_invocation() {
+        let exact = StageActivityCost::for_stage(StageArith::exact());
+        let approx = StageActivityCost::for_stage(StageArith::new(
+            16,
+            Mult2x2Kind::V1,
+            FullAdderKind::Ama5,
+        ));
+        assert!(approx.add_fj < exact.add_fj);
+        assert!(approx.mul_fj < exact.mul_fj);
+    }
+
+    #[test]
+    fn run_energy_sums_stages() {
+        let stages = [StageArith::exact(), StageArith::least_energy(16)];
+        let counters = [ops(10, 0), ops(10, 0)];
+        let total = run_energy_fj(&counters, &stages);
+        let s0 = StageActivityCost::for_stage(stages[0]).energy_fj(&counters[0]);
+        let s1 = StageActivityCost::for_stage(stages[1]).energy_fj(&counters[1]);
+        assert!((total - (s0 + s1)).abs() < 1e-9);
+        assert!(s1 < s0);
+    }
+
+    #[test]
+    fn zero_activity_costs_nothing() {
+        assert_eq!(
+            run_energy_fj(&[OpCounter::new()], &[StageArith::exact()]),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one OpCounter per stage")]
+    fn mismatched_lengths_rejected() {
+        let _ = run_energy_fj(&[OpCounter::new()], &[]);
+    }
+}

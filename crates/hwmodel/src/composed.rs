@@ -1,0 +1,346 @@
+//! Module-sum cost composition: from elementary-module costs (Table 1) to
+//! ripple-carry adders, recursive multipliers and whole FIR stages.
+//!
+//! Area, power and energy compose additively over the module census; delay
+//! composes along the critical path (the ripple-carry chain of an adder; the
+//! sub-multiplier followed by three accumulation adders in the recursive
+//! multiplier; the multiplier bank followed by the accumulation chain in a
+//! FIR stage).
+//!
+//! This model is deliberately transparent — every number traces back to the
+//! paper's Table 1. It cannot see the logic collapse a synthesis tool
+//! performs on constant-coefficient multipliers or wire-only cells; the
+//! [`crate::calibrated`] model covers that (see `DESIGN.md` §5).
+
+use approx_arith::{FullAdderKind, Mult2x2Kind, RippleCarryAdder, StageArith};
+
+use crate::module::{ModuleCost, COST_TABLE};
+
+/// Alias: composed blocks report the same four metrics as elementary modules.
+pub type CostBreakdown = ModuleCost;
+
+/// Cost of an N-bit ripple-carry adder with approximate LSB cells
+/// (paper Fig 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdderCost {
+    width: u32,
+    approx_lsbs: u32,
+    kind: FullAdderKind,
+}
+
+impl AdderCost {
+    /// Costs a `width`-bit adder whose `approx_lsbs` LSB cells are of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `approx_lsbs > width` (same contract as the behavioral
+    /// model).
+    #[must_use]
+    pub fn ripple_carry(width: u32, approx_lsbs: u32, kind: FullAdderKind) -> Self {
+        assert!(approx_lsbs <= width, "approximate region exceeds width");
+        Self {
+            width,
+            approx_lsbs,
+            kind,
+        }
+    }
+
+    /// Total cost: cells sum in area/power/energy; the carry chain makes
+    /// delay the *sum* of cell delays.
+    #[must_use]
+    pub fn cost(&self) -> CostBreakdown {
+        let behavioral = RippleCarryAdder::new(self.width, self.approx_lsbs, self.kind);
+        let (exact, approx) = behavioral.cell_counts();
+        let acc = COST_TABLE.full_adder(FullAdderKind::Accurate);
+        let apx = COST_TABLE.full_adder(self.kind);
+        CostBreakdown {
+            area_um2: acc.area_um2 * f64::from(exact) + apx.area_um2 * f64::from(approx),
+            delay_ns: acc.delay_ns * f64::from(exact) + apx.delay_ns * f64::from(approx),
+            power_uw: acc.power_uw * f64::from(exact) + apx.power_uw * f64::from(approx),
+            energy_fj: acc.energy_fj * f64::from(exact) + apx.energy_fj * f64::from(approx),
+        }
+    }
+}
+
+/// Cost of a recursively partitioned `width × width` multiplier
+/// (paper Fig 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiplierCost {
+    width: u32,
+    approx_lsbs: u32,
+    mult_kind: Mult2x2Kind,
+    adder_kind: FullAdderKind,
+}
+
+impl MultiplierCost {
+    /// Costs a recursive multiplier with `approx_lsbs` of the output
+    /// approximated, mirroring `approx_arith::RecursiveMultiplier`'s
+    /// structure and approximation rule.
+    #[must_use]
+    pub fn recursive(
+        width: u32,
+        approx_lsbs: u32,
+        mult_kind: Mult2x2Kind,
+        adder_kind: FullAdderKind,
+    ) -> Self {
+        assert!(
+            width.is_power_of_two() && (2..=16).contains(&width),
+            "multiplier width {width} must be a power of two in 2..=16"
+        );
+        assert!(approx_lsbs <= 2 * width, "approximate region exceeds output");
+        Self {
+            width,
+            approx_lsbs,
+            mult_kind,
+            adder_kind,
+        }
+    }
+
+    /// Total cost of the structure.
+    #[must_use]
+    pub fn cost(&self) -> CostBreakdown {
+        self.cost_rec(self.width, 0)
+    }
+
+    fn acc_adder_cost(&self, width: u32, base_weight: u32) -> CostBreakdown {
+        let local_k = self.approx_lsbs.saturating_sub(base_weight).min(width);
+        AdderCost::ripple_carry(width, local_k, self.adder_kind).cost()
+    }
+
+    fn cost_rec(&self, w: u32, base_weight: u32) -> CostBreakdown {
+        if w == 2 {
+            let kind = if base_weight + 4 <= self.approx_lsbs {
+                self.mult_kind
+            } else {
+                Mult2x2Kind::Accurate
+            };
+            return COST_TABLE.mult2x2(kind);
+        }
+        let half = w / 2;
+        let ll = self.cost_rec(half, base_weight);
+        let hl = self.cost_rec(half, base_weight + half);
+        let lh = self.cost_rec(half, base_weight + half);
+        let hh = self.cost_rec(half, base_weight + w);
+        // The four sub-products evaluate in parallel...
+        let subs = ll + hl + lh + hh;
+        // ...then three accumulation adders run in sequence.
+        let a = self.acc_adder_cost(2 * w, base_weight);
+        a.after(a).after(a).after(subs)
+    }
+}
+
+/// Cost of one FIR-style application stage: a bank of multipliers (one per
+/// tap) followed by an accumulation chain of adders, as the paper counts them
+/// ("the LPF comprises 10 adders, 11 multipliers").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCost {
+    multipliers: u32,
+    adders: u32,
+    adder_width: u32,
+    mult_width: u32,
+    arith: StageArith,
+}
+
+impl StageCost {
+    /// Costs a stage with `multipliers` multiplier blocks and `adders` adder
+    /// blocks running the given approximation parameters on the paper's
+    /// default bus widths (32-bit adders, 16×16 multipliers).
+    #[must_use]
+    pub fn fir(multipliers: u32, adders: u32, arith: StageArith) -> Self {
+        Self::fir_with_widths(multipliers, adders, 32, 16, arith)
+    }
+
+    /// Costs a stage with explicit bus widths.
+    #[must_use]
+    pub fn fir_with_widths(
+        multipliers: u32,
+        adders: u32,
+        adder_width: u32,
+        mult_width: u32,
+        arith: StageArith,
+    ) -> Self {
+        Self {
+            multipliers,
+            adders,
+            adder_width,
+            mult_width,
+            arith,
+        }
+    }
+
+    /// Number of multiplier blocks.
+    #[must_use]
+    pub fn multipliers(&self) -> u32 {
+        self.multipliers
+    }
+
+    /// Number of adder blocks.
+    #[must_use]
+    pub fn adders(&self) -> u32 {
+        self.adders
+    }
+
+    /// Total stage cost: multipliers in parallel, then the adder chain.
+    #[must_use]
+    pub fn cost(&self) -> CostBreakdown {
+        let k_add = self.arith.approx_lsbs.min(self.adder_width);
+        let k_mul = self.arith.approx_lsbs.min(2 * self.mult_width);
+        let add = AdderCost::ripple_carry(self.adder_width, k_add, self.arith.adder_kind).cost();
+        let mul = MultiplierCost::recursive(
+            self.mult_width,
+            k_mul,
+            self.arith.mult_kind,
+            self.arith.adder_kind,
+        )
+        .cost();
+        let mult_bank = mul * u64::from(self.multipliers);
+        let mut total = mult_bank;
+        for _ in 0..self.adders {
+            total = add.after(total);
+        }
+        total
+    }
+
+    /// Energy-reduction factor of this configuration relative to the same
+    /// stage with exact arithmetic.
+    #[must_use]
+    pub fn energy_reduction(&self) -> f64 {
+        let exact = Self {
+            arith: StageArith::exact(),
+            ..*self
+        };
+        let e_exact = exact.cost().energy_fj;
+        let e_ours = self.cost().energy_fj;
+        if e_ours == 0.0 {
+            f64::INFINITY
+        } else {
+            e_exact / e_ours
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::RecursiveMultiplier;
+
+    #[test]
+    fn exact_32bit_adder_cost() {
+        let c = AdderCost::ripple_carry(32, 0, FullAdderKind::Ama5).cost();
+        assert!((c.energy_fj - 32.0 * 0.409).abs() < 1e-9);
+        assert!((c.delay_ns - 32.0 * 0.18).abs() < 1e-9);
+        assert!((c.area_um2 - 32.0 * 10.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ama5_region_is_free() {
+        let c = AdderCost::ripple_carry(32, 8, FullAdderKind::Ama5).cost();
+        assert!((c.energy_fj - 24.0 * 0.409).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adder_energy_monotone_in_k() {
+        for kind in FullAdderKind::APPROXIMATE {
+            let mut prev = f64::INFINITY;
+            for k in 0..=32 {
+                let e = AdderCost::ripple_carry(32, k, kind).cost().energy_fj;
+                assert!(e <= prev + 1e-12, "{kind} k={k}");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_cost_census_consistency() {
+        // The cost recursion must see exactly the same module counts as the
+        // behavioral census.
+        for k in [0u32, 4, 8, 16, 24, 32] {
+            let cost = MultiplierCost::recursive(
+                16,
+                k,
+                Mult2x2Kind::V1,
+                FullAdderKind::Ama5,
+            )
+            .cost();
+            let census = RecursiveMultiplier::new(
+                16,
+                k,
+                Mult2x2Kind::V1,
+                FullAdderKind::Ama5,
+            )
+            .census();
+            let expected_energy = census.exact_fa as f64 * 0.409
+                + census.approx_fa as f64 * 0.0
+                + census.exact_mult2x2 as f64 * 0.288
+                + census.approx_mult2x2 as f64 * 0.167;
+            assert!(
+                (cost.energy_fj - expected_energy).abs() < 1e-6,
+                "k={k}: {} vs census {}",
+                cost.energy_fj,
+                expected_energy
+            );
+        }
+    }
+
+    #[test]
+    fn exact_16x16_multiplier_structure_cost() {
+        let c = MultiplierCost::recursive(
+            16,
+            0,
+            Mult2x2Kind::Accurate,
+            FullAdderKind::Accurate,
+        )
+        .cost();
+        let expected = 64.0 * 0.288 + 672.0 * 0.409;
+        assert!((c.energy_fj - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiplier_energy_monotone_in_k() {
+        let mut prev = f64::INFINITY;
+        for k in 0..=32 {
+            let e = MultiplierCost::recursive(
+                16,
+                k,
+                Mult2x2Kind::V1,
+                FullAdderKind::Ama5,
+            )
+            .cost()
+            .energy_fj;
+            assert!(e <= prev + 1e-12, "k={k}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn stage_cost_scales_with_operator_counts() {
+        let small = StageCost::fir(5, 4, StageArith::exact()).cost();
+        let large = StageCost::fir(32, 31, StageArith::exact()).cost();
+        assert!(large.energy_fj > 5.0 * small.energy_fj);
+    }
+
+    #[test]
+    fn stage_energy_reduction_increases_with_k() {
+        let mut prev = 0.0;
+        for k in [0u32, 4, 8, 16, 32] {
+            let r = StageCost::fir(11, 10, StageArith::least_energy(k)).energy_reduction();
+            assert!(r >= prev, "k={k}: reduction {r} < {prev}");
+            prev = r;
+        }
+        assert!((StageCost::fir(11, 10, StageArith::exact()).energy_reduction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_delay_includes_adder_chain() {
+        let one_adder = StageCost::fir(1, 1, StageArith::exact()).cost();
+        let two_adders = StageCost::fir(1, 2, StageArith::exact()).cost();
+        let adder_delay = 32.0 * 0.18;
+        assert!((two_adders.delay_ns - one_adder.delay_ns - adder_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn adder_cost_rejects_oversized_region() {
+        let _ = AdderCost::ripple_carry(8, 9, FullAdderKind::Ama5);
+    }
+}

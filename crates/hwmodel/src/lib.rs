@@ -1,0 +1,56 @@
+//! Hardware cost model for the XBioSiP reproduction.
+//!
+//! The paper synthesizes the elementary approximate modules and the
+//! Pan-Tompkins stages with Synopsys Design Compiler on a 65 nm library and
+//! feeds the resulting area/latency/power/energy reports into the
+//! methodology. This crate replaces the ASIC tool-flow with documented
+//! models:
+//!
+//! * [`module`] — the paper's **Table 1** verbatim: per-elementary-module
+//!   area, delay, power and energy.
+//! * [`composed`] — module-sum composition: the cost of an N-bit
+//!   ripple-carry adder, a recursive multiplier, or a whole FIR stage is the
+//!   sum of its elementary module costs ([`approx_arith`] provides the
+//!   census). Delay composes along the critical path instead of summing.
+//! * [`calibrated`] — per-stage energy-reduction curves digitised from the
+//!   paper's Fig 2 and Fig 8, which capture the synthesis effects
+//!   (constant-coefficient multiplier collapse, wire-only `ApproxAdd5`
+//!   cells) a module-sum cannot see. The end-to-end figures (Fig 12) are
+//!   reported against both models; see `EXPERIMENTS.md`.
+//! * [`sensor_node`] — the Fig 1 sensor-node energy data (adapted from
+//!   Nia et al. 2015 and Rault 2015).
+//! * [`activity`] — run-level energy integration: block invocations
+//!   (counted by the pipeline) × per-invocation block energy.
+//!
+//! # Example
+//!
+//! ```
+//! use hwmodel::{AdderCost, COST_TABLE};
+//! use approx_arith::FullAdderKind;
+//!
+//! // Table 1: the accurate full adder costs 0.409 fJ per operation.
+//! let fa = COST_TABLE.full_adder(FullAdderKind::Accurate);
+//! assert!((fa.energy_fj - 0.409).abs() < 1e-9);
+//!
+//! // A 32-bit adder with 8 ApproxAdd5 cells is cheaper than the exact one.
+//! let exact = AdderCost::ripple_carry(32, 0, FullAdderKind::Ama5);
+//! let approx = AdderCost::ripple_carry(32, 8, FullAdderKind::Ama5);
+//! assert!(approx.cost().energy_fj < exact.cost().energy_fj);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod calibrated;
+pub mod composed;
+pub mod module;
+pub mod report;
+pub mod sensor_node;
+
+pub use activity::{run_energy_fj, StageActivityCost};
+pub use calibrated::{CalibratedModel, StageCurve};
+pub use composed::{AdderCost, CostBreakdown, MultiplierCost, StageCost};
+pub use module::{ModuleCost, CostTable, COST_TABLE};
+pub use report::Table;
+pub use sensor_node::{SensorNode, SENSOR_NODES};

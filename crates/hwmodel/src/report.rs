@@ -1,0 +1,165 @@
+//! Plain-text table rendering for the reproduction binaries.
+//!
+//! Every figure/table-regenerating binary prints aligned ASCII tables; this
+//! tiny formatter keeps them consistent without pulling in a dependency.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use hwmodel::Table;
+///
+/// let mut t = Table::new(&["module", "energy [fJ]"]);
+/// t.row(&["AccAdd", "0.409"]);
+/// t.row(&["ApproxAdd5", "0.000"]);
+/// let text = t.to_string();
+/// assert!(text.contains("AccAdd"));
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut row: Vec<String> =
+            cells.iter().map(|s| (*s).to_owned()).collect();
+        row.resize(self.header.len(), String::new());
+        row.truncate(self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        let mut row = cells;
+        row.resize(self.header.len(), String::new());
+        row.truncate(self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> =
+            self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with a fixed number of decimals, rendering non-finite
+/// values as `inf` (useful for infinite reduction factors).
+#[must_use]
+pub fn fmt_f64(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else if v.is_infinite() && v > 0.0 {
+        "inf".to_owned()
+    } else if v.is_infinite() {
+        "-inf".to_owned()
+    } else {
+        "nan".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["x", "1"]);
+        t.row(&["yyyy", "2"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines start their second column at the same offset.
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only"]);
+        t.row(&["x", "y", "extra"]);
+        assert_eq!(t.len(), 2);
+        let text = t.to_string();
+        assert!(!text.contains("extra"));
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn fmt_f64_handles_special_values() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::INFINITY, 2), "inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY, 2), "-inf");
+        assert_eq!(fmt_f64(f64::NAN, 2), "nan");
+    }
+
+    #[test]
+    fn row_owned_appends() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_owned(vec!["1".into(), "2".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Sensor-node energy data behind the paper's Fig 1 (adapted from Nia et
+//! al., *Energy-efficient long-term continuous personal health monitoring*,
+//! IEEE TMSCS 2015 \[16\], and Rault's 2015 dissertation \[18\]).
+//!
+//! Fig 1's message: for five bio-signal monitoring nodes, the *sensing*
+//! energy is at least six orders of magnitude below the node's *total*
+//! energy, and on-sensor processing is 40–60 % of the total — which is why
+//! XBioSiP attacks the processing energy.
+
+use std::fmt;
+
+/// Energy profile of one wearable bio-signal monitoring node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorNode {
+    /// Signal being monitored.
+    pub name: &'static str,
+    /// Energy spent on sensing per day, joules.
+    pub sensing_j_per_day: f64,
+    /// Total energy per day, joules.
+    pub total_j_per_day: f64,
+    /// Fraction of total energy spent in on-sensor processing (40–60 % per
+    /// Rault \[18\]).
+    pub processing_fraction: f64,
+}
+
+impl SensorNode {
+    /// Energy spent on on-sensor processing per day, joules.
+    #[must_use]
+    pub fn processing_j_per_day(&self) -> f64 {
+        self.total_j_per_day * self.processing_fraction
+    }
+
+    /// Orders of magnitude between total and sensing energy
+    /// (`log10(total / sensing)`).
+    #[must_use]
+    pub fn sensing_gap_orders(&self) -> f64 {
+        (self.total_j_per_day / self.sensing_j_per_day).log10()
+    }
+
+    /// Projected total energy per day after reducing processing energy by
+    /// `factor` (e.g. the 19.7× of design B9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    #[must_use]
+    pub fn total_after_processing_reduction(&self, factor: f64) -> f64 {
+        assert!(factor >= 1.0, "reduction factor must be >= 1");
+        let processing = self.processing_j_per_day();
+        self.total_j_per_day - processing + processing / factor
+    }
+}
+
+impl fmt::Display for SensorNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: sensing {:.2e} J/day, total {:.2e} J/day ({}% processing)",
+            self.name,
+            self.sensing_j_per_day,
+            self.total_j_per_day,
+            (self.processing_fraction * 100.0).round()
+        )
+    }
+}
+
+/// The five nodes of Fig 1. Sensing energies sit in the sub-µJ..mJ/day
+/// decades while totals sit in the 10²..10⁴ J/day decades, preserving the
+/// ≥6-orders-of-magnitude gap the figure shows on its log axis.
+pub const SENSOR_NODES: [SensorNode; 5] = [
+    SensorNode {
+        name: "Heart Rate",
+        sensing_j_per_day: 2.0e-5,
+        total_j_per_day: 4.0e2,
+        processing_fraction: 0.5,
+    },
+    SensorNode {
+        name: "Oxygen Saturation",
+        sensing_j_per_day: 1.5e-4,
+        total_j_per_day: 6.0e2,
+        processing_fraction: 0.5,
+    },
+    SensorNode {
+        name: "Temperature",
+        sensing_j_per_day: 3.0e-6,
+        total_j_per_day: 2.5e2,
+        processing_fraction: 0.4,
+    },
+    SensorNode {
+        name: "ECG",
+        sensing_j_per_day: 8.0e-4,
+        total_j_per_day: 1.5e3,
+        processing_fraction: 0.6,
+    },
+    SensorNode {
+        name: "EEG",
+        sensing_j_per_day: 2.5e-3,
+        total_j_per_day: 8.0e3,
+        processing_fraction: 0.6,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_nodes_match_figure_roster() {
+        let names: Vec<&str> = SENSOR_NODES.iter().map(|n| n.name).collect();
+        assert_eq!(
+            names,
+            [
+                "Heart Rate",
+                "Oxygen Saturation",
+                "Temperature",
+                "ECG",
+                "EEG"
+            ]
+        );
+    }
+
+    #[test]
+    fn sensing_gap_at_least_six_orders() {
+        for node in SENSOR_NODES {
+            assert!(
+                node.sensing_gap_orders() >= 6.0,
+                "{}: gap only {:.1} orders",
+                node.name,
+                node.sensing_gap_orders()
+            );
+        }
+    }
+
+    #[test]
+    fn processing_fraction_in_papers_band() {
+        for node in SENSOR_NODES {
+            assert!(
+                (0.4..=0.6).contains(&node.processing_fraction),
+                "{}: processing fraction outside 40-60%",
+                node.name
+            );
+        }
+    }
+
+    #[test]
+    fn processing_energy_is_fraction_of_total() {
+        let ecg = SENSOR_NODES[3];
+        assert!((ecg.processing_j_per_day() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processing_reduction_extends_battery() {
+        let ecg = SENSOR_NODES[3];
+        let after = ecg.total_after_processing_reduction(19.7);
+        assert!(after < ecg.total_j_per_day);
+        // 60% of energy reduced 19.7x leaves ~43% of the original total.
+        let expected = 1500.0 - 900.0 + 900.0 / 19.7;
+        assert!((after - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn sub_unity_reduction_rejected() {
+        let _ = SENSOR_NODES[0].total_after_processing_reduction(0.5);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(SENSOR_NODES[0].to_string().contains("Heart Rate"));
+    }
+}

@@ -1,0 +1,206 @@
+//! The arithmetic backend a stage computes with: either native (exact)
+//! integer operations or the behavioral models of the approximate blocks.
+//!
+//! Every word-level operation is counted so experiments can integrate
+//! energy as `invocations × per-invocation cost`, and every multiplier
+//! operand is range-checked against the 16-bit datapath (saturating, with a
+//! saturation counter) the way the fixed-point RTL would.
+
+use approx_arith::{
+    ArithConfig, OpCounter, RecursiveMultiplier, RippleCarryAdder, StageArith,
+};
+
+/// A stage's arithmetic backend: one adder block and one multiplier block,
+/// instantiated from a [`StageArith`] triple, plus activity counters.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::StageArith;
+/// use pan_tompkins::ArithBackend;
+///
+/// let mut exact = ArithBackend::exact();
+/// assert_eq!(exact.add(70_000, -30), 69_970);
+/// assert_eq!(exact.mul(-250, 6), -1500);
+/// assert_eq!(exact.ops().adds(), 1);
+/// assert_eq!(exact.ops().muls(), 1);
+///
+/// let mut approx = ArithBackend::new(StageArith::least_energy(8));
+/// let sum = approx.add(1000, 2000);
+/// assert!((sum - 3000_i64).abs() < 1 << 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArithBackend {
+    config: ArithConfig,
+    adder: RippleCarryAdder,
+    multiplier: RecursiveMultiplier,
+    ops: OpCounter,
+    saturations: u64,
+}
+
+impl ArithBackend {
+    /// Builds a backend from stage approximation parameters on the paper's
+    /// bus widths (32-bit adders, 16×16 multipliers).
+    #[must_use]
+    pub fn new(stage: StageArith) -> Self {
+        let config = ArithConfig::new(stage);
+        Self {
+            adder: config.adder(),
+            multiplier: config.multiplier(),
+            config,
+            ops: OpCounter::new(),
+            saturations: 0,
+        }
+    }
+
+    /// A fully exact backend.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::new(StageArith::exact())
+    }
+
+    /// The configuration this backend was built from.
+    #[must_use]
+    pub fn config(&self) -> ArithConfig {
+        self.config
+    }
+
+    /// Adds two values through the stage adder block (32-bit wrap-around,
+    /// approximate LSB cells per the configuration).
+    pub fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.ops.count_add();
+        self.adder.add(a, b)
+    }
+
+    /// Multiplies through the stage multiplier block. Operands saturate into
+    /// the signed 16-bit range first (counted), like the fixed-point
+    /// datapath.
+    pub fn mul(&mut self, a: i64, b: i64) -> i64 {
+        self.ops.count_mul();
+        let limit = 1i64 << (self.multiplier.width() - 1);
+        let ca = a.clamp(-limit, limit - 1);
+        let cb = b.clamp(-limit, limit - 1);
+        if ca != a || cb != b {
+            self.saturations += 1;
+        }
+        self.multiplier.mul(ca, cb)
+    }
+
+    /// Squares a value through the multiplier block (the squarer stage).
+    pub fn square(&mut self, x: i64) -> i64 {
+        self.mul(x, x)
+    }
+
+    /// Operation counts so far.
+    #[must_use]
+    pub fn ops(&self) -> &OpCounter {
+        &self.ops
+    }
+
+    /// Multiplications in which an operand saturated.
+    #[must_use]
+    pub fn saturation_events(&self) -> u64 {
+        self.saturations
+    }
+
+    /// Resets activity counters (not the configuration).
+    pub fn reset_counters(&mut self) {
+        self.ops.reset();
+        self.saturations = 0;
+    }
+
+    /// Whether this backend computes exactly.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.adder.is_exact() && self.multiplier.is_exact()
+    }
+}
+
+impl Default for ArithBackend {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+/// Rounding integer division (round half away from zero) — the exact
+/// inter-stage rescaling step that brings each filter's gain back out of the
+/// signal. The paper approximates only adders and multipliers; scaling by
+/// the (constant) filter gain stays exact.
+#[must_use]
+pub fn div_round(value: i64, divisor: i64) -> i64 {
+    debug_assert!(divisor > 0, "divisor must be positive");
+    if value >= 0 {
+        (value + divisor / 2) / divisor
+    } else {
+        -((-value + divisor / 2) / divisor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::{FullAdderKind, Mult2x2Kind};
+
+    #[test]
+    fn exact_backend_is_native_arithmetic() {
+        let mut b = ArithBackend::exact();
+        assert!(b.is_exact());
+        assert_eq!(b.add(123_456, 654_321), 777_777);
+        assert_eq!(b.mul(-321, 111), -35_631);
+        assert_eq!(b.square(-9), 81);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut b = ArithBackend::exact();
+        b.add(1, 2);
+        b.add(3, 4);
+        b.mul(5, 6);
+        b.square(7);
+        assert_eq!(b.ops().adds(), 2);
+        assert_eq!(b.ops().muls(), 2);
+        b.reset_counters();
+        assert_eq!(b.ops().adds(), 0);
+    }
+
+    #[test]
+    fn multiplier_operands_saturate() {
+        let mut b = ArithBackend::exact();
+        let r = b.mul(1 << 20, 2);
+        assert_eq!(r, 32767 * 2);
+        assert_eq!(b.saturation_events(), 1);
+    }
+
+    #[test]
+    fn approximate_backend_bounded_error() {
+        let mut b = ArithBackend::new(StageArith::new(
+            8,
+            Mult2x2Kind::V1,
+            FullAdderKind::Ama5,
+        ));
+        assert!(!b.is_exact());
+        let sum = b.add(10_000, 20_000);
+        assert!((sum - 30_000).abs() <= 1 << 9);
+        let prod = b.mul(300, 50);
+        assert!((prod - 15_000).abs() <= 1 << 16);
+    }
+
+    #[test]
+    fn div_round_rounds_half_away_from_zero() {
+        assert_eq!(div_round(7, 2), 4);
+        assert_eq!(div_round(-7, 2), -4);
+        assert_eq!(div_round(6, 3), 2);
+        assert_eq!(div_round(100, 36), 3);
+        assert_eq!(div_round(-100, 36), -3);
+        assert_eq!(div_round(0, 5), 0);
+    }
+
+    #[test]
+    fn div_round_is_odd_symmetric() {
+        for v in [-100i64, -37, -1, 0, 1, 37, 100] {
+            for d in [2i64, 8, 30, 36] {
+                assert_eq!(div_round(-v, d), -div_round(v, d), "v={v} d={d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Pipeline configuration: one approximation triple per stage, plus the
+//! datapath and detector knobs.
+
+use std::fmt;
+
+use approx_arith::StageArith;
+
+/// Identifies one of the five Pan-Tompkins stages, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageKind {
+    /// Stage A: low-pass filter.
+    Lpf,
+    /// Stage B: high-pass filter.
+    Hpf,
+    /// Stage C: derivative.
+    Derivative,
+    /// Stage D: squarer.
+    Squarer,
+    /// Stage E: moving-window integrator.
+    Mwi,
+}
+
+impl StageKind {
+    /// All stages in pipeline order.
+    pub const ALL: [StageKind; 5] = [
+        StageKind::Lpf,
+        StageKind::Hpf,
+        StageKind::Derivative,
+        StageKind::Squarer,
+        StageKind::Mwi,
+    ];
+
+    /// Index in pipeline order (0..5).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            StageKind::Lpf => 0,
+            StageKind::Hpf => 1,
+            StageKind::Derivative => 2,
+            StageKind::Squarer => 3,
+            StageKind::Mwi => 4,
+        }
+    }
+
+    /// Short display name (the paper's LPF/HPF/DER/SQR/MWI).
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        ["LPF", "HPF", "DER", "SQR", "MWI"][self.index()]
+    }
+
+    /// Number of multiplier blocks in the stage netlist.
+    #[must_use]
+    pub fn multipliers(self) -> u32 {
+        [11, 32, 4, 1, 0][self.index()]
+    }
+
+    /// Number of adder blocks in the stage netlist.
+    #[must_use]
+    pub fn adders(self) -> u32 {
+        [10, 31, 3, 0, 29][self.index()]
+    }
+
+    /// The largest number of approximable LSBs the paper allows this stage
+    /// (its per-stage `LSBList` bound: LPF/HPF sweep to 16, and §6.2
+    /// "limiting the number of approximable LSBs to 4, 8, and 16, for the
+    /// differentiator, squarer, and moving average stages").
+    #[must_use]
+    pub fn max_approx_lsbs(self) -> u32 {
+        [16, 16, 4, 8, 16][self.index()]
+    }
+
+    /// Whether the stage belongs to data pre-processing (LPF+HPF) or signal
+    /// processing (DER+SQR+MWI) — the boundary between the paper's two
+    /// quality-evaluation points.
+    #[must_use]
+    pub fn is_pre_processing(self) -> bool {
+        matches!(self, StageKind::Lpf | StageKind::Hpf)
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Full pipeline configuration: per-stage approximation triples plus the
+/// input normalisation shift.
+///
+/// # Example
+///
+/// ```
+/// use pan_tompkins::{PipelineConfig, StageKind};
+/// use approx_arith::StageArith;
+///
+/// let exact = PipelineConfig::exact();
+/// assert!(exact.is_exact());
+///
+/// // The paper's design B9: LSBs (10, 12, 2, 8, 16) with ApproxAdd5/AppMultV1.
+/// let b9 = PipelineConfig::least_energy([10, 12, 2, 8, 16]);
+/// assert_eq!(b9.stage(StageKind::Hpf).approx_lsbs, 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineConfig {
+    stages: [StageArith; 5],
+    /// Left-shift applied to input samples before the LPF (exact). MIT-gain
+    /// records (~200 counts/mV) are shifted to occupy the 16-bit datapath
+    /// the paper's ADC implies; see `DESIGN.md` §4.
+    pub input_shift: u32,
+}
+
+impl PipelineConfig {
+    /// Default input normalisation: ×16 brings MIT-BIH-gain samples
+    /// (≈±300 counts) to ≈±5000, the scale at which the paper's per-stage
+    /// LSB thresholds (LPF breaks past 14 approximated LSBs, the derivative
+    /// past 4) reproduce; see `DESIGN.md` §4 and `EXPERIMENTS.md`.
+    pub const DEFAULT_INPUT_SHIFT: u32 = 4;
+
+    /// The fully exact pipeline.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self {
+            stages: [StageArith::exact(); 5],
+            input_shift: Self::DEFAULT_INPUT_SHIFT,
+        }
+    }
+
+    /// A pipeline from explicit per-stage triples (pipeline order).
+    #[must_use]
+    pub fn from_stages(stages: [StageArith; 5]) -> Self {
+        Self {
+            stages,
+            input_shift: Self::DEFAULT_INPUT_SHIFT,
+        }
+    }
+
+    /// The paper's main experimental configuration: per-stage LSB counts
+    /// with the least-energy modules (`ApproxAdd5`/`AppMultV1`) everywhere.
+    #[must_use]
+    pub fn least_energy(lsbs: [u32; 5]) -> Self {
+        let mut stages = [StageArith::exact(); 5];
+        for (slot, k) in stages.iter_mut().zip(lsbs) {
+            *slot = if k == 0 {
+                StageArith::exact()
+            } else {
+                StageArith::least_energy(k)
+            };
+        }
+        Self::from_stages(stages)
+    }
+
+    /// The approximation triple of one stage.
+    #[must_use]
+    pub fn stage(&self, kind: StageKind) -> StageArith {
+        self.stages[kind.index()]
+    }
+
+    /// Replaces one stage's triple.
+    #[must_use]
+    pub fn with_stage(mut self, kind: StageKind, arith: StageArith) -> Self {
+        self.stages[kind.index()] = arith;
+        self
+    }
+
+    /// All five triples in pipeline order.
+    #[must_use]
+    pub fn stages(&self) -> [StageArith; 5] {
+        self.stages
+    }
+
+    /// Per-stage approximated-LSB counts in pipeline order.
+    #[must_use]
+    pub fn lsb_vector(&self) -> [u32; 5] {
+        let mut v = [0u32; 5];
+        for (slot, s) in v.iter_mut().zip(self.stages) {
+            *slot = s.approx_lsbs;
+        }
+        v
+    }
+
+    /// Whether every stage computes exactly.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.stages.iter().all(StageArith::is_exact)
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+impl fmt::Display for PipelineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.lsb_vector();
+        write!(
+            f,
+            "LSBs[LPF={}, HPF={}, DER={}, SQR={}, MWI={}]",
+            v[0], v[1], v[2], v[3], v[4]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_metadata_matches_paper_counts() {
+        assert_eq!(StageKind::Lpf.multipliers(), 11);
+        assert_eq!(StageKind::Lpf.adders(), 10);
+        assert_eq!(StageKind::Hpf.multipliers(), 32);
+        assert_eq!(StageKind::Hpf.adders(), 31);
+        assert_eq!(StageKind::Mwi.multipliers(), 0);
+        assert_eq!(StageKind::Mwi.adders(), 29);
+    }
+
+    #[test]
+    fn paper_lsb_bounds() {
+        assert_eq!(StageKind::Lpf.max_approx_lsbs(), 16);
+        assert_eq!(StageKind::Derivative.max_approx_lsbs(), 4);
+        assert_eq!(StageKind::Squarer.max_approx_lsbs(), 8);
+        assert_eq!(StageKind::Mwi.max_approx_lsbs(), 16);
+    }
+
+    #[test]
+    fn pre_processing_boundary() {
+        assert!(StageKind::Lpf.is_pre_processing());
+        assert!(StageKind::Hpf.is_pre_processing());
+        assert!(!StageKind::Derivative.is_pre_processing());
+        assert!(!StageKind::Squarer.is_pre_processing());
+        assert!(!StageKind::Mwi.is_pre_processing());
+    }
+
+    #[test]
+    fn least_energy_config_round_trips_lsbs() {
+        let cfg = PipelineConfig::least_energy([10, 12, 2, 8, 16]);
+        assert_eq!(cfg.lsb_vector(), [10, 12, 2, 8, 16]);
+        assert!(!cfg.is_exact());
+    }
+
+    #[test]
+    fn exact_config_is_exact() {
+        assert!(PipelineConfig::exact().is_exact());
+        assert_eq!(PipelineConfig::exact().lsb_vector(), [0; 5]);
+        // Zero-LSB least-energy is also exact.
+        assert!(PipelineConfig::least_energy([0; 5]).is_exact());
+    }
+
+    #[test]
+    fn with_stage_replaces_one_entry() {
+        let cfg = PipelineConfig::exact()
+            .with_stage(StageKind::Squarer, StageArith::least_energy(8));
+        assert_eq!(cfg.lsb_vector(), [0, 0, 0, 8, 0]);
+    }
+
+    #[test]
+    fn stage_order_is_pipeline_order() {
+        let names: Vec<&str> =
+            StageKind::ALL.iter().map(|s| s.short_name()).collect();
+        assert_eq!(names, ["LPF", "HPF", "DER", "SQR", "MWI"]);
+        for (i, k) in StageKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_shows_lsb_vector() {
+        let cfg = PipelineConfig::least_energy([1, 2, 3, 4, 5]);
+        let s = cfg.to_string();
+        assert!(s.contains("HPF=2"));
+        assert!(s.contains("MWI=5"));
+    }
+}

@@ -1,0 +1,406 @@
+//! The end-to-end QRS detector: five stages, adaptive thresholding, and the
+//! HPF↔MWI peak-alignment cross-check.
+//!
+//! The paper's misclassification analysis (Fig 13) hinges on this detector
+//! structure: a peak found on the integrated (MWI) signal is confirmed
+//! against the filtered (HPF) signal; if the two disagree in position by
+//! more than a preset threshold, the beat is *omitted* — which is exactly
+//! how design B10 loses <1 % of beats.
+
+use approx_arith::OpCounter;
+
+use crate::config::{PipelineConfig, StageKind};
+use crate::stages::{
+    Derivative, HighPassFilter, LowPassFilter, MovingWindowIntegrator, Squarer, Stage,
+};
+use crate::threshold::{AdaptiveThreshold, PeakClass, PeakDecision, ThresholdConfig};
+
+/// Delay from the HPF output to the MWI output (derivative + integrator
+/// group delays) — where an MWI peak should sit relative to its HPF peak.
+const HPF_TO_MWI_DELAY: usize = 2 + 14;
+
+/// Half-width of the window searched on the HPF signal around the expected
+/// peak position.
+const ALIGNMENT_SEARCH: usize = 24;
+
+/// Maximum tolerated |HPF peak − expected position| before a beat is
+/// omitted as a misclassification (the paper's "preset threshold"). The MWI
+/// output is a plateau as wide as the integration window, so the detected
+/// MWI maximum naturally jitters by up to ~half a window (15 samples)
+/// around the nominal delay; 20 tolerates that jitter while still catching
+/// approximation-induced spurious peaks.
+const DEFAULT_MAX_MISALIGNMENT: usize = 20;
+
+/// All intermediate signals of one detection run (the waveforms plotted in
+/// the paper's Figs 10 and 13).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageSignals {
+    /// Low-pass filter output.
+    pub lpf: Vec<i64>,
+    /// High-pass filter output (the pre-processing output gated by
+    /// PSNR/SSIM).
+    pub hpf: Vec<i64>,
+    /// Derivative output.
+    pub der: Vec<i64>,
+    /// Squarer output.
+    pub sqr: Vec<i64>,
+    /// Moving-window-integrator output (thresholded for detection).
+    pub mwi: Vec<i64>,
+}
+
+/// A beat that was detected on the MWI signal but dropped by the
+/// HPF-alignment cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmittedBeat {
+    /// Peak index on the MWI signal.
+    pub mwi_index: usize,
+    /// Best matching HPF peak index.
+    pub hpf_index: usize,
+    /// |actual − expected| misalignment in samples.
+    pub misalignment: usize,
+}
+
+/// Result of running the detector over a record.
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    r_peaks: Vec<usize>,
+    omitted: Vec<OmittedBeat>,
+    decisions: Vec<PeakDecision>,
+    signals: StageSignals,
+    ops: [OpCounter; 5],
+    total_delay: usize,
+}
+
+impl DetectionResult {
+    /// Detected R-peak positions in *raw input* sample coordinates.
+    #[must_use]
+    pub fn r_peaks(&self) -> &[usize] {
+        &self.r_peaks
+    }
+
+    /// Beats dropped by the HPF↔MWI alignment check (Fig 13's mechanism).
+    #[must_use]
+    pub fn omitted(&self) -> &[OmittedBeat] {
+        &self.omitted
+    }
+
+    /// Every candidate-peak classification made by the threshold logic
+    /// (MWI-signal coordinates).
+    #[must_use]
+    pub fn decisions(&self) -> &[PeakDecision] {
+        &self.decisions
+    }
+
+    /// The intermediate stage signals.
+    #[must_use]
+    pub fn signals(&self) -> &StageSignals {
+        &self.signals
+    }
+
+    /// Word-level operation counts per stage (pipeline order).
+    #[must_use]
+    pub fn ops(&self) -> &[OpCounter; 5] {
+        &self.ops
+    }
+
+    /// Total operation counts across all stages.
+    #[must_use]
+    pub fn total_ops(&self) -> OpCounter {
+        let mut total = OpCounter::new();
+        for o in &self.ops {
+            total.merge(o);
+        }
+        total
+    }
+
+    /// Total pipeline group delay in samples (MWI coordinates − raw
+    /// coordinates).
+    #[must_use]
+    pub fn total_delay(&self) -> usize {
+        self.total_delay
+    }
+}
+
+/// The five-stage Pan-Tompkins QRS detector.
+///
+/// See the crate-level example; realistic inputs come from the `ecg` crate.
+#[derive(Debug, Clone)]
+pub struct QrsDetector {
+    config: PipelineConfig,
+    threshold: ThresholdConfig,
+    max_misalignment: usize,
+}
+
+impl QrsDetector {
+    /// Creates a detector with default thresholding for the given pipeline
+    /// configuration.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        Self {
+            config,
+            threshold: ThresholdConfig::default(),
+            max_misalignment: DEFAULT_MAX_MISALIGNMENT,
+        }
+    }
+
+    /// Overrides the thresholding parameters.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: ThresholdConfig) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Overrides the maximum tolerated HPF↔MWI misalignment (samples).
+    #[must_use]
+    pub fn with_max_misalignment(mut self, samples: usize) -> Self {
+        self.max_misalignment = samples;
+        self
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline and detection over a record's samples.
+    #[must_use]
+    pub fn detect(&mut self, samples: &[i32]) -> DetectionResult {
+        let mut lpf = LowPassFilter::new(self.config.stage(StageKind::Lpf));
+        let mut hpf = HighPassFilter::new(self.config.stage(StageKind::Hpf));
+        let mut der = Derivative::new(self.config.stage(StageKind::Derivative));
+        let mut sqr = Squarer::new(self.config.stage(StageKind::Squarer));
+        let mut mwi =
+            MovingWindowIntegrator::new(self.config.stage(StageKind::Mwi));
+
+        let shift = self.config.input_shift;
+        let n = samples.len();
+        let mut signals = StageSignals {
+            lpf: Vec::with_capacity(n),
+            hpf: Vec::with_capacity(n),
+            der: Vec::with_capacity(n),
+            sqr: Vec::with_capacity(n),
+            mwi: Vec::with_capacity(n),
+        };
+        for &x in samples {
+            let x = i64::from(x) << shift;
+            let a = lpf.process(x);
+            let b = hpf.process(a);
+            let c = der.process(b);
+            let d = sqr.process(c);
+            let e = mwi.process(d);
+            signals.lpf.push(a);
+            signals.hpf.push(b);
+            signals.der.push(c);
+            signals.sqr.push(d);
+            signals.mwi.push(e);
+        }
+
+        let total_delay = lpf.group_delay()
+            + hpf.group_delay()
+            + der.group_delay()
+            + sqr.group_delay()
+            + mwi.group_delay();
+
+        let classifier = AdaptiveThreshold::new(self.threshold);
+        let decisions = classifier.classify(&signals.mwi);
+
+        let mut r_peaks = Vec::new();
+        let mut omitted = Vec::new();
+        for d in &decisions {
+            if !matches!(d.class, PeakClass::Qrs | PeakClass::SearchBack) {
+                continue;
+            }
+            match self.check_alignment(&signals.hpf, d.index) {
+                Alignment::Ok { hpf_index } => {
+                    // Map the HPF peak back to raw coordinates via the
+                    // LPF+HPF group delay.
+                    let raw = hpf_index.saturating_sub(5 + 16);
+                    r_peaks.push(raw);
+                }
+                Alignment::Misaligned {
+                    hpf_index,
+                    misalignment,
+                } => omitted.push(OmittedBeat {
+                    mwi_index: d.index,
+                    hpf_index,
+                    misalignment,
+                }),
+            }
+        }
+        r_peaks.sort_unstable();
+        r_peaks.dedup();
+
+        DetectionResult {
+            r_peaks,
+            omitted,
+            decisions,
+            ops: [lpf.ops(), hpf.ops(), der.ops(), sqr.ops(), mwi.ops()],
+            signals,
+            total_delay,
+        }
+    }
+
+    /// Finds the dominant |HPF| peak near where an MWI peak at `mwi_index`
+    /// implies it should be, and checks the misalignment against the preset
+    /// threshold.
+    fn check_alignment(&self, hpf: &[i64], mwi_index: usize) -> Alignment {
+        let expected = mwi_index.saturating_sub(HPF_TO_MWI_DELAY);
+        let lo = expected.saturating_sub(ALIGNMENT_SEARCH);
+        let hi = (expected + ALIGNMENT_SEARCH + 1).min(hpf.len());
+        if lo >= hi {
+            return Alignment::Misaligned {
+                hpf_index: expected.min(hpf.len().saturating_sub(1)),
+                misalignment: usize::MAX,
+            };
+        }
+        let (hpf_index, _) = hpf[lo..hi]
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.abs())
+            .map(|(i, v)| (lo + i, *v))
+            .expect("non-empty window");
+        let misalignment = hpf_index.abs_diff(expected);
+        if misalignment <= self.max_misalignment {
+            Alignment::Ok { hpf_index }
+        } else {
+            Alignment::Misaligned {
+                hpf_index,
+                misalignment,
+            }
+        }
+    }
+}
+
+enum Alignment {
+    Ok { hpf_index: usize },
+    Misaligned { hpf_index: usize, misalignment: usize },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A crude but QRS-shaped pulse train (sharp biphasic spikes on a flat
+    /// baseline).
+    fn pulse_train(n: usize, period: usize, first: usize) -> (Vec<i32>, Vec<usize>) {
+        let mut signal = vec![0i32; n];
+        let mut peaks = Vec::new();
+        let mut at = first;
+        while at + 4 < n {
+            signal[at - 2] = -60;
+            signal[at - 1] = 140;
+            signal[at] = 260;
+            signal[at + 1] = 120;
+            signal[at + 2] = -80;
+            peaks.push(at);
+            at += period;
+        }
+        (signal, peaks)
+    }
+
+    #[test]
+    fn exact_detector_finds_every_pulse() {
+        let (signal, truth) = pulse_train(3000, 170, 200);
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&signal);
+        assert!(
+            result.r_peaks().len() >= truth.len() - 1,
+            "found {} of {} beats",
+            result.r_peaks().len(),
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn detected_positions_near_truth() {
+        let (signal, truth) = pulse_train(3000, 170, 200);
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&signal);
+        for &p in result.r_peaks() {
+            let nearest = truth
+                .iter()
+                .map(|t| t.abs_diff(p))
+                .min()
+                .expect("truth non-empty");
+            assert!(nearest <= 15, "peak at {p} is {nearest} from any beat");
+        }
+    }
+
+    #[test]
+    fn signals_have_input_length() {
+        let (signal, _) = pulse_train(1000, 170, 200);
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&signal);
+        assert_eq!(result.signals().lpf.len(), 1000);
+        assert_eq!(result.signals().mwi.len(), 1000);
+    }
+
+    #[test]
+    fn op_counts_scale_with_input_length() {
+        let (signal, _) = pulse_train(1000, 170, 200);
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&signal);
+        // LPF: 11 muls/sample; HPF: 32; DER: 4; SQR: 1. MWI: 29 adds.
+        assert_eq!(result.ops()[0].muls(), 11 * 1000);
+        assert_eq!(result.ops()[1].muls(), 32 * 1000);
+        assert_eq!(result.ops()[2].muls(), 4 * 1000);
+        assert_eq!(result.ops()[3].muls(), 1000);
+        assert_eq!(result.ops()[4].adds(), 29 * 1000);
+        assert_eq!(
+            result.total_ops().muls(),
+            (11 + 32 + 4 + 1) * 1000
+        );
+    }
+
+    #[test]
+    fn total_delay_is_37_samples() {
+        let (signal, _) = pulse_train(500, 170, 200);
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&signal);
+        assert_eq!(result.total_delay(), 37);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&[]);
+        assert!(result.r_peaks().is_empty());
+        assert!(result.decisions().is_empty());
+    }
+
+    #[test]
+    fn flat_input_detects_nothing() {
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&[100; 2000]);
+        assert!(result.r_peaks().is_empty());
+    }
+
+    #[test]
+    fn mildly_approximate_pipeline_still_detects() {
+        let (signal, truth) = pulse_train(3000, 170, 200);
+        let mut det =
+            QrsDetector::new(PipelineConfig::least_energy([4, 4, 2, 4, 8]));
+        let result = det.detect(&signal);
+        assert!(
+            result.r_peaks().len() >= truth.len() - 2,
+            "approximate pipeline found {} of {}",
+            result.r_peaks().len(),
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn tight_misalignment_threshold_omits_beats() {
+        let (signal, _) = pulse_train(3000, 170, 200);
+        let mut strict = QrsDetector::new(PipelineConfig::exact())
+            .with_max_misalignment(0);
+        let mut normal = QrsDetector::new(PipelineConfig::exact());
+        let strict_found = strict.detect(&signal).r_peaks().len();
+        let normal_found = normal.detect(&signal).r_peaks().len();
+        assert!(
+            strict_found <= normal_found,
+            "strict {strict_found} > normal {normal_found}"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Streaming FIR filter over an [`ArithBackend`].
+//!
+//! The filter is the netlist the paper synthesizes: one multiplier block per
+//! nonzero tap and a chain of adder blocks accumulating the products (the
+//! LPF's "10 adders, 11 multipliers"). The constant gain introduced by the
+//! integer coefficients is divided back out *exactly* after accumulation
+//! (see [`crate::arith::div_round`]), keeping inter-stage signals on the ADC
+//! scale.
+
+use crate::arith::{div_round, ArithBackend};
+
+/// A streaming integer FIR filter with explicit operator counts.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::StageArith;
+/// use pan_tompkins::FirFilter;
+///
+/// // A 3-tap moving-average filter with gain 3.
+/// let mut fir = FirFilter::new("avg", &[1, 1, 1], 3, StageArith::exact());
+/// assert_eq!(fir.multipliers(), 3);
+/// assert_eq!(fir.adders(), 2);
+/// let out: Vec<i64> = [3, 3, 3, 9].iter().map(|x| fir.process(*x)).collect();
+/// assert_eq!(out, vec![1, 2, 3, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    name: &'static str,
+    taps: Vec<i64>,
+    gain: i64,
+    backend: ArithBackend,
+    delay_line: Vec<i64>,
+    cursor: usize,
+    primed: usize,
+}
+
+impl FirFilter {
+    /// Creates a filter with integer `taps` (c₀ applies to the newest
+    /// sample), a positive `gain` divided out of every output, and the
+    /// stage's approximation parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or `gain` is not positive.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        taps: &[i64],
+        gain: i64,
+        arith: approx_arith::StageArith,
+    ) -> Self {
+        assert!(!taps.is_empty(), "FIR filter needs at least one tap");
+        assert!(gain > 0, "FIR gain must be positive");
+        Self {
+            name,
+            taps: taps.to_vec(),
+            gain,
+            backend: ArithBackend::new(arith),
+            delay_line: vec![0; taps.len()],
+            cursor: 0,
+            primed: 0,
+        }
+    }
+
+    /// Filter name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The coefficient taps.
+    #[must_use]
+    pub fn taps(&self) -> &[i64] {
+        &self.taps
+    }
+
+    /// Gain divided out of each output.
+    #[must_use]
+    pub fn gain(&self) -> i64 {
+        self.gain
+    }
+
+    /// Number of multiplier blocks (nonzero taps).
+    #[must_use]
+    pub fn multipliers(&self) -> u32 {
+        self.taps.iter().filter(|t| **t != 0).count() as u32
+    }
+
+    /// Number of adder blocks (multipliers − 1).
+    #[must_use]
+    pub fn adders(&self) -> u32 {
+        self.multipliers().saturating_sub(1)
+    }
+
+    /// Group delay in samples (for symmetric/antisymmetric taps this is
+    /// `(taps-1)/2`).
+    #[must_use]
+    pub fn group_delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// The arithmetic backend (for counters).
+    #[must_use]
+    pub fn backend(&self) -> &ArithBackend {
+        &self.backend
+    }
+
+    /// Feeds one input sample and returns the filter output at this step.
+    pub fn process(&mut self, x: i64) -> i64 {
+        // Circular delay line: cursor points at the slot of the newest
+        // sample.
+        self.cursor = if self.cursor == 0 {
+            self.delay_line.len() - 1
+        } else {
+            self.cursor - 1
+        };
+        self.delay_line[self.cursor] = x;
+        self.primed = (self.primed + 1).min(self.delay_line.len());
+
+        let mut acc: Option<i64> = None;
+        for (k, &c) in self.taps.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let idx = (self.cursor + k) % self.delay_line.len();
+            let product = self.backend.mul(self.delay_line[idx], c);
+            acc = Some(match acc {
+                None => product,
+                Some(sum) => self.backend.add(sum, product),
+            });
+        }
+        div_round(acc.unwrap_or(0), self.gain)
+    }
+
+    /// Filters a whole signal, returning one output per input.
+    pub fn process_signal(&mut self, signal: &[i64]) -> Vec<i64> {
+        signal.iter().map(|x| self.process(*x)).collect()
+    }
+
+    /// Resets the delay line (keeps configuration and counters).
+    pub fn reset(&mut self) {
+        self.delay_line.fill(0);
+        self.cursor = 0;
+        self.primed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_arith::StageArith;
+
+    fn exact(taps: &[i64], gain: i64) -> FirFilter {
+        FirFilter::new("t", taps, gain, StageArith::exact())
+    }
+
+    #[test]
+    fn impulse_response_reproduces_taps() {
+        let taps = [1i64, 2, 3, 4, 5];
+        let mut fir = exact(&taps, 1);
+        let mut input = vec![0i64; 8];
+        input[0] = 1;
+        let out = fir.process_signal(&input);
+        assert_eq!(&out[..5], &taps);
+        assert_eq!(&out[5..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn step_response_accumulates_taps() {
+        let mut fir = exact(&[1, 1, 1, 1], 1);
+        let out = fir.process_signal(&[1; 6]);
+        assert_eq!(out, vec![1, 2, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn gain_divides_output() {
+        let mut fir = exact(&[2, 2], 4);
+        let out = fir.process_signal(&[2, 2, 2]);
+        assert_eq!(out, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn zero_taps_use_no_multipliers() {
+        let fir = exact(&[2, 1, 0, -1, -2], 8);
+        assert_eq!(fir.multipliers(), 4);
+        assert_eq!(fir.adders(), 3);
+    }
+
+    #[test]
+    fn operator_counts_match_paper_stage_arithmetic() {
+        // LPF taps -> 11 multipliers, 10 adders.
+        let lpf = exact(&[1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1], 36);
+        assert_eq!(lpf.multipliers(), 11);
+        assert_eq!(lpf.adders(), 10);
+    }
+
+    #[test]
+    fn activity_counter_counts_blocks_per_sample() {
+        let mut fir = exact(&[1, 2, 3], 1);
+        let _ = fir.process(5);
+        assert_eq!(fir.backend().ops().muls(), 3);
+        assert_eq!(fir.backend().ops().adds(), 2);
+    }
+
+    #[test]
+    fn negative_taps_subtract() {
+        let mut fir = exact(&[1, -1], 1);
+        let out = fir.process_signal(&[5, 3, 8]);
+        // y[n] = x[n] - x[n-1]
+        assert_eq!(out, vec![5, -2, 5]);
+    }
+
+    #[test]
+    fn reset_clears_state_only() {
+        let mut fir = exact(&[1, 1], 1);
+        let _ = fir.process(9);
+        fir.reset();
+        let out = fir.process(1);
+        assert_eq!(out, 1, "stale delay-line state after reset");
+        assert!(fir.backend().ops().muls() > 0, "counters survive reset");
+    }
+
+    #[test]
+    fn group_delay_of_symmetric_filter() {
+        let fir = exact(&[1, 2, 3, 2, 1], 9);
+        assert_eq!(fir.group_delay(), 2);
+    }
+
+    #[test]
+    fn linearity_of_exact_filter() {
+        let taps = [3i64, -1, 2];
+        let a = [4i64, -2, 7, 0, 3];
+        let b = [1i64, 1, -5, 2, 2];
+        let mut fa = exact(&taps, 1);
+        let mut fb = exact(&taps, 1);
+        let mut fab = exact(&taps, 1);
+        let sum: Vec<i64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ya = fa.process_signal(&a);
+        let yb = fb.process_signal(&b);
+        let yab = fab.process_signal(&sum);
+        for i in 0..a.len() {
+            assert_eq!(yab[i], ya[i] + yb[i], "superposition failed at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_rejected() {
+        let _ = exact(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gain_rejected() {
+        let _ = exact(&[1], 0);
+    }
+}

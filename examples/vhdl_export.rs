@@ -1,0 +1,69 @@
+//! Export the approximate arithmetic library as synthesizable VHDL — the
+//! RTL half of the paper's released artifact ("the RTL and behavioral
+//! models ... are released as an open-source library", §1).
+//!
+//! ```sh
+//! cargo run --release --example vhdl_export -- out_dir
+//! ```
+
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+
+use approx_arith::vhdl::{
+    emit_full_adder, emit_mult2x2, emit_recursive_multiplier, emit_rca,
+};
+use approx_arith::{FullAdderKind, Mult2x2Kind};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("vhdl_out"), PathBuf::from);
+    fs::create_dir_all(&dir)?;
+
+    // Elementary library (paper Fig 5 / Table 1 modules).
+    let mut elementary = String::new();
+    for kind in FullAdderKind::ALL {
+        elementary.push_str(&emit_full_adder(kind).code);
+        elementary.push('\n');
+    }
+    for kind in Mult2x2Kind::ALL {
+        elementary.push_str(&emit_mult2x2(kind).code);
+        elementary.push('\n');
+    }
+    let elementary_path = dir.join("elementary_library.vhd");
+    fs::write(&elementary_path, &elementary)?;
+    println!(
+        "wrote {} ({} bytes, {} entities)",
+        elementary_path.display(),
+        elementary.len(),
+        9
+    );
+
+    // The paper's composed blocks: 32-bit adder with 8 approximate LSBs,
+    // and the 16x16 recursive multiplier with a 16-LSB approximate region.
+    let adder = emit_rca(32, 8, FullAdderKind::Ama5);
+    let adder_path = dir.join("rca32_k8_approxadd5.vhd");
+    fs::write(&adder_path, adder.to_source())?;
+    println!(
+        "wrote {} ({} design units)",
+        adder_path.display(),
+        adder.units().len()
+    );
+
+    let multiplier =
+        emit_recursive_multiplier(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5);
+    let mult_path = dir.join("mul16x16_k16_v1_ama5.vhd");
+    fs::write(&mult_path, multiplier.to_source())?;
+    println!(
+        "wrote {} ({} design units)",
+        mult_path.display(),
+        multiplier.units().len()
+    );
+
+    println!("\nentities in the multiplier library:");
+    for unit in multiplier.units() {
+        println!("  {}", unit.name);
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Workspace facade for the XBioSiP (DAC'19) reproduction.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency:
+//!
+//! * [`approx_arith`] — elementary and composed approximate arithmetic.
+//! * [`hwmodel`] — 65 nm hardware cost model (paper Table 1) and calibrated
+//!   per-stage energy curves.
+//! * [`quality`] — PSNR / SSIM / peak-matching quality metrics.
+//! * [`ecg`] — synthetic ECG generation and PhysioNet format glue.
+//! * [`pan_tompkins`] — the five-stage QRS detection pipeline.
+//! * [`xbiosip`] — the XBioSiP methodology: resilience analysis, the
+//!   three-phase design-generation algorithm, and the paper's evaluated
+//!   configurations.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use approx_arith;
+pub use ecg;
+pub use hwmodel;
+pub use pan_tompkins;
+pub use quality;
+pub use xbiosip;

@@ -1,0 +1,209 @@
+//! Cross-crate integration: the full XBioSiP flow from synthetic ECG
+//! through approximate hardware models to the methodology's outputs.
+
+use pan_tompkins::{PipelineConfig, QrsDetector, StageKind};
+use quality::PeakMatcher;
+use xbiosip::configs::{config_by_name, paper_configs};
+use xbiosip::quality_eval::{Evaluator, QualityConstraint};
+
+fn record() -> ecg::EcgRecord {
+    ecg::nsrdb::paper_record()
+}
+
+#[test]
+fn b9_design_detects_all_peaks_with_large_energy_reduction() {
+    // The paper's headline: ~19.7x energy reduction at 0% accuracy loss.
+    let record = record();
+    let mut evaluator = Evaluator::new(&record);
+    let b9 = config_by_name("B9").expect("B9 exists");
+    let report = evaluator.evaluate(&b9.config);
+    assert!(
+        report.peak_accuracy >= 0.99,
+        "B9 accuracy {:.3}",
+        report.peak_accuracy
+    );
+    assert!(
+        (report.energy_reduction_calibrated - 19.7).abs() < 1.0,
+        "B9 calibrated reduction {:.2}",
+        report.energy_reduction_calibrated
+    );
+}
+
+#[test]
+fn b10_design_reaches_22x_within_one_percent_loss() {
+    let record = record();
+    let mut evaluator = Evaluator::new(&record);
+    let b10 = config_by_name("B10").expect("B10 exists");
+    let report = evaluator.evaluate(&b10.config);
+    assert!(
+        report.peak_accuracy >= 0.99,
+        "B10 lost more than 1%: {:.3}",
+        report.peak_accuracy
+    );
+    assert!(
+        (report.energy_reduction_calibrated - 22.0).abs() < 1.0,
+        "B10 calibrated reduction {:.2}",
+        report.energy_reduction_calibrated
+    );
+}
+
+#[test]
+fn every_b_design_clears_the_95_percent_threshold() {
+    // Fig 12 plots a 95% quality threshold; all B designs clear it.
+    let record = record();
+    let mut evaluator = Evaluator::new(&record);
+    for named in paper_configs() {
+        if !named.name.starts_with('B') {
+            continue;
+        }
+        let report = evaluator.evaluate(&named.config);
+        assert!(
+            report.peak_accuracy >= 0.95,
+            "{} fell below 95%: {:.3}",
+            named.name,
+            report.peak_accuracy
+        );
+    }
+}
+
+#[test]
+fn combined_designs_save_more_than_their_parts() {
+    // B7 (pre+post approximation) must beat both B1 (pre only) and B5
+    // (post only) in energy.
+    let record = record();
+    let evaluator = Evaluator::new(&record);
+    drop(evaluator);
+    let model = hwmodel::CalibratedModel::paper();
+    let b1 = model.end_to_end_reduction(config_by_name("B1").expect("exists").lsbs());
+    let b5 = model.end_to_end_reduction(config_by_name("B5").expect("exists").lsbs());
+    let b7 = model.end_to_end_reduction(config_by_name("B7").expect("exists").lsbs());
+    assert!(b7 > b1, "B7 {b7:.2} <= B1 {b1:.2}");
+    assert!(b7 > b5, "B7 {b7:.2} <= B5 {b5:.2}");
+}
+
+#[test]
+fn lpf_resilience_threshold_is_14_lsbs() {
+    // Fig 2's headline observation, end to end.
+    let record = record();
+    let mut evaluator = Evaluator::new(&record);
+    let profile = xbiosip::resilience::ResilienceProfile::analyze_up_to(
+        &mut evaluator,
+        StageKind::Lpf,
+        16,
+    );
+    assert_eq!(profile.resilience_threshold(0.999), 14);
+    // And accuracy collapses at 16 ("falls to zero").
+    let at16 = profile
+        .points
+        .iter()
+        .find(|p| p.lsbs == 16)
+        .expect("sweep reaches 16");
+    assert!(
+        at16.report.peak_accuracy < 0.5,
+        "accuracy at 16 LSBs: {:.3}",
+        at16.report.peak_accuracy
+    );
+}
+
+#[test]
+fn algorithm1_beats_heuristic_on_evaluation_count_and_agrees_on_quality() {
+    let record = ecg::nsrdb::paper_record().truncated(8_000);
+
+    let mut grid_eval = Evaluator::new(&record);
+    let grid = xbiosip::exhaustive::heuristic_search(
+        &mut grid_eval,
+        QualityConstraint::MinPsnr(20.0),
+        &[(StageKind::Lpf, 16), (StageKind::Hpf, 16)],
+        approx_arith::FullAdderKind::Ama5,
+        approx_arith::Mult2x2Kind::V1,
+        PipelineConfig::exact(),
+    );
+
+    let mut alg_eval = Evaluator::new(&record);
+    let (adds, mults) = xbiosip::generation::DesignGenerator::paper_lists();
+    let outcome = xbiosip::generation::DesignGenerator::new(
+        &mut alg_eval,
+        QualityConstraint::MinPsnr(20.0),
+        adds,
+        mults,
+        PipelineConfig::exact(),
+    )
+    .generate(vec![
+        xbiosip::generation::StageSearchSpace::even_lsbs(StageKind::Lpf, 16, 5.5),
+        xbiosip::generation::StageSearchSpace::even_lsbs(StageKind::Hpf, 16, 68.0),
+    ]);
+
+    // The methodology's selling point: far fewer evaluations...
+    assert!(outcome.explored.len() * 4 < grid.points.len());
+    // ...while the chosen design still satisfies the constraint.
+    assert!(outcome.report.psnr_db >= 20.0);
+    // And the grid's best design is not dramatically better than ours.
+    let best = grid.best_point().expect("grid has satisfying points");
+    let ours = outcome.report.energy_reduction_calibrated;
+    let theirs = best.report.energy_reduction_calibrated;
+    assert!(
+        ours >= theirs * 0.5,
+        "Algorithm 1 design ({ours:.2}x) far from grid best ({theirs:.2}x)"
+    );
+}
+
+#[test]
+fn synthetic_record_round_trips_through_physionet_formats() {
+    let record = ecg::nsrdb::record(3); // the clean record
+    let dat = ecg::physionet::encode_format212(record.samples()).expect("12-bit range");
+    let back =
+        ecg::physionet::decode_format212(&dat, record.len()).expect("well-formed");
+    assert_eq!(&back, record.samples());
+
+    let anns: Vec<ecg::physionet::Annotation> = record
+        .r_peaks()
+        .iter()
+        .map(|s| ecg::physionet::Annotation {
+            sample: *s,
+            code: ecg::physionet::AnnCode::Normal,
+        })
+        .collect();
+    let atr = ecg::physionet::write_annotations(&anns).expect("sorted");
+    let parsed = ecg::physionet::read_annotations(&atr).expect("well-formed");
+    assert_eq!(parsed, anns);
+}
+
+#[test]
+fn detector_scores_well_against_physionet_annotations() {
+    // Full loop: record -> WFDB bytes -> parse -> detect -> score against
+    // the annotations that travelled through the .atr codec.
+    let record = ecg::nsrdb::record(3);
+    let atr = ecg::physionet::write_annotations(
+        &record
+            .r_peaks()
+            .iter()
+            .map(|s| ecg::physionet::Annotation {
+                sample: *s,
+                code: ecg::physionet::AnnCode::Normal,
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("sorted");
+    let beats: Vec<usize> = ecg::physionet::read_annotations(&atr)
+        .expect("well-formed")
+        .into_iter()
+        .filter(|a| a.code.is_beat())
+        .map(|a| a.sample)
+        .filter(|s| (400..record.len() - 60).contains(s))
+        .collect();
+
+    let mut detector = QrsDetector::new(PipelineConfig::exact());
+    let result = detector.detect(record.samples());
+    let detected: Vec<usize> = result
+        .r_peaks()
+        .iter()
+        .copied()
+        .filter(|p| (400..record.len() - 60).contains(p))
+        .collect();
+    let m = PeakMatcher::default().match_peaks(&beats, &detected);
+    assert!(
+        m.detection_accuracy() >= 0.99,
+        "end-to-end accuracy {:.3}",
+        m.detection_accuracy()
+    );
+}
