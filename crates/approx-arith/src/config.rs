@@ -61,11 +61,7 @@ pub struct StageArith {
 impl StageArith {
     /// Creates an approximation parameter triple.
     #[must_use]
-    pub fn new(
-        approx_lsbs: u32,
-        mult_kind: Mult2x2Kind,
-        adder_kind: FullAdderKind,
-    ) -> Self {
+    pub fn new(approx_lsbs: u32, mult_kind: Mult2x2Kind, adder_kind: FullAdderKind) -> Self {
         Self {
             approx_lsbs,
             mult_kind,
@@ -91,8 +87,7 @@ impl StageArith {
     /// Whether this configuration computes exactly.
     #[must_use]
     pub fn is_exact(&self) -> bool {
-        self.approx_lsbs == 0
-            || (self.mult_kind.is_accurate() && self.adder_kind.is_accurate())
+        self.approx_lsbs == 0 || (self.mult_kind.is_accurate() && self.adder_kind.is_accurate())
     }
 }
 

@@ -121,10 +121,7 @@ impl FullAdderKind {
                 let cout = (a & b) | (a & cin);
                 FullAdder { sum: !cout, cout }
             }
-            FullAdderKind::Ama4 => FullAdder {
-                sum: !a,
-                cout: a,
-            },
+            FullAdderKind::Ama4 => FullAdder { sum: !a, cout: a },
             FullAdderKind::Ama5 => FullAdder { sum: b, cout: a },
         }
     }
@@ -245,8 +242,7 @@ mod tests {
     fn accurate_matches_integer_addition() {
         for i in 0..8u32 {
             let (a, b, cin) = (i & 1, (i >> 1) & 1, (i >> 2) & 1);
-            let out =
-                FullAdderKind::Accurate.eval(a != 0, b != 0, cin != 0);
+            let out = FullAdderKind::Accurate.eval(a != 0, b != 0, cin != 0);
             let total = a + b + cin;
             assert_eq!(u32::from(out.sum), total & 1);
             assert_eq!(u32::from(out.cout), total >> 1);

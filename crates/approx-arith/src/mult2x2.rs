@@ -41,8 +41,7 @@ pub enum Mult2x2Kind {
 impl Mult2x2Kind {
     /// All kinds, from most accurate to most approximate (descending energy,
     /// per the paper's Table 1).
-    pub const ALL: [Mult2x2Kind; 3] =
-        [Mult2x2Kind::Accurate, Mult2x2Kind::V1, Mult2x2Kind::V2];
+    pub const ALL: [Mult2x2Kind; 3] = [Mult2x2Kind::Accurate, Mult2x2Kind::V1, Mult2x2Kind::V2];
 
     /// The approximate kinds only.
     pub const APPROXIMATE: [Mult2x2Kind; 2] = [Mult2x2Kind::V1, Mult2x2Kind::V2];
@@ -198,10 +197,7 @@ mod tests {
         for kind in Mult2x2Kind::APPROXIMATE {
             for a in 0..4u8 {
                 for b in 0..4u8 {
-                    assert!(
-                        kind.eval(a, b) <= a * b,
-                        "{kind} over-estimated {a}x{b}"
-                    );
+                    assert!(kind.eval(a, b) <= a * b, "{kind} over-estimated {a}x{b}");
                 }
             }
         }
@@ -219,8 +215,7 @@ mod tests {
 
     #[test]
     fn error_rows_monotone_along_library_order() {
-        let rows: Vec<u32> =
-            Mult2x2Kind::ALL.iter().map(|k| k.error_rows()).collect();
+        let rows: Vec<u32> = Mult2x2Kind::ALL.iter().map(|k| k.error_rows()).collect();
         for pair in rows.windows(2) {
             assert!(pair[0] <= pair[1]);
         }
@@ -229,10 +224,7 @@ mod tests {
     #[test]
     fn library_names_round_trip() {
         for k in Mult2x2Kind::ALL {
-            assert_eq!(
-                Mult2x2Kind::from_library_name(k.library_name()).unwrap(),
-                k
-            );
+            assert_eq!(Mult2x2Kind::from_library_name(k.library_name()).unwrap(), k);
         }
         assert!(Mult2x2Kind::from_library_name("Bogus").is_err());
     }

@@ -173,8 +173,7 @@ impl RecursiveMultiplier {
     /// Whether the configuration computes exactly.
     #[must_use]
     pub fn is_exact(&self) -> bool {
-        self.approx_lsbs == 0
-            || (self.mult_kind.is_accurate() && self.adder_kind.is_accurate())
+        self.approx_lsbs == 0 || (self.mult_kind.is_accurate() && self.adder_kind.is_accurate())
     }
 
     /// Multiplies two unsigned operands that must fit in `width` bits.
@@ -253,10 +252,7 @@ impl RecursiveMultiplier {
     /// The accumulation adder used at `base_weight` with output width
     /// `width` — its approximate region covers absolute output bits `< k`.
     fn acc_adder(&self, width: u32, base_weight: u32) -> RippleCarryAdder {
-        let local_k = self
-            .approx_lsbs
-            .saturating_sub(base_weight)
-            .min(width);
+        let local_k = self.approx_lsbs.saturating_sub(base_weight).min(width);
         RippleCarryAdder::new(width, local_k, self.adder_kind)
     }
 
@@ -273,9 +269,7 @@ impl RecursiveMultiplier {
 
     fn census_rec(&self, w: u32, base_weight: u32, census: &mut ModuleCensus) {
         if w == 2 {
-            if base_weight + 4 <= self.approx_lsbs
-                && !self.mult_kind.is_accurate()
-            {
+            if base_weight + 4 <= self.approx_lsbs && !self.mult_kind.is_accurate() {
                 census.approx_mult2x2 += 1;
             } else {
                 census.exact_mult2x2 += 1;
@@ -316,8 +310,7 @@ mod tests {
         for width in [2u32, 4, 8, 16] {
             let m = RecursiveMultiplier::accurate(width);
             let max = (1u64 << width) - 1;
-            for (a, b) in [(0, 0), (1, 1), (max, max), (max / 3, 5 % (max + 1))]
-            {
+            for (a, b) in [(0, 0), (1, 1), (max, max), (max / 3, 5 % (max + 1))] {
                 assert_eq!(m.mul_unsigned(a, b), a * b, "w={width} {a}x{b}");
             }
         }
@@ -366,12 +359,7 @@ mod tests {
 
     #[test]
     fn census_fully_approximate_16x16() {
-        let m = RecursiveMultiplier::new(
-            16,
-            32,
-            Mult2x2Kind::V1,
-            FullAdderKind::Ama5,
-        );
+        let m = RecursiveMultiplier::new(16, 32, Mult2x2Kind::V1, FullAdderKind::Ama5);
         let c = m.census();
         assert_eq!(c.approx_mult2x2, 64);
         assert_eq!(c.exact_mult2x2, 0);
@@ -382,12 +370,7 @@ mod tests {
     #[test]
     fn census_partitions_totals_for_any_k() {
         for k in 0..=32u32 {
-            let m = RecursiveMultiplier::new(
-                16,
-                k,
-                Mult2x2Kind::V1,
-                FullAdderKind::Ama5,
-            );
+            let m = RecursiveMultiplier::new(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5);
             let c = m.census();
             assert_eq!(c.total_mult2x2(), 64, "k={k}");
             assert_eq!(c.total_fa(), 672, "k={k}");
@@ -398,12 +381,7 @@ mod tests {
     fn census_approximate_share_monotone_in_k() {
         let mut prev = 0;
         for k in 0..=32u32 {
-            let m = RecursiveMultiplier::new(
-                16,
-                k,
-                Mult2x2Kind::V1,
-                FullAdderKind::Ama5,
-            );
+            let m = RecursiveMultiplier::new(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5);
             let c = m.census();
             let approx = c.approx_fa + c.approx_mult2x2;
             assert!(approx >= prev, "k={k}: approx share decreased");
@@ -413,12 +391,7 @@ mod tests {
 
     #[test]
     fn k_zero_is_exact_even_with_approximate_kinds() {
-        let m = RecursiveMultiplier::new(
-            16,
-            0,
-            Mult2x2Kind::V2,
-            FullAdderKind::Ama5,
-        );
+        let m = RecursiveMultiplier::new(16, 0, Mult2x2Kind::V2, FullAdderKind::Ama5);
         assert!(m.is_exact());
         assert_eq!(m.mul_unsigned(54321, 12345), 54321 * 12345);
     }
@@ -441,12 +414,7 @@ mod tests {
     #[test]
     fn approximate_error_is_bounded() {
         for k in [4u32, 8, 12, 16] {
-            let m = RecursiveMultiplier::new(
-                16,
-                k,
-                Mult2x2Kind::V1,
-                FullAdderKind::Ama5,
-            );
+            let m = RecursiveMultiplier::new(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5);
             let bound = m.error_bound();
             for (a, b) in [(1234u64, 567u64), (65535, 65535), (999, 31)] {
                 let approx = m.mul_unsigned(a, b) as i64;
@@ -465,12 +433,7 @@ mod tests {
         // approximate region even for a zero operand, but it must stay below
         // the error bound.
         for k in [4u32, 8, 16] {
-            let m = RecursiveMultiplier::new(
-                16,
-                k,
-                Mult2x2Kind::V1,
-                FullAdderKind::Ama5,
-            );
+            let m = RecursiveMultiplier::new(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5);
             let p = m.mul_unsigned(0, 54321) as i64;
             assert!(p.abs() <= m.error_bound(), "k={k}: 0 x n = {p}");
         }

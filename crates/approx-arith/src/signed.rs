@@ -129,12 +129,7 @@ mod tests {
 
     #[test]
     fn approximate_core_is_used() {
-        let approx = SignedMultiplier::new(
-            16,
-            16,
-            Mult2x2Kind::V1,
-            FullAdderKind::Ama5,
-        );
+        let approx = SignedMultiplier::new(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5);
         let exact = SignedMultiplier::accurate(16);
         // At 16 approximated LSBs the two must differ on some inputs.
         let mut differs = false;

@@ -152,7 +152,11 @@ impl Word {
     /// Panics if the width is odd.
     #[must_use]
     pub fn split_halves(&self) -> (Word, Word) {
-        assert!(self.width.is_multiple_of(2), "cannot halve odd width {}", self.width);
+        assert!(
+            self.width.is_multiple_of(2),
+            "cannot halve odd width {}",
+            self.width
+        );
         let half = self.width / 2;
         let lo = Word::from_bits(self.bits, half);
         let hi = Word::from_bits(self.bits >> half, half);

@@ -11,8 +11,14 @@ fn bench_adders(c: &mut Criterion) {
     let cases = [
         ("exact", RippleCarryAdder::accurate(32)),
         ("ama5_k8", RippleCarryAdder::new(32, 8, FullAdderKind::Ama5)),
-        ("ama5_k32", RippleCarryAdder::new(32, 32, FullAdderKind::Ama5)),
-        ("ama2_k8_bitwise", RippleCarryAdder::new(32, 8, FullAdderKind::Ama2)),
+        (
+            "ama5_k32",
+            RippleCarryAdder::new(32, 32, FullAdderKind::Ama5),
+        ),
+        (
+            "ama2_k8_bitwise",
+            RippleCarryAdder::new(32, 8, FullAdderKind::Ama2),
+        ),
     ];
     for (name, adder) in cases {
         group.bench_function(name, |b| {

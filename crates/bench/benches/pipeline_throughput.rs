@@ -16,7 +16,10 @@ fn bench_pipeline(c: &mut Criterion) {
         ("exact", PipelineConfig::exact()),
         ("b9", PipelineConfig::least_energy([10, 12, 2, 8, 16])),
         ("b10", PipelineConfig::least_energy([10, 12, 4, 8, 16])),
-        ("max_approx", PipelineConfig::least_energy([16, 16, 4, 8, 16])),
+        (
+            "max_approx",
+            PipelineConfig::least_energy([16, 16, 4, 8, 16]),
+        ),
     ];
     for (name, config) in cases {
         group.bench_function(name, |b| {
@@ -34,9 +37,7 @@ fn bench_stages(c: &mut Criterion) {
     use approx_arith::StageArith;
     use pan_tompkins::stages::{HighPassFilter, LowPassFilter, Stage};
 
-    let input: Vec<i64> = (0..2000)
-        .map(|i| ((i % 200) as i64 - 100) * 40)
-        .collect();
+    let input: Vec<i64> = (0..2000).map(|i| ((i % 200) as i64 - 100) * 40).collect();
     let mut group = c.benchmark_group("stage_2k_samples");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(5));

@@ -89,7 +89,10 @@ fn main() {
             outcome.satisfying().to_string(),
             format!("({},{})", lsbs[0], lsbs[1]),
             fmt_f64(outcome.report.psnr_db, 2),
-            format!("{}x", fmt_f64(outcome.report.energy_reduction_calibrated, 2)),
+            format!(
+                "{}x",
+                fmt_f64(outcome.report.energy_reduction_calibrated, 2)
+            ),
             format!("{}x", fmt_f64(module_sum_reduction(&outcome.config), 2)),
         ]);
     }

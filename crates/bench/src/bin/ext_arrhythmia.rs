@@ -114,8 +114,7 @@ fn main() {
         let mut exact_class = None;
         for (name, config) in designs {
             let (accuracy, detected) = score(&record, config);
-            let class = RrStatistics::from_beats(&detected, record.fs())
-                .map(|s| s.classify());
+            let class = RrStatistics::from_beats(&detected, record.fs()).map(|s| s.classify());
             let agrees = match (exact_class, class) {
                 (None, c) => {
                     exact_class = c;

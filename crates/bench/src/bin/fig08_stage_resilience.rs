@@ -31,8 +31,7 @@ fn main() {
 
     for (stage, max_lsbs, title) in panels {
         println!("--- {title} ---");
-        let profile =
-            ResilienceProfile::analyze_up_to(&mut evaluator, stage, max_lsbs);
+        let profile = ResilienceProfile::analyze_up_to(&mut evaluator, stage, max_lsbs);
         let mut table = Table::new(&[
             "LSBs",
             "energy red. (module-sum)",

@@ -24,7 +24,10 @@ fn main() {
     // our gentler datapath — both must keep the diagnosis identical.
     let cases = [
         ("4 LSBs everywhere (paper's Fig 10 setting)", [4u32; 5]),
-        ("12/12/4/8/16 LSBs (visibly degraded regime)", [12, 12, 4, 8, 16]),
+        (
+            "12/12/4/8/16 LSBs (visibly degraded regime)",
+            [12, 12, 4, 8, 16],
+        ),
     ];
 
     let start = 400usize;
@@ -38,8 +41,7 @@ fn main() {
 
     let mut excerpt: Vec<i64> = Vec::new();
     for (label, lsbs) in cases {
-        let approx =
-            QrsDetector::new(PipelineConfig::least_energy(lsbs)).detect(record.samples());
+        let approx = QrsDetector::new(PipelineConfig::least_energy(lsbs)).detect(record.samples());
         let signal: Vec<f64> = approx.signals().hpf[start..]
             .iter()
             .map(|v| *v as f64)

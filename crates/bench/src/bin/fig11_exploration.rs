@@ -28,9 +28,7 @@ fn main() {
         "counting model (17 LSB x 6 adders x 3 multipliers per stage) + measured 2-stage search",
     );
 
-    println!(
-        "projected at the paper's {SECONDS_PER_EVALUATION} s per behavioral evaluation:\n"
-    );
+    println!("projected at the paper's {SECONDS_PER_EVALUATION} s per behavioral evaluation:\n");
     let mut table = Table::new(&[
         "stages",
         "exhaustive pts",

@@ -62,20 +62,18 @@ fn main() {
     println!("Composed blocks (module-sum over the Fig 6 / Fig 7 structures):\n");
     let mut blocks = Table::new(&["block", "config", "energy [fJ]", "vs exact"]);
     let exact_add = AdderCost::ripple_carry(32, 0, FullAdderKind::Accurate).cost();
-    let exact_mul = MultiplierCost::recursive(
-        16,
-        0,
-        Mult2x2Kind::Accurate,
-        FullAdderKind::Accurate,
-    )
-    .cost();
+    let exact_mul =
+        MultiplierCost::recursive(16, 0, Mult2x2Kind::Accurate, FullAdderKind::Accurate).cost();
     for k in [0u32, 4, 8, 16, 32] {
         let c = AdderCost::ripple_carry(32, k, FullAdderKind::Ama5).cost();
         blocks.row_owned(vec![
             "32-bit RCA".into(),
             format!("{k} LSB ApproxAdd5"),
             fmt_f64(c.energy_fj, 2),
-            format!("{}x", fmt_f64(exact_add.energy_fj / c.energy_fj.max(f64::MIN_POSITIVE), 2)),
+            format!(
+                "{}x",
+                fmt_f64(exact_add.energy_fj / c.energy_fj.max(f64::MIN_POSITIVE), 2)
+            ),
         ]);
     }
     for k in [0u32, 8, 16, 32] {

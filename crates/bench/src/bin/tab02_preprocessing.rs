@@ -47,14 +47,12 @@ fn main() {
     let grid_time = grid_start.elapsed();
 
     let pre_reduction = |lsbs: [u32; 5]| {
-        evaluator
-            .preprocessing_energy_reduction(&PipelineConfig::least_energy(lsbs))
+        evaluator.preprocessing_energy_reduction(&PipelineConfig::least_energy(lsbs))
     };
 
     println!("PSNR [dB] / pre-processing energy reduction [x] grid:");
     let mut table = Table::new(&[
-        "", "HPF 0", "HPF 2", "HPF 4", "HPF 6", "HPF 8", "HPF 10", "HPF 12",
-        "HPF 14", "HPF 16",
+        "", "HPF 0", "HPF 2", "HPF 4", "HPF 6", "HPF 8", "HPF 10", "HPF 12", "HPF 14", "HPF 16",
     ]);
     for lpf_idx in 0..9u32 {
         let lpf = lpf_idx * 2;
@@ -135,6 +133,9 @@ fn main() {
          MATLAB flow needed ~7 h vs ~1 h)",
         grid_time,
         alg_time,
-        fmt_f64(grid_time.as_secs_f64() / alg_time.as_secs_f64().max(1e-9), 1)
+        fmt_f64(
+            grid_time.as_secs_f64() / alg_time.as_secs_f64().max(1e-9),
+            1
+        )
     );
 }

@@ -90,9 +90,7 @@ pub fn heuristic_search(
                 None => true,
                 Some(b) => {
                     report.energy_reduction_calibrated
-                        > points[b]
-                            .report
-                            .energy_reduction_calibrated
+                        > points[b].report.energy_reduction_calibrated
                 }
             };
             if better {
@@ -175,8 +173,11 @@ mod tests {
         );
         // 3 x 3 grid (0, 2, 4 on both axes).
         assert_eq!(result.points.len(), 9);
-        let mut seen: Vec<(u32, u32)> =
-            result.points.iter().map(|p| (p.lsbs[0], p.lsbs[1])).collect();
+        let mut seen: Vec<(u32, u32)> = result
+            .points
+            .iter()
+            .map(|p| (p.lsbs[0], p.lsbs[1]))
+            .collect();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), 9, "grid points not unique");
@@ -198,8 +199,7 @@ mod tests {
         for p in &result.points {
             if p.satisfied {
                 assert!(
-                    best.report.energy_reduction_calibrated
-                        >= p.report.energy_reduction_calibrated
+                    best.report.energy_reduction_calibrated >= p.report.energy_reduction_calibrated
                 );
             }
         }

@@ -38,8 +38,7 @@ impl ExplorationRow {
     /// Exhaustive duration in years at the paper's evaluation cost.
     #[must_use]
     pub fn exhaustive_years(&self) -> f64 {
-        self.exhaustive_points as f64 * SECONDS_PER_EVALUATION
-            / (3600.0 * 24.0 * 365.25)
+        self.exhaustive_points as f64 * SECONDS_PER_EVALUATION / (3600.0 * 24.0 * 365.25)
     }
 
     /// Heuristic duration in hours.
@@ -142,8 +141,10 @@ mod tests {
     #[test]
     fn algorithm1_speedup_over_heuristic_grows_with_stages() {
         let rows = exploration_table(6);
-        let speedups: Vec<f64> =
-            rows.iter().map(ExplorationRow::speedup_vs_heuristic).collect();
+        let speedups: Vec<f64> = rows
+            .iter()
+            .map(ExplorationRow::speedup_vs_heuristic)
+            .collect();
         for pair in speedups.windows(2) {
             assert!(pair[1] >= pair[0], "speed-up not growing: {speedups:?}");
         }

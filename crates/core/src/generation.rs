@@ -177,10 +177,7 @@ impl<'a> DesignGenerator<'a> {
     pub fn generate(mut self, mut spaces: Vec<StageSearchSpace>) -> GenerationOutcome {
         assert!(!spaces.is_empty(), "need at least one stage to search");
         // Line 3: AscendingSort(StageList, EnergySavings).
-        spaces.sort_by(|a, b| {
-            a.max_energy_reduction
-                .total_cmp(&b.max_energy_reduction)
-        });
+        spaces.sort_by(|a, b| a.max_energy_reduction.total_cmp(&b.max_energy_reduction));
 
         let mut chosen: Vec<StageDesign> = Vec::new();
         let mut prev = self.phase_one(&spaces[0]);
@@ -265,7 +262,8 @@ impl<'a> DesignGenerator<'a> {
         // Candidate pairs (previous arith, current arith) that satisfy the
         // constraint; the standalone previous design is the fallback.
         let mut passing: Vec<(StageArith, StageArith, f64)> = Vec::new();
-        let base_energy = self.pair_energy(prev.arith, StageArith::exact(), space.stage, prev.stage);
+        let base_energy =
+            self.pair_energy(prev.arith, StageArith::exact(), space.stage, prev.stage);
         passing.push((prev.arith, StageArith::exact(), base_energy));
 
         // Phase II (lines 17–31): inverted lists — least-to-highest
@@ -323,9 +321,7 @@ impl<'a> DesignGenerator<'a> {
                     ];
                     let (_, ok) = self.probe(Phase::Three, &designs);
                     if ok {
-                        let e = self.pair_energy(
-                            prev_arith, cur_arith, space.stage, prev.stage,
-                        );
+                        let e = self.pair_energy(prev_arith, cur_arith, space.stage, prev.stage);
                         passing.push((prev_arith, cur_arith, e));
                     }
                 }
@@ -409,7 +405,10 @@ mod tests {
             "explored {} points",
             outcome.explored.len()
         );
-        assert!(outcome.satisfying() >= 1, "nothing satisfied the constraint");
+        assert!(
+            outcome.satisfying() >= 1,
+            "nothing satisfied the constraint"
+        );
         // The final chosen configuration must satisfy the constraint.
         assert!(
             outcome.report.psnr_db >= 20.0,
@@ -459,8 +458,7 @@ mod tests {
             mults,
             PipelineConfig::exact(),
         );
-        let outcome =
-            generator.generate(vec![StageSearchSpace::even_lsbs(StageKind::Lpf, 8, 5.5)]);
+        let outcome = generator.generate(vec![StageSearchSpace::even_lsbs(StageKind::Lpf, 8, 5.5)]);
         assert_eq!(outcome.chosen[0].arith, StageArith::exact());
         assert!(outcome.satisfying() == 0);
     }
@@ -568,10 +566,7 @@ mod ablation_tests {
         .generate(spaces());
 
         assert!(ablated.explored.len() < full.explored.len());
-        assert!(ablated
-            .explored
-            .iter()
-            .all(|p| p.phase != Phase::Three));
+        assert!(ablated.explored.iter().all(|p| p.phase != Phase::Three));
         // Both still satisfy the constraint.
         assert!(ablated.report.psnr_db >= 20.0);
         assert!(full.report.psnr_db >= 20.0);

@@ -46,7 +46,7 @@ pub mod quality_eval;
 pub mod resilience;
 
 pub use configs::{paper_configs, NamedConfig};
-pub use pareto::{pareto_frontier, ParetoPoint};
 pub use generation::{DesignGenerator, GenerationOutcome, StageSearchSpace};
+pub use pareto::{pareto_frontier, ParetoPoint};
 pub use quality_eval::{Evaluator, QualityConstraint, QualityReport};
 pub use resilience::{ResiliencePoint, ResilienceProfile};

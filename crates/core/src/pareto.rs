@@ -31,8 +31,7 @@ impl ParetoPoint {
     pub fn dominates(&self, other: &ParetoPoint) -> bool {
         self.quality >= other.quality
             && self.energy_reduction >= other.energy_reduction
-            && (self.quality > other.quality
-                || self.energy_reduction > other.energy_reduction)
+            && (self.quality > other.quality || self.energy_reduction > other.energy_reduction)
     }
 }
 
@@ -119,11 +118,11 @@ mod tests {
         // Shaped like the paper's Fig 12: the accurate design (quality 1.0,
         // reduction 1x) is on the frontier; so are the best trade-offs.
         let points = [
-            ParetoPoint::new(1.00, 1.0),   // A2
-            ParetoPoint::new(1.00, 19.7),  // B9 — dominates A2's reduction
-            ParetoPoint::new(0.99, 22.0),  // B10
-            ParetoPoint::new(0.99, 20.0),  // dominated by B10
-            ParetoPoint::new(0.97, 21.0),  // dominated by B10
+            ParetoPoint::new(1.00, 1.0),  // A2
+            ParetoPoint::new(1.00, 19.7), // B9 — dominates A2's reduction
+            ParetoPoint::new(0.99, 22.0), // B10
+            ParetoPoint::new(0.99, 20.0), // dominated by B10
+            ParetoPoint::new(0.97, 21.0), // dominated by B10
         ];
         assert_eq!(pareto_frontier(&points), vec![1, 2]);
     }

@@ -98,8 +98,7 @@ impl Evaluator {
     pub fn with_reference(record: &EcgRecord, reference: PipelineConfig) -> Self {
         let mut exact = QrsDetector::new(reference);
         let result = exact.detect(record.samples());
-        let reference_hpf: Vec<f64> =
-            result.signals().hpf.iter().map(|v| *v as f64).collect();
+        let reference_hpf: Vec<f64> = result.signals().hpf.iter().map(|v| *v as f64).collect();
         let end = record.len().saturating_sub(SCORE_TAIL);
         let reference_beats: Vec<usize> = record
             .r_peaks()
@@ -175,9 +174,7 @@ impl Evaluator {
             detected_beats: detected.len(),
             reference_beats: self.reference_beats.len(),
             energy_reduction_module_sum: module_sum_reduction(config),
-            energy_reduction_calibrated: self
-                .calibrated
-                .end_to_end_reduction(lsbs),
+            energy_reduction_calibrated: self.calibrated.end_to_end_reduction(lsbs),
         }
     }
 
@@ -207,9 +204,7 @@ pub fn module_sum_reduction(config: &PipelineConfig) -> f64 {
             approx_arith::StageArith::exact(),
         )
         .cost();
-        let our_cost =
-            StageCost::fir(kind.multipliers(), kind.adders(), config.stage(kind))
-                .cost();
+        let our_cost = StageCost::fir(kind.multipliers(), kind.adders(), config.stage(kind)).cost();
         exact += exact_cost.energy_fj;
         ours += our_cost.energy_fj;
     }
@@ -299,14 +294,16 @@ mod tests {
     fn preprocessing_reduction_ignores_signal_stages() {
         let record = short_record();
         let ev = Evaluator::new(&record);
-        let a = ev.preprocessing_energy_reduction(&PipelineConfig::least_energy(
-            [8, 8, 0, 0, 0],
-        ));
-        let b = ev.preprocessing_energy_reduction(&PipelineConfig::least_energy(
-            [8, 8, 4, 8, 16],
-        ));
-        assert!((a - b).abs() < 1e-12, "DER/SQR/MWI leaked into Table 2 metric");
-        assert!(a > 10.0, "pre-processing reduction at (8,8) should be large");
+        let a = ev.preprocessing_energy_reduction(&PipelineConfig::least_energy([8, 8, 0, 0, 0]));
+        let b = ev.preprocessing_energy_reduction(&PipelineConfig::least_energy([8, 8, 4, 8, 16]));
+        assert!(
+            (a - b).abs() < 1e-12,
+            "DER/SQR/MWI leaked into Table 2 metric"
+        );
+        assert!(
+            a > 10.0,
+            "pre-processing reduction at (8,8) should be large"
+        );
     }
 
     #[test]

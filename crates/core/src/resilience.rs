@@ -43,11 +43,7 @@ impl ResilienceProfile {
     }
 
     /// Sweeps with an explicit upper bound on the LSB count.
-    pub fn analyze_up_to(
-        evaluator: &mut Evaluator,
-        stage: StageKind,
-        max_lsbs: u32,
-    ) -> Self {
+    pub fn analyze_up_to(evaluator: &mut Evaluator, stage: StageKind, max_lsbs: u32) -> Self {
         let calibrated = CalibratedModel::paper();
         let mut points = Vec::new();
         for k in (0..=max_lsbs).step_by(2) {
@@ -59,10 +55,8 @@ impl ResilienceProfile {
             let config = PipelineConfig::exact().with_stage(stage, arith);
             let report = evaluator.evaluate(&config);
             let exact_cost =
-                StageCost::fir(stage.multipliers(), stage.adders(), StageArith::exact())
-                    .cost();
-            let our_cost =
-                StageCost::fir(stage.multipliers(), stage.adders(), arith).cost();
+                StageCost::fir(stage.multipliers(), stage.adders(), StageArith::exact()).cost();
+            let our_cost = StageCost::fir(stage.multipliers(), stage.adders(), arith).cost();
             points.push(ResiliencePoint {
                 lsbs: k,
                 report,
@@ -155,7 +149,10 @@ mod tests {
             mwi_threshold >= der_threshold,
             "MWI threshold {mwi_threshold} < DER threshold {der_threshold}"
         );
-        assert!(mwi_threshold >= 12, "MWI only tolerated {mwi_threshold} LSBs");
+        assert!(
+            mwi_threshold >= 12,
+            "MWI only tolerated {mwi_threshold} LSBs"
+        );
     }
 
     #[test]

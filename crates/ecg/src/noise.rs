@@ -118,8 +118,7 @@ impl<'a> NoiseGenerator<'a> {
                 * (std::f64::consts::TAU * c.baseline_wander_hz * t + self.wander_phase).sin();
         }
         if c.mains_mv != 0.0 {
-            v += c.mains_mv
-                * (std::f64::consts::TAU * c.mains_hz * t + self.mains_phase).sin();
+            v += c.mains_mv * (std::f64::consts::TAU * c.mains_hz * t + self.mains_phase).sin();
         }
         if c.muscle_mv != 0.0 {
             // Box-Muller white Gaussian noise.
@@ -205,8 +204,8 @@ mod tests {
         let mut gen = NoiseGenerator::new(config, 200.0, &mut rng);
         let samples: Vec<f64> = (0..20_000).map(|i| gen.sample(i)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
         let std = var.sqrt();
         assert!((std - 0.1).abs() < 0.01, "std was {std}");
     }
@@ -215,8 +214,7 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let run = || -> Vec<f64> {
             let mut rng = StdRng::seed_from_u64(7);
-            let mut gen =
-                NoiseGenerator::new(NoiseConfig::ambulatory(), 200.0, &mut rng);
+            let mut gen = NoiseGenerator::new(NoiseConfig::ambulatory(), 200.0, &mut rng);
             (0..100).map(|i| gen.sample(i)).collect()
         };
         assert_eq!(run(), run());

@@ -15,8 +15,7 @@ use crate::synth::{EcgSynthesizer, SynthConfig};
 pub const RECORD_COUNT: usize = 5;
 
 /// Record names, styled after NSRDB's numeric identifiers.
-pub const RECORD_NAMES: [&str; RECORD_COUNT] =
-    ["16265", "16272", "16273", "16420", "16483"];
+pub const RECORD_NAMES: [&str; RECORD_COUNT] = ["16265", "16272", "16273", "16420", "16483"];
 
 /// Builds the `i`-th synthetic NSRDB record (20 000 samples at 200 Hz, the
 /// paper's simulation length).

@@ -97,9 +97,8 @@ pub fn write_annotations(annotations: &[Annotation]) -> Result<Vec<u8>, ParseWfd
             // SKIP escape: code 59, I = 0, then 32-bit delta high word first.
             let word = (u16::from(AnnCode::SKIP)) << 10;
             bytes.extend_from_slice(&word.to_le_bytes());
-            let delta32 = u32::try_from(delta).map_err(|_| {
-                ParseWfdbError::Annotation("delta exceeds 32 bits".into())
-            })?;
+            let delta32 = u32::try_from(delta)
+                .map_err(|_| ParseWfdbError::Annotation("delta exceeds 32 bits".into()))?;
             bytes.extend_from_slice(&((delta32 >> 16) as u16).to_le_bytes());
             bytes.extend_from_slice(&((delta32 & 0xFFFF) as u16).to_le_bytes());
             let word = (u16::from(code)) << 10;
@@ -189,10 +188,22 @@ mod tests {
     #[test]
     fn round_trip_mixed_codes() {
         let anns = vec![
-            Annotation { sample: 100, code: AnnCode::Normal },
-            Annotation { sample: 260, code: AnnCode::Pvc },
-            Annotation { sample: 300, code: AnnCode::Noise },
-            Annotation { sample: 420, code: AnnCode::Other(38) },
+            Annotation {
+                sample: 100,
+                code: AnnCode::Normal,
+            },
+            Annotation {
+                sample: 260,
+                code: AnnCode::Pvc,
+            },
+            Annotation {
+                sample: 300,
+                code: AnnCode::Noise,
+            },
+            Annotation {
+                sample: 420,
+                code: AnnCode::Other(38),
+            },
         ];
         let bytes = write_annotations(&anns).unwrap();
         assert_eq!(read_annotations(&bytes).unwrap(), anns);
@@ -224,8 +235,14 @@ mod tests {
     #[test]
     fn unsorted_annotations_rejected() {
         let anns = vec![
-            Annotation { sample: 100, code: AnnCode::Normal },
-            Annotation { sample: 50, code: AnnCode::Normal },
+            Annotation {
+                sample: 100,
+                code: AnnCode::Normal,
+            },
+            Annotation {
+                sample: 50,
+                code: AnnCode::Normal,
+            },
         ];
         assert!(write_annotations(&anns).is_err());
     }

@@ -29,7 +29,9 @@ pub fn encode_format16(samples: &[i32]) -> Result<Vec<u8>, ParseWfdbError> {
 /// short.
 pub fn decode_format16(bytes: &[u8], n_samples: usize) -> Result<Vec<i32>, ParseWfdbError> {
     if bytes.len() < n_samples * 2 {
-        return Err(ParseWfdbError::TruncatedData { offset: bytes.len() });
+        return Err(ParseWfdbError::TruncatedData {
+            offset: bytes.len(),
+        });
     }
     Ok(bytes[..n_samples * 2]
         .chunks_exact(2)

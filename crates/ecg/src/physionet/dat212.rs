@@ -53,7 +53,9 @@ pub fn encode_format212(samples: &[i32]) -> Result<Vec<u8>, ParseWfdbError> {
 pub fn decode_format212(bytes: &[u8], n_samples: usize) -> Result<Vec<i32>, ParseWfdbError> {
     let groups = n_samples.div_ceil(2);
     if bytes.len() < groups * 3 {
-        return Err(ParseWfdbError::TruncatedData { offset: bytes.len() });
+        return Err(ParseWfdbError::TruncatedData {
+            offset: bytes.len(),
+        });
     }
     let mut out = Vec::with_capacity(n_samples);
     for g in 0..groups {
@@ -120,7 +122,10 @@ mod tests {
     fn out_of_range_sample_rejected() {
         assert_eq!(
             encode_format212(&[2048]),
-            Err(ParseWfdbError::SampleOutOfRange { value: 2048, bits: 12 })
+            Err(ParseWfdbError::SampleOutOfRange {
+                value: 2048,
+                bits: 12
+            })
         );
         assert!(encode_format212(&[-2049]).is_err());
     }

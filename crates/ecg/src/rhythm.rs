@@ -50,8 +50,7 @@ impl RrStatistics {
         let pnn50 = if diffs.is_empty() {
             0.0
         } else {
-            diffs.iter().filter(|d| d.abs() > 0.050).count() as f64
-                / diffs.len() as f64
+            diffs.iter().filter(|d| d.abs() > 0.050).count() as f64 / diffs.len() as f64
         };
         Some(Self {
             intervals: rr.len(),
@@ -196,8 +195,7 @@ mod tests {
             ..SynthConfig::default()
         })
         .synthesize();
-        let stats =
-            RrStatistics::from_beats(record.r_peaks(), record.fs()).expect("beats");
+        let stats = RrStatistics::from_beats(record.r_peaks(), record.fs()).expect("beats");
         assert_eq!(stats.classify(), RhythmClass::Irregular);
     }
 
@@ -209,8 +207,7 @@ mod tests {
             ..SynthConfig::default()
         })
         .synthesize();
-        let stats =
-            RrStatistics::from_beats(record.r_peaks(), record.fs()).expect("beats");
+        let stats = RrStatistics::from_beats(record.r_peaks(), record.fs()).expect("beats");
         assert_eq!(stats.classify(), RhythmClass::NormalSinus);
     }
 

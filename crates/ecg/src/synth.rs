@@ -380,9 +380,7 @@ mod tests {
                 .map(|w| (w[1] - w[0]) as f64)
                 .collect();
             let mean = rrs.iter().sum::<f64>() / rrs.len() as f64;
-            (rrs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / rrs.len() as f64)
-                .sqrt()
+            (rrs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / rrs.len() as f64).sqrt()
         };
         assert!(rr_std(&ectopic) > rr_std(&normal));
     }

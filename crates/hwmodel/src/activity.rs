@@ -108,11 +108,8 @@ mod tests {
     #[test]
     fn approximate_stage_spends_less_per_invocation() {
         let exact = StageActivityCost::for_stage(StageArith::exact());
-        let approx = StageActivityCost::for_stage(StageArith::new(
-            16,
-            Mult2x2Kind::V1,
-            FullAdderKind::Ama5,
-        ));
+        let approx =
+            StageActivityCost::for_stage(StageArith::new(16, Mult2x2Kind::V1, FullAdderKind::Ama5));
         assert!(approx.add_fj < exact.add_fj);
         assert!(approx.mul_fj < exact.mul_fj);
     }

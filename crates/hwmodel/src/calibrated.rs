@@ -164,10 +164,7 @@ impl CalibratedModel {
                 ],
             ),
             StageCurve::new("DER", &[(0, 1.0), (2, 2.0), (4, 3.5)]),
-            StageCurve::new(
-                "SQR",
-                &[(0, 1.0), (2, 2.0), (4, 4.0), (6, 6.0), (8, 8.0)],
-            ),
+            StageCurve::new("SQR", &[(0, 1.0), (2, 2.0), (4, 4.0), (6, 6.0), (8, 8.0)]),
             StageCurve::new(
                 "MWI",
                 &[
@@ -297,10 +294,22 @@ mod tests {
     #[test]
     fn paper_stage_curves_match_figure_anchors() {
         let m = CalibratedModel::paper();
-        assert!((m.stage_reduction(0, 14) - 5.0).abs() < 1e-9, "Fig 2: LPF 5x @ 14");
-        assert!((m.stage_reduction(0, 8) - 3.0).abs() < 1e-9, "Fig 2: LPF 3x @ 8");
-        assert!((m.stage_reduction(1, 8) - 60.0).abs() < 1e-9, "Fig 8a: HPF 60x @ 8");
-        assert!((m.stage_reduction(4, 16) - 12.0).abs() < 1e-9, "Fig 8d: MWI 12x @ 16");
+        assert!(
+            (m.stage_reduction(0, 14) - 5.0).abs() < 1e-9,
+            "Fig 2: LPF 5x @ 14"
+        );
+        assert!(
+            (m.stage_reduction(0, 8) - 3.0).abs() < 1e-9,
+            "Fig 2: LPF 3x @ 8"
+        );
+        assert!(
+            (m.stage_reduction(1, 8) - 60.0).abs() < 1e-9,
+            "Fig 8a: HPF 60x @ 8"
+        );
+        assert!(
+            (m.stage_reduction(4, 16) - 12.0).abs() < 1e-9,
+            "Fig 8d: MWI 12x @ 16"
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl MultiplierCost {
             width.is_power_of_two() && (2..=16).contains(&width),
             "multiplier width {width} must be a power of two in 2..=16"
         );
-        assert!(approx_lsbs <= 2 * width, "approximate region exceeds output");
+        assert!(
+            approx_lsbs <= 2 * width,
+            "approximate region exceeds output"
+        );
         Self {
             width,
             approx_lsbs,
@@ -255,20 +258,10 @@ mod tests {
         // The cost recursion must see exactly the same module counts as the
         // behavioral census.
         for k in [0u32, 4, 8, 16, 24, 32] {
-            let cost = MultiplierCost::recursive(
-                16,
-                k,
-                Mult2x2Kind::V1,
-                FullAdderKind::Ama5,
-            )
-            .cost();
-            let census = RecursiveMultiplier::new(
-                16,
-                k,
-                Mult2x2Kind::V1,
-                FullAdderKind::Ama5,
-            )
-            .census();
+            let cost =
+                MultiplierCost::recursive(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5).cost();
+            let census =
+                RecursiveMultiplier::new(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5).census();
             let expected_energy = census.exact_fa as f64 * 0.409
                 + census.approx_fa as f64 * 0.0
                 + census.exact_mult2x2 as f64 * 0.288
@@ -284,13 +277,8 @@ mod tests {
 
     #[test]
     fn exact_16x16_multiplier_structure_cost() {
-        let c = MultiplierCost::recursive(
-            16,
-            0,
-            Mult2x2Kind::Accurate,
-            FullAdderKind::Accurate,
-        )
-        .cost();
+        let c =
+            MultiplierCost::recursive(16, 0, Mult2x2Kind::Accurate, FullAdderKind::Accurate).cost();
         let expected = 64.0 * 0.288 + 672.0 * 0.409;
         assert!((c.energy_fj - expected).abs() < 1e-6);
     }
@@ -299,14 +287,9 @@ mod tests {
     fn multiplier_energy_monotone_in_k() {
         let mut prev = f64::INFINITY;
         for k in 0..=32 {
-            let e = MultiplierCost::recursive(
-                16,
-                k,
-                Mult2x2Kind::V1,
-                FullAdderKind::Ama5,
-            )
-            .cost()
-            .energy_fj;
+            let e = MultiplierCost::recursive(16, k, Mult2x2Kind::V1, FullAdderKind::Ama5)
+                .cost()
+                .energy_fj;
             assert!(e <= prev + 1e-12, "k={k}");
             prev = e;
         }
@@ -327,7 +310,9 @@ mod tests {
             assert!(r >= prev, "k={k}: reduction {r} < {prev}");
             prev = r;
         }
-        assert!((StageCost::fir(11, 10, StageArith::exact()).energy_reduction() - 1.0).abs() < 1e-12);
+        assert!(
+            (StageCost::fir(11, 10, StageArith::exact()).energy_reduction() - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

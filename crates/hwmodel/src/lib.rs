@@ -51,6 +51,6 @@ pub mod sensor_node;
 pub use activity::{run_energy_fj, StageActivityCost};
 pub use calibrated::{CalibratedModel, StageCurve};
 pub use composed::{AdderCost, CostBreakdown, MultiplierCost, StageCost};
-pub use module::{ModuleCost, CostTable, COST_TABLE};
+pub use module::{CostTable, ModuleCost, COST_TABLE};
 pub use report::Table;
 pub use sensor_node::{SensorNode, SENSOR_NODES};

@@ -37,8 +37,7 @@ impl Table {
 
     /// Appends a row; missing cells render empty, extra cells are dropped.
     pub fn row(&mut self, cells: &[&str]) {
-        let mut row: Vec<String> =
-            cells.iter().map(|s| (*s).to_owned()).collect();
+        let mut row: Vec<String> = cells.iter().map(|s| (*s).to_owned()).collect();
         row.resize(self.header.len(), String::new());
         row.truncate(self.header.len());
         self.rows.push(row);
@@ -65,8 +64,7 @@ impl Table {
     }
 
     fn widths(&self) -> Vec<usize> {
-        let mut widths: Vec<usize> =
-            self.header.iter().map(String::len).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -6,9 +6,7 @@
 //! operand is range-checked against the 16-bit datapath (saturating, with a
 //! saturation counter) the way the fixed-point RTL would.
 
-use approx_arith::{
-    ArithConfig, OpCounter, RecursiveMultiplier, RippleCarryAdder, StageArith,
-};
+use approx_arith::{ArithConfig, OpCounter, RecursiveMultiplier, RippleCarryAdder, StageArith};
 
 /// A stage's arithmetic backend: one adder block and one multiplier block,
 /// instantiated from a [`StageArith`] triple, plus activity counters.
@@ -173,11 +171,7 @@ mod tests {
 
     #[test]
     fn approximate_backend_bounded_error() {
-        let mut b = ArithBackend::new(StageArith::new(
-            8,
-            Mult2x2Kind::V1,
-            FullAdderKind::Ama5,
-        ));
+        let mut b = ArithBackend::new(StageArith::new(8, Mult2x2Kind::V1, FullAdderKind::Ama5));
         assert!(!b.is_exact());
         let sum = b.add(10_000, 20_000);
         assert!((sum - 30_000).abs() <= 1 << 9);

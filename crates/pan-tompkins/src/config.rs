@@ -250,15 +250,14 @@ mod tests {
 
     #[test]
     fn with_stage_replaces_one_entry() {
-        let cfg = PipelineConfig::exact()
-            .with_stage(StageKind::Squarer, StageArith::least_energy(8));
+        let cfg =
+            PipelineConfig::exact().with_stage(StageKind::Squarer, StageArith::least_energy(8));
         assert_eq!(cfg.lsb_vector(), [0, 0, 0, 8, 0]);
     }
 
     #[test]
     fn stage_order_is_pipeline_order() {
-        let names: Vec<&str> =
-            StageKind::ALL.iter().map(|s| s.short_name()).collect();
+        let names: Vec<&str> = StageKind::ALL.iter().map(|s| s.short_name()).collect();
         assert_eq!(names, ["LPF", "HPF", "DER", "SQR", "MWI"]);
         for (i, k) in StageKind::ALL.iter().enumerate() {
             assert_eq!(k.index(), i);

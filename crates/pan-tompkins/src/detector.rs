@@ -170,8 +170,7 @@ impl QrsDetector {
         let mut hpf = HighPassFilter::new(self.config.stage(StageKind::Hpf));
         let mut der = Derivative::new(self.config.stage(StageKind::Derivative));
         let mut sqr = Squarer::new(self.config.stage(StageKind::Squarer));
-        let mut mwi =
-            MovingWindowIntegrator::new(self.config.stage(StageKind::Mwi));
+        let mut mwi = MovingWindowIntegrator::new(self.config.stage(StageKind::Mwi));
 
         let shift = self.config.input_shift;
         let n = samples.len();
@@ -273,8 +272,13 @@ impl QrsDetector {
 }
 
 enum Alignment {
-    Ok { hpf_index: usize },
-    Misaligned { hpf_index: usize, misalignment: usize },
+    Ok {
+        hpf_index: usize,
+    },
+    Misaligned {
+        hpf_index: usize,
+        misalignment: usize,
+    },
 }
 
 #[cfg(test)]
@@ -347,10 +351,7 @@ mod tests {
         assert_eq!(result.ops()[2].muls(), 4 * 1000);
         assert_eq!(result.ops()[3].muls(), 1000);
         assert_eq!(result.ops()[4].adds(), 29 * 1000);
-        assert_eq!(
-            result.total_ops().muls(),
-            (11 + 32 + 4 + 1) * 1000
-        );
+        assert_eq!(result.total_ops().muls(), (11 + 32 + 4 + 1) * 1000);
     }
 
     #[test]
@@ -379,8 +380,7 @@ mod tests {
     #[test]
     fn mildly_approximate_pipeline_still_detects() {
         let (signal, truth) = pulse_train(3000, 170, 200);
-        let mut det =
-            QrsDetector::new(PipelineConfig::least_energy([4, 4, 2, 4, 8]));
+        let mut det = QrsDetector::new(PipelineConfig::least_energy([4, 4, 2, 4, 8]));
         let result = det.detect(&signal);
         assert!(
             result.r_peaks().len() >= truth.len() - 2,
@@ -393,8 +393,7 @@ mod tests {
     #[test]
     fn tight_misalignment_threshold_omits_beats() {
         let (signal, _) = pulse_train(3000, 170, 200);
-        let mut strict = QrsDetector::new(PipelineConfig::exact())
-            .with_max_misalignment(0);
+        let mut strict = QrsDetector::new(PipelineConfig::exact()).with_max_misalignment(0);
         let mut normal = QrsDetector::new(PipelineConfig::exact());
         let strict_found = strict.detect(&signal).r_peaks().len();
         let normal_found = normal.detect(&signal).r_peaks().len();

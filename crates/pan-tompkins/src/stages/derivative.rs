@@ -138,9 +138,7 @@ mod tests {
         // swamped and the stage stops carrying slope information.
         let input: Vec<i64> = (0..200)
             .map(|n| {
-                (300.0
-                    * (std::f64::consts::TAU * 10.0 * n as f64 / 200.0).sin())
-                .round() as i64
+                (300.0 * (std::f64::consts::TAU * 10.0 * n as f64 / 200.0).sin()).round() as i64
             })
             .collect();
         let mut exact = Derivative::new(StageArith::exact());

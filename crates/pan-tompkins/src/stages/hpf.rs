@@ -90,16 +90,14 @@ mod tests {
     fn sine(freq_hz: f64, n: usize, amp: f64) -> Vec<i64> {
         (0..n)
             .map(|i| {
-                (amp * (std::f64::consts::TAU * freq_hz * i as f64 / 200.0).sin())
-                    .round() as i64
+                (amp * (std::f64::consts::TAU * freq_hz * i as f64 / 200.0).sin()).round() as i64
             })
             .collect()
     }
 
     fn rms_tail(signal: &[i64]) -> f64 {
         let tail = &signal[signal.len() / 2..];
-        (tail.iter().map(|v| (*v * *v) as f64).sum::<f64>() / tail.len() as f64)
-            .sqrt()
+        (tail.iter().map(|v| (*v * *v) as f64).sum::<f64>() / tail.len() as f64).sqrt()
     }
 
     #[test]

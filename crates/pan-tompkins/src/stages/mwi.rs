@@ -139,14 +139,12 @@ mod tests {
         // LSBs leave the mean usable.
         let input: Vec<i64> = (0..120)
             .map(|i| {
-                let v = 2000.0
-                    * (std::f64::consts::TAU * 3.0 * i as f64 / 200.0).sin();
+                let v = 2000.0 * (std::f64::consts::TAU * 3.0 * i as f64 / 200.0).sin();
                 ((v * v) as i64).max(0)
             })
             .collect();
         let mut exact = MovingWindowIntegrator::new(StageArith::exact());
-        let mut approx =
-            MovingWindowIntegrator::new(StageArith::least_energy(16));
+        let mut approx = MovingWindowIntegrator::new(StageArith::least_energy(16));
         let ye = exact.process_signal(&input);
         let ya = approx.process_signal(&input);
         let peak = *ye.iter().max().expect("non-empty");

@@ -167,16 +167,13 @@ impl AdaptiveThreshold {
             // Search-back: before judging this peak, check whether we have
             // overshot the expected RR interval and left a beat behind.
             if let (Some(lq), false) = (last_qrs, rr_history.is_empty()) {
-                let rr_avg = rr_history.iter().sum::<usize>() as f64
-                    / rr_history.len() as f64;
+                let rr_avg = rr_history.iter().sum::<usize>() as f64 / rr_history.len() as f64;
                 if (idx - lq) as f64 > c.search_back_factor * rr_avg {
                     let threshold2 = 0.5 * threshold1(spk, npk);
                     // Revisit skipped candidates between the beats.
                     let miss = candidates
                         .iter()
-                        .filter(|(i, _)| {
-                            *i > lq + c.refractory && *i + c.refractory < idx
-                        })
+                        .filter(|(i, _)| *i > lq + c.refractory && *i + c.refractory < idx)
                         .max_by_key(|(_, a)| *a)
                         .copied();
                     if let Some((mi, ma)) = miss {

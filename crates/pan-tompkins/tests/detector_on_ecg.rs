@@ -110,8 +110,7 @@ fn extreme_approximation_degrades_detection() {
     // must eventually break the detector (the paper's error-resilience
     // thresholds exist because accuracy *does* collapse).
     let record = ecg::nsrdb::paper_record().truncated(10_000);
-    let (sensitivity, ppv) =
-        score(&record, PipelineConfig::least_energy([16, 16, 4, 8, 16] ));
+    let (sensitivity, ppv) = score(&record, PipelineConfig::least_energy([16, 16, 4, 8, 16]));
     let broken = sensitivity < 0.9 || ppv < 0.9;
     // Either sensitivity or precision must suffer at the extreme corner;
     // if both survive, the approximation isn't doing anything.

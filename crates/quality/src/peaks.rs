@@ -47,9 +47,7 @@ impl PeakMatcher {
         let mut cursor = 0usize;
         for &r in reference {
             // Advance past detections that are too early to ever match again.
-            while cursor < detected.len()
-                && detected[cursor] + self.tolerance < r
-            {
+            while cursor < detected.len() && detected[cursor] + self.tolerance < r {
                 cursor += 1;
             }
             // Among the in-window detections, take the closest unused one.
@@ -179,11 +177,7 @@ impl PeakMatch {
         if self.pairs.is_empty() {
             0.0
         } else {
-            let total: usize = self
-                .pairs
-                .iter()
-                .map(|(r, d)| r.abs_diff(*d))
-                .sum();
+            let total: usize = self.pairs.iter().map(|(r, d)| r.abs_diff(*d)).sum();
             total as f64 / self.pairs.len() as f64
         }
     }

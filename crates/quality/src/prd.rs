@@ -39,10 +39,7 @@ pub fn prd(reference: &[f64], signal: &[f64]) -> f64 {
     assert!(!reference.is_empty(), "signals must be non-empty");
     let mean = reference.iter().sum::<f64>() / reference.len() as f64;
     let denom: f64 = reference.iter().map(|x| (x - mean) * (x - mean)).sum();
-    assert!(
-        denom > 0.0,
-        "PRD undefined for a flat reference signal"
-    );
+    assert!(denom > 0.0, "PRD undefined for a flat reference signal");
     let num: f64 = reference
         .iter()
         .zip(signal)

@@ -1,0 +1,155 @@
+//! Offline stand-in for the parts of `rand 0.8` this workspace uses.
+//!
+//! See `crates/shims/README.md` for why this exists and how to swap the real
+//! crate back in. The surface is deliberately tiny: a deterministic
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over half-open and inclusive ranges of the primitive
+//! types the workspace samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Unlike the real `StdRng` this is not cryptographically strong, but it
+    /// is uniform, fast, and — crucially for the reproduction — bit-stable
+    /// across platforms and runs for a given seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            Self { state }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood; JPDC 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_state(seed)
+    }
+}
+
+/// Ranges a generator can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let value = self.start + unit * (self.end - self.start);
+        // The affine map can round up to exactly `end`; keep the bound
+        // half-open like the real crate.
+        if value < self.end {
+            value
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let width = (self.end as i128) - (self.start as i128);
+                let offset = (rng.next_u64() as i128).rem_euclid(width);
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "empty integer sample range");
+                let width = (end as i128) - (start as i128) + 1;
+                let offset = (rng.next_u64() as i128).rem_euclid(width);
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(i16, i32, i64, u16, u32, u64, usize);
+
+/// The user-facing sampling interface.
+pub trait Rng {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(9);
+        let mut b = rngs::StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn f64_range_covers_span() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(samples.iter().any(|v| *v < 0.05));
+        assert!(samples.iter().any(|v| *v > 0.95));
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-7i64..9);
+            assert!((-7..9).contains(&v));
+            let w: u32 = rng.gen_range(0u32..=16);
+            assert!(w <= 16);
+        }
+    }
+}

@@ -10,8 +10,8 @@
 use std::error::Error;
 
 use ecg::physionet::{
-    decode_format212, encode_format212, read_annotations, write_annotations, AnnCode,
-    Annotation, Header, SignalSpec,
+    decode_format212, encode_format212, read_annotations, write_annotations, AnnCode, Annotation,
+    Header, SignalSpec,
 };
 use ecg::synth::{EcgSynthesizer, SynthConfig};
 

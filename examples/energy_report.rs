@@ -39,11 +39,13 @@ fn main() {
     let mut exact_total = 0.0;
     let mut approx_total = 0.0;
     for stage in StageKind::ALL {
-        let exact =
-            StageCost::fir(stage.multipliers(), stage.adders(), approx_arith::StageArith::exact())
-                .cost();
-        let ours =
-            StageCost::fir(stage.multipliers(), stage.adders(), config.stage(stage)).cost();
+        let exact = StageCost::fir(
+            stage.multipliers(),
+            stage.adders(),
+            approx_arith::StageArith::exact(),
+        )
+        .cost();
+        let ours = StageCost::fir(stage.multipliers(), stage.adders(), config.stage(stage)).cost();
         exact_total += exact.energy_fj;
         approx_total += ours.energy_fj;
         table.row_owned(vec![

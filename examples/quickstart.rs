@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use approx_arith::{
-    ErrorStats, FullAdderKind, Mult2x2Kind, RecursiveMultiplier, RippleCarryAdder,
-};
+use approx_arith::{ErrorStats, FullAdderKind, Mult2x2Kind, RecursiveMultiplier, RippleCarryAdder};
 use hwmodel::{AdderCost, MultiplierCost};
 
 fn main() {
@@ -52,15 +50,9 @@ fn main() {
         "  energy reduction vs exact: {:.2}x",
         add_exact.energy_fj / add_cost.energy_fj
     );
-    let mul_cost =
-        MultiplierCost::recursive(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5).cost();
-    let mul_exact = MultiplierCost::recursive(
-        16,
-        0,
-        Mult2x2Kind::Accurate,
-        FullAdderKind::Accurate,
-    )
-    .cost();
+    let mul_cost = MultiplierCost::recursive(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5).cost();
+    let mul_exact =
+        MultiplierCost::recursive(16, 0, Mult2x2Kind::Accurate, FullAdderKind::Accurate).cost();
     println!("16x16 multiplier, 16 LSBs approximated: {mul_cost}");
     println!(
         "  energy reduction vs exact: {:.2}x",

@@ -10,9 +10,7 @@ use std::error::Error;
 use std::fs;
 use std::path::PathBuf;
 
-use approx_arith::vhdl::{
-    emit_full_adder, emit_mult2x2, emit_recursive_multiplier, emit_rca,
-};
+use approx_arith::vhdl::{emit_full_adder, emit_mult2x2, emit_rca, emit_recursive_multiplier};
 use approx_arith::{FullAdderKind, Mult2x2Kind};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -51,8 +49,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         adder.units().len()
     );
 
-    let multiplier =
-        emit_recursive_multiplier(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5);
+    let multiplier = emit_recursive_multiplier(16, 16, Mult2x2Kind::V1, FullAdderKind::Ama5);
     let mult_path = dir.join("mul16x16_k16_v1_ama5.vhd");
     fs::write(&mult_path, multiplier.to_source())?;
     println!(

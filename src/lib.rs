@@ -1,5 +1,15 @@
 //! Workspace facade for the XBioSiP (DAC'19) reproduction.
 //!
+//! # Continuous integration
+//!
+//! [![CI](https://github.com/xbiosip/xbiosip-repro/actions/workflows/ci.yml/badge.svg)](https://github.com/xbiosip/xbiosip-repro/actions/workflows/ci.yml)
+//!
+//! Every push and pull request runs `cargo build --release`, `cargo test -q`,
+//! `cargo fmt --all --check`,
+//! `cargo clippy --workspace --all-targets -- -D warnings`, and a bench
+//! smoke job (`cargo bench --no-run` plus one experiment binary); see
+//! `.github/workflows/ci.yml` and `tests/README.md`.
+//!
 //! Re-exports the public crates so examples and integration tests can use a
 //! single dependency:
 //!

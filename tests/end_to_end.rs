@@ -86,11 +86,8 @@ fn lpf_resilience_threshold_is_14_lsbs() {
     // Fig 2's headline observation, end to end.
     let record = record();
     let mut evaluator = Evaluator::new(&record);
-    let profile = xbiosip::resilience::ResilienceProfile::analyze_up_to(
-        &mut evaluator,
-        StageKind::Lpf,
-        16,
-    );
+    let profile =
+        xbiosip::resilience::ResilienceProfile::analyze_up_to(&mut evaluator, StageKind::Lpf, 16);
     assert_eq!(profile.resilience_threshold(0.999), 14);
     // And accuracy collapses at 16 ("falls to zero").
     let at16 = profile
@@ -151,8 +148,7 @@ fn algorithm1_beats_heuristic_on_evaluation_count_and_agrees_on_quality() {
 fn synthetic_record_round_trips_through_physionet_formats() {
     let record = ecg::nsrdb::record(3); // the clean record
     let dat = ecg::physionet::encode_format212(record.samples()).expect("12-bit range");
-    let back =
-        ecg::physionet::decode_format212(&dat, record.len()).expect("well-formed");
+    let back = ecg::physionet::decode_format212(&dat, record.len()).expect("well-formed");
     assert_eq!(&back, record.samples());
 
     let anns: Vec<ecg::physionet::Annotation> = record

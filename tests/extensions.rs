@@ -25,7 +25,10 @@ fn activity_energy_of_b9_run_is_far_below_exact() {
 
     let exact_fj = run_energy_fj(exact_run.ops(), &exact_cfg.stages());
     let b9_fj = run_energy_fj(b9_run.ops(), &b9_cfg.stages());
-    assert!(b9_fj < exact_fj, "B9 run energy {b9_fj} >= exact {exact_fj}");
+    assert!(
+        b9_fj < exact_fj,
+        "B9 run energy {b9_fj} >= exact {exact_fj}"
+    );
     // The module-sum reduction regime (roughly 1.2-1.5x for B9).
     let reduction = exact_fj / b9_fj;
     assert!(
@@ -48,8 +51,7 @@ fn approximate_design_preserves_rhythm_class_on_clean_rhythms() {
             ..SynthConfig::default()
         })
         .synthesize();
-        let mut detector =
-            QrsDetector::new(PipelineConfig::least_energy([10, 12, 2, 8, 16]));
+        let mut detector = QrsDetector::new(PipelineConfig::least_energy([10, 12, 2, 8, 16]));
         let result = detector.detect(record.samples());
         let beats: Vec<usize> = result
             .r_peaks()
