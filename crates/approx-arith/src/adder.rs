@@ -6,14 +6,21 @@
 //! keeping the upper `N−k` cells accurate to bound the error magnitude at
 //! roughly `2^k`.
 //!
-//! [`RippleCarryAdder::add`] evaluates the structure bit by bit, exactly as
-//! the RTL would. Two fast paths cover the configurations that dominate the
-//! paper's experiments without changing semantics (property-tested against
-//! the bit-level evaluator):
+//! [`RippleCarryAdder::add_words_reference`] evaluates the structure bit by
+//! bit, exactly as the RTL would. [`RippleCarryAdder::add_words`] reaches the
+//! same result through closed-form word-level evaluation for *every* cell
+//! kind (property-tested bit-for-bit against the bit-level walker):
 //!
 //! * `k = 0` or an accurate cell kind ⇒ plain two's-complement addition;
-//! * AMA5 cells (`Sum = B`, `Cout = A`) ⇒ the low `k` result bits equal `B`'s
-//!   low bits and the carry into cell `k` equals bit `k−1` of `A`.
+//! * AMA1 keeps the exact carry chain and only flips the sum bit on the two
+//!   wrong truth-table rows, so the result is the exact sum XOR a mask;
+//! * AMA2 keeps the exact carry chain with `Sum = !Cout` in the region;
+//! * AMA3's carry recurrence `Cout = A·B + A·Cin` is the carry chain of the
+//!   ordinary addition `A + (A·B)` (propagate `A`, generate `A·B`), which a
+//!   single machine add materialises for all cells at once;
+//! * AMA4 (`Sum = !A`, `Cout = A`) and AMA5 (`Sum = B`, `Cout = A`) have no
+//!   carry dependence at all — the low `k` bits are wires and the carry into
+//!   cell `k` is bit `k−1` of `A`.
 
 use crate::full_adder::FullAdderKind;
 use crate::word::Word;
@@ -102,9 +109,13 @@ impl RippleCarryAdder {
     /// (sign-extended to `i64`). Inputs wrap into the adder width first,
     /// like driving a hardware bus.
     #[must_use]
+    #[inline]
     pub fn add(&self, a: i64, b: i64) -> i64 {
-        self.add_words(Word::new(a, self.width), Word::new(b, self.width))
-            .value()
+        let mask = self.width_mask();
+        let bits = self.add_bits((a as u64) & mask, (b as u64) & mask);
+        // Sign-extend from bit `width − 1`.
+        let shift = 64 - self.width;
+        ((bits << shift) as i64) >> shift
     }
 
     /// Adds two words; widths must match the adder.
@@ -116,32 +127,100 @@ impl RippleCarryAdder {
     pub fn add_words(&self, a: Word, b: Word) -> Word {
         assert_eq!(a.width(), self.width, "operand width mismatch");
         assert_eq!(b.width(), self.width, "operand width mismatch");
-        if self.is_exact() {
-            // Fast path: plain wrap-around addition.
-            return Word::new(a.value().wrapping_add(b.value()), self.width);
-        }
-        if self.kind == FullAdderKind::Ama5 {
-            return self.add_words_ama5(a, b);
-        }
-        self.add_words_bitwise(a, b)
+        Word::from_bits(self.add_bits(a.bits(), b.bits()), self.width)
     }
 
-    /// Word-level fast path for AMA5 (`Sum = B`, `Cout = A`): the low `k`
-    /// result bits are `B`'s bits and the carry entering the accurate region
-    /// is bit `k−1` of `A`.
-    fn add_words_ama5(&self, a: Word, b: Word) -> Word {
-        let k = self.approx_lsbs;
-        if k >= self.width {
-            // Entirely approximate: result is simply B.
-            return b;
+    /// Adds raw bit patterns (the low `width` bits of each operand are
+    /// significant and must be the only ones set), returning the wrapped
+    /// `width`-bit result bits — the allocation- and assert-free core every
+    /// hot path shares.
+    #[must_use]
+    #[inline]
+    pub fn add_bits(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a <= self.width_mask() && b <= self.width_mask());
+        if self.is_exact() {
+            // Fast path: plain wrap-around addition.
+            return a.wrapping_add(b) & self.width_mask();
         }
-        let low_mask = (1u64 << k) - 1;
-        let low = b.bits() & low_mask;
-        let carry = if k == 0 { 0 } else { (a.bits() >> (k - 1)) & 1 };
-        let hi_a = a.bits() >> k;
-        let hi_b = b.bits() >> k;
-        let hi = hi_a.wrapping_add(hi_b).wrapping_add(carry);
-        Word::from_bits(low | (hi << k), self.width)
+        match self.kind {
+            FullAdderKind::Accurate => unreachable!("handled by is_exact"),
+            FullAdderKind::Ama1 => self.add_bits_ama1(a, b),
+            FullAdderKind::Ama2 => self.add_bits_ama2(a, b),
+            FullAdderKind::Ama3 => self.add_bits_ama3(a, b),
+            FullAdderKind::Ama4 => self.add_bits_wired(a, b, !a),
+            FullAdderKind::Ama5 => self.add_bits_wired(a, b, b),
+        }
+    }
+
+    #[inline]
+    fn width_mask(&self) -> u64 {
+        // width ≤ 63, so the shift never overflows.
+        (1u64 << self.width) - 1
+    }
+
+    #[inline]
+    fn low_mask(&self) -> u64 {
+        // approx_lsbs ≤ width ≤ 63, so the shift never overflows.
+        (1u64 << self.approx_lsbs) - 1
+    }
+
+    /// AMA1: the carry chain is exact (its Cout has no error rows); the sum
+    /// bit is wrong exactly on rows `(A,B,Cin) = (0,1,1)` (reads 1 instead
+    /// of 0) and `(1,0,0)` (reads 0 instead of 1) — both are *flips* of the
+    /// exact sum, applied only inside the approximate region.
+    #[inline]
+    fn add_bits_ama1(&self, a: u64, b: u64) -> u64 {
+        let s = a.wrapping_add(b);
+        let cin = a ^ b ^ s; // carry-in vector of the exact addition
+        let flip = ((!a & b & cin) | (a & !b & !cin)) & self.low_mask();
+        (s ^ flip) & self.width_mask()
+    }
+
+    /// AMA2: the carry chain is exact; in the approximate region every sum
+    /// bit is the complement of that cell's (exact) carry-out.
+    #[inline]
+    fn add_bits_ama2(&self, a: u64, b: u64) -> u64 {
+        let s = a.wrapping_add(b);
+        let cin = a ^ b ^ s;
+        let cout = (a & b) | (cin & (a ^ b));
+        let mask = self.low_mask();
+        ((s & !mask) | (!cout & mask)) & self.width_mask()
+    }
+
+    /// AMA3: `Cout = A·B + A·Cin`, `Sum = !Cout`. The carry recurrence has
+    /// generate `A·B` and propagate `A`; since the generate is a subset of
+    /// the propagate, its chain is identical to the carry chain of the plain
+    /// addition `A + (A·B)`, which one machine add produces for all cells.
+    #[inline]
+    fn add_bits_ama3(&self, a: u64, b: u64) -> u64 {
+        let k = self.approx_lsbs;
+        let g = a & b;
+        let cin = a ^ g ^ a.wrapping_add(g); // approximate carry-in vector
+        let cout = g | (a & cin);
+        let low = !cout & self.low_mask();
+        if k >= self.width {
+            return low & self.width_mask();
+        }
+        let carry = (cin >> k) & 1;
+        let hi = (a >> k) + (b >> k) + carry;
+        (low | (hi << k)) & self.width_mask()
+    }
+
+    /// Shared closed form for the wiring-only kinds AMA4 (`Sum = !A`) and
+    /// AMA5 (`Sum = B`): the approximate region's sum bits are `low_bits`
+    /// and, with `Cout = A` in both, the carry entering the accurate region
+    /// is bit `k−1` of `A`.
+    #[inline]
+    fn add_bits_wired(&self, a: u64, b: u64, low_bits: u64) -> u64 {
+        let k = self.approx_lsbs;
+        let low = low_bits & self.low_mask();
+        if k >= self.width {
+            return low & self.width_mask();
+        }
+        // k ≥ 1 here: k = 0 is the exact fast path.
+        let carry = (a >> (k - 1)) & 1;
+        let hi = (a >> k) + (b >> k) + carry;
+        (low | (hi << k)) & self.width_mask()
     }
 
     /// Reference bit-level evaluation: ripples a carry through every cell,
@@ -227,6 +306,30 @@ mod tests {
         let adder = RippleCarryAdder::new(16, 16, FullAdderKind::Ama5);
         assert_eq!(adder.add(12345, 678), 678);
         assert_eq!(adder.add(-1, 42), 42);
+    }
+
+    /// Exhaustive ground truth at a small width: every operand pair, every
+    /// approximation depth, every cell kind — the word-level closed forms
+    /// must match the bit-level netlist walk everywhere.
+    #[test]
+    fn word_level_fast_paths_match_reference_exhaustively() {
+        const W: u32 = 6;
+        for kind in FullAdderKind::ALL {
+            for k in 0..=W {
+                let adder = RippleCarryAdder::new(W, k, kind);
+                for a in 0..(1u64 << W) {
+                    for b in 0..(1u64 << W) {
+                        let wa = Word::from_bits(a, W);
+                        let wb = Word::from_bits(b, W);
+                        assert_eq!(
+                            adder.add_words(wa, wb),
+                            adder.add_words_reference(wa, wb),
+                            "{kind} k={k} a={a:06b} b={b:06b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod adder;
+pub mod compiled;
 pub mod config;
 pub mod counters;
 pub mod error_stats;
@@ -56,6 +57,7 @@ pub mod vhdl;
 pub mod word;
 
 pub use adder::RippleCarryAdder;
+pub use compiled::CompiledMultiplier;
 pub use config::{ArithConfig, StageArith};
 pub use counters::OpCounter;
 pub use error_stats::ErrorStats;

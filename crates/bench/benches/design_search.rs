@@ -20,10 +20,10 @@ fn bench_searches(c: &mut Criterion) {
 
     group.bench_function("algorithm1", |b| {
         b.iter(|| {
-            let mut evaluator = Evaluator::new(&record);
+            let evaluator = Evaluator::new(&record);
             let (adds, mults) = DesignGenerator::paper_lists();
             let outcome = DesignGenerator::new(
-                &mut evaluator,
+                &evaluator,
                 QualityConstraint::MinPsnr(20.0),
                 adds,
                 mults,
@@ -41,9 +41,9 @@ fn bench_searches(c: &mut Criterion) {
         // A reduced grid (LSBs to 8) keeps the benchmark meaningful without
         // multiplying runtime by 81/11.
         b.iter(|| {
-            let mut evaluator = Evaluator::new(&record);
+            let evaluator = Evaluator::new(&record);
             let result = heuristic_search(
-                &mut evaluator,
+                &evaluator,
                 QualityConstraint::MinPsnr(20.0),
                 &[(StageKind::Lpf, 8), (StageKind::Hpf, 8)],
                 FullAdderKind::Ama5,

@@ -70,9 +70,9 @@ fn main() {
     ];
 
     for v in variants {
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let mut generator = DesignGenerator::new(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(20.0),
             v.adds,
             v.mults,

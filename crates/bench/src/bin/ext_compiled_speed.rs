@@ -1,0 +1,207 @@
+//! **Extension experiment**: the compiled word-level arithmetic engine vs
+//! the bit-level netlist walk — correctness gate plus speedup measurement.
+//!
+//! Three sections:
+//!
+//! 1. **Equivalence gate** — a fixed operand-vector sweep across the full
+//!    configuration grid (every LSB depth × elementary module pair). Any
+//!    divergence between [`CompiledMultiplier`] and [`RecursiveMultiplier`]
+//!    exits non-zero, which is what CI's bench-smoke job checks.
+//! 2. **Multiplier throughput** — samples/second through each engine on the
+//!    paper's main approximate configuration.
+//! 3. **End-to-end exploration** — the Fig 11 *measured* two-stage
+//!    pre-processing search, run once the way the seed evaluated it
+//!    (bit-level engine, sequential grid walk) and once the way the
+//!    evaluator now runs (compiled engine, parallel grid sweep). The ratio
+//!    is the tracked speedup number (target: ≥ 20×, recorded in
+//!    `ROADMAP.md`).
+//!
+//! `--check` runs only section 1 (the CI mode).
+
+use std::time::Instant;
+
+use approx_arith::{CompiledMultiplier, FullAdderKind, Mult2x2Kind, RecursiveMultiplier};
+use hwmodel::report::fmt_f64;
+use pan_tompkins::{MulEngine, PipelineConfig, StageKind};
+use xbiosip::exhaustive::{heuristic_search, heuristic_search_sequential};
+use xbiosip::parallel::worker_count;
+use xbiosip::quality_eval::{Evaluator, QualityConstraint};
+
+/// Operand pairs exercised per configuration in the equivalence gate:
+/// boundary patterns plus a deterministic pseudo-random spread.
+fn check_vectors() -> Vec<(u64, u64)> {
+    let mut v = vec![
+        (0u64, 0u64),
+        (1, 1),
+        (0, 65535),
+        (65535, 0),
+        (65535, 65535),
+        (32768, 32767),
+        (255, 256),
+        (0x5555, 0xAAAA),
+    ];
+    // SplitMix64 spread — fixed seed so CI sees the same vectors every run.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..56 {
+        let r = next();
+        v.push((r & 0xFFFF, (r >> 16) & 0xFFFF));
+    }
+    v
+}
+
+/// Section 1: compiled vs bit-level on the full 16×16 configuration grid.
+/// Returns the number of configurations checked; exits non-zero on any
+/// divergence.
+fn equivalence_gate() -> usize {
+    let vectors = check_vectors();
+    let mut configs = 0usize;
+    for k in 0..=32u32 {
+        for mult in Mult2x2Kind::ALL {
+            for add in FullAdderKind::ALL {
+                let bit = RecursiveMultiplier::new(16, k, mult, add);
+                let fast = CompiledMultiplier::from_recursive(&bit);
+                configs += 1;
+                for &(a, b) in &vectors {
+                    let expect = bit.mul_unsigned(a, b);
+                    let got = fast.mul_unsigned(a, b);
+                    if got != expect {
+                        eprintln!(
+                            "DIVERGENCE: k={k} {mult} {add}: {a}x{b} -> compiled {got}, bit-level {expect}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+    configs
+}
+
+/// Section 2: raw multiplier throughput on the paper's main configuration.
+fn throughput() {
+    const N: u64 = 2_000_000;
+    let bit = RecursiveMultiplier::new(16, 8, Mult2x2Kind::V1, FullAdderKind::Ama5);
+    let fast = CompiledMultiplier::from_recursive(&bit);
+    let run = |f: &dyn Fn(u64, u64) -> u64| {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..N {
+            let a = (i.wrapping_mul(48271)) & 0xFFFF;
+            let b = (i.wrapping_mul(16807) >> 4) & 0xFFFF;
+            acc = acc.wrapping_add(f(a, b));
+        }
+        (t0.elapsed(), acc)
+    };
+    let (t_bit, acc_bit) = run(&|a, b| bit.mul_unsigned(a, b));
+    let (t_fast, acc_fast) = run(&|a, b| fast.mul_unsigned(a, b));
+    assert_eq!(acc_bit, acc_fast, "engines disagreed during throughput run");
+    let rate = |t: std::time::Duration| N as f64 / t.as_secs_f64();
+    println!("multiplier throughput (16x16, k=8, AppMultV1/ApproxAdd5):");
+    println!(
+        "  bit-level: {:>12} muls/s   ({t_bit:.2?} for {N} muls)",
+        fmt_f64(rate(t_bit), 0)
+    );
+    println!(
+        "  compiled:  {:>12} muls/s   ({t_fast:.2?} for {N} muls)",
+        fmt_f64(rate(t_fast), 0)
+    );
+    println!(
+        "  speedup:   {}x\n",
+        fmt_f64(t_bit.as_secs_f64() / t_fast.as_secs_f64().max(1e-12), 1)
+    );
+}
+
+/// Section 3: the Fig 11 measured search, before-path vs after-path.
+fn end_to_end() {
+    let record = xbiosip_bench::quick_record();
+    let stages = [(StageKind::Lpf, 16u32), (StageKind::Hpf, 16u32)];
+    let constraint = QualityConstraint::MinPsnr(20.0);
+
+    println!(
+        "end-to-end two-stage pre-processing search ({} grid points, {} samples/record):",
+        9 * 9,
+        record.len()
+    );
+
+    // Before: bit-level engine, one grid point at a time (the seed's path).
+    let evaluator = Evaluator::with_reference(
+        &record,
+        PipelineConfig::exact().with_engine(MulEngine::BitLevel),
+    );
+    let t0 = Instant::now();
+    let before = heuristic_search_sequential(
+        &evaluator,
+        constraint,
+        &stages,
+        FullAdderKind::Ama5,
+        Mult2x2Kind::V1,
+        PipelineConfig::exact().with_engine(MulEngine::BitLevel),
+    );
+    let t_before = t0.elapsed();
+
+    // After: compiled engine, parallel grid sweep.
+    let evaluator = Evaluator::new(&record);
+    let t1 = Instant::now();
+    let after = heuristic_search(
+        &evaluator,
+        constraint,
+        &stages,
+        FullAdderKind::Ama5,
+        Mult2x2Kind::V1,
+        PipelineConfig::exact(),
+    );
+    let t_after = t1.elapsed();
+
+    assert_eq!(
+        before.best, after.best,
+        "bit-level and compiled searches chose different designs"
+    );
+    assert_eq!(before.satisfying(), after.satisfying());
+
+    let speedup = t_before.as_secs_f64() / t_after.as_secs_f64().max(1e-12);
+    println!(
+        "  bit-level sequential: {t_before:.2?}  ({} points)",
+        before.points.len()
+    );
+    println!(
+        "  compiled parallel:    {t_after:.2?}  ({} workers)",
+        worker_count(after.points.len())
+    );
+    println!(
+        "  wall-clock speedup:   {}x  (target >= 20x)",
+        fmt_f64(speedup, 1)
+    );
+    if speedup < 20.0 {
+        println!("  WARNING: below the 20x target on this machine");
+    }
+}
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+    xbiosip_bench::banner(
+        "Extension — compiled engine vs bit-level netlist walk",
+        "equivalence gate + throughput + Fig 11 measured search",
+    );
+
+    let t0 = Instant::now();
+    let configs = equivalence_gate();
+    println!(
+        "equivalence gate: {} configurations x {} operand vectors — all identical ({:.2?})\n",
+        configs,
+        check_vectors().len(),
+        t0.elapsed()
+    );
+    if check_only {
+        return;
+    }
+
+    throughput();
+    end_to_end();
+}

@@ -6,7 +6,7 @@
 use hwmodel::report::fmt_f64;
 use hwmodel::Table;
 use pan_tompkins::PipelineConfig;
-use xbiosip::quality_eval::Evaluator;
+use xbiosip::quality_eval::evaluate_across_records;
 
 fn main() {
     xbiosip_bench::banner(
@@ -30,16 +30,21 @@ fn main() {
         "PSNR [dB]",
         "SSIM",
     ]);
+    // One worker per record: each builds its evaluator (including the
+    // accurate reference run) and scores all four designs; row order stays
+    // the corpus order.
+    let records = ecg::nsrdb::all_records();
+    let configs: Vec<PipelineConfig> = designs.iter().map(|(_, c)| *c).collect();
+    let per_record = evaluate_across_records(&records, &configs);
+
     let mut worst_accuracy: f64 = 1.0;
-    for record in ecg::nsrdb::all_records() {
-        let mut evaluator = Evaluator::new(&record);
-        for (name, config) in designs {
-            let r = evaluator.evaluate(&config);
+    for (record, reports) in records.iter().zip(per_record) {
+        for ((name, _), r) in designs.iter().zip(reports) {
             worst_accuracy = worst_accuracy.min(r.peak_accuracy);
             table.row_owned(vec![
                 record.name().to_owned(),
                 record.r_peaks().len().to_string(),
-                name.to_owned(),
+                (*name).to_owned(),
                 format!("{:.2}%", r.peak_accuracy * 100.0),
                 format!("{:.1}%", r.ppv * 100.0),
                 fmt_f64(r.psnr_db.min(99.9), 1),

@@ -23,8 +23,8 @@ fn main() {
         &format!("{record}"),
     );
 
-    let mut evaluator = Evaluator::new(&record);
-    let profile = ResilienceProfile::analyze_up_to(&mut evaluator, StageKind::Lpf, 16);
+    let evaluator = Evaluator::new(&record);
+    let profile = ResilienceProfile::analyze_up_to(&evaluator, StageKind::Lpf, 16);
 
     let mut table = Table::new(&[
         "LSBs",

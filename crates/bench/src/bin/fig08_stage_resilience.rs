@@ -21,7 +21,7 @@ fn main() {
         &format!("{record}"),
     );
 
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     let panels = [
         (StageKind::Hpf, 16u32, "(a) High Pass Filter"),
         (StageKind::Derivative, 8, "(b) Differentiator"),
@@ -31,7 +31,7 @@ fn main() {
 
     for (stage, max_lsbs, title) in panels {
         println!("--- {title} ---");
-        let profile = ResilienceProfile::analyze_up_to(&mut evaluator, stage, max_lsbs);
+        let profile = ResilienceProfile::analyze_up_to(&evaluator, stage, max_lsbs);
         let mut table = Table::new(&[
             "LSBs",
             "energy red. (module-sum)",

@@ -20,7 +20,7 @@ fn main() {
         &format!("{record}"),
     );
 
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     let mut table = Table::new(&[
         "config",
         "LPF",

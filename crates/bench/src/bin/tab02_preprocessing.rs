@@ -34,10 +34,10 @@ fn main() {
 
     // Full 9x9 grid (the paper's "exhaustive exploration of all 81
     // combinations", i.e. the heuristic baseline).
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     let grid_start = Instant::now();
     let grid = heuristic_search(
-        &mut evaluator,
+        &evaluator,
         QualityConstraint::MinPsnr(PSNR_CONSTRAINT),
         &[(StageKind::Lpf, 16), (StageKind::Hpf, 16)],
         FullAdderKind::Ama5,
@@ -79,11 +79,11 @@ fn main() {
     println!("(* = satisfies the PSNR constraint)\n");
 
     // Algorithm 1 on the same space.
-    let mut evaluator2 = Evaluator::new(&record);
+    let evaluator2 = Evaluator::new(&record);
     let (adds, mults) = DesignGenerator::paper_lists();
     let alg_start = Instant::now();
     let outcome = DesignGenerator::new(
-        &mut evaluator2,
+        &evaluator2,
         QualityConstraint::MinPsnr(PSNR_CONSTRAINT),
         adds,
         mults,

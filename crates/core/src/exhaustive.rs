@@ -47,25 +47,25 @@ impl SearchResult {
     }
 }
 
-/// The heuristic search: a fixed global module pair, even LSB counts per
-/// stage (`0, 2, ..., max`), full cross product over the given stages.
+/// Enumerates the heuristic grid in canonical (odometer) order: a fixed
+/// global module pair, even LSB counts per stage (`0, 2, ..., max`), full
+/// cross product over the given stages.
 ///
-/// With the paper's pre-processing stages (LPF and HPF to 16 LSBs) this is
-/// the 81-point grid of Table 2.
-pub fn heuristic_search(
-    evaluator: &mut Evaluator,
-    constraint: QualityConstraint,
+/// Both search drivers share this enumeration, which is what makes the
+/// parallel search deterministic: point order is fixed here, not by
+/// evaluation timing.
+#[must_use]
+pub fn heuristic_grid(
     stages: &[(StageKind, u32)],
     add: FullAdderKind,
     mult: Mult2x2Kind,
     base: PipelineConfig,
-) -> SearchResult {
+) -> Vec<PipelineConfig> {
     let axes: Vec<Vec<u32>> = stages
         .iter()
         .map(|(_, max)| (0..=max / 2).map(|i| i * 2).collect())
         .collect();
-    let mut points: Vec<GridPoint> = Vec::new();
-    let mut best: Option<usize> = None;
+    let mut configs = Vec::new();
     let mut index = vec![0usize; stages.len()];
     loop {
         let mut config = base;
@@ -78,26 +78,7 @@ pub fn heuristic_search(
             };
             config = config.with_stage(*stage, arith);
         }
-        let report = evaluator.evaluate(&config);
-        let satisfied = constraint.is_satisfied_by(&report);
-        let point = GridPoint {
-            lsbs: config.lsb_vector(),
-            report,
-            satisfied,
-        };
-        if satisfied {
-            let better = match best {
-                None => true,
-                Some(b) => {
-                    report.energy_reduction_calibrated
-                        > points[b].report.energy_reduction_calibrated
-                }
-            };
-            if better {
-                best = Some(points.len());
-            }
-        }
-        points.push(point);
+        configs.push(config);
 
         // Odometer increment over the axes.
         let mut carry = true;
@@ -115,7 +96,74 @@ pub fn heuristic_search(
             break;
         }
     }
+    configs
+}
+
+/// Folds evaluated reports into the search result, keeping the first
+/// strictly-best satisfying point — the same scan for both drivers.
+fn collect_result(
+    configs: Vec<PipelineConfig>,
+    reports: Vec<QualityReport>,
+    constraint: QualityConstraint,
+) -> SearchResult {
+    let mut points: Vec<GridPoint> = Vec::with_capacity(configs.len());
+    let mut best: Option<usize> = None;
+    for (config, report) in configs.into_iter().zip(reports) {
+        let satisfied = constraint.is_satisfied_by(&report);
+        if satisfied {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    report.energy_reduction_calibrated
+                        > points[b].report.energy_reduction_calibrated
+                }
+            };
+            if better {
+                best = Some(points.len());
+            }
+        }
+        points.push(GridPoint {
+            lsbs: config.lsb_vector(),
+            report,
+            satisfied,
+        });
+    }
     SearchResult { points, best }
+}
+
+/// The heuristic search, fanned out across a worker pool: every grid point
+/// is an independent behavioral evaluation, so the sweep parallelizes
+/// perfectly. Point order, reports and the chosen best are identical to
+/// [`heuristic_search_sequential`] (asserted by the determinism test).
+///
+/// With the paper's pre-processing stages (LPF and HPF to 16 LSBs) this is
+/// the 81-point grid of Table 2.
+pub fn heuristic_search(
+    evaluator: &Evaluator,
+    constraint: QualityConstraint,
+    stages: &[(StageKind, u32)],
+    add: FullAdderKind,
+    mult: Mult2x2Kind,
+    base: PipelineConfig,
+) -> SearchResult {
+    let configs = heuristic_grid(stages, add, mult, base);
+    let reports = evaluator.evaluate_batch(&configs);
+    collect_result(configs, reports, constraint)
+}
+
+/// The heuristic search evaluated strictly one point at a time, in grid
+/// order — the reference the parallel driver is checked against.
+pub fn heuristic_search_sequential(
+    evaluator: &Evaluator,
+    constraint: QualityConstraint,
+    stages: &[(StageKind, u32)],
+    add: FullAdderKind,
+    mult: Mult2x2Kind,
+    base: PipelineConfig,
+) -> SearchResult {
+    let configs = heuristic_grid(stages, add, mult, base);
+    let reports: Vec<QualityReport> = configs.iter().map(|c| evaluator.evaluate(c)).collect();
+    collect_result(configs, reports, constraint)
 }
 
 /// Number of design points an *exhaustive* search would evaluate for the
@@ -162,9 +210,9 @@ mod tests {
     #[test]
     fn heuristic_grid_covers_the_full_cross_product() {
         let record = ecg::nsrdb::paper_record().truncated(4000);
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let result = heuristic_search(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(15.0),
             &[(StageKind::Lpf, 4), (StageKind::Hpf, 4)],
             FullAdderKind::Ama5,
@@ -183,12 +231,47 @@ mod tests {
         assert_eq!(seen.len(), 9, "grid points not unique");
     }
 
+    /// The satellite contract: the parallel sweep must return *exactly* the
+    /// `SearchResult` of the sequential walk — same point order, same
+    /// reports, same best index.
+    #[test]
+    fn parallel_search_is_deterministic_and_matches_sequential() {
+        let record = ecg::nsrdb::paper_record().truncated(4000);
+        let evaluator = Evaluator::new(&record);
+        let run = |parallel: bool| {
+            let args = (
+                QualityConstraint::MinPsnr(15.0),
+                &[(StageKind::Lpf, 8), (StageKind::Hpf, 8)][..],
+                FullAdderKind::Ama5,
+                Mult2x2Kind::V1,
+                PipelineConfig::exact(),
+            );
+            if parallel {
+                heuristic_search(&evaluator, args.0, args.1, args.2, args.3, args.4)
+            } else {
+                heuristic_search_sequential(&evaluator, args.0, args.1, args.2, args.3, args.4)
+            }
+        };
+        let par = run(true);
+        let seq = run(false);
+        let par2 = run(true);
+        for (label, other) in [("sequential", &seq), ("repeat parallel", &par2)] {
+            assert_eq!(par.best, other.best, "best index diverged vs {label}");
+            assert_eq!(par.points.len(), other.points.len());
+            for (i, (a, b)) in par.points.iter().zip(&other.points).enumerate() {
+                assert_eq!(a.lsbs, b.lsbs, "point {i} order diverged vs {label}");
+                assert_eq!(a.satisfied, b.satisfied, "point {i} vs {label}");
+                assert_eq!(a.report, b.report, "point {i} report vs {label}");
+            }
+        }
+    }
+
     #[test]
     fn best_point_maximises_energy_among_satisfying() {
         let record = ecg::nsrdb::paper_record().truncated(4000);
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let result = heuristic_search(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(10.0),
             &[(StageKind::Lpf, 8)],
             FullAdderKind::Ama5,

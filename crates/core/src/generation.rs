@@ -111,8 +111,12 @@ impl GenerationOutcome {
 }
 
 /// Algorithm 1: the three-phase design generator.
+///
+/// The methodology is inherently sequential (each probe depends on the
+/// previous outcome), so it shares an `&Evaluator` rather than a worker
+/// pool; its speed comes from the compiled arithmetic engine underneath.
 pub struct DesignGenerator<'a> {
-    evaluator: &'a mut Evaluator,
+    evaluator: &'a Evaluator,
     constraint: QualityConstraint,
     add_list: Vec<FullAdderKind>,
     mult_list: Vec<Mult2x2Kind>,
@@ -134,7 +138,7 @@ impl<'a> DesignGenerator<'a> {
     ///
     /// Panics if either module list is empty.
     pub fn new(
-        evaluator: &'a mut Evaluator,
+        evaluator: &'a Evaluator,
         constraint: QualityConstraint,
         add_list: Vec<FullAdderKind>,
         mult_list: Vec<Mult2x2Kind>,
@@ -387,10 +391,10 @@ mod tests {
     #[test]
     fn generation_explores_few_points_and_satisfies_constraint() {
         let record = record();
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let (adds, mults) = DesignGenerator::paper_lists();
         let generator = DesignGenerator::new(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(20.0),
             adds,
             mults,
@@ -426,10 +430,10 @@ mod tests {
     #[test]
     fn phase_one_walks_down_from_max_lsbs() {
         let record = record();
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let (adds, mults) = DesignGenerator::paper_lists();
         let generator = DesignGenerator::new(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(15.0),
             adds,
             mults,
@@ -448,10 +452,10 @@ mod tests {
     #[test]
     fn unsatisfiable_constraint_falls_back_to_exact() {
         let record = record();
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let (adds, mults) = DesignGenerator::paper_lists();
         let generator = DesignGenerator::new(
-            &mut evaluator,
+            &evaluator,
             // Peak accuracy can never exceed 1.0, so this is unsatisfiable.
             QualityConstraint::MinPeakAccuracy(2.0),
             adds,
@@ -468,10 +472,10 @@ mod tests {
         // Give HPF a *smaller* max reduction than LPF: the generator must
         // then start with HPF.
         let record = record();
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let (adds, mults) = DesignGenerator::paper_lists();
         let generator = DesignGenerator::new(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(10.0),
             adds,
             mults,
@@ -490,10 +494,10 @@ mod tests {
     #[test]
     fn diagonal_phase_produces_pairs() {
         let record = record();
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let (adds, mults) = DesignGenerator::paper_lists();
         let generator = DesignGenerator::new(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(20.0),
             adds,
             mults,
@@ -516,10 +520,10 @@ mod tests {
     #[should_panic(expected = "at least one stage")]
     fn empty_spaces_rejected() {
         let record = record();
-        let mut evaluator = Evaluator::new(&record);
+        let evaluator = Evaluator::new(&record);
         let (adds, mults) = DesignGenerator::paper_lists();
         let generator = DesignGenerator::new(
-            &mut evaluator,
+            &evaluator,
             QualityConstraint::MinPsnr(15.0),
             adds,
             mults,
@@ -544,9 +548,9 @@ mod ablation_tests {
         };
         let (adds, mults) = DesignGenerator::paper_lists();
 
-        let mut full_eval = Evaluator::new(&record);
+        let full_eval = Evaluator::new(&record);
         let full = DesignGenerator::new(
-            &mut full_eval,
+            &full_eval,
             QualityConstraint::MinPsnr(20.0),
             adds.clone(),
             mults.clone(),
@@ -554,9 +558,9 @@ mod ablation_tests {
         )
         .generate(spaces());
 
-        let mut ablated_eval = Evaluator::new(&record);
+        let ablated_eval = Evaluator::new(&record);
         let ablated = DesignGenerator::new(
-            &mut ablated_eval,
+            &ablated_eval,
             QualityConstraint::MinPsnr(20.0),
             adds,
             mults,

@@ -19,7 +19,10 @@
 //!    [`exhaustive`] and heuristic baselines (Table 2, Fig 11).
 //!
 //! [`configs`] carries the paper's evaluated hardware configurations
-//! (A1, A2, B1..B14 of Fig 12).
+//! (A1, A2, B1..B14 of Fig 12). [`parallel`] provides the std-only worker
+//! pool that fans grid searches, resilience sweeps and batch scoring out
+//! across cores (deterministically — parallel results are bit-identical to
+//! the sequential walk).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod configs;
 pub mod exhaustive;
 pub mod exploration;
 pub mod generation;
+pub mod parallel;
 pub mod pareto;
 pub mod quality_eval;
 pub mod resilience;

@@ -1,0 +1,118 @@
+//! A dependency-free worker pool for embarrassingly parallel sweeps.
+//!
+//! The exploration loops of this crate evaluate many independent design
+//! points (grid points of a search, records of a corpus); each evaluation
+//! runs a full behavioral pipeline and is far heavier than any scheduling
+//! overhead. With no crates.io access in the build environment, the pool is
+//! built on `std::thread::scope` alone: workers pull indices from a shared
+//! atomic counter and results are re-assembled **in index order**, so a
+//! parallel map is observably identical to its sequential counterpart
+//! (asserted by the determinism tests in [`crate::exhaustive`]).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel sweep of `jobs` items uses: the
+/// machine's available parallelism, never more than the job count, at least
+/// one.
+#[must_use]
+pub fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs)
+        .max(1)
+}
+
+/// Evaluates `f(0..n)` across a scoped worker pool and returns the results
+/// in index order — the deterministic parallel equivalent of
+/// `(0..n).map(f).collect()`.
+///
+/// Work is distributed dynamically (an atomic next-index counter), so
+/// heavier items don't stall a statically assigned chunk. A panic in any
+/// worker is resumed on the calling thread after the scope joins.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut harvested: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    harvested.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(harvested.len(), n);
+    harvested.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = parallel_map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(0, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(parallel_map(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Make early indices slow so late indices finish first.
+        let out = parallel_map(32, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_jobs() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn worker_panics_propagate() {
+        let _ = parallel_map(8, |i| {
+            assert!(i != 5, "deliberate");
+            i
+        });
+    }
+}

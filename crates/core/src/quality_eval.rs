@@ -2,10 +2,14 @@
 //! (PSNR/SSIM on the pre-processed, i.e. high-pass-filtered, signal) and an
 //! *application* gate (QRS peak-detection accuracy on the final output).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use ecg::EcgRecord;
 use hwmodel::{CalibratedModel, StageCost};
 use pan_tompkins::{PipelineConfig, QrsDetector, StageKind};
 use quality::{psnr, PeakMatcher, Ssim};
+
+use crate::parallel::parallel_map;
 
 /// Samples excluded at the start of a record when scoring (the detector's
 /// 2 s learning phase).
@@ -71,6 +75,10 @@ pub struct QualityReport {
 /// The accurate high-pass-filtered signal is the PSNR/SSIM reference
 /// ("considering the accurate High Pass Filtered signal as a reference",
 /// paper §6) and the record's annotated beats are the detection reference.
+///
+/// Evaluation takes `&self` (the per-design pipeline state lives inside the
+/// call), so one evaluator can score many design points concurrently —
+/// [`Evaluator::evaluate_batch`] fans a grid out across a worker pool.
 #[derive(Debug)]
 pub struct Evaluator {
     record: EcgRecord,
@@ -79,7 +87,7 @@ pub struct Evaluator {
     calibrated: CalibratedModel,
     matcher: PeakMatcher,
     ssim: Ssim,
-    evaluations: u64,
+    evaluations: AtomicU64,
 }
 
 impl Evaluator {
@@ -113,7 +121,7 @@ impl Evaluator {
             calibrated: CalibratedModel::paper(),
             matcher: PeakMatcher::default(),
             ssim: Ssim::default(),
-            evaluations: 0,
+            evaluations: AtomicU64::new(0),
         }
     }
 
@@ -127,12 +135,12 @@ impl Evaluator {
     /// "exploration time" in the paper's Fig 11).
     #[must_use]
     pub fn evaluations(&self) -> u64 {
-        self.evaluations
+        self.evaluations.load(Ordering::Relaxed)
     }
 
     /// Runs the pipeline under `config` and scores it.
-    pub fn evaluate(&mut self, config: &PipelineConfig) -> QualityReport {
-        self.evaluations += 1;
+    pub fn evaluate(&self, config: &PipelineConfig) -> QualityReport {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
         let mut detector = QrsDetector::new(*config);
         let result = detector.detect(self.record.samples());
 
@@ -178,6 +186,15 @@ impl Evaluator {
         }
     }
 
+    /// Scores every configuration, fanning the evaluations out across a
+    /// worker pool. Reports come back in input order and are identical to
+    /// sequential evaluation (each design point is independent); the
+    /// evaluation counter advances by `configs.len()`.
+    #[must_use]
+    pub fn evaluate_batch(&self, configs: &[PipelineConfig]) -> Vec<QualityReport> {
+        parallel_map(configs.len(), |i| self.evaluate(&configs[i]))
+    }
+
     /// Calibrated energy reduction of the *pre-processing* section only
     /// (LPF+HPF) — the quantity reported in the paper's Table 2.
     #[must_use]
@@ -189,6 +206,21 @@ impl Evaluator {
             + w_h / self.calibrated.stage_reduction(1, lsbs[1]);
         (w_l + w_h) / denom
     }
+}
+
+/// Scores a set of configurations against every record in parallel: one
+/// evaluator — including its accurate reference run — per record, each on
+/// its own worker, scoring all `configs` against that record. The outer
+/// result is in record order, the inner in config order.
+#[must_use]
+pub fn evaluate_across_records(
+    records: &[EcgRecord],
+    configs: &[PipelineConfig],
+) -> Vec<Vec<QualityReport>> {
+    parallel_map(records.len(), |i| {
+        let evaluator = Evaluator::new(&records[i]);
+        configs.iter().map(|c| evaluator.evaluate(c)).collect()
+    })
 }
 
 /// End-to-end energy reduction under the transparent module-sum model
@@ -226,7 +258,7 @@ mod tests {
     #[test]
     fn exact_config_scores_perfectly() {
         let record = short_record();
-        let mut ev = Evaluator::new(&record);
+        let ev = Evaluator::new(&record);
         let r = ev.evaluate(&PipelineConfig::exact());
         assert!(r.psnr_db.is_infinite(), "exact PSNR should be infinite");
         assert!((r.ssim - 1.0).abs() < 1e-9);
@@ -238,7 +270,7 @@ mod tests {
     #[test]
     fn evaluation_counter_increments() {
         let record = short_record();
-        let mut ev = Evaluator::new(&record);
+        let ev = Evaluator::new(&record);
         assert_eq!(ev.evaluations(), 0);
         let _ = ev.evaluate(&PipelineConfig::exact());
         let _ = ev.evaluate(&PipelineConfig::least_energy([2, 0, 0, 0, 0]));
@@ -248,7 +280,7 @@ mod tests {
     #[test]
     fn approximation_reduces_psnr_and_energy_together() {
         let record = short_record();
-        let mut ev = Evaluator::new(&record);
+        let ev = Evaluator::new(&record);
         let mild = ev.evaluate(&PipelineConfig::least_energy([2, 2, 0, 0, 0]));
         let heavy = ev.evaluate(&PipelineConfig::least_energy([10, 10, 0, 0, 0]));
         assert!(mild.psnr_db > heavy.psnr_db, "PSNR should degrade with k");
@@ -262,7 +294,7 @@ mod tests {
     #[test]
     fn ssim_degrades_with_approximation() {
         let record = short_record();
-        let mut ev = Evaluator::new(&record);
+        let ev = Evaluator::new(&record);
         let mild = ev.evaluate(&PipelineConfig::least_energy([2, 2, 0, 0, 0]));
         let heavy = ev.evaluate(&PipelineConfig::least_energy([12, 12, 0, 0, 0]));
         assert!(mild.ssim > heavy.ssim);
@@ -309,5 +341,42 @@ mod tests {
     #[test]
     fn module_sum_reduction_of_exact_is_one() {
         assert!((module_sum_reduction(&PipelineConfig::exact()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_sequential_exactly() {
+        let record = short_record();
+        let ev = Evaluator::new(&record);
+        let configs: Vec<PipelineConfig> = [0u32, 2, 4, 6, 8, 10]
+            .iter()
+            .map(|k| PipelineConfig::least_energy([*k, *k, 0, 0, 0]))
+            .collect();
+        let sequential: Vec<QualityReport> = configs.iter().map(|c| ev.evaluate(c)).collect();
+        let batch = ev.evaluate_batch(&configs);
+        assert_eq!(batch.len(), sequential.len());
+        for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            assert_eq!(b, s, "config {i} diverged between batch and sequential");
+        }
+        assert_eq!(ev.evaluations(), 2 * configs.len() as u64);
+    }
+
+    #[test]
+    fn across_records_matches_per_record_evaluators() {
+        let records: Vec<EcgRecord> = vec![
+            ecg::nsrdb::paper_record().truncated(4000),
+            ecg::nsrdb::paper_record().truncated(6000),
+        ];
+        let configs = [
+            PipelineConfig::least_energy([4, 4, 0, 0, 0]),
+            PipelineConfig::exact(),
+        ];
+        let parallel = evaluate_across_records(&records, &configs);
+        assert_eq!(parallel.len(), records.len());
+        for (record, reports) in records.iter().zip(&parallel) {
+            let evaluator = Evaluator::new(record);
+            for (config, report) in configs.iter().zip(reports) {
+                assert_eq!(*report, evaluator.evaluate(config));
+            }
+        }
     }
 }

@@ -38,32 +38,45 @@ pub struct ResilienceProfile {
 impl ResilienceProfile {
     /// Sweeps stage `stage` from 0 LSBs to its paper bound in steps of 2,
     /// evaluating the full application each time (every other stage exact).
-    pub fn analyze(evaluator: &mut Evaluator, stage: StageKind) -> Self {
+    /// Sweep points are independent designs, so they run across the worker
+    /// pool; results keep ascending LSB order.
+    pub fn analyze(evaluator: &Evaluator, stage: StageKind) -> Self {
         Self::analyze_up_to(evaluator, stage, stage.max_approx_lsbs())
     }
 
     /// Sweeps with an explicit upper bound on the LSB count.
-    pub fn analyze_up_to(evaluator: &mut Evaluator, stage: StageKind, max_lsbs: u32) -> Self {
+    pub fn analyze_up_to(evaluator: &Evaluator, stage: StageKind, max_lsbs: u32) -> Self {
         let calibrated = CalibratedModel::paper();
-        let mut points = Vec::new();
-        for k in (0..=max_lsbs).step_by(2) {
-            let arith = if k == 0 {
-                StageArith::exact()
-            } else {
-                StageArith::least_energy(k)
-            };
-            let config = PipelineConfig::exact().with_stage(stage, arith);
-            let report = evaluator.evaluate(&config);
-            let exact_cost =
-                StageCost::fir(stage.multipliers(), stage.adders(), StageArith::exact()).cost();
-            let our_cost = StageCost::fir(stage.multipliers(), stage.adders(), arith).cost();
-            points.push(ResiliencePoint {
-                lsbs: k,
-                report,
-                reductions: our_cost.reduction_from(&exact_cost),
-                calibrated_energy: calibrated.stage_reduction(stage.index(), k),
-            });
-        }
+        let ariths: Vec<StageArith> = (0..=max_lsbs)
+            .step_by(2)
+            .map(|k| {
+                if k == 0 {
+                    StageArith::exact()
+                } else {
+                    StageArith::least_energy(k)
+                }
+            })
+            .collect();
+        let configs: Vec<PipelineConfig> = ariths
+            .iter()
+            .map(|arith| PipelineConfig::exact().with_stage(stage, *arith))
+            .collect();
+        let reports = evaluator.evaluate_batch(&configs);
+        let exact_cost =
+            StageCost::fir(stage.multipliers(), stage.adders(), StageArith::exact()).cost();
+        let points = ariths
+            .iter()
+            .zip(reports)
+            .map(|(arith, report)| {
+                let our_cost = StageCost::fir(stage.multipliers(), stage.adders(), *arith).cost();
+                ResiliencePoint {
+                    lsbs: arith.approx_lsbs,
+                    report,
+                    reductions: our_cost.reduction_from(&exact_cost),
+                    calibrated_energy: calibrated.stage_reduction(stage.index(), arith.approx_lsbs),
+                }
+            })
+            .collect();
         Self { stage, points }
     }
 
@@ -112,8 +125,8 @@ mod tests {
 
     #[test]
     fn sweep_starts_exact_and_steps_by_two() {
-        let mut ev = evaluator();
-        let profile = ResilienceProfile::analyze_up_to(&mut ev, StageKind::Squarer, 8);
+        let ev = evaluator();
+        let profile = ResilienceProfile::analyze_up_to(&ev, StageKind::Squarer, 8);
         let lsbs: Vec<u32> = profile.points.iter().map(|p| p.lsbs).collect();
         assert_eq!(lsbs, vec![0, 2, 4, 6, 8]);
         assert!((profile.points[0].report.ssim - 1.0).abs() < 1e-9);
@@ -122,8 +135,8 @@ mod tests {
 
     #[test]
     fn energy_reduction_monotone_in_lsbs() {
-        let mut ev = evaluator();
-        let profile = ResilienceProfile::analyze_up_to(&mut ev, StageKind::Lpf, 12);
+        let ev = evaluator();
+        let profile = ResilienceProfile::analyze_up_to(&ev, StageKind::Lpf, 12);
         for pair in profile.points.windows(2) {
             assert!(
                 pair[1].reductions.energy >= pair[0].reductions.energy - 1e-9,
@@ -140,9 +153,9 @@ mod tests {
     fn mwi_tolerates_more_lsbs_than_derivative() {
         // The paper's headline ordering: the integrator is extremely
         // error-resilient, the derivative is not.
-        let mut ev = evaluator();
-        let mwi = ResilienceProfile::analyze(&mut ev, StageKind::Mwi);
-        let der = ResilienceProfile::analyze_up_to(&mut ev, StageKind::Derivative, 16);
+        let ev = evaluator();
+        let mwi = ResilienceProfile::analyze(&ev, StageKind::Mwi);
+        let der = ResilienceProfile::analyze_up_to(&ev, StageKind::Derivative, 16);
         let mwi_threshold = mwi.resilience_threshold(0.99);
         let der_threshold = der.resilience_threshold(0.99);
         assert!(
@@ -157,8 +170,8 @@ mod tests {
 
     #[test]
     fn lpf_ssim_degrades_before_accuracy() {
-        let mut ev = evaluator();
-        let profile = ResilienceProfile::analyze(&mut ev, StageKind::Lpf);
+        let ev = evaluator();
+        let profile = ResilienceProfile::analyze(&ev, StageKind::Lpf);
         let ssim_at = profile.ssim_threshold(0.9);
         let acc_at = profile.resilience_threshold(0.99);
         assert!(
@@ -169,8 +182,8 @@ mod tests {
 
     #[test]
     fn thresholds_of_flat_profile() {
-        let mut ev = evaluator();
-        let profile = ResilienceProfile::analyze_up_to(&mut ev, StageKind::Squarer, 4);
+        let ev = evaluator();
+        let profile = ResilienceProfile::analyze_up_to(&ev, StageKind::Squarer, 4);
         // At worst the threshold is 0 (the exact point always qualifies for
         // accuracy thresholds below the exact accuracy).
         assert!(profile.resilience_threshold(2.0) == 0);

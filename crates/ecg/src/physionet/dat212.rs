@@ -101,6 +101,48 @@ mod tests {
         assert_eq!(back, samples);
     }
 
+    /// Golden bytes for an odd sample count, per the WFDB spec: the final
+    /// 3-byte group stores the trailing sample in byte 0 plus the *low*
+    /// nibble of byte 1, with the phantom second sample (high nibble +
+    /// byte 2) zero.
+    #[test]
+    fn odd_count_golden_bytes_match_wfdb_spec() {
+        // s0 = 5 (0x005), s1 = −7 (0xFF9), s2 = 9 (0x009).
+        let bytes = encode_format212(&[5, -7, 9]).unwrap();
+        assert_eq!(
+            bytes,
+            vec![
+                0x05, // group 0, byte 0: s0 bits 0..8
+                0xF0, // group 0, byte 1: low nibble s0 bits 8..12, high nibble s1 bits 8..12
+                0xF9, // group 0, byte 2: s1 bits 0..8
+                0x09, // group 1, byte 0: s2 bits 0..8
+                0x00, // group 1, byte 1: low nibble s2 bits 8..12, phantom high nibble 0
+                0x00, // group 1, byte 2: phantom sample bits 0..8
+            ]
+        );
+        assert_eq!(decode_format212(&bytes, 3).unwrap(), vec![5, -7, 9]);
+
+        // A single negative sample exercises the nibble placement of the
+        // trailing group alone: −2048 = 0x800.
+        assert_eq!(
+            encode_format212(&[-2048]).unwrap(),
+            vec![0x00, 0x08, 0x00],
+            "sign bits of an odd trailing sample belong in the LOW nibble"
+        );
+    }
+
+    /// Golden decode: the high nibble of the middle byte must extend the
+    /// *second* sample of the group, not the first.
+    #[test]
+    fn decode_golden_nibble_assignment() {
+        // b1 = 0xA2: low nibble 0x2 → s0 = 0x234 = 564;
+        //            high nibble 0xA → s1 = 0xA7F = −1409.
+        assert_eq!(
+            decode_format212(&[0x34, 0xA2, 0x7F], 2).unwrap(),
+            vec![564, -1409]
+        );
+    }
+
     #[test]
     fn round_trip_odd_count() {
         let samples = vec![5, -7, 9];

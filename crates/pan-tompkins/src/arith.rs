@@ -4,9 +4,63 @@
 //! Every word-level operation is counted so experiments can integrate
 //! energy as `invocations × per-invocation cost`, and every multiplier
 //! operand is range-checked against the 16-bit datapath (saturating, with a
-//! saturation counter) the way the fixed-point RTL would.
+//! per-operand saturation counter) the way the fixed-point RTL would. The
+//! 32-bit add path wraps like the hardware bus and records an overflow
+//! counter whenever the exact sum would not have fit, so quality reports can
+//! tell approximation error from datapath clipping.
+//!
+//! Two interchangeable multiplier engines produce bit-identical products:
+//! the table-compiled word-level engine ([`approx_arith::CompiledMultiplier`],
+//! the default — orders of magnitude faster at exploration scale) and the
+//! structural bit-level recursion ([`RecursiveMultiplier`], kept as the
+//! reference netlist walk for cross-checking and benchmarking).
 
-use approx_arith::{ArithConfig, OpCounter, RecursiveMultiplier, RippleCarryAdder, StageArith};
+use approx_arith::{ArithConfig, CompiledMultiplier, OpCounter, RecursiveMultiplier, StageArith};
+
+/// Which multiplier evaluation engine a backend instantiates. Both engines
+/// are bit-for-bit equivalent (property-tested in `approx_arith::compiled`);
+/// they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MulEngine {
+    /// Table-compiled word-level engine — the default fast path.
+    #[default]
+    Compiled,
+    /// Structural bit-level recursion — the reference netlist walk, kept
+    /// selectable for equivalence checks and before/after benchmarks.
+    BitLevel,
+}
+
+/// The stage multiplier block under either engine.
+#[derive(Debug, Clone)]
+enum MulBlock {
+    BitLevel(RecursiveMultiplier),
+    Compiled(CompiledMultiplier),
+}
+
+impl MulBlock {
+    fn width(&self) -> u32 {
+        match self {
+            MulBlock::BitLevel(m) => m.width(),
+            MulBlock::Compiled(m) => m.width(),
+        }
+    }
+
+    fn is_exact(&self) -> bool {
+        match self {
+            MulBlock::BitLevel(m) => m.is_exact(),
+            MulBlock::Compiled(m) => m.is_exact(),
+        }
+    }
+
+    /// Multiplies operands the backend has already clamped into range.
+    #[inline]
+    fn mul_clamped(&self, a: i64, b: i64) -> i64 {
+        match self {
+            MulBlock::BitLevel(m) => m.mul(a, b),
+            MulBlock::Compiled(m) => m.mul_signed_clamped(a, b),
+        }
+    }
+}
 
 /// A stage's arithmetic backend: one adder block and one multiplier block,
 /// instantiated from a [`StageArith`] triple, plus activity counters.
@@ -30,24 +84,39 @@ use approx_arith::{ArithConfig, OpCounter, RecursiveMultiplier, RippleCarryAdder
 #[derive(Debug, Clone)]
 pub struct ArithBackend {
     config: ArithConfig,
-    adder: RippleCarryAdder,
-    multiplier: RecursiveMultiplier,
+    engine: MulEngine,
+    adder: approx_arith::RippleCarryAdder,
+    multiplier: MulBlock,
     ops: OpCounter,
-    saturations: u64,
+    mul_saturations: u64,
+    add_overflows: u64,
 }
 
 impl ArithBackend {
     /// Builds a backend from stage approximation parameters on the paper's
-    /// bus widths (32-bit adders, 16×16 multipliers).
+    /// bus widths (32-bit adders, 16×16 multipliers), using the compiled
+    /// fast-path multiplier engine.
     #[must_use]
     pub fn new(stage: StageArith) -> Self {
+        Self::with_engine(stage, MulEngine::Compiled)
+    }
+
+    /// Builds a backend with an explicit multiplier engine.
+    #[must_use]
+    pub fn with_engine(stage: StageArith, engine: MulEngine) -> Self {
         let config = ArithConfig::new(stage);
+        let multiplier = match engine {
+            MulEngine::Compiled => MulBlock::Compiled(config.compiled_multiplier()),
+            MulEngine::BitLevel => MulBlock::BitLevel(config.multiplier()),
+        };
         Self {
             adder: config.adder(),
-            multiplier: config.multiplier(),
+            multiplier,
             config,
+            engine,
             ops: OpCounter::new(),
-            saturations: 0,
+            mul_saturations: 0,
+            add_overflows: 0,
         }
     }
 
@@ -63,25 +132,38 @@ impl ArithBackend {
         self.config
     }
 
+    /// The multiplier engine in use.
+    #[must_use]
+    pub fn engine(&self) -> MulEngine {
+        self.engine
+    }
+
     /// Adds two values through the stage adder block (32-bit wrap-around,
-    /// approximate LSB cells per the configuration).
+    /// approximate LSB cells per the configuration). Wrap events of the
+    /// exact sum are recorded in [`ArithBackend::add_overflow_events`].
+    #[inline]
     pub fn add(&mut self, a: i64, b: i64) -> i64 {
         self.ops.count_add();
+        let limit = 1i64 << (self.adder.width() - 1);
+        match a.checked_add(b) {
+            Some(sum) if (-limit..limit).contains(&sum) => {}
+            // i64 overflow is a fortiori outside any ≤63-bit bus range.
+            _ => self.add_overflows += 1,
+        }
         self.adder.add(a, b)
     }
 
     /// Multiplies through the stage multiplier block. Operands saturate into
-    /// the signed 16-bit range first (counted), like the fixed-point
-    /// datapath.
+    /// the signed 16-bit range first (each clamped operand counted), like
+    /// the fixed-point datapath.
+    #[inline]
     pub fn mul(&mut self, a: i64, b: i64) -> i64 {
         self.ops.count_mul();
         let limit = 1i64 << (self.multiplier.width() - 1);
         let ca = a.clamp(-limit, limit - 1);
         let cb = b.clamp(-limit, limit - 1);
-        if ca != a || cb != b {
-            self.saturations += 1;
-        }
-        self.multiplier.mul(ca, cb)
+        self.mul_saturations += u64::from(ca != a) + u64::from(cb != b);
+        self.multiplier.mul_clamped(ca, cb)
     }
 
     /// Squares a value through the multiplier block (the squarer stage).
@@ -95,16 +177,25 @@ impl ArithBackend {
         &self.ops
     }
 
-    /// Multiplications in which an operand saturated.
+    /// Multiplier *operands* that saturated into the datapath range: a
+    /// multiplication in which both operands clamp contributes two.
     #[must_use]
     pub fn saturation_events(&self) -> u64 {
-        self.saturations
+        self.mul_saturations
+    }
+
+    /// Additions whose exact sum did not fit the adder width and therefore
+    /// wrapped (silently, as the hardware bus would).
+    #[must_use]
+    pub fn add_overflow_events(&self) -> u64 {
+        self.add_overflows
     }
 
     /// Resets activity counters (not the configuration).
     pub fn reset_counters(&mut self) {
         self.ops.reset();
-        self.saturations = 0;
+        self.mul_saturations = 0;
+        self.add_overflows = 0;
     }
 
     /// Whether this backend computes exactly.
@@ -167,6 +258,57 @@ mod tests {
         let r = b.mul(1 << 20, 2);
         assert_eq!(r, 32767 * 2);
         assert_eq!(b.saturation_events(), 1);
+    }
+
+    #[test]
+    fn both_operands_clamping_counts_twice() {
+        let mut b = ArithBackend::exact();
+        let _ = b.mul(1 << 20, -(1 << 20));
+        assert_eq!(b.saturation_events(), 2);
+        let _ = b.mul(3, 4);
+        assert_eq!(b.saturation_events(), 2, "in-range mul must not count");
+    }
+
+    #[test]
+    fn add_overflow_is_counted_and_wraps() {
+        let mut b = ArithBackend::exact();
+        let max31 = (1i64 << 31) - 1;
+        let r = b.add(max31, 1);
+        // 32-bit bus wrap-around, exactly like the RTL.
+        assert_eq!(r, -(1i64 << 31));
+        assert_eq!(b.add_overflow_events(), 1);
+        let _ = b.add(5, 6);
+        assert_eq!(b.add_overflow_events(), 1, "in-range add must not count");
+        b.reset_counters();
+        assert_eq!(b.add_overflow_events(), 0);
+    }
+
+    #[test]
+    fn negative_add_overflow_detected() {
+        let mut b = ArithBackend::exact();
+        let min32 = -(1i64 << 31);
+        let _ = b.add(min32, -1);
+        assert_eq!(b.add_overflow_events(), 1);
+    }
+
+    #[test]
+    fn engines_produce_identical_results() {
+        let stage = StageArith::new(10, Mult2x2Kind::V1, FullAdderKind::Ama5);
+        let mut fast = ArithBackend::with_engine(stage, MulEngine::Compiled);
+        let mut slow = ArithBackend::with_engine(stage, MulEngine::BitLevel);
+        assert_eq!(fast.engine(), MulEngine::Compiled);
+        assert_eq!(slow.engine(), MulEngine::BitLevel);
+        for (a, b) in [
+            (0i64, 0i64),
+            (123, 456),
+            (-32768, 32767),
+            (1 << 20, -5),
+            (-777, -888),
+        ] {
+            assert_eq!(fast.mul(a, b), slow.mul(a, b), "{a}x{b}");
+            assert_eq!(fast.add(a, b), slow.add(a, b), "{a}+{b}");
+        }
+        assert_eq!(fast.saturation_events(), slow.saturation_events());
     }
 
     #[test]

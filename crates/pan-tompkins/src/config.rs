@@ -5,6 +5,8 @@ use std::fmt;
 
 use approx_arith::StageArith;
 
+use crate::arith::MulEngine;
+
 /// Identifies one of the five Pan-Tompkins stages, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StageKind {
@@ -107,6 +109,10 @@ pub struct PipelineConfig {
     /// records (~200 counts/mV) are shifted to occupy the 16-bit datapath
     /// the paper's ADC implies; see `DESIGN.md` §4.
     pub input_shift: u32,
+    /// The multiplier evaluation engine every stage instantiates. Both
+    /// engines are bit-identical; `BitLevel` exists for equivalence checks
+    /// and before/after benchmarks (see `DESIGN.md` §5).
+    engine: MulEngine,
 }
 
 impl PipelineConfig {
@@ -122,6 +128,7 @@ impl PipelineConfig {
         Self {
             stages: [StageArith::exact(); 5],
             input_shift: Self::DEFAULT_INPUT_SHIFT,
+            engine: MulEngine::default(),
         }
     }
 
@@ -131,6 +138,7 @@ impl PipelineConfig {
         Self {
             stages,
             input_shift: Self::DEFAULT_INPUT_SHIFT,
+            engine: MulEngine::default(),
         }
     }
 
@@ -160,6 +168,19 @@ impl PipelineConfig {
     pub fn with_stage(mut self, kind: StageKind, arith: StageArith) -> Self {
         self.stages[kind.index()] = arith;
         self
+    }
+
+    /// Selects the multiplier evaluation engine for every stage.
+    #[must_use]
+    pub fn with_engine(mut self, engine: MulEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The multiplier evaluation engine stages will instantiate.
+    #[must_use]
+    pub fn engine(&self) -> MulEngine {
+        self.engine
     }
 
     /// All five triples in pipeline order.

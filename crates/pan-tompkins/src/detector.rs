@@ -166,11 +166,13 @@ impl QrsDetector {
     /// Runs the full pipeline and detection over a record's samples.
     #[must_use]
     pub fn detect(&mut self, samples: &[i32]) -> DetectionResult {
-        let mut lpf = LowPassFilter::new(self.config.stage(StageKind::Lpf));
-        let mut hpf = HighPassFilter::new(self.config.stage(StageKind::Hpf));
-        let mut der = Derivative::new(self.config.stage(StageKind::Derivative));
-        let mut sqr = Squarer::new(self.config.stage(StageKind::Squarer));
-        let mut mwi = MovingWindowIntegrator::new(self.config.stage(StageKind::Mwi));
+        let engine = self.config.engine();
+        let mut lpf = LowPassFilter::with_engine(self.config.stage(StageKind::Lpf), engine);
+        let mut hpf = HighPassFilter::with_engine(self.config.stage(StageKind::Hpf), engine);
+        let mut der = Derivative::with_engine(self.config.stage(StageKind::Derivative), engine);
+        let mut sqr = Squarer::with_engine(self.config.stage(StageKind::Squarer), engine);
+        let mut mwi =
+            MovingWindowIntegrator::with_engine(self.config.stage(StageKind::Mwi), engine);
 
         let shift = self.config.input_shift;
         let n = samples.len();
@@ -388,6 +390,20 @@ mod tests {
             result.r_peaks().len(),
             truth.len()
         );
+    }
+
+    #[test]
+    fn compiled_and_bit_level_engines_detect_identically() {
+        use crate::arith::MulEngine;
+        let (signal, _) = pulse_train(2000, 170, 200);
+        let base = PipelineConfig::least_energy([8, 10, 2, 8, 16]);
+        let mut fast = QrsDetector::new(base);
+        let mut slow = QrsDetector::new(base.with_engine(MulEngine::BitLevel));
+        let rf = fast.detect(&signal);
+        let rs = slow.detect(&signal);
+        assert_eq!(rf.signals(), rs.signals(), "stage signals diverged");
+        assert_eq!(rf.r_peaks(), rs.r_peaks());
+        assert_eq!(rf.ops(), rs.ops());
     }
 
     #[test]

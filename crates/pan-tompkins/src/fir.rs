@@ -7,7 +7,7 @@
 //! (see [`crate::arith::div_round`]), keeping inter-stage signals on the ADC
 //! scale.
 
-use crate::arith::{div_round, ArithBackend};
+use crate::arith::{div_round, ArithBackend, MulEngine};
 
 /// A streaming integer FIR filter with explicit operator counts.
 ///
@@ -29,6 +29,9 @@ pub struct FirFilter {
     name: &'static str,
     taps: Vec<i64>,
     gain: i64,
+    /// `log2(gain)` when the gain is a power of two — the rescaling
+    /// division then strength-reduces to a shift in the hot loop.
+    gain_shift: Option<u32>,
     backend: ArithBackend,
     delay_line: Vec<i64>,
     cursor: usize,
@@ -50,13 +53,33 @@ impl FirFilter {
         gain: i64,
         arith: approx_arith::StageArith,
     ) -> Self {
+        Self::with_engine(name, taps, gain, arith, MulEngine::default())
+    }
+
+    /// Like [`FirFilter::new`] with an explicit multiplier engine (the
+    /// engines are bit-identical; see [`crate::arith::MulEngine`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or `gain` is not positive.
+    #[must_use]
+    pub fn with_engine(
+        name: &'static str,
+        taps: &[i64],
+        gain: i64,
+        arith: approx_arith::StageArith,
+        engine: MulEngine,
+    ) -> Self {
         assert!(!taps.is_empty(), "FIR filter needs at least one tap");
         assert!(gain > 0, "FIR gain must be positive");
         Self {
             name,
             taps: taps.to_vec(),
             gain,
-            backend: ArithBackend::new(arith),
+            gain_shift: (gain as u64)
+                .is_power_of_two()
+                .then(|| gain.trailing_zeros()),
+            backend: ArithBackend::with_engine(arith, engine),
             delay_line: vec![0; taps.len()],
             cursor: 0,
             primed: 0,
@@ -110,27 +133,49 @@ impl FirFilter {
     pub fn process(&mut self, x: i64) -> i64 {
         // Circular delay line: cursor points at the slot of the newest
         // sample.
+        let len = self.delay_line.len();
         self.cursor = if self.cursor == 0 {
-            self.delay_line.len() - 1
+            len - 1
         } else {
             self.cursor - 1
         };
         self.delay_line[self.cursor] = x;
-        self.primed = (self.primed + 1).min(self.delay_line.len());
+        self.primed = (self.primed + 1).min(len);
 
+        // Walk the delay line with a wrapping index (a conditional reset is
+        // markedly cheaper than a modulo per tap in this hot loop).
+        let mut idx = self.cursor;
         let mut acc: Option<i64> = None;
-        for (k, &c) in self.taps.iter().enumerate() {
+        for &c in &self.taps {
+            let sample = self.delay_line[idx];
+            idx += 1;
+            if idx == len {
+                idx = 0;
+            }
             if c == 0 {
                 continue;
             }
-            let idx = (self.cursor + k) % self.delay_line.len();
-            let product = self.backend.mul(self.delay_line[idx], c);
+            let product = self.backend.mul(sample, c);
             acc = Some(match acc {
                 None => product,
                 Some(sum) => self.backend.add(sum, product),
             });
         }
-        div_round(acc.unwrap_or(0), self.gain)
+        let acc = acc.unwrap_or(0);
+        // Rescaling by the constant gain is exact; power-of-two gains (the
+        // HPF's 32) take the shift form of round-half-away-from-zero.
+        match self.gain_shift {
+            Some(0) => acc,
+            Some(shift) => {
+                let half = 1i64 << (shift - 1);
+                if acc >= 0 {
+                    (acc + half) >> shift
+                } else {
+                    -((-acc + half) >> shift)
+                }
+            }
+            None => div_round(acc, self.gain),
+        }
     }
 
     /// Filters a whole signal, returning one output per input.

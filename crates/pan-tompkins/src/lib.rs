@@ -48,7 +48,7 @@ pub mod fir;
 pub mod stages;
 pub mod threshold;
 
-pub use arith::ArithBackend;
+pub use arith::{ArithBackend, MulEngine};
 pub use config::{PipelineConfig, StageKind};
 pub use detector::{DetectionResult, QrsDetector};
 pub use fir::FirFilter;

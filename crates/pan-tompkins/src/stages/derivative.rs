@@ -11,6 +11,7 @@
 
 use approx_arith::{OpCounter, StageArith};
 
+use crate::arith::MulEngine;
 use crate::fir::FirFilter;
 use crate::stages::Stage;
 
@@ -44,8 +45,14 @@ impl Derivative {
     /// Creates the stage with the given approximation parameters.
     #[must_use]
     pub fn new(arith: StageArith) -> Self {
+        Self::with_engine(arith, MulEngine::default())
+    }
+
+    /// Creates the stage with an explicit multiplier engine.
+    #[must_use]
+    pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
         Self {
-            fir: FirFilter::new("DER", &TAPS, GAIN, arith),
+            fir: FirFilter::with_engine("DER", &TAPS, GAIN, arith, engine),
         }
     }
 }

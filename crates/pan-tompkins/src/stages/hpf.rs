@@ -9,6 +9,7 @@
 
 use approx_arith::{OpCounter, StageArith};
 
+use crate::arith::MulEngine;
 use crate::fir::FirFilter;
 use crate::stages::Stage;
 
@@ -45,10 +46,16 @@ impl HighPassFilter {
     /// Creates the stage with the given approximation parameters.
     #[must_use]
     pub fn new(arith: StageArith) -> Self {
+        Self::with_engine(arith, MulEngine::default())
+    }
+
+    /// Creates the stage with an explicit multiplier engine.
+    #[must_use]
+    pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
         // `taps()` returns an owned array; FirFilter copies it.
         let t = taps();
         Self {
-            fir: FirFilter::new("HPF", &t, GAIN, arith),
+            fir: FirFilter::with_engine("HPF", &t, GAIN, arith, engine),
         }
     }
 }

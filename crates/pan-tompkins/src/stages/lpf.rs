@@ -8,6 +8,7 @@
 
 use approx_arith::{OpCounter, StageArith};
 
+use crate::arith::MulEngine;
 use crate::fir::FirFilter;
 use crate::stages::Stage;
 
@@ -39,8 +40,14 @@ impl LowPassFilter {
     /// Creates the stage with the given approximation parameters.
     #[must_use]
     pub fn new(arith: StageArith) -> Self {
+        Self::with_engine(arith, MulEngine::default())
+    }
+
+    /// Creates the stage with an explicit multiplier engine.
+    #[must_use]
+    pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
         Self {
-            fir: FirFilter::new("LPF", &TAPS, GAIN, arith),
+            fir: FirFilter::with_engine("LPF", &TAPS, GAIN, arith, engine),
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use approx_arith::{OpCounter, StageArith};
 
-use crate::arith::{div_round, ArithBackend};
+use crate::arith::{div_round, ArithBackend, MulEngine};
 use crate::stages::Stage;
 
 /// Window length in samples (150 ms at 200 Hz).
@@ -38,8 +38,15 @@ impl MovingWindowIntegrator {
     /// Creates the stage with the given approximation parameters.
     #[must_use]
     pub fn new(arith: StageArith) -> Self {
+        Self::with_engine(arith, MulEngine::default())
+    }
+
+    /// Creates the stage with an explicit multiplier engine (the MWI has no
+    /// multipliers, so the engine only affects the idle multiplier block).
+    #[must_use]
+    pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
         Self {
-            backend: ArithBackend::new(arith),
+            backend: ArithBackend::with_engine(arith, engine),
             window: vec![0; WINDOW],
             cursor: 0,
         }

@@ -7,7 +7,7 @@
 
 use approx_arith::{OpCounter, StageArith};
 
-use crate::arith::ArithBackend;
+use crate::arith::{ArithBackend, MulEngine};
 use crate::stages::Stage;
 
 /// Stage D: squarer.
@@ -31,8 +31,14 @@ impl Squarer {
     /// Creates the stage with the given approximation parameters.
     #[must_use]
     pub fn new(arith: StageArith) -> Self {
+        Self::with_engine(arith, MulEngine::default())
+    }
+
+    /// Creates the stage with an explicit multiplier engine.
+    #[must_use]
+    pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
         Self {
-            backend: ArithBackend::new(arith),
+            backend: ArithBackend::with_engine(arith, engine),
         }
     }
 }

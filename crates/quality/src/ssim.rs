@@ -47,6 +47,9 @@ impl Ssim {
     }
 
     /// Mean SSIM over all full windows (stride = window/2, 50 % overlap).
+    /// When the stride leaves a tail shorter than one window uncovered, one
+    /// final window aligned to the signal end is scored as well, so every
+    /// sample contributes to the mean regardless of the signal length.
     ///
     /// SSIM assumes non-negative intensities (images); bio-signals are
     /// signed, so both signals are first shifted by a common offset that
@@ -88,12 +91,22 @@ impl Ssim {
         let mut total = 0.0;
         let mut count = 0usize;
         let mut start = 0usize;
+        let mut covered = 0usize;
         while start + self.window <= reference.len() {
             let r = &reference[start..start + self.window];
             let s = &signal[start..start + self.window];
             total += window_ssim(r, s, c1, c2);
             count += 1;
+            covered = start + self.window;
             start += stride;
+        }
+        if covered < reference.len() {
+            // The stride left a tail shorter than one window unscored;
+            // score one final window aligned to the signal end so trailing
+            // samples can't silently diverge.
+            let tail = reference.len() - self.window;
+            total += window_ssim(&reference[tail..], &signal[tail..], c1, c2);
+            count += 1;
         }
         total / count as f64
     }
@@ -181,6 +194,43 @@ mod tests {
         let inv: Vec<f64> = r.iter().map(|v| -v).collect();
         let score = Ssim::new(8).mean(&r, &inv);
         assert!(score < 0.1, "anticorrelated SSIM was {score}");
+    }
+
+    /// Regression: a signal of length `window + stride − 1` used to score
+    /// only the first window — corruption confined to the trailing partial
+    /// tail was invisible to the mean.
+    #[test]
+    fn trailing_partial_window_is_scored() {
+        let ssim = Ssim::new(8); // stride 4
+        let len = 8 + 4 - 1; // window + stride − 1
+        let r = sine(len);
+        let mut corrupted = r.clone();
+        for v in corrupted[8..].iter_mut() {
+            *v += 500.0; // damage only the tail the old code never saw
+        }
+        let clean = ssim.mean(&r, &r);
+        assert!((clean - 1.0).abs() < 1e-12, "identical signals score 1");
+        let damaged = ssim.mean(&r, &corrupted);
+        assert!(
+            damaged < 1.0 - 1e-6,
+            "tail corruption went unscored: {damaged}"
+        );
+    }
+
+    /// Lengths that tile exactly must score the same windows as before the
+    /// tail fix (no double-counted final window).
+    #[test]
+    fn exact_tiling_adds_no_extra_window() {
+        let ssim = Ssim::new(8);
+        let r = sine(16); // starts 0, 4, 8 — covered to the last sample
+        let mut s = r.clone();
+        s[15] += 100.0;
+        let full = ssim.mean(&r, &s);
+        // Hand-count: windows at 0, 4, 8; the damaged sample sits in the
+        // last window only.
+        let windows = [0usize, 4, 8];
+        assert_eq!(windows.last().unwrap() + 8, r.len());
+        assert!(full < 1.0, "damage in the final full window must score");
     }
 
     #[test]

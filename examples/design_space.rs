@@ -19,10 +19,10 @@ fn main() {
     // Step 1 (paper Fig 4): per-stage error resilience, to bound LSBList
     // and order the stages by their standalone savings.
     println!("== error-resilience analysis ==");
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     let mut max_reduction = [0.0f64; 5];
     for stage in StageKind::ALL {
-        let profile = ResilienceProfile::analyze(&mut evaluator, stage);
+        let profile = ResilienceProfile::analyze(&evaluator, stage);
         let threshold = profile.resilience_threshold(0.999);
         max_reduction[stage.index()] = profile.max_energy_reduction();
         println!(
@@ -38,7 +38,7 @@ fn main() {
     println!("\n== Algorithm 1: pre-processing under PSNR >= 20 dB ==");
     let (adds, mults) = DesignGenerator::paper_lists();
     let pre = DesignGenerator::new(
-        &mut evaluator,
+        &evaluator,
         QualityConstraint::MinPsnr(20.0),
         adds.clone(),
         mults.clone(),
@@ -59,7 +59,7 @@ fn main() {
     // chosen pre-processing design, under the application constraint.
     println!("\n== Algorithm 1: signal processing under peak accuracy >= 99% ==");
     let post = DesignGenerator::new(
-        &mut evaluator,
+        &evaluator,
         QualityConstraint::MinPeakAccuracy(0.99),
         adds,
         mults,

@@ -14,7 +14,7 @@ fn record() -> ecg::EcgRecord {
 fn b9_design_detects_all_peaks_with_large_energy_reduction() {
     // The paper's headline: ~19.7x energy reduction at 0% accuracy loss.
     let record = record();
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     let b9 = config_by_name("B9").expect("B9 exists");
     let report = evaluator.evaluate(&b9.config);
     assert!(
@@ -32,7 +32,7 @@ fn b9_design_detects_all_peaks_with_large_energy_reduction() {
 #[test]
 fn b10_design_reaches_22x_within_one_percent_loss() {
     let record = record();
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     let b10 = config_by_name("B10").expect("B10 exists");
     let report = evaluator.evaluate(&b10.config);
     assert!(
@@ -51,7 +51,7 @@ fn b10_design_reaches_22x_within_one_percent_loss() {
 fn every_b_design_clears_the_95_percent_threshold() {
     // Fig 12 plots a 95% quality threshold; all B designs clear it.
     let record = record();
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     for named in paper_configs() {
         if !named.name.starts_with('B') {
             continue;
@@ -85,9 +85,9 @@ fn combined_designs_save_more_than_their_parts() {
 fn lpf_resilience_threshold_is_14_lsbs() {
     // Fig 2's headline observation, end to end.
     let record = record();
-    let mut evaluator = Evaluator::new(&record);
+    let evaluator = Evaluator::new(&record);
     let profile =
-        xbiosip::resilience::ResilienceProfile::analyze_up_to(&mut evaluator, StageKind::Lpf, 16);
+        xbiosip::resilience::ResilienceProfile::analyze_up_to(&evaluator, StageKind::Lpf, 16);
     assert_eq!(profile.resilience_threshold(0.999), 14);
     // And accuracy collapses at 16 ("falls to zero").
     let at16 = profile
@@ -106,9 +106,9 @@ fn lpf_resilience_threshold_is_14_lsbs() {
 fn algorithm1_beats_heuristic_on_evaluation_count_and_agrees_on_quality() {
     let record = ecg::nsrdb::paper_record().truncated(8_000);
 
-    let mut grid_eval = Evaluator::new(&record);
+    let grid_eval = Evaluator::new(&record);
     let grid = xbiosip::exhaustive::heuristic_search(
-        &mut grid_eval,
+        &grid_eval,
         QualityConstraint::MinPsnr(20.0),
         &[(StageKind::Lpf, 16), (StageKind::Hpf, 16)],
         approx_arith::FullAdderKind::Ama5,
@@ -116,10 +116,10 @@ fn algorithm1_beats_heuristic_on_evaluation_count_and_agrees_on_quality() {
         PipelineConfig::exact(),
     );
 
-    let mut alg_eval = Evaluator::new(&record);
+    let alg_eval = Evaluator::new(&record);
     let (adds, mults) = xbiosip::generation::DesignGenerator::paper_lists();
     let outcome = xbiosip::generation::DesignGenerator::new(
-        &mut alg_eval,
+        &alg_eval,
         QualityConstraint::MinPsnr(20.0),
         adds,
         mults,
