@@ -53,6 +53,7 @@ pub mod loa;
 pub mod mult2x2;
 pub mod multiplier;
 pub mod signed;
+pub mod tap;
 pub mod vhdl;
 pub mod word;
 
@@ -67,4 +68,5 @@ pub use loa::LowerOrAdder;
 pub use mult2x2::Mult2x2Kind;
 pub use multiplier::RecursiveMultiplier;
 pub use signed::SignedMultiplier;
+pub use tap::TapMultiplier;
 pub use word::Word;

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ecg::EcgRecord;
 use hwmodel::{CalibratedModel, StageCost};
-use pan_tompkins::{PipelineConfig, QrsDetector, StageKind};
+use pan_tompkins::{DetectionResult, PipelineConfig, QrsDetector, StageKind, StreamingQrsDetector};
 use quality::{psnr, PeakMatcher, Ssim};
 
 use crate::parallel::parallel_map;
@@ -143,7 +143,25 @@ impl Evaluator {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         let mut detector = QrsDetector::new(*config);
         let result = detector.detect(self.record.samples());
+        self.score(config, &result)
+    }
 
+    /// Runs the pipeline under `config` through the *streaming* detector —
+    /// feeding the record in `chunk_size`-sample pushes the way an AFE
+    /// would deliver it — and scores the final result. Streaming is
+    /// bit-identical to batch for every chunking (see
+    /// [`pan_tompkins::streaming`]), so the report equals
+    /// [`Evaluator::evaluate`] exactly; grid searches can therefore score
+    /// designs via the deployment-shaped path at no accuracy cost.
+    pub fn evaluate_streaming(&self, config: &PipelineConfig, chunk_size: usize) -> QualityReport {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let (_, result) =
+            StreamingQrsDetector::detect_chunked(*config, self.record.samples(), chunk_size);
+        self.score(config, &result)
+    }
+
+    /// Scores one finished detection run against the cached references.
+    fn score(&self, config: &PipelineConfig, result: &DetectionResult) -> QualityReport {
         // Signal gate: compare HPF outputs past the filter warm-up.
         let start = SCORE_START.min(self.reference_hpf.len());
         let approx_hpf: Vec<f64> = result.signals().hpf[start..]
@@ -265,6 +283,26 @@ mod tests {
         assert!(r.peak_accuracy >= 0.97, "accuracy {}", r.peak_accuracy);
         assert!((r.energy_reduction_module_sum - 1.0).abs() < 1e-9);
         assert!((r.energy_reduction_calibrated - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_evaluation_matches_batch_exactly() {
+        let record = short_record();
+        let ev = Evaluator::new(&record);
+        for config in [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]),
+            PipelineConfig::least_energy([4, 4, 2, 4, 8]),
+        ] {
+            let batch = ev.evaluate(&config);
+            for chunk in [1usize, 20, 4096] {
+                assert_eq!(
+                    ev.evaluate_streaming(&config, chunk),
+                    batch,
+                    "streaming report diverged for {config} at chunk {chunk}"
+                );
+            }
+        }
     }
 
     #[test]

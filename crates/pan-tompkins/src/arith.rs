@@ -15,7 +15,9 @@
 //! structural bit-level recursion ([`RecursiveMultiplier`], kept as the
 //! reference netlist walk for cross-checking and benchmarking).
 
-use approx_arith::{ArithConfig, CompiledMultiplier, OpCounter, RecursiveMultiplier, StageArith};
+use approx_arith::{
+    ArithConfig, CompiledMultiplier, OpCounter, RecursiveMultiplier, StageArith, TapMultiplier,
+};
 
 /// Which multiplier evaluation engine a backend instantiates. Both engines
 /// are bit-for-bit equivalent (property-tested in `approx_arith::compiled`);
@@ -171,6 +173,31 @@ impl ArithBackend {
         self.mul(x, x)
     }
 
+    /// Compiles the per-tap product table of this backend's multiplier
+    /// configuration against a fixed coefficient (see
+    /// [`approx_arith::tap`]). [`ArithBackend::mul_tap`] through the result
+    /// is bit-for-bit [`ArithBackend::mul`] with `coeff` as second operand,
+    /// counters included.
+    #[must_use]
+    pub fn compile_tap(&self, coeff: i64) -> TapMultiplier {
+        match &self.multiplier {
+            MulBlock::Compiled(m) => TapMultiplier::new(m, coeff),
+            MulBlock::BitLevel(_) => TapMultiplier::new(&self.config.compiled_multiplier(), coeff),
+        }
+    }
+
+    /// Multiplies through a precompiled tap table — the FIR hot-loop fast
+    /// path. Identical to `self.mul(a, tap.coeff())` in product, operation
+    /// count, and saturation accounting.
+    #[inline]
+    pub fn mul_tap(&mut self, a: i64, tap: &TapMultiplier) -> i64 {
+        self.ops.count_mul();
+        let limit = 1i64 << (tap.width() - 1);
+        let ca = a.clamp(-limit, limit - 1);
+        self.mul_saturations += u64::from(ca != a) + u64::from(tap.coeff_saturates());
+        tap.mul_clamped(ca)
+    }
+
     /// Operation counts so far.
     #[must_use]
     pub fn ops(&self) -> &OpCounter {
@@ -309,6 +336,32 @@ mod tests {
             assert_eq!(fast.add(a, b), slow.add(a, b), "{a}+{b}");
         }
         assert_eq!(fast.saturation_events(), slow.saturation_events());
+    }
+
+    #[test]
+    fn mul_tap_matches_mul_with_counters() {
+        for stage in [
+            StageArith::exact(),
+            StageArith::least_energy(8),
+            StageArith::new(12, Mult2x2Kind::V2, FullAdderKind::Ama1),
+        ] {
+            for engine in [MulEngine::Compiled, MulEngine::BitLevel] {
+                let mut generic = ArithBackend::with_engine(stage, engine);
+                let mut tapped = ArithBackend::with_engine(stage, engine);
+                for c in [1i64, -2, 6, 31, -31, 1 << 20] {
+                    let tap = tapped.compile_tap(c);
+                    for a in [0i64, 1, -1, 777, -32768, 32767, 1 << 20, -(1 << 20)] {
+                        assert_eq!(
+                            tapped.mul_tap(a, &tap),
+                            generic.mul(a, c),
+                            "{stage} {engine:?} {a}x{c}"
+                        );
+                    }
+                }
+                assert_eq!(tapped.ops(), generic.ops());
+                assert_eq!(tapped.saturation_events(), generic.saturation_events());
+            }
+        }
     }
 
     #[test]

@@ -17,11 +17,15 @@ use crate::threshold::{AdaptiveThreshold, PeakClass, PeakDecision, ThresholdConf
 
 /// Delay from the HPF output to the MWI output (derivative + integrator
 /// group delays) — where an MWI peak should sit relative to its HPF peak.
-const HPF_TO_MWI_DELAY: usize = 2 + 14;
+pub(crate) const HPF_TO_MWI_DELAY: usize = 2 + 14;
 
 /// Half-width of the window searched on the HPF signal around the expected
 /// peak position.
-const ALIGNMENT_SEARCH: usize = 24;
+pub(crate) const ALIGNMENT_SEARCH: usize = 24;
+
+/// Delay from the raw input to the HPF output (LPF + HPF group delays) —
+/// subtracted to map a confirmed HPF peak back to raw-sample coordinates.
+pub(crate) const PRE_PROCESSING_DELAY: usize = 5 + 16;
 
 /// Maximum tolerated |HPF peak − expected position| before a beat is
 /// omitted as a misclassification (the paper's "preset threshold"). The MWI
@@ -61,14 +65,20 @@ pub struct OmittedBeat {
 }
 
 /// Result of running the detector over a record.
-#[derive(Debug, Clone)]
+///
+/// Comparable with `==` down to every counter — which is how the streaming
+/// path ([`crate::StreamingQrsDetector`]) is proven bit-identical to the
+/// batch path for every chunking.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectionResult {
-    r_peaks: Vec<usize>,
-    omitted: Vec<OmittedBeat>,
-    decisions: Vec<PeakDecision>,
-    signals: StageSignals,
-    ops: [OpCounter; 5],
-    total_delay: usize,
+    pub(crate) r_peaks: Vec<usize>,
+    pub(crate) omitted: Vec<OmittedBeat>,
+    pub(crate) decisions: Vec<PeakDecision>,
+    pub(crate) signals: StageSignals,
+    pub(crate) ops: [OpCounter; 5],
+    pub(crate) saturations: [u64; 5],
+    pub(crate) add_overflows: [u64; 5],
+    pub(crate) total_delay: usize,
 }
 
 impl DetectionResult {
@@ -111,6 +121,20 @@ impl DetectionResult {
             total.merge(o);
         }
         total
+    }
+
+    /// Multiplier operands clamped into the datapath range, per stage
+    /// (pipeline order; see [`crate::ArithBackend::saturation_events`]).
+    #[must_use]
+    pub fn saturations(&self) -> &[u64; 5] {
+        &self.saturations
+    }
+
+    /// Additions whose exact sum wrapped the adder bus, per stage
+    /// (pipeline order; see [`crate::ArithBackend::add_overflow_events`]).
+    #[must_use]
+    pub fn add_overflows(&self) -> &[u64; 5] {
+        &self.add_overflows
     }
 
     /// Total pipeline group delay in samples (MWI coordinates − raw
@@ -212,11 +236,11 @@ impl QrsDetector {
             if !matches!(d.class, PeakClass::Qrs | PeakClass::SearchBack) {
                 continue;
             }
-            match self.check_alignment(&signals.hpf, d.index) {
+            match check_alignment(&signals.hpf, d.index, self.max_misalignment) {
                 Alignment::Ok { hpf_index } => {
                     // Map the HPF peak back to raw coordinates via the
                     // LPF+HPF group delay.
-                    let raw = hpf_index.saturating_sub(5 + 16);
+                    let raw = hpf_index.saturating_sub(PRE_PROCESSING_DELAY);
                     r_peaks.push(raw);
                 }
                 Alignment::Misaligned {
@@ -237,43 +261,28 @@ impl QrsDetector {
             omitted,
             decisions,
             ops: [lpf.ops(), hpf.ops(), der.ops(), sqr.ops(), mwi.ops()],
+            saturations: [
+                lpf.saturations(),
+                hpf.saturations(),
+                der.saturations(),
+                sqr.saturations(),
+                mwi.saturations(),
+            ],
+            add_overflows: [
+                lpf.add_overflows(),
+                hpf.add_overflows(),
+                der.add_overflows(),
+                sqr.add_overflows(),
+                mwi.add_overflows(),
+            ],
             signals,
             total_delay,
         }
     }
-
-    /// Finds the dominant |HPF| peak near where an MWI peak at `mwi_index`
-    /// implies it should be, and checks the misalignment against the preset
-    /// threshold.
-    fn check_alignment(&self, hpf: &[i64], mwi_index: usize) -> Alignment {
-        let expected = mwi_index.saturating_sub(HPF_TO_MWI_DELAY);
-        let lo = expected.saturating_sub(ALIGNMENT_SEARCH);
-        let hi = (expected + ALIGNMENT_SEARCH + 1).min(hpf.len());
-        if lo >= hi {
-            return Alignment::Misaligned {
-                hpf_index: expected.min(hpf.len().saturating_sub(1)),
-                misalignment: usize::MAX,
-            };
-        }
-        let (hpf_index, _) = hpf[lo..hi]
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| v.abs())
-            .map(|(i, v)| (lo + i, *v))
-            .expect("non-empty window");
-        let misalignment = hpf_index.abs_diff(expected);
-        if misalignment <= self.max_misalignment {
-            Alignment::Ok { hpf_index }
-        } else {
-            Alignment::Misaligned {
-                hpf_index,
-                misalignment,
-            }
-        }
-    }
 }
 
-enum Alignment {
+/// Outcome of the HPF↔MWI cross-check for one accepted MWI peak.
+pub(crate) enum Alignment {
     Ok {
         hpf_index: usize,
     },
@@ -281,6 +290,38 @@ enum Alignment {
         hpf_index: usize,
         misalignment: usize,
     },
+}
+
+/// Finds the dominant |HPF| peak near where an MWI peak at `mwi_index`
+/// implies it should be, and checks the misalignment against the preset
+/// threshold. Shared by the batch and streaming paths; reads only
+/// `hpf[expected − 24 ..= expected + 24]` (clipped to the available
+/// signal), which is what bounds the streaming confirmation latency.
+pub(crate) fn check_alignment(hpf: &[i64], mwi_index: usize, max_misalignment: usize) -> Alignment {
+    let expected = mwi_index.saturating_sub(HPF_TO_MWI_DELAY);
+    let lo = expected.saturating_sub(ALIGNMENT_SEARCH);
+    let hi = (expected + ALIGNMENT_SEARCH + 1).min(hpf.len());
+    if lo >= hi {
+        return Alignment::Misaligned {
+            hpf_index: expected.min(hpf.len().saturating_sub(1)),
+            misalignment: usize::MAX,
+        };
+    }
+    let (hpf_index, _) = hpf[lo..hi]
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, v)| v.abs())
+        .map(|(i, v)| (lo + i, *v))
+        .expect("non-empty window");
+    let misalignment = hpf_index.abs_diff(expected);
+    if misalignment <= max_misalignment {
+        Alignment::Ok { hpf_index }
+    } else {
+        Alignment::Misaligned {
+            hpf_index,
+            misalignment,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,14 @@
 //! integer coefficients is divided back out *exactly* after accumulation
 //! (see [`crate::arith::div_round`]), keeping inter-stage signals on the ADC
 //! scale.
+//!
+//! Under the compiled engine every nonzero tap is specialised into a
+//! [`approx_arith::TapMultiplier`] product table at construction, so the
+//! hot loop pays one table lookup per tap instead of a full word-level
+//! multiplier walk — bit-for-bit identical either way (see
+//! [`crate::arith::ArithBackend::mul_tap`]).
+
+use approx_arith::TapMultiplier;
 
 use crate::arith::{div_round, ArithBackend, MulEngine};
 
@@ -33,6 +41,9 @@ pub struct FirFilter {
     /// division then strength-reduces to a shift in the hot loop.
     gain_shift: Option<u32>,
     backend: ArithBackend,
+    /// Per-tap compiled product tables (compiled engine only), aligned with
+    /// `taps`; zero taps hold a trivial entry and are skipped in the loop.
+    tap_mults: Option<Vec<TapMultiplier>>,
     delay_line: Vec<i64>,
     cursor: usize,
     primed: usize,
@@ -72,6 +83,11 @@ impl FirFilter {
     ) -> Self {
         assert!(!taps.is_empty(), "FIR filter needs at least one tap");
         assert!(gain > 0, "FIR gain must be positive");
+        let backend = ArithBackend::with_engine(arith, engine);
+        let tap_mults = match engine {
+            MulEngine::Compiled => Some(taps.iter().map(|c| backend.compile_tap(*c)).collect()),
+            MulEngine::BitLevel => None,
+        };
         Self {
             name,
             taps: taps.to_vec(),
@@ -79,7 +95,8 @@ impl FirFilter {
             gain_shift: (gain as u64)
                 .is_power_of_two()
                 .then(|| gain.trailing_zeros()),
-            backend: ArithBackend::with_engine(arith, engine),
+            backend,
+            tap_mults,
             delay_line: vec![0; taps.len()],
             cursor: 0,
             primed: 0,
@@ -116,11 +133,29 @@ impl FirFilter {
         self.multipliers().saturating_sub(1)
     }
 
-    /// Group delay in samples (for symmetric/antisymmetric taps this is
-    /// `(taps-1)/2`).
+    /// Group delay in samples.
+    ///
+    /// Linear-phase (symmetric or antisymmetric) taps delay by
+    /// `(taps − 1) / 2` — the LPF's 5 and the derivative's 2. The expanded
+    /// HPF is *neither* (its `+31` spike sits at delay 16 of 32 taps, so
+    /// `(32 − 1) / 2 = 15` would be off by one); for such filters the
+    /// dominant-tap position is the delay, which is what the streaming
+    /// detector's emission-latency accounting relies on.
     #[must_use]
     pub fn group_delay(&self) -> usize {
-        (self.taps.len() - 1) / 2
+        let n = self.taps.len();
+        let symmetric = (0..n).all(|i| self.taps[i] == self.taps[n - 1 - i]);
+        let antisymmetric = (0..n).all(|i| self.taps[i] == -self.taps[n - 1 - i]);
+        if symmetric || antisymmetric {
+            (n - 1) / 2
+        } else {
+            self.taps
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, t)| t.abs())
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        }
     }
 
     /// The arithmetic backend (for counters).
@@ -146,7 +181,7 @@ impl FirFilter {
         // markedly cheaper than a modulo per tap in this hot loop).
         let mut idx = self.cursor;
         let mut acc: Option<i64> = None;
-        for &c in &self.taps {
+        for (t, &c) in self.taps.iter().enumerate() {
             let sample = self.delay_line[idx];
             idx += 1;
             if idx == len {
@@ -155,7 +190,10 @@ impl FirFilter {
             if c == 0 {
                 continue;
             }
-            let product = self.backend.mul(sample, c);
+            let product = match &self.tap_mults {
+                Some(tap_mults) => self.backend.mul_tap(sample, &tap_mults[t]),
+                None => self.backend.mul(sample, c),
+            };
             acc = Some(match acc {
                 None => product,
                 Some(sum) => self.backend.add(sum, product),
@@ -270,6 +308,54 @@ mod tests {
     fn group_delay_of_symmetric_filter() {
         let fir = exact(&[1, 2, 3, 2, 1], 9);
         assert_eq!(fir.group_delay(), 2);
+    }
+
+    #[test]
+    fn group_delay_of_antisymmetric_filter() {
+        // The derivative's taps.
+        let fir = exact(&[2, 1, 0, -1, -2], 1);
+        assert_eq!(fir.group_delay(), 2);
+    }
+
+    #[test]
+    fn group_delay_of_asymmetric_hpf_is_dominant_tap() {
+        // The expanded HPF: −1 everywhere, +31 at delay 16. The old
+        // `(taps−1)/2` formula said 15; the actual delay (the all-pass
+        // term x[n−16]) is 16.
+        let mut taps = [-1i64; 32];
+        taps[16] = 31;
+        let fir = exact(&taps, 32);
+        assert_eq!(fir.group_delay(), 16);
+    }
+
+    #[test]
+    fn per_tap_tables_match_generic_engines_exactly() {
+        use approx_arith::{FullAdderKind, Mult2x2Kind};
+        let taps = [1i64, -6, 31, 0, 2];
+        for stage in [
+            StageArith::exact(),
+            StageArith::least_energy(8),
+            StageArith::new(14, Mult2x2Kind::V2, FullAdderKind::Ama2),
+        ] {
+            let mut fast = FirFilter::with_engine("t", &taps, 1, stage, MulEngine::Compiled);
+            let mut slow = FirFilter::with_engine("t", &taps, 1, stage, MulEngine::BitLevel);
+            assert!(fast.tap_mults.is_some());
+            assert!(slow.tap_mults.is_none());
+            let mut x = -20_000i64;
+            for step in 0..600 {
+                x = (x.wrapping_mul(31) ^ step).rem_euclid(70_000) - 35_000;
+                assert_eq!(fast.process(x), slow.process(x), "step {step}");
+            }
+            assert_eq!(fast.backend().ops(), slow.backend().ops());
+            assert_eq!(
+                fast.backend().saturation_events(),
+                slow.backend().saturation_events()
+            );
+            assert_eq!(
+                fast.backend().add_overflow_events(),
+                slow.backend().add_overflow_events()
+            );
+        }
     }
 
     #[test]

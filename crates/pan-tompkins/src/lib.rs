@@ -46,10 +46,12 @@ pub mod config;
 pub mod detector;
 pub mod fir;
 pub mod stages;
+pub mod streaming;
 pub mod threshold;
 
 pub use arith::{ArithBackend, MulEngine};
 pub use config::{PipelineConfig, StageKind};
 pub use detector::{DetectionResult, QrsDetector};
 pub use fir::FirFilter;
-pub use threshold::{AdaptiveThreshold, ThresholdConfig};
+pub use streaming::{StreamEvent, StreamingQrsDetector};
+pub use threshold::{AdaptiveThreshold, OnlineClassifier, ThresholdConfig};

@@ -67,7 +67,8 @@ impl Stage for Derivative {
     }
 
     fn group_delay(&self) -> usize {
-        2
+        // Antisymmetric 5-tap FIR: (5 − 1) / 2.
+        self.fir.group_delay()
     }
 
     fn multipliers(&self) -> u32 {
@@ -80,6 +81,14 @@ impl Stage for Derivative {
 
     fn ops(&self) -> OpCounter {
         *self.fir.backend().ops()
+    }
+
+    fn saturations(&self) -> u64 {
+        self.fir.backend().saturation_events()
+    }
+
+    fn add_overflows(&self) -> u64 {
+        self.fir.backend().add_overflow_events()
     }
 
     fn reset(&mut self) {

@@ -70,7 +70,10 @@ impl Stage for HighPassFilter {
     }
 
     fn group_delay(&self) -> usize {
-        16
+        // The dominant +31 tap at index 16 (the all-pass term x[n−16]); the
+        // expanded taps are not linear-phase, so this comes from
+        // `FirFilter::group_delay`'s dominant-tap rule.
+        self.fir.group_delay()
     }
 
     fn multipliers(&self) -> u32 {
@@ -83,6 +86,14 @@ impl Stage for HighPassFilter {
 
     fn ops(&self) -> OpCounter {
         *self.fir.backend().ops()
+    }
+
+    fn saturations(&self) -> u64 {
+        self.fir.backend().saturation_events()
+    }
+
+    fn add_overflows(&self) -> u64 {
+        self.fir.backend().add_overflow_events()
     }
 
     fn reset(&mut self) {

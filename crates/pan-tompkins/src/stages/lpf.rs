@@ -62,7 +62,8 @@ impl Stage for LowPassFilter {
     }
 
     fn group_delay(&self) -> usize {
-        5
+        // Symmetric 11-tap FIR: (11 − 1) / 2.
+        self.fir.group_delay()
     }
 
     fn multipliers(&self) -> u32 {
@@ -75,6 +76,14 @@ impl Stage for LowPassFilter {
 
     fn ops(&self) -> OpCounter {
         *self.fir.backend().ops()
+    }
+
+    fn saturations(&self) -> u64 {
+        self.fir.backend().saturation_events()
+    }
+
+    fn add_overflows(&self) -> u64 {
+        self.fir.backend().add_overflow_events()
     }
 
     fn reset(&mut self) {

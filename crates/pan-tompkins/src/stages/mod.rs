@@ -40,6 +40,14 @@ pub trait Stage {
     /// Word-level operations performed so far.
     fn ops(&self) -> OpCounter;
 
+    /// Multiplier operands clamped into the datapath range so far (see
+    /// [`crate::ArithBackend::saturation_events`]).
+    fn saturations(&self) -> u64;
+
+    /// Additions whose exact sum wrapped the adder bus so far (see
+    /// [`crate::ArithBackend::add_overflow_events`]).
+    fn add_overflows(&self) -> u64;
+
     /// Clears signal state (delay lines), keeping configuration.
     fn reset(&mut self);
 

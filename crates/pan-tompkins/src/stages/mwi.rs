@@ -87,6 +87,14 @@ impl Stage for MovingWindowIntegrator {
         *self.backend.ops()
     }
 
+    fn saturations(&self) -> u64 {
+        self.backend.saturation_events()
+    }
+
+    fn add_overflows(&self) -> u64 {
+        self.backend.add_overflow_events()
+    }
+
     fn reset(&mut self) {
         self.window.fill(0);
         self.cursor = 0;

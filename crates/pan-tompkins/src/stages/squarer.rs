@@ -68,6 +68,14 @@ impl Stage for Squarer {
         *self.backend.ops()
     }
 
+    fn saturations(&self) -> u64 {
+        self.backend.saturation_events()
+    }
+
+    fn add_overflows(&self) -> u64 {
+        self.backend.add_overflow_events()
+    }
+
     fn reset(&mut self) {}
 }
 

@@ -1,0 +1,505 @@
+//! Push-based (streaming) QRS detection — the edge deployment shape.
+//!
+//! At the edge, samples arrive one at a time from the analog front-end;
+//! there is no pre-loaded record to run [`crate::QrsDetector::detect`]
+//! over. [`StreamingQrsDetector`] accepts arbitrary-size chunks (including
+//! single samples) and emits [`StreamEvent`]s with bounded latency, while
+//! remaining **bit-for-bit identical** to the batch detector: feeding a
+//! record through any sequence of `push` calls followed by `finish`
+//! produces exactly the [`DetectionResult`] — peaks, decisions, stage
+//! signals, operation/saturation/overflow counters — that one `detect`
+//! call over the whole record produces. The equivalence is enforced by
+//! `tests/streaming_equivalence.rs` and by CI's `ext_streaming_speed
+//! --check` gate.
+//!
+//! # How the pipeline streams
+//!
+//! The five stages were always sample-streaming (delay lines and a ring
+//! window); the batch-only parts were the decision logic and the HPF↔MWI
+//! cross-check. Those stream as follows:
+//!
+//! * thresholding runs in an [`OnlineClassifier`] — candidate peaks become
+//!   final once `peak_spacing` samples prove no taller neighbour can merge
+//!   into them, and classification needs only past candidates;
+//! * a classified beat is confirmed against the HPF signal as soon as the
+//!   alignment window (`expected ± 24` around the delay-mapped position)
+//!   is fully available — `ALIGNMENT_SEARCH + 1 − HPF_TO_MWI_DELAY = 9`
+//!   samples past the MWI peak, clipped at `finish` exactly as the batch
+//!   path clips at the record end.
+//!
+//! # Latency bounds
+//!
+//! With the default [`ThresholdConfig`] (see
+//! [`StreamingQrsDetector::max_event_lag`]):
+//!
+//! * no event before `max(learning, 2·peak_spacing + 1)` = **400 samples**
+//!   (2 s at 200 Hz) — the SPK/NPK learning phase;
+//! * after that, an R-peak whose MWI maximum sits at index `i` is emitted
+//!   by the time sample `max(i + peak_spacing + 1, 400)` = `i + 21` has
+//!   been pushed. The MWI peak itself trails the raw R wave by the
+//!   pipeline group delay (37 samples), so the steady-state worst case is
+//!   **58 samples (290 ms at 200 Hz)** behind the raw beat;
+//! * `SearchBack` recoveries are inherently late: a missed beat is only
+//!   discovered while classifying the next one, so their latency is one
+//!   RR interval.
+//!
+//! # Example
+//!
+//! ```
+//! use pan_tompkins::{PipelineConfig, StreamEvent, StreamingQrsDetector};
+//!
+//! let mut signal = vec![0i32; 2000];
+//! for beat in 0..10 {
+//!     let at = 150 + beat * 170;
+//!     signal[at - 1] = 120;
+//!     signal[at] = 240;
+//!     signal[at + 1] = 120;
+//! }
+//! let mut detector = StreamingQrsDetector::new(PipelineConfig::exact());
+//! let mut peaks = Vec::new();
+//! for chunk in signal.chunks(16) {
+//!     for event in detector.push(chunk) {
+//!         if let StreamEvent::RPeak { raw, .. } = event {
+//!             peaks.push(raw);
+//!         }
+//!     }
+//! }
+//! let (trailing, result) = detector.finish();
+//! peaks.extend(trailing.iter().filter_map(StreamEvent::r_peak));
+//! assert_eq!(peaks, result.r_peaks());
+//! assert!(peaks.len() >= 9);
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::config::{PipelineConfig, StageKind};
+use crate::detector::{
+    check_alignment, Alignment, DetectionResult, OmittedBeat, StageSignals, ALIGNMENT_SEARCH,
+    HPF_TO_MWI_DELAY, PRE_PROCESSING_DELAY,
+};
+use crate::stages::{
+    Derivative, HighPassFilter, LowPassFilter, MovingWindowIntegrator, Squarer, Stage,
+};
+use crate::threshold::{OnlineClassifier, PeakClass, PeakDecision, ThresholdConfig};
+
+/// Maximum tolerated HPF↔MWI misalignment (same default as the batch
+/// detector).
+const DEFAULT_MAX_MISALIGNMENT: usize = 20;
+
+/// One incremental detection outcome emitted by
+/// [`StreamingQrsDetector::push`].
+///
+/// Events appear in confirmation order, which for R-peaks is
+/// non-decreasing raw position; the same chunking-independent sequence is
+/// produced for every way of splitting the input into `push` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A confirmed R-peak.
+    RPeak {
+        /// Peak position in raw input-sample coordinates (what
+        /// [`DetectionResult::r_peaks`] collects).
+        raw: usize,
+        /// The accepted peak's position on the MWI signal.
+        mwi_index: usize,
+        /// The confirming |HPF| peak position.
+        hpf_index: usize,
+    },
+    /// A beat detected on the MWI signal but dropped by the HPF-alignment
+    /// cross-check (Fig 13's misclassification mechanism).
+    Omitted(OmittedBeat),
+}
+
+impl StreamEvent {
+    /// The raw-coordinate peak position, for R-peak events.
+    #[must_use]
+    pub fn r_peak(&self) -> Option<usize> {
+        match self {
+            StreamEvent::RPeak { raw, .. } => Some(*raw),
+            StreamEvent::Omitted(_) => None,
+        }
+    }
+}
+
+/// The push-based five-stage QRS detector.
+///
+/// See the [module docs](self) for the equivalence contract and latency
+/// bounds, and [`crate::QrsDetector`] for the batch counterpart.
+#[derive(Debug, Clone)]
+pub struct StreamingQrsDetector {
+    config: PipelineConfig,
+    threshold: ThresholdConfig,
+    max_misalignment: usize,
+    lpf: LowPassFilter,
+    hpf: HighPassFilter,
+    der: Derivative,
+    sqr: Squarer,
+    mwi: MovingWindowIntegrator,
+    classifier: OnlineClassifier,
+    signals: StageSignals,
+    /// All decisions in emission (classification) order.
+    decisions: Vec<PeakDecision>,
+    /// Accepted beats awaiting a complete HPF alignment window.
+    awaiting_alignment: VecDeque<PeakDecision>,
+    /// Confirmed raw peak positions, in confirmation order.
+    confirmed_raw: Vec<usize>,
+    omitted: Vec<OmittedBeat>,
+    /// Scratch buffer for per-push classifier output.
+    fresh: Vec<PeakDecision>,
+}
+
+impl StreamingQrsDetector {
+    /// Creates a streaming detector with default thresholding for the
+    /// given pipeline configuration.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        Self::with_threshold(config, ThresholdConfig::default())
+    }
+
+    /// Creates a streaming detector with explicit thresholding parameters.
+    #[must_use]
+    pub fn with_threshold(config: PipelineConfig, threshold: ThresholdConfig) -> Self {
+        let engine = config.engine();
+        Self {
+            lpf: LowPassFilter::with_engine(config.stage(StageKind::Lpf), engine),
+            hpf: HighPassFilter::with_engine(config.stage(StageKind::Hpf), engine),
+            der: Derivative::with_engine(config.stage(StageKind::Derivative), engine),
+            sqr: Squarer::with_engine(config.stage(StageKind::Squarer), engine),
+            mwi: MovingWindowIntegrator::with_engine(config.stage(StageKind::Mwi), engine),
+            classifier: OnlineClassifier::new(threshold),
+            signals: StageSignals::default(),
+            decisions: Vec::new(),
+            awaiting_alignment: VecDeque::new(),
+            confirmed_raw: Vec::new(),
+            omitted: Vec::new(),
+            fresh: Vec::new(),
+            config,
+            threshold,
+            max_misalignment: DEFAULT_MAX_MISALIGNMENT,
+        }
+    }
+
+    /// Overrides the maximum tolerated HPF↔MWI misalignment (samples).
+    #[must_use]
+    pub fn with_max_misalignment(mut self, samples: usize) -> Self {
+        self.max_misalignment = samples;
+        self
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Samples pushed so far.
+    #[must_use]
+    pub fn samples_seen(&self) -> usize {
+        self.signals.mwi.len()
+    }
+
+    /// Total pipeline group delay in samples (MWI coordinates − raw
+    /// coordinates); 37 for the paper's stages.
+    #[must_use]
+    pub fn total_delay(&self) -> usize {
+        self.lpf.group_delay()
+            + self.hpf.group_delay()
+            + self.der.group_delay()
+            + self.sqr.group_delay()
+            + self.mwi.group_delay()
+    }
+
+    /// Worst-case samples between an R-peak's MWI-signal position and the
+    /// emission of its [`StreamEvent::RPeak`], once the startup gate
+    /// ([`StreamingQrsDetector::startup_samples`]) has passed. Search-back
+    /// recoveries are exempt (see the [module docs](self)).
+    ///
+    /// Relative to the *raw* beat position, add
+    /// [`StreamingQrsDetector::total_delay`].
+    #[must_use]
+    pub fn max_event_lag(&self) -> usize {
+        // Candidate finality vs. alignment-window completion — whichever
+        // bound binds.
+        let finality = self.threshold.peak_spacing + 1;
+        let alignment = (ALIGNMENT_SEARCH + 1).saturating_sub(HPF_TO_MWI_DELAY);
+        finality.max(alignment)
+    }
+
+    /// Samples before any event can be emitted: the SPK/NPK learning
+    /// window plus the classifier's minimum-signal-length gate.
+    #[must_use]
+    pub fn startup_samples(&self) -> usize {
+        self.threshold
+            .learning
+            .max(2 * self.threshold.peak_spacing + 1)
+    }
+
+    /// Convenience driver: streams a whole record through a fresh detector
+    /// in `chunk_size`-sample pushes and returns the full event sequence
+    /// plus the final result. One-stop equivalent of
+    /// `new(config)` + repeated [`StreamingQrsDetector::push`] +
+    /// [`StreamingQrsDetector::finish`] — used by the evaluator, the bench
+    /// gate, and the equivalence tests so the drive loop exists once.
+    #[must_use]
+    pub fn detect_chunked(
+        config: PipelineConfig,
+        samples: &[i32],
+        chunk_size: usize,
+    ) -> (Vec<StreamEvent>, DetectionResult) {
+        let mut detector = Self::new(config);
+        let mut events = Vec::new();
+        for chunk in samples.chunks(chunk_size.max(1)) {
+            events.extend(detector.push(chunk));
+        }
+        let (trailing, result) = detector.finish();
+        events.extend(trailing);
+        (events, result)
+    }
+
+    /// Feeds a chunk of raw samples (any size, down to one) and returns
+    /// the events that became final.
+    pub fn push(&mut self, chunk: &[i32]) -> Vec<StreamEvent> {
+        let shift = self.config.input_shift;
+        let mut fresh = std::mem::take(&mut self.fresh);
+        for &x in chunk {
+            let x = i64::from(x) << shift;
+            let a = self.lpf.process(x);
+            let b = self.hpf.process(a);
+            let c = self.der.process(b);
+            let d = self.sqr.process(c);
+            let e = self.mwi.process(d);
+            self.signals.lpf.push(a);
+            self.signals.hpf.push(b);
+            self.signals.der.push(c);
+            self.signals.sqr.push(d);
+            self.signals.mwi.push(e);
+            self.classifier.push(e, &mut fresh);
+        }
+        let mut events = Vec::new();
+        self.absorb(&mut fresh);
+        self.fresh = fresh;
+        self.confirm_aligned(false, &mut events);
+        events
+    }
+
+    /// Ends the stream: flushes the classifier and the alignment queue
+    /// (clipping the final alignment windows at the record end, as the
+    /// batch path does) and returns the trailing events together with the
+    /// complete [`DetectionResult`] — equal in every field to
+    /// [`crate::QrsDetector::detect`] over the concatenated input.
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<StreamEvent>, DetectionResult) {
+        let mut fresh = std::mem::take(&mut self.fresh);
+        self.classifier.finish(&mut fresh);
+        self.absorb(&mut fresh);
+        let mut events = Vec::new();
+        self.confirm_aligned(true, &mut events);
+
+        let total_delay = self.total_delay();
+        let mut decisions = self.decisions;
+        decisions.sort_by_key(|d| d.index);
+        let mut r_peaks = self.confirmed_raw;
+        r_peaks.sort_unstable();
+        r_peaks.dedup();
+        let result = DetectionResult {
+            r_peaks,
+            omitted: self.omitted,
+            decisions,
+            ops: [
+                self.lpf.ops(),
+                self.hpf.ops(),
+                self.der.ops(),
+                self.sqr.ops(),
+                self.mwi.ops(),
+            ],
+            saturations: [
+                self.lpf.saturations(),
+                self.hpf.saturations(),
+                self.der.saturations(),
+                self.sqr.saturations(),
+                self.mwi.saturations(),
+            ],
+            add_overflows: [
+                self.lpf.add_overflows(),
+                self.hpf.add_overflows(),
+                self.der.add_overflows(),
+                self.sqr.add_overflows(),
+                self.mwi.add_overflows(),
+            ],
+            signals: self.signals,
+            total_delay,
+        };
+        (events, result)
+    }
+
+    /// Records freshly classified decisions and queues accepted beats for
+    /// alignment confirmation.
+    fn absorb(&mut self, fresh: &mut Vec<PeakDecision>) {
+        for d in fresh.drain(..) {
+            self.decisions.push(d);
+            if matches!(d.class, PeakClass::Qrs | PeakClass::SearchBack) {
+                self.awaiting_alignment.push_back(d);
+            }
+        }
+    }
+
+    /// Confirms queued beats whose HPF alignment window is complete (or
+    /// every remaining beat when `finished`, with the window clipped at
+    /// the record end exactly like the batch path).
+    fn confirm_aligned(&mut self, finished: bool, events: &mut Vec<StreamEvent>) {
+        let n = self.signals.hpf.len();
+        while let Some(d) = self.awaiting_alignment.front() {
+            let expected = d.index.saturating_sub(HPF_TO_MWI_DELAY);
+            if !finished && n < expected + ALIGNMENT_SEARCH + 1 {
+                break;
+            }
+            let d = self
+                .awaiting_alignment
+                .pop_front()
+                .expect("front just observed");
+            match check_alignment(&self.signals.hpf, d.index, self.max_misalignment) {
+                Alignment::Ok { hpf_index } => {
+                    let raw = hpf_index.saturating_sub(PRE_PROCESSING_DELAY);
+                    self.confirmed_raw.push(raw);
+                    events.push(StreamEvent::RPeak {
+                        raw,
+                        mwi_index: d.index,
+                        hpf_index,
+                    });
+                }
+                Alignment::Misaligned {
+                    hpf_index,
+                    misalignment,
+                } => {
+                    let beat = OmittedBeat {
+                        mwi_index: d.index,
+                        hpf_index,
+                        misalignment,
+                    };
+                    self.omitted.push(beat);
+                    events.push(StreamEvent::Omitted(beat));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::QrsDetector;
+
+    fn pulse_train(n: usize, period: usize, first: usize) -> Vec<i32> {
+        let mut signal = vec![0i32; n];
+        let mut at = first;
+        while at + 4 < n {
+            signal[at - 2] = -60;
+            signal[at - 1] = 140;
+            signal[at] = 260;
+            signal[at + 1] = 120;
+            signal[at + 2] = -80;
+            at += period;
+        }
+        signal
+    }
+
+    fn run_streaming(
+        config: PipelineConfig,
+        signal: &[i32],
+        chunk: usize,
+    ) -> (Vec<StreamEvent>, DetectionResult) {
+        StreamingQrsDetector::detect_chunked(config, signal, chunk)
+    }
+
+    #[test]
+    fn streaming_equals_batch_for_basic_chunkings() {
+        let signal = pulse_train(3000, 170, 200);
+        for config in [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([8, 10, 2, 8, 16]),
+        ] {
+            let batch = QrsDetector::new(config).detect(&signal);
+            for chunk in [1usize, 7, 64, 997, signal.len()] {
+                let (_, streamed) = run_streaming(config, &signal, chunk);
+                assert_eq!(streamed, batch, "config {config} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_sequence_is_chunking_invariant() {
+        let signal = pulse_train(2600, 160, 180);
+        let config = PipelineConfig::least_energy([4, 4, 2, 4, 8]);
+        let (reference, _) = run_streaming(config, &signal, 1);
+        assert!(!reference.is_empty(), "no events at all");
+        for chunk in [3usize, 50, 311, signal.len()] {
+            let (events, _) = run_streaming(config, &signal, chunk);
+            assert_eq!(events, reference, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn events_match_final_result() {
+        let signal = pulse_train(3000, 170, 200);
+        let (events, result) = run_streaming(PipelineConfig::exact(), &signal, 11);
+        let peaks: Vec<usize> = events.iter().filter_map(StreamEvent::r_peak).collect();
+        assert_eq!(peaks, result.r_peaks(), "confirmation order vs r_peaks");
+        let omitted: Vec<OmittedBeat> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Omitted(b) => Some(*b),
+                StreamEvent::RPeak { .. } => None,
+            })
+            .collect();
+        assert_eq!(omitted, result.omitted());
+    }
+
+    #[test]
+    fn peaks_emitted_within_documented_latency() {
+        let signal = pulse_train(4000, 170, 200);
+        let mut det = StreamingQrsDetector::new(PipelineConfig::exact());
+        let lag = det.max_event_lag();
+        let startup = det.startup_samples();
+        assert_eq!(lag, 21, "default peak_spacing 20 ⇒ lag 21");
+        assert_eq!(startup, 400, "default learning window");
+        assert_eq!(det.total_delay(), 37);
+        let mut seen = 0usize;
+        let mut emitted = 0usize;
+        for &x in &signal {
+            let events = det.push(&[x]);
+            seen += 1;
+            for e in events {
+                if let StreamEvent::RPeak { mwi_index, .. } = e {
+                    emitted += 1;
+                    assert!(
+                        seen <= (mwi_index + lag).max(startup),
+                        "peak at MWI {mwi_index} emitted only at sample {seen}"
+                    );
+                    assert!(seen >= startup);
+                }
+            }
+        }
+        assert!(emitted >= 15, "only {emitted} peaks emitted mid-stream");
+    }
+
+    #[test]
+    fn empty_and_tiny_streams_match_batch() {
+        for len in [0usize, 1, 40, 100] {
+            let signal = vec![50i32; len];
+            let batch = QrsDetector::new(PipelineConfig::exact()).detect(&signal);
+            let (events, streamed) = run_streaming(PipelineConfig::exact(), &signal, 1);
+            assert_eq!(streamed, batch, "len {len}");
+            assert!(events.is_empty());
+        }
+    }
+
+    #[test]
+    fn bit_level_engine_streams_identically_too() {
+        use crate::arith::MulEngine;
+        let signal = pulse_train(1500, 170, 200);
+        let config =
+            PipelineConfig::least_energy([8, 10, 2, 8, 16]).with_engine(MulEngine::BitLevel);
+        let batch = QrsDetector::new(config).detect(&signal);
+        let (_, streamed) = run_streaming(config, &signal, 13);
+        assert_eq!(streamed, batch);
+    }
+}

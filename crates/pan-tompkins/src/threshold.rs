@@ -6,6 +6,14 @@
 //! `THRESHOLD1 = NPK + 0.25·(SPK − NPK)`, blanks a 200 ms refractory period,
 //! rejects T waves by slope within 360 ms of the previous QRS, and performs
 //! RR-interval *search-back* at half threshold when a beat seems missed.
+//!
+//! The decision logic itself is *online*: every classification depends only
+//! on already-seen samples and already-classified candidate peaks (the seed
+//! thresholds need the learning window, a candidate needs `peak_spacing`
+//! trailing samples to become final, and search-back revisits only *past*
+//! candidates). [`OnlineClassifier`] is that incremental form — the batch
+//! [`AdaptiveThreshold::classify`] is a thin wrapper that pushes the whole
+//! signal through one and sorts the result, so the two paths cannot drift.
 
 use std::fmt;
 
@@ -127,182 +135,547 @@ impl AdaptiveThreshold {
     }
 
     /// Classifies every candidate peak in the signal.
+    ///
+    /// This is the batch entry point: it pushes the whole signal through an
+    /// [`OnlineClassifier`] (which is the implementation — there is no
+    /// separate batch decision path) and sorts the emitted decisions by
+    /// index.
     #[must_use]
     pub fn classify(&self, signal: &[i64]) -> Vec<PeakDecision> {
-        let c = &self.config;
-        if signal.len() < c.peak_spacing * 2 + 1 {
-            return Vec::new();
+        let mut online = OnlineClassifier::new(self.config);
+        let mut decisions = Vec::new();
+        for &x in signal {
+            online.push(x, &mut decisions);
         }
-        let candidates = local_maxima(signal, c.peak_spacing);
-
-        // Learning phase: seed SPK from the largest excursion and NPK from
-        // the mean of the first two seconds.
-        let learn_end = c.learning.min(signal.len());
-        let learn = &signal[..learn_end];
-        let max0 = learn.iter().copied().max().unwrap_or(0).max(1);
-        let mean0 = learn.iter().map(|v| *v as f64).sum::<f64>() / learn_end.max(1) as f64;
-        let mut spk = 0.25 * max0 as f64;
-        let mut npk = 0.5 * mean0;
-        let threshold1 = |spk: f64, npk: f64| npk + 0.25 * (spk - npk);
-
-        let mut decisions: Vec<PeakDecision> = Vec::new();
-        let mut qrs_indices: Vec<usize> = Vec::new();
-        let mut qrs_slopes: Vec<i64> = Vec::new();
-        let mut rr_history: Vec<usize> = Vec::new();
-
-        for &(idx, amp) in &candidates {
-            // Filter warm-up: the delay lines are still priming.
-            if idx < c.warmup {
-                continue;
-            }
-            let last_qrs = qrs_indices.last().copied();
-
-            // Refractory blanking: physically impossible to be a new beat.
-            if let Some(lq) = last_qrs {
-                if idx - lq < c.refractory {
-                    continue;
-                }
-            }
-
-            // Search-back: before judging this peak, check whether we have
-            // overshot the expected RR interval and left a beat behind.
-            if let (Some(lq), false) = (last_qrs, rr_history.is_empty()) {
-                let rr_avg = rr_history.iter().sum::<usize>() as f64 / rr_history.len() as f64;
-                if (idx - lq) as f64 > c.search_back_factor * rr_avg {
-                    let threshold2 = 0.5 * threshold1(spk, npk);
-                    // Revisit skipped candidates between the beats.
-                    let miss = candidates
-                        .iter()
-                        .filter(|(i, _)| *i > lq + c.refractory && *i + c.refractory < idx)
-                        .max_by_key(|(_, a)| *a)
-                        .copied();
-                    if let Some((mi, ma)) = miss {
-                        if (ma as f64) > threshold2 {
-                            spk = 0.25 * ma as f64 + 0.75 * spk;
-                            push_qrs(
-                                mi,
-                                ma,
-                                PeakClass::SearchBack,
-                                signal,
-                                &mut decisions,
-                                &mut qrs_indices,
-                                &mut qrs_slopes,
-                                &mut rr_history,
-                            );
-                        }
-                    }
-                }
-            }
-
-            // T-wave discrimination: within 360 ms of the last QRS, a peak
-            // whose maximal slope is less than half the previous QRS's slope
-            // is a T wave.
-            if let Some(&lq) = qrs_indices.last() {
-                if idx - lq < c.t_wave_window {
-                    let slope_now = max_slope(signal, idx);
-                    let slope_prev = qrs_slopes.last().copied().unwrap_or(0);
-                    if slope_now < slope_prev / 2 {
-                        npk = 0.125 * amp as f64 + 0.875 * npk;
-                        decisions.push(PeakDecision {
-                            index: idx,
-                            amplitude: amp,
-                            class: PeakClass::TWave,
-                        });
-                        continue;
-                    }
-                }
-            }
-
-            if (amp as f64) > threshold1(spk, npk) {
-                spk = 0.125 * amp as f64 + 0.875 * spk;
-                push_qrs(
-                    idx,
-                    amp,
-                    PeakClass::Qrs,
-                    signal,
-                    &mut decisions,
-                    &mut qrs_indices,
-                    &mut qrs_slopes,
-                    &mut rr_history,
-                );
-            } else {
-                npk = 0.125 * amp as f64 + 0.875 * npk;
-                decisions.push(PeakDecision {
-                    index: idx,
-                    amplitude: amp,
-                    class: PeakClass::Noise,
-                });
-            }
-        }
+        online.finish(&mut decisions);
         decisions.sort_by_key(|d| d.index);
         decisions
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn push_qrs(
-    idx: usize,
-    amp: i64,
-    class: PeakClass,
-    signal: &[i64],
-    decisions: &mut Vec<PeakDecision>,
-    qrs_indices: &mut Vec<usize>,
-    qrs_slopes: &mut Vec<i64>,
-    rr_history: &mut Vec<usize>,
-) {
-    if let Some(&prev) = qrs_indices.last() {
-        if idx > prev {
-            rr_history.push(idx - prev);
-            if rr_history.len() > 8 {
-                rr_history.remove(0);
-            }
+/// `THRESHOLD1 = NPK + 0.25·(SPK − NPK)` — the running detection threshold.
+fn threshold1(spk: f64, npk: f64) -> f64 {
+    npk + 0.25 * (spk - npk)
+}
+
+/// Trailing samples the online classifier retains: the 9-sample slope
+/// window of [`OnlineClassifier::slope_at`] plus the one-sample
+/// local-maximum lookahead.
+const RETAIN: usize = 10;
+
+/// A candidate peak with its precomputed slope. The samples around a
+/// candidate leave the retention window long before classification, so the
+/// slope proxy is frozen at detection time — over exactly the window the
+/// batch path would read.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    index: usize,
+    amplitude: i64,
+    slope: i64,
+}
+
+/// The incremental (push-based) adaptive-threshold classifier.
+///
+/// Feed samples with [`OnlineClassifier::push`]; decisions are appended to
+/// the caller's buffer as soon as they are final, with bounded latency:
+///
+/// * nothing is emitted before `max(learning, 2·peak_spacing + 1)` samples
+///   have been seen — the SPK/NPK seed needs the learning window, and the
+///   batch path classifies nothing on shorter signals;
+/// * past that point, the decision for a candidate peak at index `i` is
+///   emitted no later than right after sample `i + peak_spacing + 1`, the
+///   first sample proving no taller peak can merge into the candidate;
+/// * `SearchBack` recoveries are the algorithm's inherent exception: a
+///   missed beat is only *discovered* while classifying the next beat, so
+///   their latency is one RR interval rather than a constant.
+///
+/// Decisions are emitted in classification order, which is the batch
+/// pre-sort order: collecting them and sorting by index reproduces
+/// [`AdaptiveThreshold::classify`] exactly. Memory: a 10-sample ring plus
+/// the candidate-peak list (search-back may revisit any inter-beat
+/// candidate, which is also why the batch path keeps them all).
+///
+/// # Example
+///
+/// ```
+/// use pan_tompkins::{OnlineClassifier, ThresholdConfig};
+///
+/// let mut mwi = vec![10i64; 2000];
+/// for beat in 0..12 {
+///     let at = 100 + beat * 160;
+///     for (offset, slot) in mwi[at..at + 12].iter_mut().enumerate() {
+///         *slot = 2000 - 120 * (offset as i64 - 6).abs();
+///     }
+/// }
+/// let mut online = OnlineClassifier::new(ThresholdConfig::default());
+/// let mut decisions = Vec::new();
+/// for &x in &mwi {
+///     online.push(x, &mut decisions);
+/// }
+/// online.finish(&mut decisions);
+/// assert_eq!(decisions.len(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineClassifier {
+    config: ThresholdConfig,
+    /// Samples consumed so far.
+    n: usize,
+    /// Ring of the last [`RETAIN`] samples (`recent[j % RETAIN]` holds
+    /// sample `j` for `j ≥ n − RETAIN`).
+    recent: [i64; RETAIN],
+    /// Learning-window statistics (first `learning` samples).
+    learn_len: usize,
+    learn_max: i64,
+    learn_sum: f64,
+    /// Running signal/noise peak estimates, valid once `seeded`.
+    spk: f64,
+    npk: f64,
+    seeded: bool,
+    /// Finalized candidate peaks, in index order.
+    candidates: Vec<Candidate>,
+    /// The newest candidate, still replaceable by a taller peak within
+    /// `peak_spacing` samples.
+    pending: Option<Candidate>,
+    /// Position of the first unclassified entry in `candidates`.
+    next_unclassified: usize,
+    qrs_indices: Vec<usize>,
+    qrs_slopes: Vec<i64>,
+    rr_history: Vec<usize>,
+    finished: bool,
+}
+
+impl OnlineClassifier {
+    /// Creates an incremental classifier with the given parameters.
+    #[must_use]
+    pub fn new(config: ThresholdConfig) -> Self {
+        Self {
+            config,
+            n: 0,
+            recent: [0; RETAIN],
+            learn_len: 0,
+            learn_max: i64::MIN,
+            learn_sum: 0.0,
+            spk: 0.0,
+            npk: 0.0,
+            seeded: false,
+            candidates: Vec::new(),
+            pending: None,
+            next_unclassified: 0,
+            qrs_indices: Vec::new(),
+            qrs_slopes: Vec::new(),
+            rr_history: Vec::new(),
+            finished: false,
         }
     }
-    // Keep QRS indices sorted even when search-back inserts out of order.
-    let pos = qrs_indices.partition_point(|&i| i < idx);
-    qrs_indices.insert(pos, idx);
-    qrs_slopes.push(max_slope(signal, idx));
-    decisions.push(PeakDecision {
-        index: idx,
-        amplitude: amp,
-        class,
-    });
-}
 
-/// Maximal first difference in the 8 samples leading into `idx` — the slope
-/// proxy for T-wave discrimination.
-fn max_slope(signal: &[i64], idx: usize) -> i64 {
-    let lo = idx.saturating_sub(8);
-    signal[lo..=idx]
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .max()
-        .unwrap_or(0)
-}
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ThresholdConfig {
+        &self.config
+    }
 
-/// Local maxima at least `spacing` samples apart (largest wins in a
-/// conflict), with plateau handling.
-fn local_maxima(signal: &[i64], spacing: usize) -> Vec<(usize, i64)> {
-    let mut peaks: Vec<(usize, i64)> = Vec::new();
-    for i in 1..signal.len().saturating_sub(1) {
-        if signal[i] >= signal[i - 1] && signal[i] > signal[i + 1] {
-            let amp = signal[i];
-            match peaks.last() {
-                Some(&(pi, pa)) if i - pi < spacing => {
-                    if amp > pa {
-                        *peaks.last_mut().expect("non-empty") = (i, amp);
+    /// Samples consumed so far.
+    #[must_use]
+    pub fn samples_seen(&self) -> usize {
+        self.n
+    }
+
+    /// Feeds one sample; newly final decisions are appended to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`OnlineClassifier::finish`].
+    pub fn push(&mut self, x: i64, out: &mut Vec<PeakDecision>) {
+        assert!(!self.finished, "push after finish");
+        // Learning phase: track the largest excursion and the mean of the
+        // first `learning` samples (accumulated in signal order, so the
+        // floating-point sum is bit-identical to the batch slice sum).
+        if self.n < self.config.learning {
+            self.learn_max = self.learn_max.max(x);
+            self.learn_sum += x as f64;
+            self.learn_len += 1;
+        }
+        self.recent[self.n % RETAIN] = x;
+        self.n += 1;
+        if !self.seeded && self.n >= self.config.learning {
+            self.seed();
+        }
+        // Local-maximum scan at i = n − 2 (the batch scan covers
+        // 1 ≤ i < len − 1; sample i + 1 is the newest).
+        if self.n >= 3 {
+            let i = self.n - 2;
+            if self.sample(i) >= self.sample(i - 1) && self.sample(i) > self.sample(i + 1) {
+                self.observe_local_max(i);
+            }
+        }
+        // Finality: once no future local maximum can fall within
+        // `peak_spacing` of the pending candidate, it is immutable.
+        if let Some(p) = self.pending {
+            if self.n > p.index + self.config.peak_spacing {
+                self.candidates.push(p);
+                self.pending = None;
+            }
+        }
+        self.drain(out);
+    }
+
+    /// Ends the stream: classifies every remaining candidate (using the
+    /// final signal length for the learning window if it was shorter than
+    /// `learning`), appending the decisions to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn finish(&mut self, out: &mut Vec<PeakDecision>) {
+        assert!(!self.finished, "finish called twice");
+        self.finished = true;
+        // Too short to classify at all — the batch path's early return.
+        if self.n < self.config.peak_spacing * 2 + 1 {
+            return;
+        }
+        if !self.seeded {
+            self.seed();
+        }
+        if let Some(p) = self.pending.take() {
+            self.candidates.push(p);
+        }
+        while self.next_unclassified < self.candidates.len() {
+            self.classify_next(out);
+        }
+    }
+
+    /// Retrieves retained sample `j` (valid for the last [`RETAIN`]
+    /// positions).
+    fn sample(&self, j: usize) -> i64 {
+        debug_assert!(j < self.n && j + RETAIN >= self.n);
+        self.recent[j % RETAIN]
+    }
+
+    /// Seeds SPK from the largest learning-window excursion and NPK from
+    /// half the window mean — the batch path's initialisation.
+    fn seed(&mut self) {
+        let max0 = if self.learn_len == 0 {
+            0
+        } else {
+            self.learn_max
+        }
+        .max(1);
+        let mean0 = self.learn_sum / self.learn_len.max(1) as f64;
+        self.spk = 0.25 * max0 as f64;
+        self.npk = 0.5 * mean0;
+        self.seeded = true;
+    }
+
+    /// Maximal first difference over the 8 samples leading into `idx`
+    /// (which must be within the retention window).
+    fn slope_at(&self, idx: usize) -> i64 {
+        let lo = idx.saturating_sub(8);
+        let mut best: Option<i64> = None;
+        for j in lo..idx {
+            let d = self.sample(j + 1) - self.sample(j);
+            best = Some(best.map_or(d, |b| b.max(d)));
+        }
+        best.unwrap_or(0)
+    }
+
+    /// Handles a local maximum at `i`: merge into the pending candidate if
+    /// within `peak_spacing` (largest wins), otherwise start a new one.
+    fn observe_local_max(&mut self, i: usize) {
+        let cand = Candidate {
+            index: i,
+            amplitude: self.sample(i),
+            slope: self.slope_at(i),
+        };
+        match &mut self.pending {
+            Some(p) if i - p.index < self.config.peak_spacing => {
+                if cand.amplitude > p.amplitude {
+                    *p = cand;
+                }
+            }
+            pending @ Some(_) => {
+                self.candidates
+                    .push(pending.take().expect("pending candidate"));
+                *pending = Some(cand);
+            }
+            pending @ None => *pending = Some(cand),
+        }
+    }
+
+    /// Classifies every candidate that is already final, once the emission
+    /// gates (seed available, minimum signal length) are open.
+    fn drain(&mut self, out: &mut Vec<PeakDecision>) {
+        if !self.seeded || self.n < self.config.peak_spacing * 2 + 1 {
+            return;
+        }
+        while self.next_unclassified < self.candidates.len() {
+            self.classify_next(out);
+        }
+    }
+
+    /// Classifies the next candidate — one iteration of the batch decision
+    /// loop (search-back, T-wave discrimination, THRESHOLD1).
+    fn classify_next(&mut self, out: &mut Vec<PeakDecision>) {
+        let c = self.config;
+        let cand = self.candidates[self.next_unclassified];
+        self.next_unclassified += 1;
+        let (idx, amp) = (cand.index, cand.amplitude);
+
+        // Filter warm-up: the delay lines are still priming.
+        if idx < c.warmup {
+            return;
+        }
+        let last_qrs = self.qrs_indices.last().copied();
+
+        // Refractory blanking: physically impossible to be a new beat.
+        if let Some(lq) = last_qrs {
+            if idx - lq < c.refractory {
+                return;
+            }
+        }
+
+        // Search-back: before judging this peak, check whether we have
+        // overshot the expected RR interval and left a beat behind. Only
+        // *past* candidates qualify (`index + refractory < idx`), so the
+        // incremental candidate list sees exactly what the batch list did.
+        if let (Some(lq), false) = (last_qrs, self.rr_history.is_empty()) {
+            let rr_avg =
+                self.rr_history.iter().sum::<usize>() as f64 / self.rr_history.len() as f64;
+            if (idx - lq) as f64 > c.search_back_factor * rr_avg {
+                let threshold2 = 0.5 * threshold1(self.spk, self.npk);
+                let miss = self
+                    .candidates
+                    .iter()
+                    .filter(|cd| cd.index > lq + c.refractory && cd.index + c.refractory < idx)
+                    .max_by_key(|cd| cd.amplitude)
+                    .copied();
+                if let Some(m) = miss {
+                    if (m.amplitude as f64) > threshold2 {
+                        self.spk = 0.25 * m.amplitude as f64 + 0.75 * self.spk;
+                        self.push_qrs(m, PeakClass::SearchBack, out);
                     }
                 }
-                _ => peaks.push((i, amp)),
             }
         }
+
+        // T-wave discrimination: within 360 ms of the last QRS, a peak
+        // whose maximal slope is less than half the previous QRS's slope
+        // is a T wave.
+        if let Some(&lq) = self.qrs_indices.last() {
+            if idx - lq < c.t_wave_window {
+                let slope_prev = self.qrs_slopes.last().copied().unwrap_or(0);
+                if cand.slope < slope_prev / 2 {
+                    self.npk = 0.125 * amp as f64 + 0.875 * self.npk;
+                    out.push(PeakDecision {
+                        index: idx,
+                        amplitude: amp,
+                        class: PeakClass::TWave,
+                    });
+                    return;
+                }
+            }
+        }
+
+        if (amp as f64) > threshold1(self.spk, self.npk) {
+            self.spk = 0.125 * amp as f64 + 0.875 * self.spk;
+            self.push_qrs(cand, PeakClass::Qrs, out);
+        } else {
+            self.npk = 0.125 * amp as f64 + 0.875 * self.npk;
+            out.push(PeakDecision {
+                index: idx,
+                amplitude: amp,
+                class: PeakClass::Noise,
+            });
+        }
     }
-    peaks
+
+    /// Records an accepted beat: RR bookkeeping, sorted index insertion
+    /// (search-back inserts out of order), slope history, decision.
+    fn push_qrs(&mut self, cand: Candidate, class: PeakClass, out: &mut Vec<PeakDecision>) {
+        if let Some(&prev) = self.qrs_indices.last() {
+            if cand.index > prev {
+                self.rr_history.push(cand.index - prev);
+                if self.rr_history.len() > 8 {
+                    self.rr_history.remove(0);
+                }
+            }
+        }
+        // Keep QRS indices sorted even when search-back inserts out of
+        // order.
+        let pos = self.qrs_indices.partition_point(|&i| i < cand.index);
+        self.qrs_indices.insert(pos, cand.index);
+        self.qrs_slopes.push(cand.slope);
+        out.push(PeakDecision {
+            index: cand.index,
+            amplitude: cand.amplitude,
+            class,
+        });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The original batch implementation, kept verbatim as the oracle the
+    /// online classifier is checked against: every decision of
+    /// [`AdaptiveThreshold::classify`] must match this, sample for sample.
+    mod reference {
+        use super::super::*;
+
+        pub fn classify(config: &ThresholdConfig, signal: &[i64]) -> Vec<PeakDecision> {
+            let c = config;
+            if signal.len() < c.peak_spacing * 2 + 1 {
+                return Vec::new();
+            }
+            let candidates = local_maxima(signal, c.peak_spacing);
+
+            let learn_end = c.learning.min(signal.len());
+            let learn = &signal[..learn_end];
+            let max0 = learn.iter().copied().max().unwrap_or(0).max(1);
+            let mean0 = learn.iter().map(|v| *v as f64).sum::<f64>() / learn_end.max(1) as f64;
+            let mut spk = 0.25 * max0 as f64;
+            let mut npk = 0.5 * mean0;
+            let threshold1 = |spk: f64, npk: f64| npk + 0.25 * (spk - npk);
+
+            let mut decisions: Vec<PeakDecision> = Vec::new();
+            let mut qrs_indices: Vec<usize> = Vec::new();
+            let mut qrs_slopes: Vec<i64> = Vec::new();
+            let mut rr_history: Vec<usize> = Vec::new();
+
+            for &(idx, amp) in &candidates {
+                if idx < c.warmup {
+                    continue;
+                }
+                let last_qrs = qrs_indices.last().copied();
+                if let Some(lq) = last_qrs {
+                    if idx - lq < c.refractory {
+                        continue;
+                    }
+                }
+                if let (Some(lq), false) = (last_qrs, rr_history.is_empty()) {
+                    let rr_avg = rr_history.iter().sum::<usize>() as f64 / rr_history.len() as f64;
+                    if (idx - lq) as f64 > c.search_back_factor * rr_avg {
+                        let threshold2 = 0.5 * threshold1(spk, npk);
+                        let miss = candidates
+                            .iter()
+                            .filter(|(i, _)| *i > lq + c.refractory && *i + c.refractory < idx)
+                            .max_by_key(|(_, a)| *a)
+                            .copied();
+                        if let Some((mi, ma)) = miss {
+                            if (ma as f64) > threshold2 {
+                                spk = 0.25 * ma as f64 + 0.75 * spk;
+                                push_qrs(
+                                    mi,
+                                    ma,
+                                    PeakClass::SearchBack,
+                                    signal,
+                                    &mut decisions,
+                                    &mut qrs_indices,
+                                    &mut qrs_slopes,
+                                    &mut rr_history,
+                                );
+                            }
+                        }
+                    }
+                }
+                if let Some(&lq) = qrs_indices.last() {
+                    if idx - lq < c.t_wave_window {
+                        let slope_now = max_slope(signal, idx);
+                        let slope_prev = qrs_slopes.last().copied().unwrap_or(0);
+                        if slope_now < slope_prev / 2 {
+                            npk = 0.125 * amp as f64 + 0.875 * npk;
+                            decisions.push(PeakDecision {
+                                index: idx,
+                                amplitude: amp,
+                                class: PeakClass::TWave,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                if (amp as f64) > threshold1(spk, npk) {
+                    spk = 0.125 * amp as f64 + 0.875 * spk;
+                    push_qrs(
+                        idx,
+                        amp,
+                        PeakClass::Qrs,
+                        signal,
+                        &mut decisions,
+                        &mut qrs_indices,
+                        &mut qrs_slopes,
+                        &mut rr_history,
+                    );
+                } else {
+                    npk = 0.125 * amp as f64 + 0.875 * npk;
+                    decisions.push(PeakDecision {
+                        index: idx,
+                        amplitude: amp,
+                        class: PeakClass::Noise,
+                    });
+                }
+            }
+            decisions.sort_by_key(|d| d.index);
+            decisions
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn push_qrs(
+            idx: usize,
+            amp: i64,
+            class: PeakClass,
+            signal: &[i64],
+            decisions: &mut Vec<PeakDecision>,
+            qrs_indices: &mut Vec<usize>,
+            qrs_slopes: &mut Vec<i64>,
+            rr_history: &mut Vec<usize>,
+        ) {
+            if let Some(&prev) = qrs_indices.last() {
+                if idx > prev {
+                    rr_history.push(idx - prev);
+                    if rr_history.len() > 8 {
+                        rr_history.remove(0);
+                    }
+                }
+            }
+            let pos = qrs_indices.partition_point(|&i| i < idx);
+            qrs_indices.insert(pos, idx);
+            qrs_slopes.push(max_slope(signal, idx));
+            decisions.push(PeakDecision {
+                index: idx,
+                amplitude: amp,
+                class,
+            });
+        }
+
+        fn max_slope(signal: &[i64], idx: usize) -> i64 {
+            let lo = idx.saturating_sub(8);
+            signal[lo..=idx]
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .max()
+                .unwrap_or(0)
+        }
+
+        pub fn local_maxima(signal: &[i64], spacing: usize) -> Vec<(usize, i64)> {
+            let mut peaks: Vec<(usize, i64)> = Vec::new();
+            for i in 1..signal.len().saturating_sub(1) {
+                if signal[i] >= signal[i - 1] && signal[i] > signal[i + 1] {
+                    let amp = signal[i];
+                    match peaks.last() {
+                        Some(&(pi, pa)) if i - pi < spacing => {
+                            if amp > pa {
+                                *peaks.last_mut().expect("non-empty") = (i, amp);
+                            }
+                        }
+                        _ => peaks.push((i, amp)),
+                    }
+                }
+            }
+            peaks
+        }
+    }
+
+    use reference::local_maxima;
 
     /// Builds an MWI-like signal: triangular bumps of `peak` height at the
     /// given positions over a noise floor.
@@ -436,5 +809,130 @@ mod tests {
         let det = AdaptiveThreshold::new(ThresholdConfig::default());
         let decisions = det.classify(&s);
         assert!(decisions.windows(2).all(|w| w[0].index <= w[1].index));
+    }
+
+    /// A deterministic pseudo-random MWI-like signal: beats with jittered
+    /// spacing and amplitude over structured noise, to exercise the
+    /// search-back and T-wave paths.
+    fn fuzz_signal(seed: u64, len: usize) -> Vec<i64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut s: Vec<i64> = (0..len).map(|_| (next() % 120) as i64).collect();
+        let mut at = 120 + (next() % 80) as usize;
+        while at + 20 < len {
+            let height = 1500 + (next() % 4000) as i64;
+            for o in 0..15usize {
+                let v = height - (o as i64 - 7).abs() * (height / 8);
+                s[at + o] = s[at + o].max(v);
+            }
+            // Occasional weak beat (search-back fodder) or T-wave bump.
+            if next() % 3 == 0 {
+                let t = at + 45 + (next() % 20) as usize;
+                for o in 0..30usize {
+                    if t + o < len {
+                        let v = height / 4 - ((o as i64) - 15).abs() * (height / 64);
+                        s[t + o] = s[t + o].max(v.max(0));
+                    }
+                }
+            }
+            at += 90 + (next() % 220) as usize;
+        }
+        s
+    }
+
+    /// The tentpole guard at the classifier layer: the online path (which
+    /// now *is* `classify`) reproduces the original batch implementation
+    /// decision for decision, over beats, noise, T waves and search-back.
+    #[test]
+    fn online_classifier_matches_reference_implementation() {
+        let cfg = ThresholdConfig::default();
+        let det = AdaptiveThreshold::new(cfg);
+        for seed in 0..40u64 {
+            let len = 600 + (seed as usize * 137) % 2500;
+            let s = fuzz_signal(seed + 1, len);
+            let got = det.classify(&s);
+            let want = reference::classify(&cfg, &s);
+            assert_eq!(got, want, "seed {seed} diverged");
+        }
+    }
+
+    /// Same guard on degenerate lengths and custom configurations.
+    #[test]
+    fn online_classifier_matches_reference_on_edge_configs() {
+        let configs = [
+            ThresholdConfig::default(),
+            ThresholdConfig {
+                learning: 0,
+                ..ThresholdConfig::default()
+            },
+            ThresholdConfig {
+                peak_spacing: 5,
+                refractory: 12,
+                ..ThresholdConfig::default()
+            },
+            ThresholdConfig {
+                warmup: 0,
+                learning: 50,
+                ..ThresholdConfig::default()
+            },
+        ];
+        for cfg in configs {
+            let det = AdaptiveThreshold::new(cfg);
+            for len in [0usize, 1, 10, 40, 41, 120, 399, 400, 401, 1200] {
+                let s = fuzz_signal(len as u64 + 7, len);
+                assert_eq!(
+                    det.classify(&s),
+                    reference::classify(&cfg, &s),
+                    "len {len} cfg {cfg:?}"
+                );
+            }
+        }
+    }
+
+    /// Push-based decisions arrive with the documented bounded latency:
+    /// by the time sample `i + peak_spacing + 1` has been consumed, the
+    /// decision for a (non-search-back) candidate at `i` must be out.
+    #[test]
+    fn online_decisions_have_bounded_latency() {
+        let cfg = ThresholdConfig::default();
+        let s = fuzz_signal(99, 3000);
+        let mut online = OnlineClassifier::new(cfg);
+        let mut out = Vec::new();
+        let mut emitted_at: Vec<(usize, PeakDecision)> = Vec::new();
+        for (n, &x) in s.iter().enumerate() {
+            let before = out.len();
+            online.push(x, &mut out);
+            for d in &out[before..] {
+                emitted_at.push((n + 1, *d));
+            }
+        }
+        online.finish(&mut out);
+        assert!(!emitted_at.is_empty(), "no decision emitted mid-stream");
+        let startup = cfg.learning.max(2 * cfg.peak_spacing + 1);
+        for (n, d) in &emitted_at {
+            assert!(*n >= startup, "decision before the startup gate");
+            if d.class != PeakClass::SearchBack {
+                let deadline = (d.index + cfg.peak_spacing + 1).max(startup);
+                assert!(
+                    *n <= deadline,
+                    "decision for {} emitted at {n}, deadline {deadline}",
+                    d.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finish called twice")]
+    fn finishing_twice_panics() {
+        let mut online = OnlineClassifier::new(ThresholdConfig::default());
+        let mut out = Vec::new();
+        online.finish(&mut out);
+        online.finish(&mut out);
     }
 }

@@ -1,0 +1,144 @@
+//! The chunk-invariance contract: for random approximation configurations,
+//! random signals, and random chunk partitions, the streaming detector's
+//! output — peaks, decisions, stage signals, operation/saturation/overflow
+//! counters — equals the batch `detect` exactly, and the event stream does
+//! not depend on how the input was split into `push` calls.
+
+use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
+use pan_tompkins::{
+    DetectionResult, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector,
+};
+use proptest::prelude::*;
+
+/// Feeds `signal` to a streaming detector split at the given chunk sizes
+/// (cycled until the signal is exhausted) and returns the event stream and
+/// final result.
+fn run_streaming(
+    config: PipelineConfig,
+    signal: &[i32],
+    chunk_sizes: &[usize],
+) -> (Vec<StreamEvent>, DetectionResult) {
+    let mut det = StreamingQrsDetector::new(config);
+    let mut events = Vec::new();
+    let mut offset = 0usize;
+    let mut turn = 0usize;
+    while offset < signal.len() {
+        let take = chunk_sizes[turn % chunk_sizes.len()]
+            .max(1)
+            .min(signal.len() - offset);
+        events.extend(det.push(&signal[offset..offset + take]));
+        offset += take;
+        turn += 1;
+    }
+    let (trailing, result) = det.finish();
+    events.extend(trailing);
+    (events, result)
+}
+
+/// A pipeline configuration drawn from the paper's grid: per-stage LSB
+/// depths within the stage bounds, one elementary module pair.
+fn config_from(lsb_seed: [u32; 5], mult_idx: usize, adder_idx: usize) -> PipelineConfig {
+    let mult = Mult2x2Kind::ALL[mult_idx % Mult2x2Kind::ALL.len()];
+    let adder = FullAdderKind::ALL[adder_idx % FullAdderKind::ALL.len()];
+    let mut config = PipelineConfig::exact();
+    for (kind, k) in pan_tompkins::StageKind::ALL.into_iter().zip(lsb_seed) {
+        let k = k % (kind.max_approx_lsbs() + 1);
+        config = config.with_stage(kind, StageArith::new(k, mult, adder));
+    }
+    config
+}
+
+/// A synthetic ECG stretch with seed-dependent morphology and length.
+fn record_samples(seed: u64, len: usize) -> Vec<i32> {
+    let record = ecg::nsrdb::record((seed % 5) as usize);
+    let start = (seed as usize * 613) % 4000;
+    record.samples()[start..(start + len).min(record.len())].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: streaming == batch for arbitrary
+    /// configuration × signal × partition, down to every counter.
+    #[test]
+    fn streaming_detect_is_chunk_invariant(
+        seed in 0u64..10_000,
+        len in 600usize..3000,
+        k0 in 0u32..=16, k1 in 0u32..=16, k2 in 0u32..=16, k3 in 0u32..=16, k4 in 0u32..=16,
+        mult_idx in 0usize..3,
+        adder_idx in 0usize..6,
+        chunk_a in 1usize..40,
+        chunk_b in 1usize..500,
+    ) {
+        let config = config_from([k0, k1, k2, k3, k4], mult_idx, adder_idx);
+        let signal = record_samples(seed, len);
+        let batch = QrsDetector::new(config).detect(&signal);
+
+        // Fixed partitions: single samples, a small prime, a large chunk,
+        // the whole record — plus two drawn alternating partitions.
+        let partitions: [&[usize]; 6] = [
+            &[1],
+            &[7],
+            &[997],
+            &[usize::MAX],
+            &[chunk_a, chunk_b],
+            &[1, chunk_b, chunk_a],
+        ];
+        let mut reference_events: Option<Vec<StreamEvent>> = None;
+        for sizes in partitions {
+            let (events, streamed) = run_streaming(config, &signal, sizes);
+            prop_assert_eq!(
+                &streamed, &batch,
+                "streaming != batch for {} with partition {:?}", config, sizes
+            );
+            match &reference_events {
+                None => reference_events = Some(events),
+                Some(reference) => prop_assert_eq!(
+                    &events, reference,
+                    "event stream changed with partition {:?}", sizes
+                ),
+            }
+        }
+    }
+}
+
+/// Saturation-heavy input (large amplitudes force datapath clamps and adder
+/// wraps): the counters in the result must still match exactly.
+#[test]
+fn saturating_signals_stay_equivalent() {
+    let config = config_from([12, 14, 3, 6, 16], 1, 4);
+    let signal: Vec<i32> = (0..2500)
+        .map(|i| {
+            let beat = if i % 180 < 4 { 30_000 } else { 0 };
+            beat + ((i * 37) % 2000) - 1000
+        })
+        .collect();
+    let batch = QrsDetector::new(config).detect(&signal);
+    assert!(
+        batch.saturations().iter().sum::<u64>() > 0,
+        "test signal failed to exercise the saturation path"
+    );
+    for sizes in [[1usize, 1], [13, 380]] {
+        let (_, streamed) = run_streaming(config, &signal, &sizes);
+        assert_eq!(streamed, batch);
+    }
+}
+
+/// The evaluator-facing workload: the full paper record under the paper's
+/// B9 design, streamed at AFE-like chunk sizes.
+#[test]
+fn paper_record_streams_identically() {
+    let record = ecg::nsrdb::paper_record().truncated(8000);
+    let config = PipelineConfig::least_energy([10, 12, 2, 8, 16]);
+    let batch = QrsDetector::new(config).detect(record.samples());
+    assert!(batch.r_peaks().len() > 20, "workload has no beats");
+    for sizes in [[1usize, 1], [20, 20], [160, 7]] {
+        let (events, streamed) = run_streaming(config, record.samples(), &sizes);
+        assert_eq!(streamed, batch);
+        let confirmed: Vec<usize> = events.iter().filter_map(StreamEvent::r_peak).collect();
+        let mut sorted = confirmed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, batch.r_peaks(), "events disagree with r_peaks");
+    }
+}
