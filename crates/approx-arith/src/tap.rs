@@ -180,6 +180,33 @@ impl TapMultiplier {
         matches!(self.repr, TapRepr::Exact)
     }
 
+    /// Bytes of the process-wide shared product table this tap references
+    /// (0 for exact taps, which evaluate natively). The table lives behind
+    /// an `Arc` in the global cache and is shared by every tap compiled for
+    /// the same `(width, LSBs, kinds, |coefficient|)`, so it is *not*
+    /// per-detector state — memory accounting (e.g.
+    /// `pan_tompkins::StreamingQrsDetector::state_bytes`) reports it
+    /// separately; deduplicate across taps with [`TapMultiplier::table_id`].
+    #[must_use]
+    pub fn shared_table_bytes(&self) -> usize {
+        match &self.repr {
+            TapRepr::Exact => 0,
+            TapRepr::Lut { table, .. } => table.len() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// Opaque identity of the shared product table (taps compiled from the
+    /// same cache entry return the same id), `None` for exact taps. Lets
+    /// accounting sum [`TapMultiplier::shared_table_bytes`] without double
+    /// counting a table referenced by several taps.
+    #[must_use]
+    pub fn table_id(&self) -> Option<usize> {
+        match &self.repr {
+            TapRepr::Exact => None,
+            TapRepr::Lut { table, .. } => Some(Arc::as_ptr(table) as usize),
+        }
+    }
+
     /// Multiplies a sample the caller has already clamped into
     /// `|a| ≤ 2^(width−1)` by the compiled coefficient — the same contract
     /// as [`CompiledMultiplier::mul_signed_clamped`] with the coefficient
@@ -321,5 +348,22 @@ mod tests {
         for a in [-32768i64, -1, 0, 1, 32767] {
             assert_eq!(tap.mul_clamped(a), fast.mul_signed_clamped(a, 0));
         }
+    }
+
+    #[test]
+    fn table_accounting_reports_shared_identity() {
+        let exact = CompiledMultiplier::new(16, 0, Mult2x2Kind::V1, FullAdderKind::Accurate);
+        let native = TapMultiplier::new(&exact, 6);
+        assert_eq!(native.shared_table_bytes(), 0);
+        assert_eq!(native.table_id(), None);
+
+        let approx = CompiledMultiplier::new(16, 8, Mult2x2Kind::V1, FullAdderKind::Ama5);
+        let a = TapMultiplier::new(&approx, 6);
+        let b = TapMultiplier::new(&approx, -6);
+        // One magnitude-indexed entry per sample magnitude 0..=2^15.
+        assert_eq!(a.shared_table_bytes(), ((1 << 15) + 1) * 4);
+        assert_eq!(a.table_id(), b.table_id(), "same table, same identity");
+        let other = TapMultiplier::new(&approx, 31);
+        assert_ne!(a.table_id(), other.table_id());
     }
 }

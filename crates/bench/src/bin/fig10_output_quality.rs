@@ -18,6 +18,7 @@ fn main() {
     );
 
     let accurate = QrsDetector::new(PipelineConfig::exact()).detect(record.samples());
+    let accurate_hpf = &accurate.signals().expect("batch retains signals").hpf;
 
     // The paper's exact setting (4 LSBs at all five stages) plus a deeper
     // setting that lands in the paper's *visibly degraded* PSNR regime on
@@ -31,10 +32,7 @@ fn main() {
     ];
 
     let start = 400usize;
-    let reference: Vec<f64> = accurate.signals().hpf[start..]
-        .iter()
-        .map(|v| *v as f64)
-        .collect();
+    let reference: Vec<f64> = accurate_hpf[start..].iter().map(|v| *v as f64).collect();
     let window = 400..2400usize;
     let count = |peaks: &[usize]| peaks.iter().filter(|p| window.contains(p)).count();
     let acc_peaks = count(accurate.r_peaks());
@@ -42,10 +40,8 @@ fn main() {
     let mut excerpt: Vec<i64> = Vec::new();
     for (label, lsbs) in cases {
         let approx = QrsDetector::new(PipelineConfig::least_energy(lsbs)).detect(record.samples());
-        let signal: Vec<f64> = approx.signals().hpf[start..]
-            .iter()
-            .map(|v| *v as f64)
-            .collect();
+        let approx_hpf = &approx.signals().expect("batch retains signals").hpf;
+        let signal: Vec<f64> = approx_hpf[start..].iter().map(|v| *v as f64).collect();
         let db = psnr(&reference, &signal);
         let ssim = Ssim::default().mean(&reference, &signal);
         println!("--- {label} ---");
@@ -60,7 +56,7 @@ fn main() {
             accurate.r_peaks().len(),
             approx.r_peaks().len()
         );
-        excerpt = approx.signals().hpf[1000..1020].to_vec();
+        excerpt = approx_hpf[1000..1020].to_vec();
     }
 
     // A small waveform excerpt of the degraded case so the "visible
@@ -68,6 +64,6 @@ fn main() {
     println!("HPF-output excerpt (samples 1000..1020): accurate vs degraded");
     for (offset, v) in excerpt.iter().enumerate() {
         let i = 1000 + offset;
-        println!("  [{i}] {:>8} {:>8}", accurate.signals().hpf[i], v);
+        println!("  [{i}] {:>8} {:>8}", accurate_hpf[i], v);
     }
 }

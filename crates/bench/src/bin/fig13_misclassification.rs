@@ -41,6 +41,7 @@ fn analyze(name: &str, record: &ecg::EcgRecord, mut detector: QrsDetector) {
         100.0 * tp as f64 / total.max(1) as f64,
         result.omitted().len()
     );
+    let signals = result.signals().expect("batch retains signals");
     for o in result.omitted().iter().take(5) {
         println!(
             "  omitted beat: MWI peak @ {} -> expected HPF peak @ {}, found @ {} (misalignment {} samples)",
@@ -52,14 +53,10 @@ fn analyze(name: &str, record: &ecg::EcgRecord, mut detector: QrsDetector) {
         // Show the two channels around the omission, like the figure's
         // aligned waveform strips.
         let lo = o.mwi_index.saturating_sub(25);
-        let hi = (o.mwi_index + 5).min(result.signals().mwi.len());
+        let hi = (o.mwi_index + 5).min(signals.mwi.len());
         println!("    idx :  HPF       MWI");
         for i in (lo..hi).step_by(5) {
-            println!(
-                "    {i:>5}: {:>8} {:>9}",
-                result.signals().hpf[i],
-                result.signals().mwi[i]
-            );
+            println!("    {i:>5}: {:>8} {:>9}", signals.hpf[i], signals.mwi[i]);
         }
     }
     println!();

@@ -6,7 +6,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ecg::EcgRecord;
 use hwmodel::{CalibratedModel, StageCost};
-use pan_tompkins::{DetectionResult, PipelineConfig, QrsDetector, StageKind, StreamingQrsDetector};
+use pan_tompkins::{
+    DetectionResult, Footprint, PipelineConfig, QrsDetector, StageKind, StreamEvent,
+    StreamingQrsDetector,
+};
 use quality::{psnr, PeakMatcher, Ssim};
 
 use crate::parallel::parallel_map;
@@ -106,7 +109,13 @@ impl Evaluator {
     pub fn with_reference(record: &EcgRecord, reference: PipelineConfig) -> Self {
         let mut exact = QrsDetector::new(reference);
         let result = exact.detect(record.samples());
-        let reference_hpf: Vec<f64> = result.signals().hpf.iter().map(|v| *v as f64).collect();
+        let reference_hpf: Vec<f64> = result
+            .signals()
+            .expect("batch reference run retains signals")
+            .hpf
+            .iter()
+            .map(|v| *v as f64)
+            .collect();
         let end = record.len().saturating_sub(SCORE_TAIL);
         let reference_beats: Vec<usize> = record
             .r_peaks()
@@ -148,60 +157,151 @@ impl Evaluator {
 
     /// Runs the pipeline under `config` through the *streaming* detector —
     /// feeding the record in `chunk_size`-sample pushes the way an AFE
-    /// would deliver it — and scores the final result. Streaming is
-    /// bit-identical to batch for every chunking (see
-    /// [`pan_tompkins::streaming`]), so the report equals
-    /// [`Evaluator::evaluate`] exactly; grid searches can therefore score
-    /// designs via the deployment-shaped path at no accuracy cost.
+    /// would deliver it — and scores the run. Streaming is bit-identical
+    /// to batch for every chunking (see [`pan_tompkins::streaming`]), so
+    /// the report equals [`Evaluator::evaluate`] exactly; grid searches
+    /// can therefore score designs via the deployment-shaped path at no
+    /// accuracy cost.
+    ///
+    /// The run is scored from the event stream and the HPF tap, so it
+    /// honors the configuration's [`Footprint`]: under
+    /// [`Footprint::Bounded`] the detector never materialises stage
+    /// signals, and the report is *still* identical to the batch one.
     pub fn evaluate_streaming(&self, config: &PipelineConfig, chunk_size: usize) -> QualityReport {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        let (_, result) =
-            StreamingQrsDetector::detect_chunked(*config, self.record.samples(), chunk_size);
-        self.score(config, &result)
+        let mut detector = StreamingQrsDetector::new(*config);
+        let mut hpf: Vec<i64> = Vec::with_capacity(self.record.len());
+        let mut run = StreamRun::default();
+        for chunk in self.record.samples().chunks(chunk_size.max(1)) {
+            run.absorb(detector.push_tapped(chunk, &mut hpf));
+        }
+        let (trailing, _result) = detector.finish();
+        run.absorb(trailing);
+        run.seal();
+        self.score_parts(config, &hpf, &run)
     }
 
     /// Scores one finished detection run against the cached references.
     fn score(&self, config: &PipelineConfig, result: &DetectionResult) -> QualityReport {
-        // Signal gate: compare HPF outputs past the filter warm-up.
-        let start = SCORE_START.min(self.reference_hpf.len());
-        let approx_hpf: Vec<f64> = result.signals().hpf[start..]
-            .iter()
-            .map(|v| *v as f64)
-            .collect();
-        let reference = &self.reference_hpf[start..];
-        let psnr_db = if reference.is_empty() {
-            f64::INFINITY
-        } else {
-            psnr::psnr(reference, &approx_hpf)
+        let run = StreamRun {
+            r_peaks: result.r_peaks().to_vec(),
+            omitted: result.omitted().len(),
         };
-        let ssim = if reference.len() >= self.ssim.window() {
-            self.ssim.mean(reference, &approx_hpf)
-        } else {
-            1.0
-        };
+        self.score_parts(
+            config,
+            &result
+                .signals()
+                .expect("batch detection retains signals")
+                .hpf,
+            &run,
+        )
+    }
 
-        // Application gate: peak detection accuracy.
-        let end = self.record.len().saturating_sub(SCORE_TAIL);
-        let detected: Vec<usize> = result
-            .r_peaks()
-            .iter()
-            .copied()
-            .filter(|p| *p >= SCORE_START && *p < end)
-            .collect();
-        let m = self.matcher.match_peaks(&self.reference_beats, &detected);
+    fn score_parts(&self, config: &PipelineConfig, hpf: &[i64], run: &StreamRun) -> QualityReport {
+        score_run(
+            config,
+            &self.reference_hpf,
+            &self.reference_beats,
+            self.record.len(),
+            hpf,
+            run,
+            &self.calibrated,
+            &self.matcher,
+            &self.ssim,
+        )
+    }
 
-        let lsbs = config.lsb_vector();
-        QualityReport {
-            psnr_db,
-            ssim,
-            peak_accuracy: m.detection_accuracy(),
-            ppv: m.positive_predictivity(),
-            omitted_beats: result.omitted().len(),
-            detected_beats: detected.len(),
-            reference_beats: self.reference_beats.len(),
-            energy_reduction_module_sum: module_sum_reduction(config),
-            energy_reduction_calibrated: self.calibrated.end_to_end_reduction(lsbs),
+    /// Scores many records × many configurations through *bounded*
+    /// streaming detectors — the record-batched evaluation path.
+    ///
+    /// One detector per configuration is built once and driven through
+    /// every record via [`StreamingQrsDetector::finish_reset`], so the
+    /// compiled LUT/tap-table handles, delay lines, ring buffers, and the
+    /// HPF scratch are reused across the whole corpus instead of being
+    /// reallocated per record (what
+    /// [`evaluate_across_records`] + per-record [`Evaluator::evaluate`]
+    /// do). Configurations fan out across the worker pool.
+    ///
+    /// Returns reports in `[record][config]` order, each bit-for-bit equal
+    /// to the report a per-record [`Evaluator`] produces — bounded
+    /// streaming is event- and tap-identical to batch detection, and the
+    /// scoring arithmetic is shared.
+    #[must_use]
+    pub fn evaluate_records_streaming(
+        records: &[EcgRecord],
+        configs: &[PipelineConfig],
+        chunk_size: usize,
+    ) -> Vec<Vec<QualityReport>> {
+        // Per-record references (the accurate run), computed once.
+        struct RecordRef {
+            hpf: Vec<f64>,
+            beats: Vec<usize>,
+            len: usize,
         }
+        let refs: Vec<RecordRef> = parallel_map(records.len(), |i| {
+            let record = &records[i];
+            let result = QrsDetector::new(PipelineConfig::exact()).detect(record.samples());
+            let end = record.len().saturating_sub(SCORE_TAIL);
+            RecordRef {
+                hpf: result
+                    .signals()
+                    .expect("batch reference run retains signals")
+                    .hpf
+                    .iter()
+                    .map(|v| *v as f64)
+                    .collect(),
+                beats: record
+                    .r_peaks()
+                    .iter()
+                    .copied()
+                    .filter(|p| *p >= SCORE_START && *p < end)
+                    .collect(),
+                len: record.len(),
+            }
+        });
+
+        let calibrated = CalibratedModel::paper();
+        let matcher = PeakMatcher::default();
+        let ssim = Ssim::default();
+        let chunk_size = chunk_size.max(1);
+
+        // One bounded detector per configuration, reused across records.
+        let per_config: Vec<Vec<QualityReport>> = parallel_map(configs.len(), |c| {
+            let config = configs[c];
+            let mut detector = StreamingQrsDetector::new(config.with_footprint(Footprint::Bounded));
+            let mut hpf: Vec<i64> = Vec::new();
+            records
+                .iter()
+                .zip(&refs)
+                .map(|(record, rref)| {
+                    hpf.clear();
+                    let mut run = StreamRun::default();
+                    for chunk in record.samples().chunks(chunk_size) {
+                        run.absorb(detector.push_tapped(chunk, &mut hpf));
+                    }
+                    let (trailing, _slim) = detector.finish_reset();
+                    run.absorb(trailing);
+                    run.seal();
+                    score_run(
+                        &config,
+                        &rref.hpf,
+                        &rref.beats,
+                        rref.len,
+                        &hpf,
+                        &run,
+                        &calibrated,
+                        &matcher,
+                        &ssim,
+                    )
+                })
+                .collect()
+        });
+
+        // Transpose to the `[record][config]` shape of
+        // `evaluate_across_records`.
+        (0..records.len())
+            .map(|r| per_config.iter().map(|row| row[r]).collect())
+            .collect()
     }
 
     /// Scores every configuration, fanning the evaluations out across a
@@ -239,6 +339,88 @@ pub fn evaluate_across_records(
         let evaluator = Evaluator::new(&records[i]);
         configs.iter().map(|c| evaluator.evaluate(c)).collect()
     })
+}
+
+/// Peaks and omissions collected from a streaming run's event stream — the
+/// bounded-mode substitute for [`DetectionResult`]'s vectors (identical
+/// after [`StreamRun::seal`], since bounded streaming is event-identical).
+#[derive(Debug, Default)]
+struct StreamRun {
+    r_peaks: Vec<usize>,
+    omitted: usize,
+}
+
+impl StreamRun {
+    fn absorb(&mut self, events: Vec<StreamEvent>) {
+        for e in events {
+            match e {
+                StreamEvent::RPeak { raw, .. } => self.r_peaks.push(raw),
+                StreamEvent::Omitted(_) => self.omitted += 1,
+            }
+        }
+    }
+
+    /// Sorts and dedups the confirmed peaks, matching the construction of
+    /// [`DetectionResult::r_peaks`] exactly.
+    fn seal(&mut self) {
+        self.r_peaks.sort_unstable();
+        self.r_peaks.dedup();
+    }
+}
+
+/// The shared scoring arithmetic: one detection run (HPF signal + peaks +
+/// omissions) against one record's references. Both [`Evaluator::evaluate`]
+/// and the streaming/record-batched paths funnel through this, which is
+/// what makes their reports bit-for-bit comparable.
+#[allow(clippy::too_many_arguments)]
+fn score_run(
+    config: &PipelineConfig,
+    reference_hpf: &[f64],
+    reference_beats: &[usize],
+    record_len: usize,
+    hpf: &[i64],
+    run: &StreamRun,
+    calibrated: &CalibratedModel,
+    matcher: &PeakMatcher,
+    ssim: &Ssim,
+) -> QualityReport {
+    // Signal gate: compare HPF outputs past the filter warm-up.
+    let start = SCORE_START.min(reference_hpf.len());
+    let approx_hpf: Vec<f64> = hpf[start..].iter().map(|v| *v as f64).collect();
+    let reference = &reference_hpf[start..];
+    let psnr_db = if reference.is_empty() {
+        f64::INFINITY
+    } else {
+        psnr::psnr(reference, &approx_hpf)
+    };
+    let ssim_score = if reference.len() >= ssim.window() {
+        ssim.mean(reference, &approx_hpf)
+    } else {
+        1.0
+    };
+
+    // Application gate: peak detection accuracy.
+    let end = record_len.saturating_sub(SCORE_TAIL);
+    let detected: Vec<usize> = run
+        .r_peaks
+        .iter()
+        .copied()
+        .filter(|p| *p >= SCORE_START && *p < end)
+        .collect();
+    let m = matcher.match_peaks(reference_beats, &detected);
+
+    let lsbs = config.lsb_vector();
+    QualityReport {
+        psnr_db,
+        ssim: ssim_score,
+        peak_accuracy: m.detection_accuracy(),
+        ppv: m.positive_predictivity(),
+        omitted_beats: run.omitted,
+        detected_beats: detected.len(),
+        reference_beats: reference_beats.len(),
+        energy_reduction_module_sum: module_sum_reduction(config),
+        energy_reduction_calibrated: calibrated.end_to_end_reduction(lsbs),
+    }
 }
 
 /// End-to-end energy reduction under the transparent module-sum model
@@ -301,6 +483,38 @@ mod tests {
                     batch,
                     "streaming report diverged for {config} at chunk {chunk}"
                 );
+            }
+            // The bounded-footprint detector never materialises signals,
+            // yet the report — scored from events and the HPF tap — is
+            // still bit-for-bit the batch report.
+            assert_eq!(
+                ev.evaluate_streaming(&config.with_footprint(Footprint::Bounded), 20),
+                batch,
+                "bounded streaming report diverged for {config}"
+            );
+        }
+    }
+
+    /// The record-batched path: one reused bounded detector per config
+    /// must reproduce the per-record evaluators' reports exactly, for
+    /// every record × config cell.
+    #[test]
+    fn record_batched_streaming_matches_per_record_evaluators() {
+        let records: Vec<EcgRecord> = vec![
+            ecg::nsrdb::paper_record().truncated(4000),
+            ecg::nsrdb::paper_record().truncated(6000),
+        ];
+        let configs = [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]),
+            PipelineConfig::least_energy([4, 4, 2, 4, 8]),
+        ];
+        let batched = Evaluator::evaluate_records_streaming(&records, &configs, 64);
+        let reference = evaluate_across_records(&records, &configs);
+        assert_eq!(batched.len(), reference.len());
+        for (r, (got, want)) in batched.iter().zip(&reference).enumerate() {
+            for (c, (g, w)) in got.iter().zip(want).enumerate() {
+                assert_eq!(g, w, "record {r} config {c} diverged");
             }
         }
     }

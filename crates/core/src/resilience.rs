@@ -7,6 +7,7 @@
 //! from the synthesis-calibrated model).
 
 use approx_arith::StageArith;
+use ecg::EcgRecord;
 use hwmodel::module::Reductions;
 use hwmodel::{CalibratedModel, StageCost};
 use pan_tompkins::{PipelineConfig, StageKind};
@@ -46,22 +47,36 @@ impl ResilienceProfile {
 
     /// Sweeps with an explicit upper bound on the LSB count.
     pub fn analyze_up_to(evaluator: &Evaluator, stage: StageKind, max_lsbs: u32) -> Self {
-        let calibrated = CalibratedModel::paper();
-        let ariths: Vec<StageArith> = (0..=max_lsbs)
-            .step_by(2)
-            .map(|k| {
-                if k == 0 {
-                    StageArith::exact()
-                } else {
-                    StageArith::least_energy(k)
-                }
-            })
-            .collect();
-        let configs: Vec<PipelineConfig> = ariths
-            .iter()
-            .map(|arith| PipelineConfig::exact().with_stage(stage, *arith))
-            .collect();
+        let (ariths, configs) = Self::sweep_grid(stage, max_lsbs);
         let reports = evaluator.evaluate_batch(&configs);
+        Self::assemble(stage, &ariths, reports)
+    }
+
+    /// Sweeps one stage over *many records at once* through the
+    /// record-batched bounded-streaming path
+    /// ([`Evaluator::evaluate_records_streaming`]): one reused detector per
+    /// sweep point drives the whole corpus, so no per-record signal vectors
+    /// or filter states are reallocated. Returns one profile per record, in
+    /// record order; each profile's points are bit-for-bit what a
+    /// per-record [`ResilienceProfile::analyze_up_to`] produces.
+    #[must_use]
+    pub fn analyze_records_up_to(
+        records: &[EcgRecord],
+        stage: StageKind,
+        max_lsbs: u32,
+        chunk_size: usize,
+    ) -> Vec<Self> {
+        let (ariths, configs) = Self::sweep_grid(stage, max_lsbs);
+        let per_record = Evaluator::evaluate_records_streaming(records, &configs, chunk_size);
+        per_record
+            .into_iter()
+            .map(|reports| Self::assemble(stage, &ariths, reports))
+            .collect()
+    }
+
+    /// Builds the sweep points from one record's reports.
+    fn assemble(stage: StageKind, ariths: &[StageArith], reports: Vec<QualityReport>) -> Self {
+        let calibrated = CalibratedModel::paper();
         let exact_cost =
             StageCost::fir(stage.multipliers(), stage.adders(), StageArith::exact()).cost();
         let points = ariths
@@ -78,6 +93,26 @@ impl ResilienceProfile {
             })
             .collect();
         Self { stage, points }
+    }
+
+    /// The sweep grid: even LSB counts from 0 to the bound, each as a
+    /// one-stage-approximated full-pipeline configuration.
+    fn sweep_grid(stage: StageKind, max_lsbs: u32) -> (Vec<StageArith>, Vec<PipelineConfig>) {
+        let ariths: Vec<StageArith> = (0..=max_lsbs)
+            .step_by(2)
+            .map(|k| {
+                if k == 0 {
+                    StageArith::exact()
+                } else {
+                    StageArith::least_energy(k)
+                }
+            })
+            .collect();
+        let configs: Vec<PipelineConfig> = ariths
+            .iter()
+            .map(|arith| PipelineConfig::exact().with_stage(stage, *arith))
+            .collect();
+        (ariths, configs)
     }
 
     /// The error-resilience threshold: the largest swept LSB count whose
@@ -131,6 +166,28 @@ mod tests {
         assert_eq!(lsbs, vec![0, 2, 4, 6, 8]);
         assert!((profile.points[0].report.ssim - 1.0).abs() < 1e-9);
         assert!((profile.points[0].reductions.energy - 1.0).abs() < 1e-9);
+    }
+
+    /// The record-batched sweep (bounded streaming, reused detectors) must
+    /// reproduce the per-record sweeps point for point.
+    #[test]
+    fn record_batched_sweep_matches_per_record_analysis() {
+        let records = vec![
+            ecg::nsrdb::paper_record().truncated(4000),
+            ecg::nsrdb::paper_record().truncated(5000),
+        ];
+        let profiles =
+            ResilienceProfile::analyze_records_up_to(&records, StageKind::Squarer, 8, 64);
+        assert_eq!(profiles.len(), records.len());
+        for (record, profile) in records.iter().zip(&profiles) {
+            let reference =
+                ResilienceProfile::analyze_up_to(&Evaluator::new(record), StageKind::Squarer, 8);
+            assert_eq!(profile.points.len(), reference.points.len());
+            for (got, want) in profile.points.iter().zip(&reference.points) {
+                assert_eq!(got.lsbs, want.lsbs);
+                assert_eq!(got.report, want.report, "LSB {} diverged", got.lsbs);
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,32 @@ use approx_arith::StageArith;
 
 use crate::arith::MulEngine;
 
+/// Memory-retention policy of a detection run — what the detector keeps
+/// beyond the state strictly needed to emit the next event.
+///
+/// The paper's deployment target is a sensor node with kilobytes of RAM;
+/// the default [`Footprint::Retain`] keeps every intermediate signal for
+/// offline analysis (Figs 10/13), while [`Footprint::Bounded`] holds only
+/// ring buffers sized by the stage windows plus the still-revisitable
+/// candidate peaks, so the live state measured by
+/// [`crate::StreamingQrsDetector::state_bytes`] stays O(1) in the record
+/// length. The emitted [`crate::StreamEvent`] stream is bit-for-bit
+/// identical under both policies; only the final
+/// [`crate::DetectionResult`] slims down (no signal vectors, no decision
+/// lists). The policy is honored by the streaming detector — the batch
+/// [`crate::QrsDetector::detect`] necessarily materialises whole signals
+/// and always retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Footprint {
+    /// Keep all stage signals, decisions, and beats in the result (the
+    /// analysis shape).
+    #[default]
+    Retain,
+    /// Keep only windowed state; results are delivered through the event
+    /// stream (the on-device shape).
+    Bounded,
+}
+
 /// Identifies one of the five Pan-Tompkins stages, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StageKind {
@@ -113,6 +139,8 @@ pub struct PipelineConfig {
     /// engines are bit-identical; `BitLevel` exists for equivalence checks
     /// and before/after benchmarks (see `DESIGN.md` §5).
     engine: MulEngine,
+    /// Memory-retention policy the streaming detector runs under.
+    footprint: Footprint,
 }
 
 impl PipelineConfig {
@@ -129,6 +157,7 @@ impl PipelineConfig {
             stages: [StageArith::exact(); 5],
             input_shift: Self::DEFAULT_INPUT_SHIFT,
             engine: MulEngine::default(),
+            footprint: Footprint::default(),
         }
     }
 
@@ -139,6 +168,7 @@ impl PipelineConfig {
             stages,
             input_shift: Self::DEFAULT_INPUT_SHIFT,
             engine: MulEngine::default(),
+            footprint: Footprint::default(),
         }
     }
 
@@ -181,6 +211,19 @@ impl PipelineConfig {
     #[must_use]
     pub fn engine(&self) -> MulEngine {
         self.engine
+    }
+
+    /// Selects the memory-retention policy (see [`Footprint`]).
+    #[must_use]
+    pub fn with_footprint(mut self, footprint: Footprint) -> Self {
+        self.footprint = footprint;
+        self
+    }
+
+    /// The memory-retention policy the streaming detector runs under.
+    #[must_use]
+    pub fn footprint(&self) -> Footprint {
+        self.footprint
     }
 
     /// All five triples in pipeline order.
@@ -283,6 +326,17 @@ mod tests {
         for (i, k) in StageKind::ALL.iter().enumerate() {
             assert_eq!(k.index(), i);
         }
+    }
+
+    #[test]
+    fn footprint_defaults_to_retain_and_round_trips() {
+        let cfg = PipelineConfig::exact();
+        assert_eq!(cfg.footprint(), Footprint::Retain);
+        let bounded = cfg.with_footprint(Footprint::Bounded);
+        assert_eq!(bounded.footprint(), Footprint::Bounded);
+        // The policy is orthogonal to the arithmetic configuration.
+        assert_eq!(bounded.lsb_vector(), cfg.lsb_vector());
+        assert_ne!(bounded, cfg, "footprint participates in identity");
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub struct DetectionResult {
     pub(crate) r_peaks: Vec<usize>,
     pub(crate) omitted: Vec<OmittedBeat>,
     pub(crate) decisions: Vec<PeakDecision>,
-    pub(crate) signals: StageSignals,
+    /// `None` under [`crate::Footprint::Bounded`] streaming, where stage
+    /// signals are never materialised.
+    pub(crate) signals: Option<StageSignals>,
     pub(crate) ops: [OpCounter; 5],
     pub(crate) saturations: [u64; 5],
     pub(crate) add_overflows: [u64; 5],
@@ -101,10 +103,15 @@ impl DetectionResult {
         &self.decisions
     }
 
-    /// The intermediate stage signals.
+    /// The intermediate stage signals, when the run retained them.
+    ///
+    /// Always `Some` for the batch detector and for streaming under
+    /// [`crate::Footprint::Retain`] (the default); `None` for streaming
+    /// under [`crate::Footprint::Bounded`], which never materialises the
+    /// per-stage waveforms — that is the point of the policy.
     #[must_use]
-    pub fn signals(&self) -> &StageSignals {
-        &self.signals
+    pub fn signals(&self) -> Option<&StageSignals> {
+        self.signals.as_ref()
     }
 
     /// Word-level operation counts per stage (pipeline order).
@@ -275,7 +282,7 @@ impl QrsDetector {
                 sqr.add_overflows(),
                 mwi.add_overflows(),
             ],
-            signals,
+            signals: Some(signals),
             total_delay,
         }
     }
@@ -298,20 +305,32 @@ pub(crate) enum Alignment {
 /// `hpf[expected − 24 ..= expected + 24]` (clipped to the available
 /// signal), which is what bounds the streaming confirmation latency.
 pub(crate) fn check_alignment(hpf: &[i64], mwi_index: usize, max_misalignment: usize) -> Alignment {
+    check_alignment_with(hpf.len(), |i| hpf[i], mwi_index, max_misalignment)
+}
+
+/// [`check_alignment`] over any indexed view of the HPF signal — `len` is
+/// the total samples produced so far and `value_at` resolves an absolute
+/// sample index. The bounded streaming mode drives this with a pruned ring
+/// buffer; the window scan order (and therefore the last-maximum tie-break)
+/// is identical to the slice version.
+pub(crate) fn check_alignment_with(
+    len: usize,
+    value_at: impl Fn(usize) -> i64,
+    mwi_index: usize,
+    max_misalignment: usize,
+) -> Alignment {
     let expected = mwi_index.saturating_sub(HPF_TO_MWI_DELAY);
     let lo = expected.saturating_sub(ALIGNMENT_SEARCH);
-    let hi = (expected + ALIGNMENT_SEARCH + 1).min(hpf.len());
+    let hi = (expected + ALIGNMENT_SEARCH + 1).min(len);
     if lo >= hi {
         return Alignment::Misaligned {
-            hpf_index: expected.min(hpf.len().saturating_sub(1)),
+            hpf_index: expected.min(len.saturating_sub(1)),
             misalignment: usize::MAX,
         };
     }
-    let (hpf_index, _) = hpf[lo..hi]
-        .iter()
-        .enumerate()
+    let (hpf_index, _) = (lo..hi)
+        .map(|i| (i, value_at(i)))
         .max_by_key(|(_, v)| v.abs())
-        .map(|(i, v)| (lo + i, *v))
         .expect("non-empty window");
     let misalignment = hpf_index.abs_diff(expected);
     if misalignment <= max_misalignment {
@@ -379,8 +398,9 @@ mod tests {
         let (signal, _) = pulse_train(1000, 170, 200);
         let mut det = QrsDetector::new(PipelineConfig::exact());
         let result = det.detect(&signal);
-        assert_eq!(result.signals().lpf.len(), 1000);
-        assert_eq!(result.signals().mwi.len(), 1000);
+        let signals = result.signals().expect("batch detect retains signals");
+        assert_eq!(signals.lpf.len(), 1000);
+        assert_eq!(signals.mwi.len(), 1000);
     }
 
     #[test]
@@ -442,7 +462,11 @@ mod tests {
         let mut slow = QrsDetector::new(base.with_engine(MulEngine::BitLevel));
         let rf = fast.detect(&signal);
         let rs = slow.detect(&signal);
-        assert_eq!(rf.signals(), rs.signals(), "stage signals diverged");
+        assert_eq!(
+            rf.signals().expect("retained"),
+            rs.signals().expect("retained"),
+            "stage signals diverged"
+        );
         assert_eq!(rf.r_peaks(), rs.r_peaks());
         assert_eq!(rf.ops(), rs.ops());
     }

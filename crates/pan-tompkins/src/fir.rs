@@ -227,6 +227,60 @@ impl FirFilter {
         self.cursor = 0;
         self.primed = 0;
     }
+
+    /// Resets the backend activity counters (ops, saturations, overflows),
+    /// keeping configuration and signal state. Together with
+    /// [`FirFilter::reset`] this returns the filter to its
+    /// freshly-constructed observable state without recompiling the per-tap
+    /// tables — the record-batched evaluation path relies on that.
+    pub fn reset_counters(&mut self) {
+        self.backend.reset_counters();
+    }
+
+    /// Heap bytes owned by this filter instance: taps, delay line, and the
+    /// per-tap table *handles*. The compiled product tables themselves are
+    /// process-wide shared (see [`FirFilter::shared_table_bytes`]) and are
+    /// deliberately excluded — they are O(distinct configurations), not
+    /// O(detectors).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.taps.capacity() * std::mem::size_of::<i64>()
+            + self.delay_line.capacity() * std::mem::size_of::<i64>()
+            + self
+                .tap_mults
+                .as_ref()
+                .map_or(0, |t| t.capacity() * std::mem::size_of::<TapMultiplier>())
+    }
+
+    /// Bytes of the distinct shared product tables this filter references
+    /// (each table counted once even when several taps share it). Shared
+    /// process-wide across all detectors using the same configuration.
+    #[must_use]
+    pub fn shared_table_bytes(&self) -> usize {
+        let mut seen = Vec::new();
+        self.collect_shared_tables(&mut seen)
+    }
+
+    /// Accumulates this filter's shared-table identities into `seen` and
+    /// returns the bytes of the tables *not already seen* — lets callers
+    /// sum across several filters without double counting a table two
+    /// stages share (e.g. the |1| table when LPF and HPF run at the same
+    /// LSB depth).
+    pub(crate) fn collect_shared_tables(&self, seen: &mut Vec<usize>) -> usize {
+        let Some(tap_mults) = &self.tap_mults else {
+            return 0;
+        };
+        let mut bytes = 0usize;
+        for tap in tap_mults {
+            if let Some(id) = tap.table_id() {
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    bytes += tap.shared_table_bytes();
+                }
+            }
+        }
+        bytes
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +410,36 @@ mod tests {
                 slow.backend().add_overflow_events()
             );
         }
+    }
+
+    #[test]
+    fn reset_counters_restores_fresh_observable_state() {
+        let mut fir = FirFilter::new("t", &[1, 2, 1], 4, StageArith::least_energy(6));
+        let _ = fir.process_signal(&[40_000, -40_000, 7]);
+        assert!(fir.backend().ops().muls() > 0);
+        fir.reset();
+        fir.reset_counters();
+        assert_eq!(fir.backend().ops().muls(), 0);
+        assert_eq!(fir.backend().saturation_events(), 0);
+        let mut fresh = FirFilter::new("t", &[1, 2, 1], 4, StageArith::least_energy(6));
+        let input = [5i64, -9, 300, 0, 12];
+        assert_eq!(
+            fir.process_signal(&input),
+            fresh.process_signal(&input),
+            "reset filter must behave like a fresh one"
+        );
+        assert_eq!(fir.backend().ops(), fresh.backend().ops());
+    }
+
+    #[test]
+    fn memory_accounting_separates_owned_from_shared() {
+        let approx = FirFilter::new("t", &[1, -6, 6, 31], 1, StageArith::least_energy(8));
+        // Owned: taps + delay line + tap handles; small and table-free.
+        assert!(approx.heap_bytes() < 1024, "{}", approx.heap_bytes());
+        // Shared: |±6| dedupes to one table, so 3 distinct magnitudes.
+        assert_eq!(approx.shared_table_bytes(), 3 * ((1 << 15) + 1) * 4);
+        let exact = FirFilter::new("t", &[1, -6, 6, 31], 1, StageArith::exact());
+        assert_eq!(exact.shared_table_bytes(), 0, "exact taps need no tables");
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod streaming;
 pub mod threshold;
 
 pub use arith::{ArithBackend, MulEngine};
-pub use config::{PipelineConfig, StageKind};
+pub use config::{Footprint, PipelineConfig, StageKind};
 pub use detector::{DetectionResult, QrsDetector};
 pub use fir::FirFilter;
 pub use streaming::{StreamEvent, StreamingQrsDetector};

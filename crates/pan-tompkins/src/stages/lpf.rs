@@ -89,6 +89,22 @@ impl Stage for LowPassFilter {
     fn reset(&mut self) {
         self.fir.reset();
     }
+
+    fn reset_counters(&mut self) {
+        self.fir.reset_counters();
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.fir.heap_bytes()
+    }
+
+    fn shared_table_bytes(&self) -> usize {
+        self.fir.shared_table_bytes()
+    }
+
+    fn collect_shared_tables(&self, seen: &mut Vec<usize>) -> usize {
+        self.fir.collect_shared_tables(seen)
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,32 @@ pub trait Stage {
     /// Clears signal state (delay lines), keeping configuration.
     fn reset(&mut self);
 
+    /// Resets activity counters (ops, saturations, overflows), keeping
+    /// configuration and signal state. `reset()` + `reset_counters()`
+    /// returns the stage to its freshly-constructed observable state.
+    fn reset_counters(&mut self);
+
+    /// Bytes of live per-instance state (stack size of the stage plus its
+    /// owned heap: delay lines, windows, tap-table handles). Excludes the
+    /// process-wide shared product tables, which are O(configurations) —
+    /// see [`crate::FirFilter::shared_table_bytes`].
+    fn state_bytes(&self) -> usize;
+
+    /// Bytes of the process-wide shared per-tap product tables this stage
+    /// references (0 for stages without compiled taps).
+    fn shared_table_bytes(&self) -> usize {
+        let mut seen = Vec::new();
+        self.collect_shared_tables(&mut seen)
+    }
+
+    /// Accumulates this stage's shared-table identities into `seen` and
+    /// returns the bytes of the tables not already seen — callers summing
+    /// across stages pass one `seen` so a table two stages share is billed
+    /// once. Default: no tables.
+    fn collect_shared_tables(&self, _seen: &mut Vec<usize>) -> usize {
+        0
+    }
+
     /// Processes a whole signal (convenience over [`Stage::process`]).
     fn process_signal(&mut self, signal: &[i64]) -> Vec<i64> {
         signal.iter().map(|x| self.process(*x)).collect()

@@ -99,6 +99,14 @@ impl Stage for MovingWindowIntegrator {
         self.window.fill(0);
         self.cursor = 0;
     }
+
+    fn reset_counters(&mut self) {
+        self.backend.reset_counters();
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.window.capacity() * std::mem::size_of::<i64>()
+    }
 }
 
 #[cfg(test)]

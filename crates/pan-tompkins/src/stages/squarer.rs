@@ -77,6 +77,15 @@ impl Stage for Squarer {
     }
 
     fn reset(&mut self) {}
+
+    fn reset_counters(&mut self) {
+        self.backend.reset_counters();
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Point-wise: no delay line, no heap beyond the backend itself.
+        std::mem::size_of::<Self>()
+    }
 }
 
 #[cfg(test)]

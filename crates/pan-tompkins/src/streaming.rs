@@ -27,6 +27,30 @@
 //!   samples past the MWI peak, clipped at `finish` exactly as the batch
 //!   path clips at the record end.
 //!
+//! # Memory footprint
+//!
+//! Under the default [`Footprint::Retain`] policy the detector keeps every
+//! stage signal and every decision for the final [`DetectionResult`], so
+//! its memory grows linearly with the record — fine on a workstation,
+//! impossible on the kilobyte-scale sensor node the paper's energy model
+//! assumes. [`Footprint::Bounded`] (selected via
+//! [`PipelineConfig::with_footprint`]) keeps only:
+//!
+//! * the stage delay lines and the MWI window (fixed),
+//! * a pruned HPF ring covering the oldest still-confirmable alignment
+//!   window (`O(longest RR interval)` samples),
+//! * the classifier's still-revisitable candidates (see
+//!   [`OnlineClassifier::with_retention`]).
+//!
+//! The emitted event stream is bit-for-bit identical to the retaining
+//! mode for every chunking (property-tested, and gated in CI by
+//! `ext_memory_footprint --check`), and [`StreamingQrsDetector::finish`]
+//! returns a slim result: counters and delay only — no signal vectors, no
+//! decision lists (results are delivered through the events). The bound is
+//! *measured*, not asserted: [`StreamingQrsDetector::state_bytes`] reports
+//! the live footprint, which stays flat in the record length for any
+//! signal with beats.
+//!
 //! # Latency bounds
 //!
 //! With the default [`ThresholdConfig`] (see
@@ -72,10 +96,10 @@
 
 use std::collections::VecDeque;
 
-use crate::config::{PipelineConfig, StageKind};
+use crate::config::{Footprint, PipelineConfig, StageKind};
 use crate::detector::{
-    check_alignment, Alignment, DetectionResult, OmittedBeat, StageSignals, ALIGNMENT_SEARCH,
-    HPF_TO_MWI_DELAY, PRE_PROCESSING_DELAY,
+    check_alignment, check_alignment_with, Alignment, DetectionResult, OmittedBeat, StageSignals,
+    ALIGNMENT_SEARCH, HPF_TO_MWI_DELAY, PRE_PROCESSING_DELAY,
 };
 use crate::stages::{
     Derivative, HighPassFilter, LowPassFilter, MovingWindowIntegrator, Squarer, Stage,
@@ -120,10 +144,71 @@ impl StreamEvent {
     }
 }
 
+/// A contiguous suffix of the HPF signal addressed in absolute sample
+/// coordinates: `buf[0]` holds sample `start`, and samples below `start`
+/// have been pruned away. The bounded-footprint replacement for retaining
+/// the whole HPF vector.
+#[derive(Debug, Clone, Default)]
+struct HpfRing {
+    buf: VecDeque<i64>,
+    /// Absolute index of `buf[0]`.
+    start: usize,
+}
+
+impl HpfRing {
+    fn push(&mut self, v: i64) {
+        self.buf.push_back(v);
+    }
+
+    /// Total samples produced so far (pruned ones included).
+    fn len_total(&self) -> usize {
+        self.start + self.buf.len()
+    }
+
+    /// The HPF value at absolute sample index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` was pruned or not yet produced — the pruning floor in
+    /// [`StreamingQrsDetector::prune_bounded`] guarantees neither happens.
+    fn get(&self, i: usize) -> i64 {
+        self.buf[i - self.start]
+    }
+
+    /// Forgets all samples below the absolute index `floor`.
+    fn prune_below(&mut self, floor: usize) {
+        let floor = floor.min(self.len_total());
+        while self.start < floor {
+            self.buf.pop_front();
+            self.start += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<i64>()
+    }
+}
+
+/// What the detector retains of the per-stage outputs, per the configured
+/// [`Footprint`].
+#[derive(Debug, Clone)]
+enum SignalStore {
+    /// Every stage signal, full length (the batch-result shape).
+    Retained(StageSignals),
+    /// Only a pruned window of the HPF signal, for alignment confirmation.
+    Bounded { hpf: HpfRing },
+}
+
 /// The push-based five-stage QRS detector.
 ///
-/// See the [module docs](self) for the equivalence contract and latency
-/// bounds, and [`crate::QrsDetector`] for the batch counterpart.
+/// See the [module docs](self) for the equivalence contract, the memory
+/// policies, and latency bounds, and [`crate::QrsDetector`] for the batch
+/// counterpart.
 #[derive(Debug, Clone)]
 pub struct StreamingQrsDetector {
     config: PipelineConfig,
@@ -135,12 +220,16 @@ pub struct StreamingQrsDetector {
     sqr: Squarer,
     mwi: MovingWindowIntegrator,
     classifier: OnlineClassifier,
-    signals: StageSignals,
-    /// All decisions in emission (classification) order.
+    store: SignalStore,
+    /// Samples pushed so far.
+    n: usize,
+    /// All decisions in emission (classification) order (retaining mode
+    /// only — bounded mode delivers results through events).
     decisions: Vec<PeakDecision>,
     /// Accepted beats awaiting a complete HPF alignment window.
     awaiting_alignment: VecDeque<PeakDecision>,
-    /// Confirmed raw peak positions, in confirmation order.
+    /// Confirmed raw peak positions, in confirmation order (retaining mode
+    /// only).
     confirmed_raw: Vec<usize>,
     omitted: Vec<OmittedBeat>,
     /// Scratch buffer for per-push classifier output.
@@ -149,7 +238,8 @@ pub struct StreamingQrsDetector {
 
 impl StreamingQrsDetector {
     /// Creates a streaming detector with default thresholding for the
-    /// given pipeline configuration.
+    /// given pipeline configuration (which also selects the [`Footprint`]
+    /// policy).
     #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
         Self::with_threshold(config, ThresholdConfig::default())
@@ -159,14 +249,21 @@ impl StreamingQrsDetector {
     #[must_use]
     pub fn with_threshold(config: PipelineConfig, threshold: ThresholdConfig) -> Self {
         let engine = config.engine();
+        let store = match config.footprint() {
+            Footprint::Retain => SignalStore::Retained(StageSignals::default()),
+            Footprint::Bounded => SignalStore::Bounded {
+                hpf: HpfRing::default(),
+            },
+        };
         Self {
             lpf: LowPassFilter::with_engine(config.stage(StageKind::Lpf), engine),
             hpf: HighPassFilter::with_engine(config.stage(StageKind::Hpf), engine),
             der: Derivative::with_engine(config.stage(StageKind::Derivative), engine),
             sqr: Squarer::with_engine(config.stage(StageKind::Squarer), engine),
             mwi: MovingWindowIntegrator::with_engine(config.stage(StageKind::Mwi), engine),
-            classifier: OnlineClassifier::new(threshold),
-            signals: StageSignals::default(),
+            classifier: OnlineClassifier::with_retention(threshold, config.footprint()),
+            store,
+            n: 0,
             decisions: Vec::new(),
             awaiting_alignment: VecDeque::new(),
             confirmed_raw: Vec::new(),
@@ -191,10 +288,16 @@ impl StreamingQrsDetector {
         &self.config
     }
 
+    /// The memory-retention policy this detector runs under.
+    #[must_use]
+    pub fn footprint(&self) -> Footprint {
+        self.config.footprint()
+    }
+
     /// Samples pushed so far.
     #[must_use]
     pub fn samples_seen(&self) -> usize {
-        self.signals.mwi.len()
+        self.n
     }
 
     /// Total pipeline group delay in samples (MWI coordinates − raw
@@ -233,6 +336,70 @@ impl StreamingQrsDetector {
             .max(2 * self.threshold.peak_spacing + 1)
     }
 
+    /// Heap bytes owned by this detector right now: stage delay lines,
+    /// the signal store (full vectors when retaining, the pruned HPF ring
+    /// when bounded), the classifier's candidate state, and the event
+    /// queues. Excludes the process-wide shared per-tap product tables —
+    /// those are O(distinct configurations), not O(detectors); see
+    /// [`StreamingQrsDetector::shared_table_bytes`].
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        fn heap_of<S: Stage>(stage: &S) -> usize {
+            stage.state_bytes().saturating_sub(std::mem::size_of::<S>())
+        }
+        let stages = heap_of(&self.lpf)
+            + heap_of(&self.hpf)
+            + heap_of(&self.der)
+            + heap_of(&self.sqr)
+            + heap_of(&self.mwi);
+        let classifier = self
+            .classifier
+            .state_bytes()
+            .saturating_sub(std::mem::size_of::<OnlineClassifier>());
+        let store = match &self.store {
+            SignalStore::Retained(s) => {
+                (s.lpf.capacity()
+                    + s.hpf.capacity()
+                    + s.der.capacity()
+                    + s.sqr.capacity()
+                    + s.mwi.capacity())
+                    * std::mem::size_of::<i64>()
+            }
+            SignalStore::Bounded { hpf } => hpf.heap_bytes(),
+        };
+        let queues = self.decisions.capacity() * std::mem::size_of::<PeakDecision>()
+            + self.awaiting_alignment.capacity() * std::mem::size_of::<PeakDecision>()
+            + self.confirmed_raw.capacity() * std::mem::size_of::<usize>()
+            + self.omitted.capacity() * std::mem::size_of::<OmittedBeat>()
+            + self.fresh.capacity() * std::mem::size_of::<PeakDecision>();
+        stages + classifier + store + queues
+    }
+
+    /// Total live state in bytes: the detector struct plus
+    /// [`StreamingQrsDetector::heap_bytes`]. Under [`Footprint::Bounded`]
+    /// this stays flat in the record length (the CI budget gate
+    /// `ext_memory_footprint --check` measures exactly this); under
+    /// [`Footprint::Retain`] it grows linearly.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.heap_bytes()
+    }
+
+    /// Bytes of the distinct shared per-tap product tables the FIR stages
+    /// reference — each table counted once, even when two stages share it
+    /// (LPF and HPF at the same LSB depth share e.g. the |1| table). These
+    /// live behind `Arc`s in a process-wide cache keyed by `(width, LSBs,
+    /// kinds, |coefficient|)` and are shared by every detector with the
+    /// same configuration — amortised state, reported separately from
+    /// [`StreamingQrsDetector::state_bytes`] for honesty.
+    #[must_use]
+    pub fn shared_table_bytes(&self) -> usize {
+        let mut seen = Vec::new();
+        self.lpf.collect_shared_tables(&mut seen)
+            + self.hpf.collect_shared_tables(&mut seen)
+            + self.der.collect_shared_tables(&mut seen)
+    }
+
     /// Convenience driver: streams a whole record through a fresh detector
     /// in `chunk_size`-sample pushes and returns the full event sequence
     /// plus the final result. One-stop equivalent of
@@ -258,51 +425,151 @@ impl StreamingQrsDetector {
     /// Feeds a chunk of raw samples (any size, down to one) and returns
     /// the events that became final.
     pub fn push(&mut self, chunk: &[i32]) -> Vec<StreamEvent> {
+        self.push_impl(chunk, None)
+    }
+
+    /// Like [`StreamingQrsDetector::push`], additionally appending the
+    /// chunk's HPF outputs (the paper's pre-processed signal, the
+    /// PSNR/SSIM evaluation point) to `hpf_out`. This is how quality gates
+    /// read the pre-processing output of a [`Footprint::Bounded`] run,
+    /// whose final result carries no signal vectors — the evaluator's
+    /// record-batched path streams the HPF tap into a reusable scratch
+    /// buffer instead of retaining five full signals per detector.
+    pub fn push_tapped(&mut self, chunk: &[i32], hpf_out: &mut Vec<i64>) -> Vec<StreamEvent> {
+        self.push_impl(chunk, Some(hpf_out))
+    }
+
+    fn push_impl(&mut self, chunk: &[i32], mut tap: Option<&mut Vec<i64>>) -> Vec<StreamEvent> {
         let shift = self.config.input_shift;
         let mut fresh = std::mem::take(&mut self.fresh);
-        for &x in chunk {
-            let x = i64::from(x) << shift;
-            let a = self.lpf.process(x);
-            let b = self.hpf.process(a);
-            let c = self.der.process(b);
-            let d = self.sqr.process(c);
-            let e = self.mwi.process(d);
-            self.signals.lpf.push(a);
-            self.signals.hpf.push(b);
-            self.signals.der.push(c);
-            self.signals.sqr.push(d);
-            self.signals.mwi.push(e);
-            self.classifier.push(e, &mut fresh);
+        {
+            let Self {
+                lpf,
+                hpf,
+                der,
+                sqr,
+                mwi,
+                classifier,
+                store,
+                n,
+                ..
+            } = self;
+            for &x in chunk {
+                let x = i64::from(x) << shift;
+                let a = lpf.process(x);
+                let b = hpf.process(a);
+                let c = der.process(b);
+                let d = sqr.process(c);
+                let e = mwi.process(d);
+                match store {
+                    SignalStore::Retained(signals) => {
+                        signals.lpf.push(a);
+                        signals.hpf.push(b);
+                        signals.der.push(c);
+                        signals.sqr.push(d);
+                        signals.mwi.push(e);
+                    }
+                    SignalStore::Bounded { hpf: ring } => ring.push(b),
+                }
+                if let Some(out) = &mut tap {
+                    out.push(b);
+                }
+                *n += 1;
+                classifier.push(e, &mut fresh);
+            }
         }
         let mut events = Vec::new();
         self.absorb(&mut fresh);
         self.fresh = fresh;
         self.confirm_aligned(false, &mut events);
+        self.prune_bounded();
         events
     }
 
     /// Ends the stream: flushes the classifier and the alignment queue
     /// (clipping the final alignment windows at the record end, as the
     /// batch path does) and returns the trailing events together with the
-    /// complete [`DetectionResult`] — equal in every field to
-    /// [`crate::QrsDetector::detect`] over the concatenated input.
+    /// complete [`DetectionResult`].
+    ///
+    /// Under [`Footprint::Retain`] the result equals
+    /// [`crate::QrsDetector::detect`] over the concatenated input in every
+    /// field. Under [`Footprint::Bounded`] the result is slim — counters
+    /// and delay only, with empty peak/decision lists and
+    /// [`DetectionResult::signals`] `None` (the event stream, which is
+    /// identical to the retaining mode's, carries the beats).
     #[must_use]
     pub fn finish(mut self) -> (Vec<StreamEvent>, DetectionResult) {
+        self.finish_in_place()
+    }
+
+    /// Like [`StreamingQrsDetector::finish`], but leaves the detector
+    /// ready for the next record instead of consuming it: configuration
+    /// and compiled per-tap tables are kept, while all signal state,
+    /// counters, and classifier state reset — the returned result and
+    /// subsequent pushes are bit-for-bit what a freshly constructed
+    /// detector would produce. This is the record-batched evaluation
+    /// workhorse: one detector (one set of table handles, one set of
+    /// buffers) drives an entire corpus.
+    #[must_use]
+    pub fn finish_reset(&mut self) -> (Vec<StreamEvent>, DetectionResult) {
+        let out = self.finish_in_place();
+        self.reset();
+        out
+    }
+
+    /// Resets all per-record state (stages, counters, classifier, stores,
+    /// queues), keeping the configuration and compiled tables.
+    fn reset(&mut self) {
+        for stage in [
+            &mut self.lpf as &mut dyn Stage,
+            &mut self.hpf,
+            &mut self.der,
+            &mut self.sqr,
+            &mut self.mwi,
+        ] {
+            stage.reset();
+            stage.reset_counters();
+        }
+        self.classifier = OnlineClassifier::with_retention(self.threshold, self.config.footprint());
+        match &mut self.store {
+            SignalStore::Retained(signals) => {
+                signals.lpf.clear();
+                signals.hpf.clear();
+                signals.der.clear();
+                signals.sqr.clear();
+                signals.mwi.clear();
+            }
+            SignalStore::Bounded { hpf } => hpf.clear(),
+        }
+        self.n = 0;
+        self.decisions.clear();
+        self.awaiting_alignment.clear();
+        self.confirmed_raw.clear();
+        self.omitted.clear();
+        self.fresh.clear();
+    }
+
+    fn finish_in_place(&mut self) -> (Vec<StreamEvent>, DetectionResult) {
         let mut fresh = std::mem::take(&mut self.fresh);
         self.classifier.finish(&mut fresh);
         self.absorb(&mut fresh);
+        self.fresh = fresh;
         let mut events = Vec::new();
         self.confirm_aligned(true, &mut events);
 
         let total_delay = self.total_delay();
-        let mut decisions = self.decisions;
+        let mut decisions = std::mem::take(&mut self.decisions);
         decisions.sort_by_key(|d| d.index);
-        let mut r_peaks = self.confirmed_raw;
+        let mut r_peaks = std::mem::take(&mut self.confirmed_raw);
         r_peaks.sort_unstable();
         r_peaks.dedup();
+        let signals = match &mut self.store {
+            SignalStore::Retained(signals) => Some(std::mem::take(signals)),
+            SignalStore::Bounded { .. } => None,
+        };
         let result = DetectionResult {
             r_peaks,
-            omitted: self.omitted,
+            omitted: std::mem::take(&mut self.omitted),
             decisions,
             ops: [
                 self.lpf.ops(),
@@ -325,17 +592,21 @@ impl StreamingQrsDetector {
                 self.sqr.add_overflows(),
                 self.mwi.add_overflows(),
             ],
-            signals: self.signals,
+            signals,
             total_delay,
         };
         (events, result)
     }
 
     /// Records freshly classified decisions and queues accepted beats for
-    /// alignment confirmation.
+    /// alignment confirmation. Bounded mode keeps only the queue — the
+    /// decision log exists for the retaining result.
     fn absorb(&mut self, fresh: &mut Vec<PeakDecision>) {
+        let retain = matches!(self.store, SignalStore::Retained(_));
         for d in fresh.drain(..) {
-            self.decisions.push(d);
+            if retain {
+                self.decisions.push(d);
+            }
             if matches!(d.class, PeakClass::Qrs | PeakClass::SearchBack) {
                 self.awaiting_alignment.push_back(d);
             }
@@ -346,7 +617,7 @@ impl StreamingQrsDetector {
     /// every remaining beat when `finished`, with the window clipped at
     /// the record end exactly like the batch path).
     fn confirm_aligned(&mut self, finished: bool, events: &mut Vec<StreamEvent>) {
-        let n = self.signals.hpf.len();
+        let n = self.n;
         while let Some(d) = self.awaiting_alignment.front() {
             let expected = d.index.saturating_sub(HPF_TO_MWI_DELAY);
             if !finished && n < expected + ALIGNMENT_SEARCH + 1 {
@@ -356,10 +627,24 @@ impl StreamingQrsDetector {
                 .awaiting_alignment
                 .pop_front()
                 .expect("front just observed");
-            match check_alignment(&self.signals.hpf, d.index, self.max_misalignment) {
+            let alignment = match &self.store {
+                SignalStore::Retained(signals) => {
+                    check_alignment(&signals.hpf, d.index, self.max_misalignment)
+                }
+                SignalStore::Bounded { hpf } => check_alignment_with(
+                    hpf.len_total(),
+                    |i| hpf.get(i),
+                    d.index,
+                    self.max_misalignment,
+                ),
+            };
+            let retain = matches!(self.store, SignalStore::Retained(_));
+            match alignment {
                 Alignment::Ok { hpf_index } => {
                     let raw = hpf_index.saturating_sub(PRE_PROCESSING_DELAY);
-                    self.confirmed_raw.push(raw);
+                    if retain {
+                        self.confirmed_raw.push(raw);
+                    }
                     events.push(StreamEvent::RPeak {
                         raw,
                         mwi_index: d.index,
@@ -375,11 +660,33 @@ impl StreamingQrsDetector {
                         hpf_index,
                         misalignment,
                     };
-                    self.omitted.push(beat);
+                    if retain {
+                        self.omitted.push(beat);
+                    }
                     events.push(StreamEvent::Omitted(beat));
                 }
             }
         }
+    }
+
+    /// Advances the bounded HPF ring past everything no future alignment
+    /// check or search-back can read: the oldest live MWI reference (a
+    /// queued beat, a retained candidate, or the pending peak — future
+    /// local maxima can only appear at `n − 1` or later) minus the
+    /// alignment window reach (`HPF_TO_MWI_DELAY + ALIGNMENT_SEARCH`
+    /// samples).
+    fn prune_bounded(&mut self) {
+        let SignalStore::Bounded { hpf } = &mut self.store else {
+            return;
+        };
+        let mut keep_from = self.n.saturating_sub(2);
+        if let Some(i) = self.classifier.earliest_live_index() {
+            keep_from = keep_from.min(i);
+        }
+        if let Some(d) = self.awaiting_alignment.front() {
+            keep_from = keep_from.min(d.index);
+        }
+        hpf.prune_below(keep_from.saturating_sub(HPF_TO_MWI_DELAY + ALIGNMENT_SEARCH));
     }
 }
 
@@ -501,5 +808,166 @@ mod tests {
         let batch = QrsDetector::new(config).detect(&signal);
         let (_, streamed) = run_streaming(config, &signal, 13);
         assert_eq!(streamed, batch);
+    }
+
+    // ---- bounded-footprint mode -------------------------------------
+
+    /// The bounded-mode contract: identical events for every chunking, a
+    /// slim result whose counters still match the retaining run exactly.
+    #[test]
+    fn bounded_mode_is_event_identical_with_slim_result() {
+        let signal = pulse_train(3000, 170, 200);
+        for config in [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]),
+        ] {
+            let bounded_cfg = config.with_footprint(Footprint::Bounded);
+            let (reference_events, retained) = run_streaming(config, &signal, 17);
+            for chunk in [1usize, 17, 499, signal.len()] {
+                let (events, slim) = run_streaming(bounded_cfg, &signal, chunk);
+                assert_eq!(events, reference_events, "{config} chunk {chunk}");
+                assert!(slim.signals().is_none(), "bounded result kept signals");
+                assert!(slim.r_peaks().is_empty(), "bounded result kept peaks");
+                assert!(slim.decisions().is_empty(), "bounded result kept decisions");
+                assert_eq!(slim.ops(), retained.ops(), "op counters diverged");
+                assert_eq!(slim.saturations(), retained.saturations());
+                assert_eq!(slim.add_overflows(), retained.add_overflows());
+                assert_eq!(slim.total_delay(), retained.total_delay());
+            }
+        }
+    }
+
+    /// A weakened beat forces the search-back path; the bounded detector's
+    /// pruned candidate list and HPF ring must still confirm it.
+    #[test]
+    fn bounded_mode_survives_search_back_at_rr_miss_boundary() {
+        let mut signal = pulse_train(4000, 170, 200);
+        // Attenuate two beats deep into the record into the
+        // THRESHOLD2..THRESHOLD1 band (MWI energy scales quadratically, so
+        // ×0.45 amplitude ≈ ×0.2 energy: below T1 ≈ 0.25·SPK, above
+        // T2 ≈ 0.125·SPK) — missed on the first pass, recoverable by
+        // search-back.
+        for miss in [200usize + 10 * 170, 200 + 15 * 170] {
+            for sample in &mut signal[miss - 2..=miss + 2] {
+                *sample = *sample * 9 / 20;
+            }
+        }
+        let config = PipelineConfig::exact();
+        let batch = QrsDetector::new(config).detect(&signal);
+        assert!(
+            batch
+                .decisions()
+                .iter()
+                .any(|d| d.class == PeakClass::SearchBack),
+            "workload failed to trigger search-back"
+        );
+        let (reference_events, _) = run_streaming(config, &signal, 13);
+        for chunk in [1usize, 13, 999] {
+            let (events, _) =
+                run_streaming(config.with_footprint(Footprint::Bounded), &signal, chunk);
+            assert_eq!(events, reference_events, "chunk {chunk}");
+        }
+    }
+
+    /// The measured O(1) bound: bounded-mode state does not grow with the
+    /// record, while retaining-mode state does.
+    #[test]
+    fn bounded_state_is_flat_in_record_length() {
+        let config = PipelineConfig::least_energy([10, 12, 2, 8, 16]);
+        let high_water = |footprint: Footprint, len: usize| -> usize {
+            let signal = pulse_train(len, 170, 200);
+            let mut det = StreamingQrsDetector::new(config.with_footprint(footprint));
+            let mut peak = 0usize;
+            for chunk in signal.chunks(64) {
+                let _ = det.push(chunk);
+                peak = peak.max(det.state_bytes());
+            }
+            peak
+        };
+        let bounded_short = high_water(Footprint::Bounded, 6_000);
+        let bounded_long = high_water(Footprint::Bounded, 30_000);
+        assert!(
+            bounded_long <= bounded_short + 1024,
+            "bounded state grew with the record: {bounded_short} -> {bounded_long}"
+        );
+        assert!(
+            bounded_long < 64 * 1024,
+            "bounded state {bounded_long} above the 64 KiB budget"
+        );
+        let retained_short = high_water(Footprint::Retain, 6_000);
+        let retained_long = high_water(Footprint::Retain, 30_000);
+        assert!(
+            retained_long > retained_short * 3,
+            "retaining state should grow linearly: {retained_short} -> {retained_long}"
+        );
+        // The shared tables exist but are not billed to the detector.
+        let det = StreamingQrsDetector::new(config.with_footprint(Footprint::Bounded));
+        assert!(det.shared_table_bytes() > 0);
+        assert!(det.state_bytes() < 16 * 1024);
+    }
+
+    /// A table two stages share (same LSB depth, same coefficient
+    /// magnitude) is billed once in the detector-level total.
+    #[test]
+    fn shared_table_accounting_dedupes_across_stages() {
+        // All stages at 4 LSBs: tap magnitudes are LPF {1..6}, HPF {1,31},
+        // DER {0,1,2} (every tap compiles, zero included) — 11 per-stage
+        // tables but only 8 distinct magnitudes.
+        let det = StreamingQrsDetector::new(PipelineConfig::least_energy([4, 4, 4, 4, 4]));
+        let table = ((1 << 15) + 1) * 4;
+        let per_stage_sum = 11 * table;
+        assert_eq!(det.shared_table_bytes(), 8 * table);
+        assert!(det.shared_table_bytes() < per_stage_sum);
+    }
+
+    /// `push_tapped` exposes exactly the HPF signal the retaining mode
+    /// stores.
+    #[test]
+    fn hpf_tap_matches_retained_signal() {
+        let signal = pulse_train(2200, 170, 200);
+        let config = PipelineConfig::least_energy([4, 4, 2, 4, 8]);
+        let (_, retained) = run_streaming(config, &signal, 33);
+        let mut det = StreamingQrsDetector::new(config.with_footprint(Footprint::Bounded));
+        let mut tap = Vec::new();
+        for chunk in signal.chunks(33) {
+            let _ = det.push_tapped(chunk, &mut tap);
+        }
+        let (_, slim) = det.finish();
+        assert!(slim.signals().is_none());
+        assert_eq!(
+            tap,
+            retained.signals().expect("retained").hpf,
+            "tap diverged from the retained HPF signal"
+        );
+    }
+
+    /// `finish_reset` hands back a result and a detector whose next record
+    /// is processed exactly as a fresh detector would.
+    #[test]
+    fn finish_reset_reuses_detector_bit_identically() {
+        let first = pulse_train(2400, 170, 200);
+        let second = pulse_train(2800, 160, 230);
+        for footprint in [Footprint::Retain, Footprint::Bounded] {
+            let config = PipelineConfig::least_energy([8, 10, 2, 8, 16]).with_footprint(footprint);
+            let mut reused = StreamingQrsDetector::new(config);
+            for chunk in first.chunks(19) {
+                let _ = reused.push(chunk);
+            }
+            let (_, result_first) = reused.finish_reset();
+            assert_eq!(reused.samples_seen(), 0, "reset did not clear the count");
+            let mut events_second = Vec::new();
+            for chunk in second.chunks(19) {
+                events_second.extend(reused.push(chunk));
+            }
+            let (trailing, result_second) = reused.finish_reset();
+            events_second.extend(trailing);
+
+            let (fresh_events_first, fresh_first) = run_streaming(config, &first, 19);
+            let (fresh_events_second, fresh_second) = run_streaming(config, &second, 19);
+            assert_eq!(result_first, fresh_first, "{footprint:?}: first record");
+            assert_eq!(result_second, fresh_second, "{footprint:?}: second record");
+            assert_eq!(events_second, fresh_events_second, "{footprint:?}: events");
+            assert!(!fresh_events_first.is_empty());
+        }
     }
 }

@@ -17,6 +17,8 @@
 
 use std::fmt;
 
+use crate::config::Footprint;
+
 /// Detector timing and adaptation parameters (defaults follow the original
 /// paper at 200 Hz).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -218,6 +220,11 @@ struct Candidate {
 #[derive(Debug, Clone)]
 pub struct OnlineClassifier {
     config: ThresholdConfig,
+    /// Memory-retention policy. Under [`Footprint::Bounded`] the candidate
+    /// list is pruned (see [`OnlineClassifier::prune_dead_candidates`]) and
+    /// the QRS bookkeeping keeps only its most recent entry — decisions are
+    /// bit-for-bit identical either way.
+    retention: Footprint,
     /// Samples consumed so far.
     n: usize,
     /// Ring of the last [`RETAIN`] samples (`recent[j % RETAIN]` holds
@@ -245,11 +252,29 @@ pub struct OnlineClassifier {
 }
 
 impl OnlineClassifier {
-    /// Creates an incremental classifier with the given parameters.
+    /// Creates an incremental classifier with the given parameters
+    /// (retaining every candidate, like the batch path).
     #[must_use]
     pub fn new(config: ThresholdConfig) -> Self {
+        Self::with_retention(config, Footprint::Retain)
+    }
+
+    /// Creates an incremental classifier with an explicit retention policy.
+    ///
+    /// Under [`Footprint::Bounded`], candidate peaks are dropped as soon as
+    /// no future search-back can revisit them and the accepted-QRS
+    /// bookkeeping keeps only its latest entry, so the live state is
+    /// bounded by the longest inter-beat gap (`O(RR_max / peak_spacing)`
+    /// candidates) instead of the record length. The emitted decisions are
+    /// bit-for-bit identical to the retaining mode — the search-back filter
+    /// (`index > last_qrs + refractory`) can never select a pruned
+    /// candidate, and every decision reads only `last()` of the QRS
+    /// history.
+    #[must_use]
+    pub fn with_retention(config: ThresholdConfig, retention: Footprint) -> Self {
         Self {
             config,
+            retention,
             n: 0,
             recent: [0; RETAIN],
             learn_len: 0,
@@ -317,6 +342,61 @@ impl OnlineClassifier {
             }
         }
         self.drain(out);
+        self.prune_dead_candidates();
+    }
+
+    /// Drops candidate peaks that are both classified and unreachable by
+    /// any future search-back (bounded retention only).
+    ///
+    /// The search-back filter only ever selects candidates with
+    /// `index > last_qrs + refractory`, and `last_qrs` (the *maximum*
+    /// accepted QRS index) never decreases — so a classified candidate at
+    /// or below that line is dead forever. Unclassified candidates are
+    /// always kept: classification itself still needs them.
+    fn prune_dead_candidates(&mut self) {
+        if self.retention != Footprint::Bounded {
+            return;
+        }
+        let Some(&lq) = self.qrs_indices.last() else {
+            return;
+        };
+        let dead_line = lq + self.config.refractory;
+        let mut k = 0usize;
+        while k < self.next_unclassified && self.candidates[k].index <= dead_line {
+            k += 1;
+        }
+        if k > 0 {
+            self.candidates.drain(..k);
+            self.next_unclassified -= k;
+        }
+    }
+
+    /// The smallest signal index any *future* decision or search-back can
+    /// still reference: the oldest retained candidate or the pending peak.
+    /// `None` when nothing is live (the next reachable index is then the
+    /// current sample). The streaming detector prunes its HPF ring against
+    /// this.
+    #[must_use]
+    pub fn earliest_live_index(&self) -> Option<usize> {
+        let first = self.candidates.first().map(|c| c.index);
+        let pending = self.pending.map(|p| p.index);
+        match (first, pending) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Bytes of live state: the struct itself plus the candidate list, QRS
+    /// bookkeeping, and RR history capacities. Under bounded retention this
+    /// is O(longest inter-beat gap), independent of how many samples have
+    /// been pushed.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.candidates.capacity() * std::mem::size_of::<Candidate>()
+            + self.qrs_indices.capacity() * std::mem::size_of::<usize>()
+            + self.qrs_slopes.capacity() * std::mem::size_of::<i64>()
+            + self.rr_history.capacity() * std::mem::size_of::<usize>()
     }
 
     /// Ends the stream: classifies every remaining candidate (using the
@@ -504,6 +584,20 @@ impl OnlineClassifier {
         let pos = self.qrs_indices.partition_point(|&i| i < cand.index);
         self.qrs_indices.insert(pos, cand.index);
         self.qrs_slopes.push(cand.slope);
+        // Every read of these histories is `.last()` (max index, newest
+        // slope), so bounded retention keeps exactly one entry of each.
+        if self.retention == Footprint::Bounded {
+            if self.qrs_indices.len() > 1 {
+                let keep = *self.qrs_indices.last().expect("just inserted");
+                self.qrs_indices.clear();
+                self.qrs_indices.push(keep);
+            }
+            if self.qrs_slopes.len() > 1 {
+                let keep = *self.qrs_slopes.last().expect("just pushed");
+                self.qrs_slopes.clear();
+                self.qrs_slopes.push(keep);
+            }
+        }
         out.push(PeakDecision {
             index: cand.index,
             amplitude: cand.amplitude,
@@ -925,6 +1019,97 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Drives retaining and bounded classifiers sample-locked over the same
+    /// signal and asserts every emitted decision matches, then returns the
+    /// bounded classifier for state inspection.
+    fn lockstep_bounded(cfg: ThresholdConfig, s: &[i64]) -> OnlineClassifier {
+        let mut retain = OnlineClassifier::new(cfg);
+        let mut bounded = OnlineClassifier::with_retention(cfg, Footprint::Bounded);
+        let (mut out_r, mut out_b) = (Vec::new(), Vec::new());
+        for (i, &x) in s.iter().enumerate() {
+            retain.push(x, &mut out_r);
+            bounded.push(x, &mut out_b);
+            assert_eq!(out_r, out_b, "decision streams diverged at sample {i}");
+        }
+        retain.finish(&mut out_r);
+        let mut probe = bounded.clone();
+        probe.finish(&mut out_b);
+        assert_eq!(out_r, out_b, "decision streams diverged at finish");
+        bounded
+    }
+
+    /// The bounded-retention guard: pruning candidates and truncating the
+    /// QRS history must not change a single decision, on workloads that
+    /// exercise search-back, T waves, and noise.
+    #[test]
+    fn bounded_retention_emits_identical_decisions() {
+        let cfg = ThresholdConfig::default();
+        for seed in 0..25u64 {
+            let len = 800 + (seed as usize * 211) % 2400;
+            let _ = lockstep_bounded(cfg, &fuzz_signal(seed + 3, len));
+        }
+    }
+
+    /// Regression for the prune rule at the RR-miss boundary: a weak beat
+    /// classified as noise must survive pruning until the next strong beat
+    /// triggers search-back over it, even in bounded mode.
+    #[test]
+    fn bounded_classifier_still_recovers_search_back_beat() {
+        // Strong beats with a long gap holding one weak (sub-THRESHOLD1,
+        // supra-THRESHOLD2) beat — same construction as
+        // `search_back_recovers_weak_beat`.
+        let strong: Vec<usize> = vec![200, 400, 600, 800, 1400, 1600, 1800];
+        let mut s = mwi_signal(2200, &strong, 5000, 10);
+        let weak = mwi_signal(2200, &[1050], 500, 0);
+        for (a, b) in s.iter_mut().zip(&weak) {
+            *a = (*a).max(*b);
+        }
+        let mut bounded =
+            OnlineClassifier::with_retention(ThresholdConfig::default(), Footprint::Bounded);
+        let mut decisions = Vec::new();
+        for &x in &s {
+            bounded.push(x, &mut decisions);
+        }
+        bounded.finish(&mut decisions);
+        assert!(
+            decisions
+                .iter()
+                .any(|d| d.class == PeakClass::SearchBack && d.index > 1000 && d.index < 1100),
+            "bounded mode lost the search-back beat: {decisions:?}"
+        );
+        // And the retaining path agrees decision-for-decision.
+        let _ = lockstep_bounded(ThresholdConfig::default(), &s);
+    }
+
+    /// Bounded retention actually prunes: on a long regular record the
+    /// candidate list stays at the inter-beat scale and the QRS history at
+    /// one entry, while the retaining classifier's grow with the record.
+    #[test]
+    fn bounded_retention_state_stays_flat() {
+        let cfg = ThresholdConfig::default();
+        let positions: Vec<usize> = (0..60).map(|i| 150 + i * 170).collect();
+        let s = mwi_signal(11_000, &positions, 4000, 20);
+        let mut retain = OnlineClassifier::new(cfg);
+        let mut bounded = OnlineClassifier::with_retention(cfg, Footprint::Bounded);
+        let mut sink = Vec::new();
+        let mut bounded_high_water = 0usize;
+        for &x in &s {
+            retain.push(x, &mut sink);
+            bounded.push(x, &mut sink);
+            bounded_high_water = bounded_high_water.max(bounded.state_bytes());
+        }
+        assert!(
+            retain.state_bytes() > 2 * bounded.state_bytes(),
+            "retaining {} vs bounded {} bytes",
+            retain.state_bytes(),
+            bounded.state_bytes()
+        );
+        assert!(
+            bounded_high_water < 8 * 1024,
+            "bounded classifier state hit {bounded_high_water} bytes"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! print_fixture --nocapture` and update the constants below with the
 //! printed values.
 
-use pan_tompkins::{PipelineConfig, QrsDetector, StreamingQrsDetector};
+use pan_tompkins::{Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector};
 
 /// The fixture workload: the first 6000 samples (30 s) of the synthetic
 /// NSRDB paper record.
@@ -124,6 +124,56 @@ fn check(golden: &Golden, label: &str) {
             "{label}/{name}: omitted-beat count"
         );
     }
+
+    // The bounded-footprint path must reproduce the same absolute trace
+    // through its event stream (its slim result carries no peak list) with
+    // identical per-stage counters.
+    let mut bounded = StreamingQrsDetector::new(golden.config.with_footprint(Footprint::Bounded));
+    let mut peaks = Vec::new();
+    let mut sink = Vec::new();
+    for chunk in record.samples().chunks(10) {
+        peaks.extend(
+            bounded
+                .push_tapped(chunk, &mut sink)
+                .iter()
+                .filter_map(StreamEvent::r_peak),
+        );
+    }
+    let (trailing, slim) = bounded.finish();
+    peaks.extend(trailing.iter().filter_map(StreamEvent::r_peak));
+    peaks.sort_unstable();
+    peaks.dedup();
+    assert_eq!(
+        peaks, golden.r_peaks,
+        "{label}/bounded: event-stream peaks drifted from the golden trace"
+    );
+    assert!(
+        slim.signals().is_none(),
+        "{label}/bounded: signals retained"
+    );
+    assert_eq!(
+        sink,
+        batch.signals().expect("batch retains").hpf,
+        "{label}/bounded: HPF tap drifted from the batch signal"
+    );
+    for (i, (adds, muls)) in golden.ops.iter().enumerate() {
+        assert_eq!(
+            slim.ops()[i].adds(),
+            *adds,
+            "{label}/bounded: stage {i} adds"
+        );
+        assert_eq!(
+            slim.ops()[i].muls(),
+            *muls,
+            "{label}/bounded: stage {i} muls"
+        );
+    }
+    assert_eq!(slim.saturations(), &golden.saturations, "{label}/bounded");
+    assert_eq!(
+        slim.add_overflows(),
+        &golden.add_overflows,
+        "{label}/bounded"
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 
 use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
 use pan_tompkins::{
-    DetectionResult, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector,
+    DetectionResult, Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector,
 };
 use proptest::prelude::*;
 
@@ -99,6 +99,34 @@ proptest! {
                 ),
             }
         }
+
+        // The bounded-footprint mode: identical event stream for every
+        // partition, a slim result whose counters equal the batch run, and
+        // a measured O(1) state bound.
+        let bounded_cfg = config.with_footprint(Footprint::Bounded);
+        let reference = reference_events.expect("at least one partition ran");
+        for sizes in [&[1usize] as &[usize], &[chunk_a, chunk_b], &[997]] {
+            let (events, slim) = run_streaming(bounded_cfg, &signal, sizes);
+            prop_assert_eq!(
+                &events, &reference,
+                "bounded events diverged for {} with partition {:?}", config, sizes
+            );
+            prop_assert!(slim.signals().is_none());
+            prop_assert!(slim.r_peaks().is_empty());
+            prop_assert_eq!(slim.ops(), batch.ops());
+            prop_assert_eq!(slim.saturations(), batch.saturations());
+            prop_assert_eq!(slim.add_overflows(), batch.add_overflows());
+        }
+        let mut bounded = StreamingQrsDetector::new(bounded_cfg);
+        let mut high_water = 0usize;
+        for chunk in signal.chunks(64) {
+            let _ = bounded.push(chunk);
+            high_water = high_water.max(bounded.state_bytes());
+        }
+        prop_assert!(
+            high_water < 64 * 1024,
+            "bounded state hit {} bytes on a {}-sample record", high_water, signal.len()
+        );
     }
 }
 

@@ -56,11 +56,11 @@ fn main() {
     }
 
     // Signal-quality comparison on the physician-facing HPF output.
-    let reference: Vec<f64> = exact_result.signals().hpf[400..]
+    let reference: Vec<f64> = exact_result.signals().expect("batch retains signals").hpf[400..]
         .iter()
         .map(|v| *v as f64)
         .collect();
-    let signal: Vec<f64> = approx_result.signals().hpf[400..]
+    let signal: Vec<f64> = approx_result.signals().expect("batch retains signals").hpf[400..]
         .iter()
         .map(|v| *v as f64)
         .collect();

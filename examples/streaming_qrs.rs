@@ -10,7 +10,7 @@
 
 use ecg::noise::NoiseConfig;
 use ecg::synth::{EcgSynthesizer, SynthConfig};
-use pan_tompkins::{PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector};
+use pan_tompkins::{Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector};
 
 fn main() {
     // A 45-second ambulatory ECG at 200 Hz with exact ground truth.
@@ -94,5 +94,47 @@ fn main() {
         batch.r_peaks().len(),
         batch.total_ops().adds() + batch.total_ops().muls(),
         batch.saturations().iter().sum::<u64>()
+    );
+
+    // On the device itself there is no room to retain waveforms: the
+    // bounded footprint keeps only ring buffers and live candidates, emits
+    // the *identical* event stream, and its measured state stays flat no
+    // matter how long the stream runs.
+    let mut bounded = StreamingQrsDetector::new(config.with_footprint(Footprint::Bounded));
+    let mut bounded_peaks = 0usize;
+    let mut high_water = bounded.state_bytes();
+    for chunk in record.samples().chunks(20) {
+        bounded_peaks += bounded
+            .push(chunk)
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::RPeak { .. }))
+            .count();
+        high_water = high_water.max(bounded.state_bytes());
+    }
+    let (trailing, slim) = bounded.finish();
+    bounded_peaks += trailing
+        .iter()
+        .filter(|e| matches!(e, StreamEvent::RPeak { .. }))
+        .count();
+    assert_eq!(
+        bounded_peaks,
+        batch.r_peaks().len(),
+        "bounded events diverged"
+    );
+    assert!(
+        slim.signals().is_none(),
+        "bounded mode must not retain signals"
+    );
+    println!(
+        "bounded footprint: same {bounded_peaks} beats from {} B of live state \
+         (high-water; retaining mode needed {} B for this record) ✔",
+        high_water,
+        {
+            let mut retain = StreamingQrsDetector::new(config);
+            for chunk in record.samples().chunks(20) {
+                let _ = retain.push(chunk);
+            }
+            retain.state_bytes()
+        }
     );
 }

@@ -1,12 +1,13 @@
 //! Cross-crate integration tests for the extension features: activity-based
-//! energy accounting, rhythm preservation, the LOA adder family, and fault
-//! injection (DESIGN.md §9).
+//! energy accounting, rhythm preservation, the LOA adder family, fault
+//! injection, and the bounded-memory streaming + record-batched evaluation
+//! path (DESIGN.md §7).
 
 use approx_arith::{FaultyAdder, LowerOrAdder, StageArith, StuckAtFault};
 use ecg::rhythm::{RhythmClass, RrStatistics};
 use ecg::synth::{EcgSynthesizer, SynthConfig};
 use hwmodel::activity::run_energy_fj;
-use pan_tompkins::{PipelineConfig, QrsDetector};
+use pan_tompkins::{Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector};
 
 #[test]
 fn activity_energy_of_b9_run_is_far_below_exact() {
@@ -102,6 +103,52 @@ fn single_msb_fault_breaks_detection_where_b9_does_not() {
         broken != clean,
         "stuck-at fault had no effect ({clean} peaks either way)"
     );
+}
+
+/// End-to-end across the facade: a kilobyte-scale bounded detector finds
+/// the same beats the batch detector does on a realistic synthetic record,
+/// and the record-batched evaluator reproduces per-record evaluation while
+/// never materialising stage signals.
+#[test]
+fn bounded_streaming_is_edge_deployable_end_to_end() {
+    let record = EcgSynthesizer::new(SynthConfig {
+        heart_rate_bpm: 76.0,
+        n_samples: 10_000,
+        seed: 77,
+        ..SynthConfig::default()
+    })
+    .synthesize();
+    let config = PipelineConfig::least_energy([10, 12, 2, 8, 16]);
+    let batch = QrsDetector::new(config).detect(record.samples());
+
+    let mut det = StreamingQrsDetector::new(config.with_footprint(Footprint::Bounded));
+    let mut peaks = Vec::new();
+    let mut high_water = 0usize;
+    for chunk in record.samples().chunks(20) {
+        peaks.extend(det.push(chunk).iter().filter_map(StreamEvent::r_peak));
+        high_water = high_water.max(det.state_bytes());
+    }
+    let (trailing, slim) = det.finish();
+    peaks.extend(trailing.iter().filter_map(StreamEvent::r_peak));
+    peaks.sort_unstable();
+    peaks.dedup();
+    assert_eq!(peaks, batch.r_peaks(), "bounded beats diverged from batch");
+    assert!(slim.signals().is_none());
+    assert!(
+        high_water < 64 * 1024,
+        "bounded live state {high_water} B above the sensor-node budget"
+    );
+
+    // The facade's record-batched path agrees with per-record evaluation.
+    let records = vec![record.truncated(5_000), record.truncated(8_000)];
+    let configs = [PipelineConfig::exact(), config];
+    let batched = xbiosip::Evaluator::evaluate_records_streaming(&records, &configs, 20);
+    for (record, reports) in records.iter().zip(&batched) {
+        let evaluator = xbiosip::Evaluator::new(record);
+        for (cfg, report) in configs.iter().zip(reports) {
+            assert_eq!(*report, evaluator.evaluate(cfg));
+        }
+    }
 }
 
 #[test]
