@@ -519,6 +519,35 @@ mod tests {
         }
     }
 
+    /// The decision-arithmetic contract at the evaluator layer: the
+    /// fixed-point default and the float reference produce bit-identical
+    /// reports for every configuration, through the batch, streaming, and
+    /// bounded-streaming paths alike.
+    #[test]
+    fn fixed_and_float_decision_reports_are_identical() {
+        use pan_tompkins::DecisionArith;
+        let record = short_record();
+        let ev = Evaluator::new(&record);
+        for config in [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]),
+            PipelineConfig::least_energy([4, 4, 2, 4, 8]),
+        ] {
+            let fixed = config.with_decision(DecisionArith::Fixed);
+            let float = config.with_decision(DecisionArith::Float);
+            assert_eq!(
+                ev.evaluate(&fixed),
+                ev.evaluate(&float),
+                "batch reports diverged for {config}"
+            );
+            assert_eq!(
+                ev.evaluate_streaming(&fixed.with_footprint(Footprint::Bounded), 20),
+                ev.evaluate_streaming(&float.with_footprint(Footprint::Bounded), 20),
+                "bounded streaming reports diverged for {config}"
+            );
+        }
+    }
+
     #[test]
     fn evaluation_counter_increments() {
         let record = short_record();

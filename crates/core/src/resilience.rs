@@ -47,7 +47,21 @@ impl ResilienceProfile {
 
     /// Sweeps with an explicit upper bound on the LSB count.
     pub fn analyze_up_to(evaluator: &Evaluator, stage: StageKind, max_lsbs: u32) -> Self {
-        let (ariths, configs) = Self::sweep_grid(stage, max_lsbs);
+        Self::analyze_up_to_from(evaluator, stage, max_lsbs, PipelineConfig::exact())
+    }
+
+    /// Sweeps from an explicit base configuration: each point replaces
+    /// only the analysed stage's triple, so the base's engine, footprint,
+    /// and decision arithmetic (see [`pan_tompkins::DecisionArith`]) carry
+    /// through the whole sweep. `analyze_up_to` is this with the exact
+    /// default base.
+    pub fn analyze_up_to_from(
+        evaluator: &Evaluator,
+        stage: StageKind,
+        max_lsbs: u32,
+        base: PipelineConfig,
+    ) -> Self {
+        let (ariths, configs) = Self::sweep_grid_from(stage, max_lsbs, base);
         let reports = evaluator.evaluate_batch(&configs);
         Self::assemble(stage, &ariths, reports)
     }
@@ -98,6 +112,16 @@ impl ResilienceProfile {
     /// The sweep grid: even LSB counts from 0 to the bound, each as a
     /// one-stage-approximated full-pipeline configuration.
     fn sweep_grid(stage: StageKind, max_lsbs: u32) -> (Vec<StageArith>, Vec<PipelineConfig>) {
+        Self::sweep_grid_from(stage, max_lsbs, PipelineConfig::exact())
+    }
+
+    /// [`ResilienceProfile::sweep_grid`] over an explicit base
+    /// configuration.
+    fn sweep_grid_from(
+        stage: StageKind,
+        max_lsbs: u32,
+        base: PipelineConfig,
+    ) -> (Vec<StageArith>, Vec<PipelineConfig>) {
         let ariths: Vec<StageArith> = (0..=max_lsbs)
             .step_by(2)
             .map(|k| {
@@ -110,7 +134,7 @@ impl ResilienceProfile {
             .collect();
         let configs: Vec<PipelineConfig> = ariths
             .iter()
-            .map(|arith| PipelineConfig::exact().with_stage(stage, *arith))
+            .map(|arith| base.with_stage(stage, *arith))
             .collect();
         (ariths, configs)
     }
@@ -187,6 +211,32 @@ mod tests {
                 assert_eq!(got.lsbs, want.lsbs);
                 assert_eq!(got.report, want.report, "LSB {} diverged", got.lsbs);
             }
+        }
+    }
+
+    /// The decision arithmetic rides through the sweep via the base
+    /// configuration, and the fixed-point default reproduces the float
+    /// reference profile report-for-report.
+    #[test]
+    fn sweep_is_identical_under_both_decision_ariths() {
+        use pan_tompkins::DecisionArith;
+        let ev = evaluator();
+        let fixed = ResilienceProfile::analyze_up_to_from(
+            &ev,
+            StageKind::Squarer,
+            8,
+            PipelineConfig::exact().with_decision(DecisionArith::Fixed),
+        );
+        let float = ResilienceProfile::analyze_up_to_from(
+            &ev,
+            StageKind::Squarer,
+            8,
+            PipelineConfig::exact().with_decision(DecisionArith::Float),
+        );
+        assert_eq!(fixed.points.len(), float.points.len());
+        for (a, b) in fixed.points.iter().zip(&float.points) {
+            assert_eq!(a.lsbs, b.lsbs);
+            assert_eq!(a.report, b.report, "LSB {} diverged across ariths", a.lsbs);
         }
     }
 

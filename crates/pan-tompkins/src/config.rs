@@ -6,6 +6,7 @@ use std::fmt;
 use approx_arith::StageArith;
 
 use crate::arith::MulEngine;
+use crate::decision::DecisionArith;
 
 /// Memory-retention policy of a detection run — what the detector keeps
 /// beyond the state strictly needed to emit the next event.
@@ -141,6 +142,11 @@ pub struct PipelineConfig {
     engine: MulEngine,
     /// Memory-retention policy the streaming detector runs under.
     footprint: Footprint,
+    /// Arithmetic the classifier's decision logic (SPK/NPK adaptation,
+    /// thresholds, RR search-back) runs in. Defaults to the integer-exact
+    /// [`DecisionArith::Fixed`]; [`DecisionArith::Float`] is the legacy
+    /// `f64` reference path (see [`crate::decision`]).
+    decision: DecisionArith,
 }
 
 impl PipelineConfig {
@@ -158,6 +164,7 @@ impl PipelineConfig {
             input_shift: Self::DEFAULT_INPUT_SHIFT,
             engine: MulEngine::default(),
             footprint: Footprint::default(),
+            decision: DecisionArith::default(),
         }
     }
 
@@ -169,6 +176,7 @@ impl PipelineConfig {
             input_shift: Self::DEFAULT_INPUT_SHIFT,
             engine: MulEngine::default(),
             footprint: Footprint::default(),
+            decision: DecisionArith::default(),
         }
     }
 
@@ -224,6 +232,19 @@ impl PipelineConfig {
     #[must_use]
     pub fn footprint(&self) -> Footprint {
         self.footprint
+    }
+
+    /// Selects the decision arithmetic (see [`DecisionArith`]).
+    #[must_use]
+    pub fn with_decision(mut self, decision: DecisionArith) -> Self {
+        self.decision = decision;
+        self
+    }
+
+    /// The arithmetic the classifier's decision logic runs in.
+    #[must_use]
+    pub fn decision(&self) -> DecisionArith {
+        self.decision
     }
 
     /// All five triples in pipeline order.
@@ -337,6 +358,17 @@ mod tests {
         // The policy is orthogonal to the arithmetic configuration.
         assert_eq!(bounded.lsb_vector(), cfg.lsb_vector());
         assert_ne!(bounded, cfg, "footprint participates in identity");
+    }
+
+    #[test]
+    fn decision_defaults_to_fixed_and_round_trips() {
+        let cfg = PipelineConfig::exact();
+        assert_eq!(cfg.decision(), DecisionArith::Fixed);
+        let float = cfg.with_decision(DecisionArith::Float);
+        assert_eq!(float.decision(), DecisionArith::Float);
+        // Orthogonal to the arithmetic configuration, part of identity.
+        assert_eq!(float.lsb_vector(), cfg.lsb_vector());
+        assert_ne!(float, cfg, "decision arith participates in identity");
     }
 
     #[test]

@@ -234,7 +234,8 @@ impl QrsDetector {
             + sqr.group_delay()
             + mwi.group_delay();
 
-        let classifier = AdaptiveThreshold::new(self.threshold);
+        let classifier =
+            AdaptiveThreshold::new(self.threshold).with_decision(self.config.decision());
         let decisions = classifier.classify(&signals.mwi);
 
         let mut r_peaks = Vec::new();

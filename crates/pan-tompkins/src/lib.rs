@@ -43,6 +43,7 @@
 
 pub mod arith;
 pub mod config;
+pub mod decision;
 pub mod detector;
 pub mod fir;
 pub mod stages;
@@ -51,6 +52,7 @@ pub mod threshold;
 
 pub use arith::{ArithBackend, MulEngine};
 pub use config::{Footprint, PipelineConfig, StageKind};
+pub use decision::DecisionArith;
 pub use detector::{DetectionResult, QrsDetector};
 pub use fir::FirFilter;
 pub use streaming::{StreamEvent, StreamingQrsDetector};

@@ -261,7 +261,11 @@ impl StreamingQrsDetector {
             der: Derivative::with_engine(config.stage(StageKind::Derivative), engine),
             sqr: Squarer::with_engine(config.stage(StageKind::Squarer), engine),
             mwi: MovingWindowIntegrator::with_engine(config.stage(StageKind::Mwi), engine),
-            classifier: OnlineClassifier::with_retention(threshold, config.footprint()),
+            classifier: OnlineClassifier::with_options(
+                threshold,
+                config.footprint(),
+                config.decision(),
+            ),
             store,
             n: 0,
             decisions: Vec::new(),
@@ -530,7 +534,11 @@ impl StreamingQrsDetector {
             stage.reset();
             stage.reset_counters();
         }
-        self.classifier = OnlineClassifier::with_retention(self.threshold, self.config.footprint());
+        self.classifier = OnlineClassifier::with_options(
+            self.threshold,
+            self.config.footprint(),
+            self.config.decision(),
+        );
         match &mut self.store {
             SignalStore::Retained(signals) => {
                 signals.lpf.clear();

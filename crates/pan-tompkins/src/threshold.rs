@@ -18,12 +18,20 @@
 use std::fmt;
 
 use crate::config::Footprint;
+use crate::decision::{DecisionArith, DecisionKernel};
 
 /// Detector timing and adaptation parameters (defaults follow the original
 /// paper at 200 Hz).
+///
+/// All window fields are *sample counts*; construct via
+/// [`ThresholdConfig::for_fs`] so they stay consistent with the sampling
+/// rate — a hand-rolled literal that changes `fs` without rescaling the
+/// windows silently runs the wrong timing (the bug `for_fs` exists to
+/// close).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdConfig {
-    /// Sampling rate, Hz.
+    /// Sampling rate, Hz — the rate the sample-count fields below were
+    /// derived for.
     pub fs: f64,
     /// Refractory period in samples (200 ms: a QRS cannot recur sooner).
     pub refractory: usize,
@@ -31,9 +39,23 @@ pub struct ThresholdConfig {
     pub t_wave_window: usize,
     /// Learning period in samples (2 s) used to initialise SPK/NPK.
     pub learning: usize,
-    /// Search-back triggers when the current RR exceeds this multiple of
-    /// the running average RR (the paper's 166 %).
-    pub search_back_factor: f64,
+    /// Numerator of the search-back factor as an exact rational (166/100 —
+    /// search-back triggers when the current RR exceeds this multiple of
+    /// the running average RR, the paper's 166 %). The
+    /// [`DecisionArith::Fixed`] path tests `gap · den · len > num · Σrr`,
+    /// so no float ever enters the RR decision; the
+    /// [`DecisionArith::Float`] path derives its `f64` factor from the
+    /// same rational (`166.0 / 100.0` is bit-identical to the historical
+    /// `1.66` literal), so the two arithmetics can never be configured to
+    /// test different boundaries.
+    pub search_back_num: u64,
+    /// Denominator of the rational search-back factor (must be non-zero).
+    pub search_back_den: u64,
+    /// First differences in the maximal-slope proxy used for T-wave
+    /// discrimination (40 ms of signal leading into a peak; 8 at 200 Hz).
+    /// Sizes the classifier's sample ring, so it rescales with `fs` like
+    /// every other window.
+    pub slope_window: usize,
     /// Minimum distance between candidate peaks in samples.
     pub peak_spacing: usize,
     /// Samples to blank at the start while the filter delay lines prime
@@ -42,17 +64,37 @@ pub struct ThresholdConfig {
     pub warmup: usize,
 }
 
+impl ThresholdConfig {
+    /// Derives every window from the paper's millisecond durations at the
+    /// given sampling rate: 200 ms refractory, 360 ms T-wave window, 2 s
+    /// learning, 100 ms peak spacing, 400 ms warm-up (rounded to the
+    /// nearest sample). `for_fs(200.0)` reproduces the original 200 Hz
+    /// constants exactly; `for_fs(360.0)` is the MIT-BIH rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not a positive finite rate.
+    #[must_use]
+    pub fn for_fs(fs: f64) -> Self {
+        assert!(fs.is_finite() && fs > 0.0, "fs must be a positive rate");
+        let samples = |ms: f64| (ms * fs / 1000.0).round() as usize;
+        Self {
+            fs,
+            refractory: samples(200.0),
+            t_wave_window: samples(360.0),
+            learning: samples(2000.0),
+            search_back_num: 166,
+            search_back_den: 100,
+            slope_window: samples(40.0),
+            peak_spacing: samples(100.0),
+            warmup: samples(400.0),
+        }
+    }
+}
+
 impl Default for ThresholdConfig {
     fn default() -> Self {
-        Self {
-            fs: 200.0,
-            refractory: 40,
-            t_wave_window: 72,
-            learning: 400,
-            search_back_factor: 1.66,
-            peak_spacing: 20,
-            warmup: 80,
-        }
+        Self::for_fs(200.0)
     }
 }
 
@@ -108,19 +150,37 @@ impl fmt::Display for PeakDecision {
 #[derive(Debug, Clone, Default)]
 pub struct AdaptiveThreshold {
     config: ThresholdConfig,
+    decision: DecisionArith,
 }
 
 impl AdaptiveThreshold {
-    /// Creates a classifier with the given parameters.
+    /// Creates a classifier with the given parameters (and the default
+    /// [`DecisionArith::Fixed`] decision arithmetic).
     #[must_use]
     pub fn new(config: ThresholdConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            decision: DecisionArith::default(),
+        }
+    }
+
+    /// Selects the decision arithmetic (see [`crate::decision`]).
+    #[must_use]
+    pub fn with_decision(mut self, decision: DecisionArith) -> Self {
+        self.decision = decision;
+        self
     }
 
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> &ThresholdConfig {
         &self.config
+    }
+
+    /// The decision arithmetic classifications run in.
+    #[must_use]
+    pub fn decision(&self) -> DecisionArith {
+        self.decision
     }
 
     /// Detects QRS positions in an integrated (MWI-output) signal.
@@ -144,7 +204,8 @@ impl AdaptiveThreshold {
     /// index.
     #[must_use]
     pub fn classify(&self, signal: &[i64]) -> Vec<PeakDecision> {
-        let mut online = OnlineClassifier::new(self.config);
+        let mut online =
+            OnlineClassifier::with_options(self.config, Footprint::Retain, self.decision);
         let mut decisions = Vec::new();
         for &x in signal {
             online.push(x, &mut decisions);
@@ -155,15 +216,16 @@ impl AdaptiveThreshold {
     }
 }
 
-/// `THRESHOLD1 = NPK + 0.25·(SPK − NPK)` — the running detection threshold.
-fn threshold1(spk: f64, npk: f64) -> f64 {
-    npk + 0.25 * (spk - npk)
+/// Trailing samples the online classifier must retain for a slope window
+/// of `w` first differences: the `w + 1` samples of
+/// [`OnlineClassifier::slope_at`] plus the one-sample local-maximum
+/// lookahead — never less than the 3 samples the local-maximum scan
+/// itself reads, rounded up to a power of two so the ring index is a
+/// mask rather than a division (16 for the default 200 Hz
+/// configuration).
+fn ring_len(slope_window: usize) -> usize {
+    (slope_window + 2).max(3).next_power_of_two()
 }
-
-/// Trailing samples the online classifier retains: the 9-sample slope
-/// window of [`OnlineClassifier::slope_at`] plus the one-sample
-/// local-maximum lookahead.
-const RETAIN: usize = 10;
 
 /// A candidate peak with its precomputed slope. The samples around a
 /// candidate leave the retention window long before classification, so the
@@ -193,9 +255,11 @@ struct Candidate {
 ///
 /// Decisions are emitted in classification order, which is the batch
 /// pre-sort order: collecting them and sorting by index reproduces
-/// [`AdaptiveThreshold::classify`] exactly. Memory: a 10-sample ring plus
-/// the candidate-peak list (search-back may revisit any inter-beat
-/// candidate, which is also why the batch path keeps them all).
+/// [`AdaptiveThreshold::classify`] exactly. Memory: a slope-window-sized
+/// sample ring (16 samples at 200 Hz: slope window + lookahead,
+/// rounded to a power of two) plus the candidate-peak list
+/// (search-back may revisit any inter-beat candidate, which is also why
+/// the batch path keeps them all).
 ///
 /// # Example
 ///
@@ -227,16 +291,20 @@ pub struct OnlineClassifier {
     retention: Footprint,
     /// Samples consumed so far.
     n: usize,
-    /// Ring of the last [`RETAIN`] samples (`recent[j % RETAIN]` holds
-    /// sample `j` for `j ≥ n − RETAIN`).
-    recent: [i64; RETAIN],
-    /// Learning-window statistics (first `learning` samples).
+    /// Ring of the last [`ring_len`] samples (`recent[j % len]` holds
+    /// sample `j` for `j ≥ n − len`), sized for the configured slope
+    /// window at construction.
+    recent: Vec<i64>,
+    /// Learning-window statistics (first `learning` samples). The sum is
+    /// an exact `i128` — `usize::MAX` samples of `i64` cannot overflow it,
+    /// so the seed mean never loses a bit no matter how large the window
+    /// amplitudes get.
     learn_len: usize,
     learn_max: i64,
-    learn_sum: f64,
-    /// Running signal/noise peak estimates, valid once `seeded`.
-    spk: f64,
-    npk: f64,
+    learn_sum: i128,
+    /// Running SPK/NPK decision state (fixed-point or float per the
+    /// configured [`DecisionArith`]), valid once `seeded`.
+    kernel: DecisionKernel,
     seeded: bool,
     /// Finalized candidate peaks, in index order.
     candidates: Vec<Candidate>,
@@ -272,16 +340,29 @@ impl OnlineClassifier {
     /// history.
     #[must_use]
     pub fn with_retention(config: ThresholdConfig, retention: Footprint) -> Self {
+        Self::with_options(config, retention, DecisionArith::default())
+    }
+
+    /// Creates an incremental classifier with an explicit retention policy
+    /// *and* decision arithmetic. Under [`DecisionArith::Fixed`] (the
+    /// default everywhere) no `f64` operation is reachable from
+    /// [`OnlineClassifier::push`]; [`DecisionArith::Float`] is the legacy
+    /// reference path (see [`crate::decision`]).
+    #[must_use]
+    pub fn with_options(
+        config: ThresholdConfig,
+        retention: Footprint,
+        decision: DecisionArith,
+    ) -> Self {
         Self {
             config,
             retention,
             n: 0,
-            recent: [0; RETAIN],
+            recent: vec![0; ring_len(config.slope_window)],
             learn_len: 0,
             learn_max: i64::MIN,
-            learn_sum: 0.0,
-            spk: 0.0,
-            npk: 0.0,
+            learn_sum: 0,
+            kernel: DecisionKernel::new(decision, &config),
             seeded: false,
             candidates: Vec::new(),
             pending: None,
@@ -299,6 +380,12 @@ impl OnlineClassifier {
         &self.config
     }
 
+    /// The decision arithmetic this classifier runs in.
+    #[must_use]
+    pub fn decision(&self) -> DecisionArith {
+        self.kernel.arith()
+    }
+
     /// Samples consumed so far.
     #[must_use]
     pub fn samples_seen(&self) -> usize {
@@ -312,15 +399,16 @@ impl OnlineClassifier {
     /// Panics if called after [`OnlineClassifier::finish`].
     pub fn push(&mut self, x: i64, out: &mut Vec<PeakDecision>) {
         assert!(!self.finished, "push after finish");
-        // Learning phase: track the largest excursion and the mean of the
-        // first `learning` samples (accumulated in signal order, so the
-        // floating-point sum is bit-identical to the batch slice sum).
+        // Learning phase: track the largest excursion and the exact i128
+        // sum of the first `learning` samples — the seed mean is computed
+        // from this without any intermediate precision loss.
         if self.n < self.config.learning {
             self.learn_max = self.learn_max.max(x);
-            self.learn_sum += x as f64;
+            self.learn_sum += i128::from(x);
             self.learn_len += 1;
         }
-        self.recent[self.n % RETAIN] = x;
+        let mask = self.recent.len() - 1;
+        self.recent[self.n & mask] = x;
         self.n += 1;
         if !self.seeded && self.n >= self.config.learning {
             self.seed();
@@ -393,6 +481,7 @@ impl OnlineClassifier {
     #[must_use]
     pub fn state_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+            + self.recent.capacity() * std::mem::size_of::<i64>()
             + self.candidates.capacity() * std::mem::size_of::<Candidate>()
             + self.qrs_indices.capacity() * std::mem::size_of::<usize>()
             + self.qrs_slopes.capacity() * std::mem::size_of::<i64>()
@@ -424,15 +513,16 @@ impl OnlineClassifier {
         }
     }
 
-    /// Retrieves retained sample `j` (valid for the last [`RETAIN`]
+    /// Retrieves retained sample `j` (valid for the last [`ring_len`]
     /// positions).
     fn sample(&self, j: usize) -> i64 {
-        debug_assert!(j < self.n && j + RETAIN >= self.n);
-        self.recent[j % RETAIN]
+        debug_assert!(j < self.n && j + self.recent.len() >= self.n);
+        self.recent[j & (self.recent.len() - 1)]
     }
 
     /// Seeds SPK from the largest learning-window excursion and NPK from
-    /// half the window mean — the batch path's initialisation.
+    /// half the window mean (computed from the exact `i128` sum) — the
+    /// batch path's initialisation.
     fn seed(&mut self) {
         let max0 = if self.learn_len == 0 {
             0
@@ -440,16 +530,15 @@ impl OnlineClassifier {
             self.learn_max
         }
         .max(1);
-        let mean0 = self.learn_sum / self.learn_len.max(1) as f64;
-        self.spk = 0.25 * max0 as f64;
-        self.npk = 0.5 * mean0;
+        self.kernel.seed(max0, self.learn_sum, self.learn_len);
         self.seeded = true;
     }
 
-    /// Maximal first difference over the 8 samples leading into `idx`
-    /// (which must be within the retention window).
+    /// Maximal first difference over the `slope_window` differences (40 ms
+    /// of signal) leading into `idx` (which must be within the retention
+    /// window).
     fn slope_at(&self, idx: usize) -> i64 {
-        let lo = idx.saturating_sub(8);
+        let lo = idx.saturating_sub(self.config.slope_window);
         let mut best: Option<i64> = None;
         for j in lo..idx {
             let d = self.sample(j + 1) - self.sample(j);
@@ -518,10 +607,11 @@ impl OnlineClassifier {
         // *past* candidates qualify (`index + refractory < idx`), so the
         // incremental candidate list sees exactly what the batch list did.
         if let (Some(lq), false) = (last_qrs, self.rr_history.is_empty()) {
-            let rr_avg =
-                self.rr_history.iter().sum::<usize>() as f64 / self.rr_history.len() as f64;
-            if (idx - lq) as f64 > c.search_back_factor * rr_avg {
-                let threshold2 = 0.5 * threshold1(self.spk, self.npk);
+            let rr_sum = self.rr_history.iter().sum::<usize>();
+            if self
+                .kernel
+                .rr_search_back(idx - lq, rr_sum, self.rr_history.len())
+            {
                 let miss = self
                     .candidates
                     .iter()
@@ -529,8 +619,8 @@ impl OnlineClassifier {
                     .max_by_key(|cd| cd.amplitude)
                     .copied();
                 if let Some(m) = miss {
-                    if (m.amplitude as f64) > threshold2 {
-                        self.spk = 0.25 * m.amplitude as f64 + 0.75 * self.spk;
+                    if self.kernel.above_threshold2(m.amplitude) {
+                        self.kernel.adapt_spk_search_back(m.amplitude);
                         self.push_qrs(m, PeakClass::SearchBack, out);
                     }
                 }
@@ -544,7 +634,7 @@ impl OnlineClassifier {
             if idx - lq < c.t_wave_window {
                 let slope_prev = self.qrs_slopes.last().copied().unwrap_or(0);
                 if cand.slope < slope_prev / 2 {
-                    self.npk = 0.125 * amp as f64 + 0.875 * self.npk;
+                    self.kernel.adapt_npk(amp);
                     out.push(PeakDecision {
                         index: idx,
                         amplitude: amp,
@@ -555,11 +645,11 @@ impl OnlineClassifier {
             }
         }
 
-        if (amp as f64) > threshold1(self.spk, self.npk) {
-            self.spk = 0.125 * amp as f64 + 0.875 * self.spk;
+        if self.kernel.above_threshold1(amp) {
+            self.kernel.adapt_spk(amp);
             self.push_qrs(cand, PeakClass::Qrs, out);
         } else {
-            self.npk = 0.125 * amp as f64 + 0.875 * self.npk;
+            self.kernel.adapt_npk(amp);
             out.push(PeakDecision {
                 index: idx,
                 amplitude: amp,
@@ -648,7 +738,10 @@ mod tests {
                 }
                 if let (Some(lq), false) = (last_qrs, rr_history.is_empty()) {
                     let rr_avg = rr_history.iter().sum::<usize>() as f64 / rr_history.len() as f64;
-                    if (idx - lq) as f64 > c.search_back_factor * rr_avg {
+                    // The pre-refactor code held the factor as the f64
+                    // literal 1.66, which equals 166.0/100.0 bit for bit.
+                    let factor = c.search_back_num as f64 / c.search_back_den as f64;
+                    if (idx - lq) as f64 > factor * rr_avg {
                         let threshold2 = 0.5 * threshold1(spk, npk);
                         let miss = candidates
                             .iter()
@@ -741,6 +834,9 @@ mod tests {
             });
         }
 
+        // The oracle predates the configurable slope window and hard-codes
+        // the 200 Hz span (8 differences); compare against it only with
+        // `slope_window == 8` configurations.
         fn max_slope(signal: &[i64], idx: usize) -> i64 {
             let lo = idx.saturating_sub(8);
             signal[lo..=idx]
@@ -939,19 +1035,27 @@ mod tests {
         s
     }
 
-    /// The tentpole guard at the classifier layer: the online path (which
-    /// now *is* `classify`) reproduces the original batch implementation
+    /// The tentpole guard at the classifier layer: both decision
+    /// arithmetics reproduce the original (float) batch implementation
     /// decision for decision, over beats, noise, T waves and search-back.
+    /// Float-vs-oracle pins the `f64` path to the pre-refactor
+    /// transcription (bit-identical here — the only intentional change,
+    /// the exact-`i128` seed sum, coincides with the oracle's running
+    /// `f64` sum whenever every *prefix* sum is exactly representable,
+    /// true of every oracle workload); Fixed-vs-oracle is the integer
+    /// path's decision equivalence.
     #[test]
     fn online_classifier_matches_reference_implementation() {
         let cfg = ThresholdConfig::default();
-        let det = AdaptiveThreshold::new(cfg);
-        for seed in 0..40u64 {
-            let len = 600 + (seed as usize * 137) % 2500;
-            let s = fuzz_signal(seed + 1, len);
-            let got = det.classify(&s);
-            let want = reference::classify(&cfg, &s);
-            assert_eq!(got, want, "seed {seed} diverged");
+        for arith in [DecisionArith::Fixed, DecisionArith::Float] {
+            let det = AdaptiveThreshold::new(cfg).with_decision(arith);
+            for seed in 0..40u64 {
+                let len = 600 + (seed as usize * 137) % 2500;
+                let s = fuzz_signal(seed + 1, len);
+                let got = det.classify(&s);
+                let want = reference::classify(&cfg, &s);
+                assert_eq!(got, want, "seed {seed} diverged under {arith:?}");
+            }
         }
     }
 
@@ -976,16 +1080,141 @@ mod tests {
             },
         ];
         for cfg in configs {
-            let det = AdaptiveThreshold::new(cfg);
-            for len in [0usize, 1, 10, 40, 41, 120, 399, 400, 401, 1200] {
-                let s = fuzz_signal(len as u64 + 7, len);
-                assert_eq!(
-                    det.classify(&s),
-                    reference::classify(&cfg, &s),
-                    "len {len} cfg {cfg:?}"
-                );
+            for arith in [DecisionArith::Fixed, DecisionArith::Float] {
+                let det = AdaptiveThreshold::new(cfg).with_decision(arith);
+                for len in [0usize, 1, 10, 40, 41, 120, 399, 400, 401, 1200] {
+                    let s = fuzz_signal(len as u64 + 7, len);
+                    assert_eq!(
+                        det.classify(&s),
+                        reference::classify(&cfg, &s),
+                        "len {len} cfg {cfg:?} arith {arith:?}"
+                    );
+                }
             }
         }
+    }
+
+    /// The sampling-rate bugfix: `for_fs` derives every window from the
+    /// paper's millisecond durations, so a 360 Hz (MIT-BIH-rate) config
+    /// actually runs 360 Hz timing instead of silently keeping the 200 Hz
+    /// sample counts.
+    #[test]
+    fn for_fs_rescales_every_window() {
+        let hz360 = ThresholdConfig::for_fs(360.0);
+        assert_eq!(hz360.fs, 360.0);
+        assert_eq!(hz360.refractory, 72, "200 ms at 360 Hz");
+        assert_eq!(hz360.t_wave_window, 130, "360 ms at 360 Hz (129.6 → 130)");
+        assert_eq!(hz360.learning, 720, "2 s at 360 Hz");
+        assert_eq!(hz360.slope_window, 14, "40 ms at 360 Hz (14.4 → 14)");
+        assert_eq!(hz360.peak_spacing, 36, "100 ms at 360 Hz");
+        assert_eq!(hz360.warmup, 144, "400 ms at 360 Hz");
+        // The rational search-back factor is rate-independent.
+        assert_eq!((hz360.search_back_num, hz360.search_back_den), (166, 100));
+    }
+
+    /// `Default` is `for_fs(200.0)` and reproduces the original paper
+    /// constants exactly — changing the derivation would silently retime
+    /// the whole detector.
+    #[test]
+    fn default_config_is_the_200_hz_derivation() {
+        let d = ThresholdConfig::default();
+        assert_eq!(d, ThresholdConfig::for_fs(200.0));
+        assert_eq!(
+            (
+                d.refractory,
+                d.t_wave_window,
+                d.learning,
+                d.slope_window,
+                d.peak_spacing,
+                d.warmup
+            ),
+            (40, 72, 400, 8, 20, 80)
+        );
+        // The rational is the historical 1.66 exactly (what the float
+        // kernel derives its factor from).
+        assert_eq!(
+            d.search_back_num as f64 / d.search_back_den as f64,
+            1.66,
+            "166/100 must reproduce the pre-refactor f64 literal"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_rate_rejected() {
+        let _ = ThresholdConfig::for_fs(0.0);
+    }
+
+    /// A detector retimed to 360 Hz behaves sanely on a 360 Hz-shaped
+    /// record (beats 306 samples apart — the 200 Hz `peak_spacing`/
+    /// refractory would be mistimed by 1.8× here).
+    #[test]
+    fn detects_at_360_hz_with_rescaled_windows() {
+        let cfg = ThresholdConfig::for_fs(360.0);
+        // 10 beats spaced 306 samples (0.85 s at 360 Hz).
+        let positions: Vec<usize> = (0..10).map(|i| 800 + i * 306).collect();
+        let s = mwi_signal(4000, &positions, 4000, 20);
+        let det = AdaptiveThreshold::new(cfg);
+        let peaks = det.detect(&s);
+        assert_eq!(peaks.len(), 10, "found {peaks:?}");
+        // And Float agrees decision-for-decision at this rate too.
+        assert_eq!(
+            det.classify(&s),
+            AdaptiveThreshold::new(cfg)
+                .with_decision(DecisionArith::Float)
+                .classify(&s)
+        );
+    }
+
+    /// The characterised Fixed/Float divergence domain: amplitudes past
+    /// 2^53, where `amp as f64` can no longer represent the integer. The
+    /// scenario seeds THRESHOLD1 to exactly T = 19·2^49 (> 2^53) and
+    /// presents a peak of T + 1:
+    ///
+    /// * exact arithmetic: `T + 1 > T` — a QRS, and Fixed agrees;
+    /// * float: `(T + 1) as f64` rounds to even = `T`, the strict
+    ///   comparison fails, and the beat is misclassified as noise.
+    ///
+    /// Fixed is the ground truth here — its comparisons are exact at any
+    /// `i64` amplitude (see `crate::decision`).
+    #[test]
+    fn huge_amplitudes_diverge_and_fixed_is_ground_truth() {
+        let cfg = ThresholdConfig {
+            learning: 4,
+            warmup: 0,
+            peak_spacing: 3,
+            refractory: 1,
+            ..ThresholdConfig::default()
+        };
+        let a = 1i64 << 53;
+        // Learning window descending (no local maxima): max0 = 4a,
+        // Σ = 10a ⇒ SPK₀ = a, NPK₀ = 1.25a ⇒
+        // THRESHOLD1 = NPK + (SPK − NPK)/4 = 1.1875a = 19·2^49 exactly
+        // (both kernels compute this seed without rounding).
+        let t1 = 19i64 << 49;
+        let amp = t1 + 1;
+        assert_eq!((amp as f64) as i64, t1, "t1+1 must round to t1 in f64");
+        let mut s = vec![4 * a, 3 * a, 2 * a, a, 0, amp];
+        s.extend_from_slice(&[0; 6]);
+
+        let fixed = AdaptiveThreshold::new(cfg).classify(&s);
+        let float = AdaptiveThreshold::new(cfg)
+            .with_decision(DecisionArith::Float)
+            .classify(&s);
+        assert_eq!(fixed.len(), 1);
+        assert_eq!(float.len(), 1);
+        assert_eq!(
+            (fixed[0].index, fixed[0].class),
+            (5, PeakClass::Qrs),
+            "Fixed must resolve the exact strict inequality T+1 > T"
+        );
+        assert_eq!(
+            (float[0].index, float[0].class),
+            (5, PeakClass::Noise),
+            "Float is expected to lose the beat past 2^53 — if this now \
+             passes as QRS the divergence domain has changed; update \
+             DESIGN.md §8"
+        );
     }
 
     /// Push-based decisions arrive with the documented bounded latency:

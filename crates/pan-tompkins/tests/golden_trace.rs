@@ -10,7 +10,9 @@
 //! print_fixture --nocapture` and update the constants below with the
 //! printed values.
 
-use pan_tompkins::{Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector};
+use pan_tompkins::{
+    DecisionArith, Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector,
+};
 
 /// The fixture workload: the first 6000 samples (30 s) of the synthetic
 /// NSRDB paper record.
@@ -80,10 +82,16 @@ const GOLDEN_B9_R_PEAKS: &[usize] = &[
     4306, 4471, 4649, 4811, 4962, 5124, 5281, 5438, 5596, 5762, 5921,
 ];
 
-fn check(golden: &Golden, label: &str) {
+/// Runs one frozen trace under one decision arithmetic. The fixtures were
+/// regenerated once and must be reproduced by *both* arithmetics: the
+/// fixed-point default (the committed Fixed-path entry) and the float
+/// reference — pinning not just batch↔streaming agreement but the
+/// Fixed≡Float decision equivalence to an absolute trace.
+fn check(golden: &Golden, decision: DecisionArith, label: &str) {
     let record = workload();
-    let batch = QrsDetector::new(golden.config).detect(record.samples());
-    let mut streaming = StreamingQrsDetector::new(golden.config);
+    let config = golden.config.with_decision(decision);
+    let batch = QrsDetector::new(config).detect(record.samples());
+    let mut streaming = StreamingQrsDetector::new(config);
     // AFE-style 50 ms chunks.
     for chunk in record.samples().chunks(10) {
         let _ = streaming.push(chunk);
@@ -128,7 +136,7 @@ fn check(golden: &Golden, label: &str) {
     // The bounded-footprint path must reproduce the same absolute trace
     // through its event stream (its slim result carries no peak list) with
     // identical per-stage counters.
-    let mut bounded = StreamingQrsDetector::new(golden.config.with_footprint(Footprint::Bounded));
+    let mut bounded = StreamingQrsDetector::new(config.with_footprint(Footprint::Bounded));
     let mut peaks = Vec::new();
     let mut sink = Vec::new();
     for chunk in record.samples().chunks(10) {
@@ -178,12 +186,20 @@ fn check(golden: &Golden, label: &str) {
 
 #[test]
 fn exact_pipeline_reproduces_golden_trace() {
-    check(&golden_exact(), "exact");
+    check(&golden_exact(), DecisionArith::Fixed, "exact/fixed");
 }
 
 #[test]
 fn b9_pipeline_reproduces_golden_trace() {
-    check(&golden_b9(), "B9");
+    check(&golden_b9(), DecisionArith::Fixed, "B9/fixed");
+}
+
+/// The float reference path reproduces the very same fixtures — the
+/// absolute form of the Fixed ≡ Float decision equivalence.
+#[test]
+fn float_decision_path_reproduces_golden_traces() {
+    check(&golden_exact(), DecisionArith::Float, "exact/float");
+    check(&golden_b9(), DecisionArith::Float, "B9/float");
 }
 
 /// Regenerates the fixture constants (run with `--ignored --nocapture`).

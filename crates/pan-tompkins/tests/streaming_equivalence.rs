@@ -6,7 +6,8 @@
 
 use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
 use pan_tompkins::{
-    DetectionResult, Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector,
+    DecisionArith, DetectionResult, Footprint, PipelineConfig, QrsDetector, StreamEvent,
+    StreamingQrsDetector,
 };
 use proptest::prelude::*;
 
@@ -126,6 +127,31 @@ proptest! {
         prop_assert!(
             high_water < 64 * 1024,
             "bounded state hit {} bytes on a {}-sample record", high_water, signal.len()
+        );
+
+        // The decision-arithmetic axis of the grid: the fixed-point
+        // default (what `batch` above already ran) and the float
+        // reference must agree decision-for-decision — batch result,
+        // chunked event stream, and bounded footprint alike.
+        let float_cfg = config.with_decision(DecisionArith::Float);
+        let float_batch = QrsDetector::new(float_cfg).detect(&signal);
+        prop_assert_eq!(
+            &float_batch, &batch,
+            "float vs fixed decisions diverged for {} (batch)", config
+        );
+        let (float_events, _) = run_streaming(float_cfg, &signal, &[chunk_a, chunk_b]);
+        prop_assert_eq!(
+            &float_events, &reference,
+            "float vs fixed event stream diverged for {}", config
+        );
+        let (float_bounded_events, _) = run_streaming(
+            float_cfg.with_footprint(Footprint::Bounded),
+            &signal,
+            &[chunk_b],
+        );
+        prop_assert_eq!(
+            &float_bounded_events, &reference,
+            "float bounded events diverged for {}", config
         );
     }
 }

@@ -65,6 +65,13 @@ pub fn psnr_with_peak(reference: &[f64], signal: &[f64], peak: f64) -> f64 {
 #[must_use]
 pub fn psnr(reference: &[f64], signal: &[f64]) -> f64 {
     let peak = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    // Assert the documented condition here rather than letting
+    // `psnr_with_peak` fail with its misleading "peak must be positive" —
+    // the caller passed no peak, so the message must name the reference.
+    assert!(
+        peak > 0.0,
+        "reference must not be identically zero (PSNR peak is its maximum |value|)"
+    );
     psnr_with_peak(reference, signal, peak)
 }
 
@@ -129,5 +136,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_peak_rejected() {
         let _ = psnr_with_peak(&[1.0], &[1.0], 0.0);
+    }
+
+    /// Regression: a zero reference used to trip `psnr_with_peak`'s
+    /// "peak must be positive" assertion — misleading for a caller who
+    /// never supplied a peak. `psnr` itself now names the actual problem.
+    #[test]
+    #[should_panic(expected = "identically zero")]
+    fn zero_reference_rejected_with_clear_message() {
+        let _ = psnr(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0]);
     }
 }
