@@ -33,7 +33,6 @@ use ecg::EcgRecord;
 use hwmodel::report::fmt_f64;
 use pan_tompkins::{
     DecisionArith, Footprint, OnlineClassifier, PipelineConfig, QrsDetector, StreamingQrsDetector,
-    ThresholdConfig,
 };
 
 /// Chunk sizes exercised by the gate: single samples, an AFE-style 100 ms
@@ -120,11 +119,10 @@ fn decision_throughput() -> (f64, f64) {
     let run = |arith: DecisionArith| -> f64 {
         let best = (0..5)
             .map(|_| {
-                let mut classifier = OnlineClassifier::with_options(
-                    ThresholdConfig::default(),
-                    Footprint::Bounded,
-                    arith,
-                );
+                let config = PipelineConfig::exact()
+                    .with_footprint(Footprint::Bounded)
+                    .with_decision(arith);
+                let mut classifier = OnlineClassifier::for_config(&config);
                 let mut sink = Vec::new();
                 let t0 = Instant::now();
                 for &x in &workload {

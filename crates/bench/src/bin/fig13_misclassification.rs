@@ -81,7 +81,7 @@ fn main() {
     analyze(
         "edge design (14,14,4,8,16), strict alignment (8 samples)",
         &record,
-        QrsDetector::new(PipelineConfig::least_energy([14, 14, 4, 8, 16])).with_max_misalignment(8),
+        QrsDetector::new(PipelineConfig::least_energy([14, 14, 4, 8, 16]).with_max_misalignment(8)),
     );
 
     // Fully saturated pre-processing: accuracy collapses, which is the

@@ -3,12 +3,13 @@
 //! *application* gate (QRS peak-detection accuracy on the final output).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ecg::EcgRecord;
 use hwmodel::{CalibratedModel, StageCost};
 use pan_tompkins::{
-    DetectionResult, Footprint, PipelineConfig, QrsDetector, StageKind, StreamEvent,
-    StreamingQrsDetector,
+    DetectionResult, DetectorEngine, Footprint, LaneBank, PipelineConfig, QrsDetector, StageKind,
+    StreamEvent, StreamingQrsDetector,
 };
 use quality::{psnr, PeakMatcher, Ssim};
 
@@ -232,34 +233,7 @@ impl Evaluator {
         configs: &[PipelineConfig],
         chunk_size: usize,
     ) -> Vec<Vec<QualityReport>> {
-        // Per-record references (the accurate run), computed once.
-        struct RecordRef {
-            hpf: Vec<f64>,
-            beats: Vec<usize>,
-            len: usize,
-        }
-        let refs: Vec<RecordRef> = parallel_map(records.len(), |i| {
-            let record = &records[i];
-            let result = QrsDetector::new(PipelineConfig::exact()).detect(record.samples());
-            let end = record.len().saturating_sub(SCORE_TAIL);
-            RecordRef {
-                hpf: result
-                    .signals()
-                    .expect("batch reference run retains signals")
-                    .hpf
-                    .iter()
-                    .map(|v| *v as f64)
-                    .collect(),
-                beats: record
-                    .r_peaks()
-                    .iter()
-                    .copied()
-                    .filter(|p| *p >= SCORE_START && *p < end)
-                    .collect(),
-                len: record.len(),
-            }
-        });
-
+        let refs = record_refs(records);
         let calibrated = CalibratedModel::paper();
         let matcher = PeakMatcher::default();
         let ssim = Ssim::default();
@@ -304,6 +278,119 @@ impl Evaluator {
             .collect()
     }
 
+    /// Scores many records × many configurations through a [`LaneBank`] —
+    /// the fleet-throughput evaluation path.
+    ///
+    /// Per configuration, one [`DetectorEngine`] is compiled once and a
+    /// `lanes`-wide bank advances that many records *in lockstep*: records
+    /// are dealt round-robin across lanes (lane `l` carries records `l`,
+    /// `l + lanes`, …), the bank is pushed up to the nearest record
+    /// boundary, the lanes ending there are harvested with
+    /// [`LaneBank::finish_lane`] (which resets them for their next record),
+    /// and lanes that run out of records idle on zero-fill. Configurations
+    /// fan out across the worker pool, so the corpus is covered by
+    /// `configs × lanes` concurrent sessions on `configs` engines.
+    ///
+    /// Returns reports in `[record][config]` order, each bit-for-bit equal
+    /// to [`Evaluator::evaluate_records_streaming`]'s (and therefore to the
+    /// per-record evaluators'): every lane of a bank is bit-identical to a
+    /// solo scalar run (see [`pan_tompkins::lane`]), and the scoring
+    /// arithmetic is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn evaluate_records_lanes(
+        records: &[EcgRecord],
+        configs: &[PipelineConfig],
+        lanes: usize,
+    ) -> Vec<Vec<QualityReport>> {
+        assert!(lanes >= 1, "lane-batched evaluation needs at least 1 lane");
+        let refs = record_refs(records);
+        let calibrated = CalibratedModel::paper();
+        let matcher = PeakMatcher::default();
+        let ssim = Ssim::default();
+
+        let per_config: Vec<Vec<QualityReport>> = parallel_map(configs.len(), |c| {
+            let config = configs[c].with_footprint(Footprint::Bounded);
+            let engine = Arc::new(DetectorEngine::new(config));
+            let mut bank = LaneBank::new(engine, lanes);
+
+            // Lane `l`'s current record (round-robin deal; >= records.len()
+            // means the lane is done and idles on zero-fill).
+            let mut current: Vec<usize> = (0..lanes).collect();
+            let mut pos = vec![0usize; lanes];
+            let mut runs: Vec<StreamRun> = (0..lanes).map(|_| StreamRun::default()).collect();
+            let mut hpf: Vec<Vec<i64>> = vec![Vec::new(); lanes];
+            let mut reports: Vec<Option<QualityReport>> = vec![None; records.len()];
+
+            loop {
+                // Push exactly up to the nearest record boundary among the
+                // live lanes, so every finish_lane lands at a record end.
+                let step = (0..lanes)
+                    .filter(|&l| current[l] < records.len())
+                    .map(|l| records[current[l]].len() - pos[l])
+                    .min();
+                let Some(step) = step else { break };
+                let mut frames = vec![0i32; step * lanes];
+                for l in 0..lanes {
+                    if current[l] < records.len() {
+                        let samples = &records[current[l]].samples()[pos[l]..pos[l] + step];
+                        for (t, &v) in samples.iter().enumerate() {
+                            frames[t * lanes + l] = v;
+                        }
+                    }
+                }
+                for le in bank.push_tapped(&frames, &mut hpf) {
+                    if current[le.lane] < records.len() {
+                        runs[le.lane].absorb_event(le.event);
+                    }
+                }
+                for l in 0..lanes {
+                    let r = current[l];
+                    if r >= records.len() {
+                        hpf[l].clear(); // idle lane: discard zero-fill taps
+                        continue;
+                    }
+                    pos[l] += step;
+                    if pos[l] < records[r].len() {
+                        continue;
+                    }
+                    let (trailing, _slim) = bank.finish_lane(l);
+                    for event in trailing {
+                        runs[l].absorb_event(event);
+                    }
+                    let mut run = std::mem::take(&mut runs[l]);
+                    run.seal();
+                    let rref = &refs[r];
+                    reports[r] = Some(score_run(
+                        &config,
+                        &rref.hpf,
+                        &rref.beats,
+                        rref.len,
+                        &hpf[l],
+                        &run,
+                        &calibrated,
+                        &matcher,
+                        &ssim,
+                    ));
+                    hpf[l].clear();
+                    current[l] = r + lanes;
+                    pos[l] = 0;
+                }
+            }
+            reports
+                .into_iter()
+                .map(|r| r.expect("every record reaches its boundary"))
+                .collect()
+        });
+
+        (0..records.len())
+            .map(|r| per_config.iter().map(|row| row[r]).collect())
+            .collect()
+    }
+
     /// Scores every configuration, fanning the evaluations out across a
     /// worker pool. Reports come back in input order and are identical to
     /// sequential evaluation (each design point is independent); the
@@ -341,6 +428,40 @@ pub fn evaluate_across_records(
     })
 }
 
+/// One record's cached references: the accurate HPF signal (the PSNR/SSIM
+/// reference) and the annotated beats inside the scored region.
+struct RecordRef {
+    hpf: Vec<f64>,
+    beats: Vec<usize>,
+    len: usize,
+}
+
+/// Computes every record's references (the accurate run) once, in
+/// parallel — shared by the record-batched evaluation paths.
+fn record_refs(records: &[EcgRecord]) -> Vec<RecordRef> {
+    parallel_map(records.len(), |i| {
+        let record = &records[i];
+        let result = QrsDetector::new(PipelineConfig::exact()).detect(record.samples());
+        let end = record.len().saturating_sub(SCORE_TAIL);
+        RecordRef {
+            hpf: result
+                .signals()
+                .expect("batch reference run retains signals")
+                .hpf
+                .iter()
+                .map(|v| *v as f64)
+                .collect(),
+            beats: record
+                .r_peaks()
+                .iter()
+                .copied()
+                .filter(|p| *p >= SCORE_START && *p < end)
+                .collect(),
+            len: record.len(),
+        }
+    })
+}
+
 /// Peaks and omissions collected from a streaming run's event stream — the
 /// bounded-mode substitute for [`DetectionResult`]'s vectors (identical
 /// after [`StreamRun::seal`], since bounded streaming is event-identical).
@@ -353,10 +474,14 @@ struct StreamRun {
 impl StreamRun {
     fn absorb(&mut self, events: Vec<StreamEvent>) {
         for e in events {
-            match e {
-                StreamEvent::RPeak { raw, .. } => self.r_peaks.push(raw),
-                StreamEvent::Omitted(_) => self.omitted += 1,
-            }
+            self.absorb_event(e);
+        }
+    }
+
+    fn absorb_event(&mut self, event: StreamEvent) {
+        match event {
+            StreamEvent::RPeak { raw, .. } => self.r_peaks.push(raw),
+            StreamEvent::Omitted(_) => self.omitted += 1,
         }
     }
 
@@ -516,6 +641,32 @@ mod tests {
             for (c, (g, w)) in got.iter().zip(want).enumerate() {
                 assert_eq!(g, w, "record {r} config {c} diverged");
             }
+        }
+    }
+
+    /// The lane-batched path: a shared-engine [`LaneBank`] covering the
+    /// corpus round-robin must reproduce the record-batched streaming
+    /// reports exactly — for a single lane, for more lanes than records
+    /// (idle zero-filled lanes), and for lane counts that force mid-bank
+    /// record boundaries and lane reuse.
+    #[test]
+    fn lane_batched_evaluation_matches_record_batched() {
+        let records: Vec<EcgRecord> = vec![
+            ecg::nsrdb::paper_record().truncated(4000),
+            ecg::nsrdb::record(1).truncated(6000),
+            ecg::nsrdb::record(2).truncated(5000),
+        ];
+        let configs = [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]),
+        ];
+        let reference = Evaluator::evaluate_records_streaming(&records, &configs, 64);
+        for lanes in [1usize, 2, 4] {
+            assert_eq!(
+                Evaluator::evaluate_records_lanes(&records, &configs, lanes),
+                reference,
+                "{lanes}-lane evaluation diverged from record-batched streaming"
+            );
         }
     }
 

@@ -15,6 +15,8 @@
 //! structural bit-level recursion ([`RecursiveMultiplier`], kept as the
 //! reference netlist walk for cross-checking and benchmarking).
 
+use std::sync::Arc;
+
 use approx_arith::{
     ArithConfig, CompiledMultiplier, OpCounter, RecursiveMultiplier, StageArith, TapMultiplier,
 };
@@ -64,8 +66,135 @@ impl MulBlock {
     }
 }
 
+/// The immutable compute half of a stage's arithmetic: the adder and
+/// multiplier blocks instantiated from a [`StageArith`] triple, with no
+/// activity counters. Every operation takes `&self`, so one program can be
+/// shared behind an [`Arc`] by any number of detector states or lanes — the
+/// mutable per-instance half lives in [`ArithBackend`] (or, for the lane
+/// bank, in its per-lane counter arrays).
+#[derive(Debug, Clone)]
+pub struct ArithProgram {
+    config: ArithConfig,
+    engine: MulEngine,
+    adder: approx_arith::RippleCarryAdder,
+    multiplier: MulBlock,
+}
+
+impl ArithProgram {
+    /// Builds a program from stage approximation parameters on the paper's
+    /// bus widths (32-bit adders, 16×16 multipliers).
+    #[must_use]
+    pub fn new(stage: StageArith, engine: MulEngine) -> Self {
+        let config = ArithConfig::new(stage);
+        let multiplier = match engine {
+            MulEngine::Compiled => MulBlock::Compiled(config.compiled_multiplier()),
+            MulEngine::BitLevel => MulBlock::BitLevel(config.multiplier()),
+        };
+        Self {
+            adder: config.adder(),
+            multiplier,
+            config,
+            engine,
+        }
+    }
+
+    /// The configuration this program was built from.
+    #[must_use]
+    pub fn config(&self) -> ArithConfig {
+        self.config
+    }
+
+    /// The multiplier engine in use.
+    #[must_use]
+    pub fn engine(&self) -> MulEngine {
+        self.engine
+    }
+
+    /// Whether this program computes exactly.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.adder.is_exact() && self.multiplier.is_exact()
+    }
+
+    /// The adder bus width in bits.
+    #[must_use]
+    pub fn adder_width(&self) -> u32 {
+        self.adder.width()
+    }
+
+    /// The multiplier operand width in bits.
+    #[must_use]
+    pub fn mul_width(&self) -> u32 {
+        self.multiplier.width()
+    }
+
+    /// The raw adder block: no counting, no overflow bookkeeping.
+    #[inline]
+    #[must_use]
+    pub fn add_raw(&self, a: i64, b: i64) -> i64 {
+        self.adder.add(a, b)
+    }
+
+    /// The raw multiplier block on operands already clamped into the
+    /// datapath range: no counting, no saturation bookkeeping.
+    #[inline]
+    #[must_use]
+    pub fn mul_raw_clamped(&self, ca: i64, cb: i64) -> i64 {
+        self.multiplier.mul_clamped(ca, cb)
+    }
+
+    /// Compiles the per-tap product table of this program's multiplier
+    /// configuration against a fixed coefficient (see
+    /// [`approx_arith::tap`]).
+    #[must_use]
+    pub fn compile_tap(&self, coeff: i64) -> TapMultiplier {
+        match &self.multiplier {
+            MulBlock::Compiled(m) => TapMultiplier::new(m, coeff),
+            MulBlock::BitLevel(_) => TapMultiplier::new(&self.config.compiled_multiplier(), coeff),
+        }
+    }
+}
+
+/// Whether the exact sum `a + b` falls outside a `width`-bit signed bus —
+/// the overflow test shared verbatim by the scalar backend and the lane
+/// kernels (branch-free so the lane loops can vectorize).
+#[inline]
+#[must_use]
+pub(crate) fn sum_overflows(a: i64, b: i64, width: u32) -> bool {
+    let limit = 1i64 << (width - 1);
+    let sum = a.wrapping_add(b);
+    // Signed i64 overflow iff the operands agree in sign and the wrapped
+    // sum disagrees — the classic two's-complement identity, chosen over
+    // `overflowing_add` because the intrinsic's flag output keeps LLVM
+    // from vectorizing the lane loops. i64 overflow is a fortiori outside
+    // any ≤63-bit bus range.
+    let wrapped = ((a ^ sum) & (b ^ sum)) < 0;
+    wrapped || sum < -limit || sum >= limit
+}
+
+/// The mutable per-instance half of a stage's arithmetic: plain activity
+/// counters, separable from the shared [`ArithProgram`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ArithCounters {
+    pub(crate) ops: OpCounter,
+    pub(crate) mul_saturations: u64,
+    pub(crate) add_overflows: u64,
+}
+
+impl ArithCounters {
+    pub(crate) fn reset(&mut self) {
+        self.ops.reset();
+        self.mul_saturations = 0;
+        self.add_overflows = 0;
+    }
+}
+
 /// A stage's arithmetic backend: one adder block and one multiplier block,
 /// instantiated from a [`StageArith`] triple, plus activity counters.
+///
+/// Internally this is a shared [`ArithProgram`] (the compute) paired with
+/// per-instance [`ArithCounters`] (the state); cloning a backend clones the
+/// counters but shares the program.
 ///
 /// # Example
 ///
@@ -85,13 +214,8 @@ impl MulBlock {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ArithBackend {
-    config: ArithConfig,
-    engine: MulEngine,
-    adder: approx_arith::RippleCarryAdder,
-    multiplier: MulBlock,
-    ops: OpCounter,
-    mul_saturations: u64,
-    add_overflows: u64,
+    program: Arc<ArithProgram>,
+    counters: ArithCounters,
 }
 
 impl ArithBackend {
@@ -106,19 +230,15 @@ impl ArithBackend {
     /// Builds a backend with an explicit multiplier engine.
     #[must_use]
     pub fn with_engine(stage: StageArith, engine: MulEngine) -> Self {
-        let config = ArithConfig::new(stage);
-        let multiplier = match engine {
-            MulEngine::Compiled => MulBlock::Compiled(config.compiled_multiplier()),
-            MulEngine::BitLevel => MulBlock::BitLevel(config.multiplier()),
-        };
+        Self::from_program(Arc::new(ArithProgram::new(stage, engine)))
+    }
+
+    /// Builds a backend over an existing shared program with fresh counters.
+    #[must_use]
+    pub fn from_program(program: Arc<ArithProgram>) -> Self {
         Self {
-            adder: config.adder(),
-            multiplier,
-            config,
-            engine,
-            ops: OpCounter::new(),
-            mul_saturations: 0,
-            add_overflows: 0,
+            program,
+            counters: ArithCounters::default(),
         }
     }
 
@@ -128,16 +248,22 @@ impl ArithBackend {
         Self::new(StageArith::exact())
     }
 
+    /// The shared compute program.
+    #[must_use]
+    pub fn program(&self) -> &Arc<ArithProgram> {
+        &self.program
+    }
+
     /// The configuration this backend was built from.
     #[must_use]
     pub fn config(&self) -> ArithConfig {
-        self.config
+        self.program.config
     }
 
     /// The multiplier engine in use.
     #[must_use]
     pub fn engine(&self) -> MulEngine {
-        self.engine
+        self.program.engine
     }
 
     /// Adds two values through the stage adder block (32-bit wrap-around,
@@ -145,14 +271,9 @@ impl ArithBackend {
     /// exact sum are recorded in [`ArithBackend::add_overflow_events`].
     #[inline]
     pub fn add(&mut self, a: i64, b: i64) -> i64 {
-        self.ops.count_add();
-        let limit = 1i64 << (self.adder.width() - 1);
-        match a.checked_add(b) {
-            Some(sum) if (-limit..limit).contains(&sum) => {}
-            // i64 overflow is a fortiori outside any ≤63-bit bus range.
-            _ => self.add_overflows += 1,
-        }
-        self.adder.add(a, b)
+        self.counters.ops.count_add();
+        self.counters.add_overflows += u64::from(sum_overflows(a, b, self.program.adder.width()));
+        self.program.adder.add(a, b)
     }
 
     /// Multiplies through the stage multiplier block. Operands saturate into
@@ -160,12 +281,12 @@ impl ArithBackend {
     /// the fixed-point datapath.
     #[inline]
     pub fn mul(&mut self, a: i64, b: i64) -> i64 {
-        self.ops.count_mul();
-        let limit = 1i64 << (self.multiplier.width() - 1);
+        self.counters.ops.count_mul();
+        let limit = 1i64 << (self.program.multiplier.width() - 1);
         let ca = a.clamp(-limit, limit - 1);
         let cb = b.clamp(-limit, limit - 1);
-        self.mul_saturations += u64::from(ca != a) + u64::from(cb != b);
-        self.multiplier.mul_clamped(ca, cb)
+        self.counters.mul_saturations += u64::from(ca != a) + u64::from(cb != b);
+        self.program.multiplier.mul_clamped(ca, cb)
     }
 
     /// Squares a value through the multiplier block (the squarer stage).
@@ -180,10 +301,7 @@ impl ArithBackend {
     /// counters included.
     #[must_use]
     pub fn compile_tap(&self, coeff: i64) -> TapMultiplier {
-        match &self.multiplier {
-            MulBlock::Compiled(m) => TapMultiplier::new(m, coeff),
-            MulBlock::BitLevel(_) => TapMultiplier::new(&self.config.compiled_multiplier(), coeff),
-        }
+        self.program.compile_tap(coeff)
     }
 
     /// Multiplies through a precompiled tap table — the FIR hot-loop fast
@@ -191,44 +309,42 @@ impl ArithBackend {
     /// count, and saturation accounting.
     #[inline]
     pub fn mul_tap(&mut self, a: i64, tap: &TapMultiplier) -> i64 {
-        self.ops.count_mul();
+        self.counters.ops.count_mul();
         let limit = 1i64 << (tap.width() - 1);
         let ca = a.clamp(-limit, limit - 1);
-        self.mul_saturations += u64::from(ca != a) + u64::from(tap.coeff_saturates());
+        self.counters.mul_saturations += u64::from(ca != a) + u64::from(tap.coeff_saturates());
         tap.mul_clamped(ca)
     }
 
     /// Operation counts so far.
     #[must_use]
     pub fn ops(&self) -> &OpCounter {
-        &self.ops
+        &self.counters.ops
     }
 
     /// Multiplier *operands* that saturated into the datapath range: a
     /// multiplication in which both operands clamp contributes two.
     #[must_use]
     pub fn saturation_events(&self) -> u64 {
-        self.mul_saturations
+        self.counters.mul_saturations
     }
 
     /// Additions whose exact sum did not fit the adder width and therefore
     /// wrapped (silently, as the hardware bus would).
     #[must_use]
     pub fn add_overflow_events(&self) -> u64 {
-        self.add_overflows
+        self.counters.add_overflows
     }
 
     /// Resets activity counters (not the configuration).
     pub fn reset_counters(&mut self) {
-        self.ops.reset();
-        self.mul_saturations = 0;
-        self.add_overflows = 0;
+        self.counters.reset();
     }
 
     /// Whether this backend computes exactly.
     #[must_use]
     pub fn is_exact(&self) -> bool {
-        self.adder.is_exact() && self.multiplier.is_exact()
+        self.program.is_exact()
     }
 }
 

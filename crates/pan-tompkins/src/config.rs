@@ -7,6 +7,11 @@ use approx_arith::StageArith;
 
 use crate::arith::MulEngine;
 use crate::decision::DecisionArith;
+use crate::threshold::ThresholdConfig;
+
+/// Default tolerance (in samples) of the HPF↔MWI peak-alignment cross-check
+/// (see [`crate::detector`]) — about 100 ms at 200 Hz.
+pub const DEFAULT_MAX_MISALIGNMENT: usize = 20;
 
 /// Memory-retention policy of a detection run — what the detector keeps
 /// beyond the state strictly needed to emit the next event.
@@ -147,6 +152,11 @@ pub struct PipelineConfig {
     /// [`DecisionArith::Fixed`]; [`DecisionArith::Float`] is the legacy
     /// `f64` reference path (see [`crate::decision`]).
     decision: DecisionArith,
+    /// Detection-threshold timing parameters (refractory, T-wave window,
+    /// learning phase, search-back factor — see [`ThresholdConfig`]).
+    threshold: ThresholdConfig,
+    /// Tolerance (samples) of the HPF↔MWI alignment cross-check.
+    max_misalignment: usize,
 }
 
 impl PipelineConfig {
@@ -165,6 +175,8 @@ impl PipelineConfig {
             engine: MulEngine::default(),
             footprint: Footprint::default(),
             decision: DecisionArith::default(),
+            threshold: ThresholdConfig::default(),
+            max_misalignment: DEFAULT_MAX_MISALIGNMENT,
         }
     }
 
@@ -173,10 +185,7 @@ impl PipelineConfig {
     pub fn from_stages(stages: [StageArith; 5]) -> Self {
         Self {
             stages,
-            input_shift: Self::DEFAULT_INPUT_SHIFT,
-            engine: MulEngine::default(),
-            footprint: Footprint::default(),
-            decision: DecisionArith::default(),
+            ..Self::exact()
         }
     }
 
@@ -245,6 +254,38 @@ impl PipelineConfig {
     #[must_use]
     pub fn decision(&self) -> DecisionArith {
         self.decision
+    }
+
+    /// Replaces the detection-threshold timing parameters (refractory,
+    /// T-wave window, learning phase, search-back — see
+    /// [`ThresholdConfig`]). This is the single source of truth: every
+    /// detector construction path (batch, streaming, lane bank) reads the
+    /// threshold from the pipeline configuration.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: ThresholdConfig) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// The detection-threshold timing parameters.
+    #[must_use]
+    pub fn threshold(&self) -> ThresholdConfig {
+        self.threshold
+    }
+
+    /// Replaces the tolerance (in samples) of the HPF↔MWI peak-alignment
+    /// cross-check; beats misaligned further than this are omitted (the
+    /// paper's Fig 13 failure mode).
+    #[must_use]
+    pub fn with_max_misalignment(mut self, samples: usize) -> Self {
+        self.max_misalignment = samples;
+        self
+    }
+
+    /// The alignment cross-check tolerance in samples.
+    #[must_use]
+    pub fn max_misalignment(&self) -> usize {
+        self.max_misalignment
     }
 
     /// All five triples in pipeline order.
@@ -369,6 +410,21 @@ mod tests {
         // Orthogonal to the arithmetic configuration, part of identity.
         assert_eq!(float.lsb_vector(), cfg.lsb_vector());
         assert_ne!(float, cfg, "decision arith participates in identity");
+    }
+
+    #[test]
+    fn threshold_and_misalignment_round_trip() {
+        let cfg = PipelineConfig::exact();
+        assert_eq!(cfg.threshold(), ThresholdConfig::default());
+        assert_eq!(cfg.max_misalignment(), DEFAULT_MAX_MISALIGNMENT);
+        let custom = cfg
+            .with_threshold(ThresholdConfig::for_fs(360.0))
+            .with_max_misalignment(0);
+        assert_eq!(custom.threshold(), ThresholdConfig::for_fs(360.0));
+        assert_eq!(custom.max_misalignment(), 0);
+        // Both knobs participate in configuration identity.
+        assert_ne!(custom, cfg);
+        assert_ne!(cfg.with_max_misalignment(7), cfg);
     }
 
     #[test]

@@ -27,13 +27,12 @@ pub(crate) const ALIGNMENT_SEARCH: usize = 24;
 /// subtracted to map a confirmed HPF peak back to raw-sample coordinates.
 pub(crate) const PRE_PROCESSING_DELAY: usize = 5 + 16;
 
-/// Maximum tolerated |HPF peak − expected position| before a beat is
-/// omitted as a misclassification (the paper's "preset threshold"). The MWI
-/// output is a plateau as wide as the integration window, so the detected
-/// MWI maximum naturally jitters by up to ~half a window (15 samples)
-/// around the nominal delay; 20 tolerates that jitter while still catching
-/// approximation-induced spurious peaks.
-const DEFAULT_MAX_MISALIGNMENT: usize = 20;
+// The maximum tolerated |HPF peak − expected position| (the paper's
+// "preset threshold") lives in [`crate::config::DEFAULT_MAX_MISALIGNMENT`]:
+// the MWI output is a plateau as wide as the integration window, so the
+// detected MWI maximum naturally jitters by up to ~half a window (15
+// samples) around the nominal delay; 20 tolerates that jitter while still
+// catching approximation-induced spurious peaks.
 
 /// All intermediate signals of one detection run (the waveforms plotted in
 /// the paper's Figs 10 and 13).
@@ -158,33 +157,31 @@ impl DetectionResult {
 #[derive(Debug, Clone)]
 pub struct QrsDetector {
     config: PipelineConfig,
-    threshold: ThresholdConfig,
-    max_misalignment: usize,
 }
 
 impl QrsDetector {
-    /// Creates a detector with default thresholding for the given pipeline
-    /// configuration.
+    /// Creates a detector for the given pipeline configuration — the single
+    /// source of truth for the arithmetic *and* the detector knobs
+    /// (thresholding via [`PipelineConfig::with_threshold`], alignment
+    /// tolerance via [`PipelineConfig::with_max_misalignment`]).
     #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
-        Self {
-            config,
-            threshold: ThresholdConfig::default(),
-            max_misalignment: DEFAULT_MAX_MISALIGNMENT,
-        }
+        Self { config }
     }
 
     /// Overrides the thresholding parameters.
+    #[deprecated(note = "configure via `PipelineConfig::with_threshold`")]
     #[must_use]
     pub fn with_threshold(mut self, threshold: ThresholdConfig) -> Self {
-        self.threshold = threshold;
+        self.config = self.config.with_threshold(threshold);
         self
     }
 
     /// Overrides the maximum tolerated HPF↔MWI misalignment (samples).
+    #[deprecated(note = "configure via `PipelineConfig::with_max_misalignment`")]
     #[must_use]
     pub fn with_max_misalignment(mut self, samples: usize) -> Self {
-        self.max_misalignment = samples;
+        self.config = self.config.with_max_misalignment(samples);
         self
     }
 
@@ -234,8 +231,7 @@ impl QrsDetector {
             + sqr.group_delay()
             + mwi.group_delay();
 
-        let classifier =
-            AdaptiveThreshold::new(self.threshold).with_decision(self.config.decision());
+        let classifier = AdaptiveThreshold::for_config(&self.config);
         let decisions = classifier.classify(&signals.mwi);
 
         let mut r_peaks = Vec::new();
@@ -244,7 +240,7 @@ impl QrsDetector {
             if !matches!(d.class, PeakClass::Qrs | PeakClass::SearchBack) {
                 continue;
             }
-            match check_alignment(&signals.hpf, d.index, self.max_misalignment) {
+            match check_alignment(&signals.hpf, d.index, self.config.max_misalignment()) {
                 Alignment::Ok { hpf_index } => {
                     // Map the HPF peak back to raw coordinates via the
                     // LPF+HPF group delay.
@@ -475,7 +471,7 @@ mod tests {
     #[test]
     fn tight_misalignment_threshold_omits_beats() {
         let (signal, _) = pulse_train(3000, 170, 200);
-        let mut strict = QrsDetector::new(PipelineConfig::exact()).with_max_misalignment(0);
+        let mut strict = QrsDetector::new(PipelineConfig::exact().with_max_misalignment(0));
         let mut normal = QrsDetector::new(PipelineConfig::exact());
         let strict_found = strict.detect(&signal).r_peaks().len();
         let normal_found = normal.detect(&signal).r_peaks().len();

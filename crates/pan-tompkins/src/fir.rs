@@ -12,45 +12,39 @@
 //! hot loop pays one table lookup per tap instead of a full word-level
 //! multiplier walk — bit-for-bit identical either way (see
 //! [`crate::arith::ArithBackend::mul_tap`]).
+//!
+//! The immutable half of a filter — taps, gain, compiled tap tables, and
+//! the arithmetic program — lives in [`FirProgram`] behind an [`Arc`], so
+//! many filter instances (detector sessions, lanes of a
+//! [`crate::lane::LaneBank`]) share one compiled program; the per-instance
+//! [`FirFilter`] carries only the delay line and activity counters.
+
+use std::sync::Arc;
 
 use approx_arith::TapMultiplier;
 
-use crate::arith::{div_round, ArithBackend, MulEngine};
+use crate::arith::{div_round, ArithBackend, ArithProgram, MulEngine};
 
-/// A streaming integer FIR filter with explicit operator counts.
-///
-/// # Example
-///
-/// ```
-/// use approx_arith::StageArith;
-/// use pan_tompkins::FirFilter;
-///
-/// // A 3-tap moving-average filter with gain 3.
-/// let mut fir = FirFilter::new("avg", &[1, 1, 1], 3, StageArith::exact());
-/// assert_eq!(fir.multipliers(), 3);
-/// assert_eq!(fir.adders(), 2);
-/// let out: Vec<i64> = [3, 3, 3, 9].iter().map(|x| fir.process(*x)).collect();
-/// assert_eq!(out, vec![1, 2, 3, 5]);
-/// ```
-#[derive(Debug, Clone)]
-pub struct FirFilter {
+/// The shared immutable half of an FIR filter: coefficient taps, gain, the
+/// compiled per-tap product tables, and the stage's arithmetic program.
+/// Built once per configuration and shared behind an [`Arc`] by every
+/// filter instance (scalar detectors and lane banks alike).
+#[derive(Debug)]
+pub struct FirProgram {
     name: &'static str,
     taps: Vec<i64>,
     gain: i64,
     /// `log2(gain)` when the gain is a power of two — the rescaling
     /// division then strength-reduces to a shift in the hot loop.
     gain_shift: Option<u32>,
-    backend: ArithBackend,
+    arith: Arc<ArithProgram>,
     /// Per-tap compiled product tables (compiled engine only), aligned with
     /// `taps`; zero taps hold a trivial entry and are skipped in the loop.
     tap_mults: Option<Vec<TapMultiplier>>,
-    delay_line: Vec<i64>,
-    cursor: usize,
-    primed: usize,
 }
 
-impl FirFilter {
-    /// Creates a filter with integer `taps` (c₀ applies to the newest
+impl FirProgram {
+    /// Compiles a program from integer `taps` (c₀ applies to the newest
     /// sample), a positive `gain` divided out of every output, and the
     /// stage's approximation parameters.
     ///
@@ -63,29 +57,13 @@ impl FirFilter {
         taps: &[i64],
         gain: i64,
         arith: approx_arith::StageArith,
-    ) -> Self {
-        Self::with_engine(name, taps, gain, arith, MulEngine::default())
-    }
-
-    /// Like [`FirFilter::new`] with an explicit multiplier engine (the
-    /// engines are bit-identical; see [`crate::arith::MulEngine`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `taps` is empty or `gain` is not positive.
-    #[must_use]
-    pub fn with_engine(
-        name: &'static str,
-        taps: &[i64],
-        gain: i64,
-        arith: approx_arith::StageArith,
         engine: MulEngine,
     ) -> Self {
         assert!(!taps.is_empty(), "FIR filter needs at least one tap");
         assert!(gain > 0, "FIR gain must be positive");
-        let backend = ArithBackend::with_engine(arith, engine);
+        let arith = Arc::new(ArithProgram::new(arith, engine));
         let tap_mults = match engine {
-            MulEngine::Compiled => Some(taps.iter().map(|c| backend.compile_tap(*c)).collect()),
+            MulEngine::Compiled => Some(taps.iter().map(|c| arith.compile_tap(*c)).collect()),
             MulEngine::BitLevel => None,
         };
         Self {
@@ -95,11 +73,8 @@ impl FirFilter {
             gain_shift: (gain as u64)
                 .is_power_of_two()
                 .then(|| gain.trailing_zeros()),
-            backend,
+            arith,
             tap_mults,
-            delay_line: vec![0; taps.len()],
-            cursor: 0,
-            primed: 0,
         }
     }
 
@@ -119,6 +94,24 @@ impl FirFilter {
     #[must_use]
     pub fn gain(&self) -> i64 {
         self.gain
+    }
+
+    /// The gain as a power-of-two shift, when it is one (`Some(0)` for
+    /// unit gain) — lets callers hoist the [`FirProgram::rescale`] mode
+    /// check out of per-lane loops.
+    pub(crate) fn gain_shift(&self) -> Option<u32> {
+        self.gain_shift
+    }
+
+    /// The shared arithmetic program.
+    #[must_use]
+    pub fn arith(&self) -> &Arc<ArithProgram> {
+        &self.arith
+    }
+
+    /// The compiled per-tap product tables (compiled engine only).
+    pub(crate) fn tap_mults(&self) -> Option<&[TapMultiplier]> {
+        self.tap_mults.as_deref()
     }
 
     /// Number of multiplier blocks (nonzero taps).
@@ -158,6 +151,177 @@ impl FirFilter {
         }
     }
 
+    /// Rescales an accumulated sum by the constant gain — exact, with
+    /// power-of-two gains (the HPF's 32) taking the shift form of
+    /// round-half-away-from-zero.
+    #[inline]
+    #[must_use]
+    pub(crate) fn rescale(&self, acc: i64) -> i64 {
+        match self.gain_shift {
+            Some(0) => acc,
+            Some(shift) => {
+                let half = 1i64 << (shift - 1);
+                if acc >= 0 {
+                    (acc + half) >> shift
+                } else {
+                    -((-acc + half) >> shift)
+                }
+            }
+            None => div_round(acc, self.gain),
+        }
+    }
+
+    /// Heap bytes owned by this shared program: taps and the per-tap table
+    /// *handles*. Billed once per configuration, not per detector instance.
+    #[must_use]
+    pub fn program_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.taps.capacity() * std::mem::size_of::<i64>()
+            + std::mem::size_of::<ArithProgram>()
+            + self
+                .tap_mults
+                .as_ref()
+                .map_or(0, |t| t.capacity() * std::mem::size_of::<TapMultiplier>())
+    }
+
+    /// Accumulates this program's shared-table identities into `seen` and
+    /// returns the bytes of the tables *not already seen* — lets callers
+    /// sum across several filters without double counting a table two
+    /// stages share (e.g. the |1| table when LPF and HPF run at the same
+    /// LSB depth).
+    pub(crate) fn collect_shared_tables(&self, seen: &mut Vec<usize>) -> usize {
+        let Some(tap_mults) = &self.tap_mults else {
+            return 0;
+        };
+        let mut bytes = 0usize;
+        for tap in tap_mults {
+            if let Some(id) = tap.table_id() {
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    bytes += tap.shared_table_bytes();
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// A streaming integer FIR filter with explicit operator counts.
+///
+/// # Example
+///
+/// ```
+/// use approx_arith::StageArith;
+/// use pan_tompkins::FirFilter;
+///
+/// // A 3-tap moving-average filter with gain 3.
+/// let mut fir = FirFilter::new("avg", &[1, 1, 1], 3, StageArith::exact());
+/// assert_eq!(fir.multipliers(), 3);
+/// assert_eq!(fir.adders(), 2);
+/// let out: Vec<i64> = [3, 3, 3, 9].iter().map(|x| fir.process(*x)).collect();
+/// assert_eq!(out, vec![1, 2, 3, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    program: Arc<FirProgram>,
+    backend: ArithBackend,
+    delay_line: Vec<i64>,
+    cursor: usize,
+    primed: usize,
+}
+
+impl FirFilter {
+    /// Creates a filter with integer `taps` (c₀ applies to the newest
+    /// sample), a positive `gain` divided out of every output, and the
+    /// stage's approximation parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or `gain` is not positive.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        taps: &[i64],
+        gain: i64,
+        arith: approx_arith::StageArith,
+    ) -> Self {
+        Self::with_engine(name, taps, gain, arith, MulEngine::default())
+    }
+
+    /// Like [`FirFilter::new`] with an explicit multiplier engine (the
+    /// engines are bit-identical; see [`crate::arith::MulEngine`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty or `gain` is not positive.
+    #[must_use]
+    pub fn with_engine(
+        name: &'static str,
+        taps: &[i64],
+        gain: i64,
+        arith: approx_arith::StageArith,
+        engine: MulEngine,
+    ) -> Self {
+        Self::from_program(Arc::new(FirProgram::new(name, taps, gain, arith, engine)))
+    }
+
+    /// Creates a filter instance over an existing shared program: fresh
+    /// delay line and counters, no tap recompilation.
+    #[must_use]
+    pub fn from_program(program: Arc<FirProgram>) -> Self {
+        let backend = ArithBackend::from_program(Arc::clone(program.arith()));
+        let delay_line = vec![0; program.taps().len()];
+        Self {
+            program,
+            backend,
+            delay_line,
+            cursor: 0,
+            primed: 0,
+        }
+    }
+
+    /// The shared program this filter instance runs.
+    #[must_use]
+    pub fn program(&self) -> &Arc<FirProgram> {
+        &self.program
+    }
+
+    /// Filter name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.program.name()
+    }
+
+    /// The coefficient taps.
+    #[must_use]
+    pub fn taps(&self) -> &[i64] {
+        self.program.taps()
+    }
+
+    /// Gain divided out of each output.
+    #[must_use]
+    pub fn gain(&self) -> i64 {
+        self.program.gain()
+    }
+
+    /// Number of multiplier blocks (nonzero taps).
+    #[must_use]
+    pub fn multipliers(&self) -> u32 {
+        self.program.multipliers()
+    }
+
+    /// Number of adder blocks (multipliers − 1).
+    #[must_use]
+    pub fn adders(&self) -> u32 {
+        self.program.adders()
+    }
+
+    /// Group delay in samples (see [`FirProgram::group_delay`]).
+    #[must_use]
+    pub fn group_delay(&self) -> usize {
+        self.program.group_delay()
+    }
+
     /// The arithmetic backend (for counters).
     #[must_use]
     pub fn backend(&self) -> &ArithBackend {
@@ -181,7 +345,8 @@ impl FirFilter {
         // markedly cheaper than a modulo per tap in this hot loop).
         let mut idx = self.cursor;
         let mut acc: Option<i64> = None;
-        for (t, &c) in self.taps.iter().enumerate() {
+        let tap_mults = self.program.tap_mults();
+        for (t, &c) in self.program.taps().iter().enumerate() {
             let sample = self.delay_line[idx];
             idx += 1;
             if idx == len {
@@ -190,7 +355,7 @@ impl FirFilter {
             if c == 0 {
                 continue;
             }
-            let product = match &self.tap_mults {
+            let product = match tap_mults {
                 Some(tap_mults) => self.backend.mul_tap(sample, &tap_mults[t]),
                 None => self.backend.mul(sample, c),
             };
@@ -199,21 +364,7 @@ impl FirFilter {
                 Some(sum) => self.backend.add(sum, product),
             });
         }
-        let acc = acc.unwrap_or(0);
-        // Rescaling by the constant gain is exact; power-of-two gains (the
-        // HPF's 32) take the shift form of round-half-away-from-zero.
-        match self.gain_shift {
-            Some(0) => acc,
-            Some(shift) => {
-                let half = 1i64 << (shift - 1);
-                if acc >= 0 {
-                    (acc + half) >> shift
-                } else {
-                    -((-acc + half) >> shift)
-                }
-            }
-            None => div_round(acc, self.gain),
-        }
+        self.program.rescale(acc.unwrap_or(0))
     }
 
     /// Filters a whole signal, returning one output per input.
@@ -237,19 +388,16 @@ impl FirFilter {
         self.backend.reset_counters();
     }
 
-    /// Heap bytes owned by this filter instance: taps, delay line, and the
-    /// per-tap table *handles*. The compiled product tables themselves are
-    /// process-wide shared (see [`FirFilter::shared_table_bytes`]) and are
-    /// deliberately excluded — they are O(distinct configurations), not
-    /// O(detectors).
+    /// Heap bytes owned by this filter *instance*: the delay line. The
+    /// taps, tap-table handles, and arithmetic program live in the shared
+    /// [`FirProgram`] (billed once per configuration, see
+    /// [`FirProgram::program_bytes`]), and the compiled product tables
+    /// themselves are process-wide shared (see
+    /// [`FirFilter::shared_table_bytes`]) — both are deliberately excluded:
+    /// they are O(distinct configurations), not O(detectors).
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
-        self.taps.capacity() * std::mem::size_of::<i64>()
-            + self.delay_line.capacity() * std::mem::size_of::<i64>()
-            + self
-                .tap_mults
-                .as_ref()
-                .map_or(0, |t| t.capacity() * std::mem::size_of::<TapMultiplier>())
+        self.delay_line.capacity() * std::mem::size_of::<i64>()
     }
 
     /// Bytes of the distinct shared product tables this filter references
@@ -261,25 +409,9 @@ impl FirFilter {
         self.collect_shared_tables(&mut seen)
     }
 
-    /// Accumulates this filter's shared-table identities into `seen` and
-    /// returns the bytes of the tables *not already seen* — lets callers
-    /// sum across several filters without double counting a table two
-    /// stages share (e.g. the |1| table when LPF and HPF run at the same
-    /// LSB depth).
+    /// See [`FirProgram::collect_shared_tables`].
     pub(crate) fn collect_shared_tables(&self, seen: &mut Vec<usize>) -> usize {
-        let Some(tap_mults) = &self.tap_mults else {
-            return 0;
-        };
-        let mut bytes = 0usize;
-        for tap in tap_mults {
-            if let Some(id) = tap.table_id() {
-                if !seen.contains(&id) {
-                    seen.push(id);
-                    bytes += tap.shared_table_bytes();
-                }
-            }
-        }
-        bytes
+        self.program.collect_shared_tables(seen)
     }
 }
 
@@ -393,8 +525,8 @@ mod tests {
         ] {
             let mut fast = FirFilter::with_engine("t", &taps, 1, stage, MulEngine::Compiled);
             let mut slow = FirFilter::with_engine("t", &taps, 1, stage, MulEngine::BitLevel);
-            assert!(fast.tap_mults.is_some());
-            assert!(slow.tap_mults.is_none());
+            assert!(fast.program().tap_mults().is_some());
+            assert!(slow.program().tap_mults().is_none());
             let mut x = -20_000i64;
             for step in 0..600 {
                 x = (x.wrapping_mul(31) ^ step).rem_euclid(70_000) - 35_000;
@@ -410,6 +542,27 @@ mod tests {
                 slow.backend().add_overflow_events()
             );
         }
+    }
+
+    #[test]
+    fn shared_program_instances_are_independent_and_identical() {
+        let program = Arc::new(FirProgram::new(
+            "t",
+            &[1, 2, 1],
+            4,
+            StageArith::least_energy(6),
+            MulEngine::Compiled,
+        ));
+        let mut a = FirFilter::from_program(Arc::clone(&program));
+        let mut b = FirFilter::from_program(Arc::clone(&program));
+        let mut fresh = FirFilter::new("t", &[1, 2, 1], 4, StageArith::least_energy(6));
+        let input = [5i64, -9, 300, 40_000, 12];
+        let ya = a.process_signal(&input);
+        assert_eq!(ya, fresh.process_signal(&input));
+        assert_eq!(a.backend().ops(), fresh.backend().ops());
+        // The sibling instance saw none of it.
+        assert_eq!(b.backend().ops().muls(), 0);
+        assert_eq!(b.process_signal(&input), ya);
     }
 
     #[test]
@@ -434,8 +587,10 @@ mod tests {
     #[test]
     fn memory_accounting_separates_owned_from_shared() {
         let approx = FirFilter::new("t", &[1, -6, 6, 31], 1, StageArith::least_energy(8));
-        // Owned: taps + delay line + tap handles; small and table-free.
+        // Instance-owned: just the delay line. Program-owned: taps + tap
+        // handles, billed once per configuration.
         assert!(approx.heap_bytes() < 1024, "{}", approx.heap_bytes());
+        assert!(approx.program().program_bytes() < 1024);
         // Shared: |±6| dedupes to one table, so 3 distinct magnitudes.
         assert_eq!(approx.shared_table_bytes(), 3 * ((1 << 15) + 1) * 4);
         let exact = FirFilter::new("t", &[1, -6, 6, 31], 1, StageArith::exact());

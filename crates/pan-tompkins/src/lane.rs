@@ -1,0 +1,1209 @@
+//! Multi-lane SoA stage kernels: N independent detector sessions advanced
+//! in lockstep through one shared [`DetectorEngine`].
+//!
+//! The streaming detector spends ~99% of its time in the five filter
+//! stages, and the pipeline is embarrassingly lane-parallel across
+//! sessions (monitored patients, leads, corpus records). A [`LaneBank`]
+//! exploits that: it batches N [`DetectorTail`]s behind
+//! structure-of-arrays stage state — one delay-line *row* per ring
+//! position holding every lane's sample — so each tick walks the shared
+//! compiled tap tables **once** and applies every tap to a contiguous
+//! lane slice. The per-tap dispatch (tap lookup, zero-skip, coefficient
+//! clamping) is amortized over all lanes and the inner lane loops are
+//! plain clamp/multiply/add over adjacent memory, which the compiler
+//! auto-vectorizes.
+//!
+//! # Bit-identity contract
+//!
+//! Every lane's event stream and final [`DetectionResult`] are **bit
+//! identical** to a solo [`crate::StreamingQrsDetector`] run over that
+//! lane's samples — for every chunking, decision arithmetic, footprint,
+//! and multiplier engine. The kernels guarantee this by construction:
+//!
+//! * FIR products are taken in tap order and accumulated left-to-right
+//!   exactly like the scalar hot loop, so non-associative approximate
+//!   adds see the same operand sequence. The ring cursor is shared across
+//!   lanes — legal because an FIR output depends only on delay contents
+//!   *relative* to the cursor, so a freshly zeroed lane column behaves
+//!   exactly like a fresh filter (rotation invariance);
+//! * the MWI sums its window in **storage order** (the netlist's 29-adder
+//!   chain), which is *not* rotation invariant — so MWI write cursors are
+//!   per-lane, letting a lane reset mid-run behave like a fresh session;
+//! * per-sample operation counts are data-independent and therefore
+//!   hoisted to per-lane tick counters, while saturation and overflow
+//!   counts are data-dependent and kept in per-lane arrays updated inside
+//!   the lane loops with the same branch-free tests the scalar backend
+//!   uses ([`sum_overflows`] is shared verbatim);
+//! * everything downstream of the stages — classifier, alignment queue,
+//!   event emission — *is* the scalar code: each lane owns the same
+//!   [`DetectorTail`] the scalar facade drives.
+//!
+//! The contract is enforced by the lane-axis cases in
+//! `tests/streaming_equivalence.rs`, the pinned 4-lane golden fixture,
+//! and CI's `ext_lane_speed --check` gate.
+
+use std::sync::Arc;
+
+use approx_arith::OpCounter;
+
+use crate::arith::{div_round, sum_overflows, ArithProgram};
+use crate::detector::DetectionResult;
+use crate::engine::DetectorEngine;
+use crate::fir::FirProgram;
+use crate::stages::mwi::WINDOW;
+use crate::streaming::{DetectorTail, StreamEvent};
+
+/// One [`StreamEvent`] attributed to the lane that emitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneEvent {
+    /// The emitting lane (column index in the pushed frames).
+    pub lane: usize,
+    /// The event — identical to what the lane's solo scalar run emits.
+    pub event: StreamEvent,
+}
+
+fn op_counter(muls: u64, adds: u64) -> OpCounter {
+    let mut ops = OpCounter::new();
+    ops.count_muls(muls);
+    ops.count_adds(adds);
+    ops
+}
+
+/// The widest vector feature set the running CPU offers for the stage
+/// kernels.
+///
+/// rustc compiles the crate for the portable x86-64 baseline (SSE2),
+/// which has no 64-bit vector multiply — so the auto-vectorized lane
+/// loops run far below the machine's width. The bank therefore compiles
+/// the *same* tick chain a second and third time under
+/// `#[target_feature]` (AVX2, and AVX-512 with the `DQ` 64-bit multiply)
+/// and picks the widest supported instance at runtime. The kernels are
+/// pure two's-complement integer arithmetic, so every instance is
+/// bit-identical by construction — dispatch only changes register width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimdLevel {
+    Baseline,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> SimdLevel {
+    use std::sync::OnceLock;
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            SimdLevel::Avx512
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Baseline
+        }
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn simd_level() -> SimdLevel {
+    SimdLevel::Baseline
+}
+
+/// The vector feature set the lane kernels will dispatch to on this host
+/// (`"avx512"`, `"avx2"`, or `"baseline"`). Results are bit-identical
+/// across levels — only throughput differs — so benchmarks and gates use
+/// this to scale expectations to the machine's vector width.
+#[must_use]
+pub fn simd_level_name() -> &'static str {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => "avx512",
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => "avx2",
+        SimdLevel::Baseline => "baseline",
+    }
+}
+
+/// SoA FIR kernel: one shared program, N lanes of delay-line state laid
+/// out row-major (`delay[pos * lanes + lane]`).
+#[derive(Debug, Clone)]
+struct LaneFir {
+    program: Arc<FirProgram>,
+    lanes: usize,
+    /// Row-major ring delay line: row `r` holds every lane's sample at
+    /// ring position `r`.
+    delay: Vec<i64>,
+    /// Shared lockstep ring cursor (safe across per-lane resets by
+    /// rotation invariance; see the module docs).
+    cursor: usize,
+    /// Per-lane accumulator scratch.
+    acc: Vec<i64>,
+    /// Per-lane multiplier-operand saturation counts (data-dependent).
+    sats: Vec<u64>,
+    /// Per-lane adder overflow counts (data-dependent).
+    ovfs: Vec<u64>,
+    /// Hoisted per-tick op counts (data-independent, same every sample).
+    muls_per_tick: u64,
+    adds_per_tick: u64,
+    /// Coefficient-side saturations per tick — constant per program.
+    coeff_sats_per_tick: u64,
+    mul_limit: i64,
+    add_width: u32,
+    /// Whether both arithmetic blocks compute exactly. Exact blocks are
+    /// plain clamp/multiply/wrap arithmetic, so the tick takes a
+    /// branch-free inner loop the compiler auto-vectorizes; the generic
+    /// loop dispatches through the block representations per element and
+    /// cannot. Both loops are bit-identical by construction.
+    exact: bool,
+}
+
+impl LaneFir {
+    fn new(program: Arc<FirProgram>, lanes: usize) -> Self {
+        let rows = program.taps().len();
+        let mul_limit = 1i64 << (program.arith().mul_width() - 1);
+        let add_width = program.arith().adder_width();
+        let nonzero = program.taps().iter().filter(|&&c| c != 0).count() as u64;
+        let coeff_sats_per_tick = program
+            .taps()
+            .iter()
+            .filter(|&&c| c != 0 && c.clamp(-mul_limit, mul_limit - 1) != c)
+            .count() as u64;
+        let exact = program.arith().is_exact();
+        // The block-exact wrap-compare overflow test requires that no
+        // operand can wrap i64: products bounded by a ≤32-bit multiplier,
+        // sums by a ≤63-bit bus.
+        debug_assert!(program.arith().mul_width() <= 32 && add_width <= 63);
+        Self {
+            delay: vec![0; rows * lanes],
+            cursor: 0,
+            acc: vec![0; lanes],
+            sats: vec![0; lanes],
+            ovfs: vec![0; lanes],
+            muls_per_tick: nonzero,
+            adds_per_tick: nonzero.saturating_sub(1),
+            coeff_sats_per_tick,
+            mul_limit,
+            add_width,
+            exact,
+            lanes,
+            program,
+        }
+    }
+
+    /// Advances every lane one sample: `x` is the lane row in, `out` the
+    /// lane row of filter outputs.
+    #[inline(always)]
+    fn tick(&mut self, x: &[i64], out: &mut [i64]) {
+        let lanes = self.lanes;
+        let rows = self.program.taps().len();
+        self.cursor = if self.cursor == 0 {
+            rows - 1
+        } else {
+            self.cursor - 1
+        };
+        self.delay[self.cursor * lanes..(self.cursor + 1) * lanes].copy_from_slice(x);
+
+        if self.exact {
+            // Register-blocked exact path: accumulators live in
+            // fixed-width local arrays (vector registers) for the whole
+            // tap walk instead of round-tripping through `self.acc`.
+            let mut lane0 = 0;
+            while lane0 + 16 <= lanes {
+                self.block_exact::<16>(lane0, out);
+                lane0 += 16;
+            }
+            while lane0 + 8 <= lanes {
+                self.block_exact::<8>(lane0, out);
+                lane0 += 8;
+            }
+            while lane0 + 4 <= lanes {
+                self.block_exact::<4>(lane0, out);
+                lane0 += 4;
+            }
+            while lane0 < lanes {
+                self.block_exact::<1>(lane0, out);
+                lane0 += 1;
+            }
+            return;
+        }
+        let seeded = self.accumulate_generic();
+        if !seeded {
+            out.fill(0);
+            return;
+        }
+        // The rescale mode is fixed per program; hoisting the match out
+        // of the lane loop leaves each arm a branch-free (select-only)
+        // loop body. Every arm computes exactly [`FirProgram::rescale`].
+        match self.program.gain_shift() {
+            Some(0) => out.copy_from_slice(&self.acc),
+            Some(shift) => {
+                let half = 1i64 << (shift - 1);
+                for (o, &a) in out.iter_mut().zip(self.acc.iter()) {
+                    *o = if a >= 0 {
+                        (a + half) >> shift
+                    } else {
+                        -((-a + half) >> shift)
+                    };
+                }
+            }
+            None => {
+                for (o, &a) in out.iter_mut().zip(self.acc.iter()) {
+                    *o = self.program.rescale(a);
+                }
+            }
+        }
+    }
+
+    /// The generic tap walk: products and sums go through the arithmetic
+    /// block representations (LUT gathers for approximate multipliers).
+    /// Returns whether any nonzero tap seeded the accumulators.
+    #[inline(always)]
+    fn accumulate_generic(&mut self) -> bool {
+        let lanes = self.lanes;
+        let mul_limit = self.mul_limit;
+        let add_width = self.add_width;
+        let rows = self.program.taps().len();
+        let cursor = self.cursor;
+        let Self {
+            program,
+            delay,
+            acc,
+            sats,
+            ovfs,
+            ..
+        } = self;
+        let taps = program.taps();
+        let tap_mults = program.tap_mults();
+        let arith = program.arith();
+
+        // Wrapping row walk from the newest sample, exactly like the
+        // scalar loop's wrapping index.
+        let mut row = cursor;
+        let mut first = true;
+        for (t, &c) in taps.iter().enumerate() {
+            let frame = &delay[row * lanes..row * lanes + lanes];
+            row += 1;
+            if row == rows {
+                row = 0;
+            }
+            if c == 0 {
+                continue;
+            }
+            let cb = c.clamp(-mul_limit, mul_limit - 1);
+            if first {
+                // The first nonzero tap seeds the accumulator — no add,
+                // no overflow test, matching the scalar `Option` chain.
+                for ((slot, s), &a) in acc.iter_mut().zip(sats.iter_mut()).zip(frame) {
+                    let ca = a.clamp(-mul_limit, mul_limit - 1);
+                    *s += u64::from(ca != a);
+                    *slot = match tap_mults {
+                        Some(tm) => tm[t].mul_clamped(ca),
+                        None => arith.mul_raw_clamped(ca, cb),
+                    };
+                }
+                first = false;
+            } else {
+                for (((slot, s), o), &a) in acc
+                    .iter_mut()
+                    .zip(sats.iter_mut())
+                    .zip(ovfs.iter_mut())
+                    .zip(frame)
+                {
+                    let ca = a.clamp(-mul_limit, mul_limit - 1);
+                    *s += u64::from(ca != a);
+                    let p = match tap_mults {
+                        Some(tm) => tm[t].mul_clamped(ca),
+                        None => arith.mul_raw_clamped(ca, cb),
+                    };
+                    let sum = *slot;
+                    *o += u64::from(sum_overflows(sum, p, add_width));
+                    *slot = arith.add_raw(sum, p);
+                }
+            }
+        }
+        !first
+    }
+
+    /// The exact tap walk for lanes `lane0 .. lane0 + W` — bit-identical
+    /// to [`LaneFir::accumulate_generic`] plus [`FirProgram::rescale`]
+    /// when both blocks are exact, with the per-element block dispatch
+    /// replaced by plain clamp/multiply/wrap arithmetic:
+    ///
+    /// * an exact multiplier computes `ca * cb` (sign-magnitude with an
+    ///   exact product is ordinary multiplication; no i64 overflow, since
+    ///   both operands are clamped to the ≤ 32-bit datapath);
+    /// * an exact adder computes the sum wrapped into the adder width and
+    ///   sign-extended, which `(wrapping_add << k) >> k` reproduces;
+    /// * [`sum_overflows`] is the same branch-free test the scalar backend
+    ///   and the generic loop use.
+    ///
+    /// The accumulator and counter arrays are `W`-sized locals, so they
+    /// live in vector registers across the whole walk (one memory
+    /// round-trip per tick, not per tap) and every lane loop has a
+    /// compile-time trip count — no runtime vector-width or aliasing
+    /// checks inside the tap loop.
+    #[inline(always)]
+    fn block_exact<const W: usize>(&mut self, lane0: usize, out: &mut [i64]) {
+        let lanes = self.lanes;
+        let mul_limit = self.mul_limit;
+        let add_width = self.add_width;
+        let ext = 64 - add_width;
+        let rows = self.program.taps().len();
+        let taps = self.program.taps();
+
+        let mut acc = [0i64; W];
+        let mut sat = [0u64; W];
+        let mut ovf = [0u64; W];
+        let mut row = self.cursor;
+        let mut first = true;
+        for &c in taps {
+            let base = row * lanes + lane0;
+            row += 1;
+            if row == rows {
+                row = 0;
+            }
+            if c == 0 {
+                continue;
+            }
+            let frame: &[i64; W] = self.delay[base..base + W]
+                .try_into()
+                .expect("block width bounded by lane count");
+            let cb = c.clamp(-mul_limit, mul_limit - 1);
+            if first {
+                for k in 0..W {
+                    let a = frame[k];
+                    let ca = a.clamp(-mul_limit, mul_limit - 1);
+                    sat[k] += u64::from(ca != a);
+                    acc[k] = ca * cb;
+                }
+                first = false;
+            } else {
+                for k in 0..W {
+                    let a = frame[k];
+                    let ca = a.clamp(-mul_limit, mul_limit - 1);
+                    sat[k] += u64::from(ca != a);
+                    let p = ca * cb;
+                    // `s` cannot wrap i64 (operands are bounded well below
+                    // 2^62 by the ≤32-bit multiplier and ≤63-bit bus), so
+                    // `wrapped != s` ⟺ `s` is outside the bus range ⟺
+                    // [`sum_overflows`]`(acc[k], p, add_width)`.
+                    let s = acc[k].wrapping_add(p);
+                    let wrapped = (s << ext) >> ext;
+                    ovf[k] += u64::from(wrapped != s);
+                    acc[k] = wrapped;
+                }
+            }
+        }
+        // Zip, not indexing: per-element bounds checks force the compiler
+        // to scalarize the register block back out element by element.
+        for (s, v) in self.sats[lane0..lane0 + W].iter_mut().zip(sat) {
+            *s += v;
+        }
+        for (o, v) in self.ovfs[lane0..lane0 + W].iter_mut().zip(ovf) {
+            *o += v;
+        }
+        let out = &mut out[lane0..lane0 + W];
+        if first {
+            out.fill(0);
+            return;
+        }
+        // Rescale straight out of the register block — each arm computes
+        // exactly [`FirProgram::rescale`].
+        match self.program.gain_shift() {
+            Some(0) => out.copy_from_slice(&acc),
+            Some(shift) => {
+                let half = 1i64 << (shift - 1);
+                for (o, &a) in out.iter_mut().zip(acc.iter()) {
+                    *o = if a >= 0 {
+                        (a + half) >> shift
+                    } else {
+                        -((-a + half) >> shift)
+                    };
+                }
+            }
+            None => {
+                for (o, &a) in out.iter_mut().zip(acc.iter()) {
+                    *o = self.program.rescale(a);
+                }
+            }
+        }
+    }
+
+    fn reset_lane(&mut self, lane: usize) {
+        for row in self.delay.chunks_exact_mut(self.lanes) {
+            row[lane] = 0;
+        }
+        self.sats[lane] = 0;
+        self.ovfs[lane] = 0;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.delay.capacity() + self.acc.capacity()) * std::mem::size_of::<i64>()
+            + (self.sats.capacity() + self.ovfs.capacity()) * std::mem::size_of::<u64>()
+    }
+}
+
+/// SoA squarer kernel: point-wise, one 16×16 multiplier per lane-sample.
+#[derive(Debug, Clone)]
+struct LaneSqr {
+    program: Arc<ArithProgram>,
+    sats: Vec<u64>,
+    mul_limit: i64,
+    exact: bool,
+}
+
+impl LaneSqr {
+    fn new(program: Arc<ArithProgram>, lanes: usize) -> Self {
+        let mul_limit = 1i64 << (program.mul_width() - 1);
+        let exact = program.is_exact();
+        Self {
+            sats: vec![0; lanes],
+            mul_limit,
+            exact,
+            program,
+        }
+    }
+
+    #[inline(always)]
+    fn tick(&mut self, x: &[i64], out: &mut [i64]) {
+        let limit = self.mul_limit;
+        if self.exact {
+            // An exact square is `cv * cv` (see `LaneFir::accumulate_exact`
+            // for the fast-path argument); the loop auto-vectorizes.
+            for ((o, &v), s) in out.iter_mut().zip(x).zip(self.sats.iter_mut()) {
+                let cv = v.clamp(-limit, limit - 1);
+                *s += 2 * u64::from(cv != v);
+                *o = cv * cv;
+            }
+            return;
+        }
+        for ((o, &v), s) in out.iter_mut().zip(x).zip(self.sats.iter_mut()) {
+            let cv = v.clamp(-limit, limit - 1);
+            // Both operands of the square clamp together, counting two
+            // saturation events like the scalar backend.
+            *s += 2 * u64::from(cv != v);
+            *o = self.program.mul_raw_clamped(cv, cv);
+        }
+    }
+
+    fn reset_lane(&mut self, lane: usize) {
+        self.sats[lane] = 0;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.sats.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// SoA moving-window-integrator kernel: slot-major window storage with
+/// **per-lane** write cursors (the storage-order adder chain is not
+/// rotation invariant, so resetting one lane must restart its cursor).
+#[derive(Debug, Clone)]
+struct LaneMwi {
+    program: Arc<ArithProgram>,
+    lanes: usize,
+    /// Slot-major window: `window[slot * lanes + lane]`.
+    window: Vec<i64>,
+    cursor: Vec<usize>,
+    acc: Vec<i64>,
+    ovfs: Vec<u64>,
+    add_width: u32,
+    exact: bool,
+}
+
+impl LaneMwi {
+    fn new(program: Arc<ArithProgram>, lanes: usize) -> Self {
+        let add_width = program.adder_width();
+        let exact = program.is_exact();
+        // Same operand-width precondition as `LaneFir::new`: the squarer
+        // feeding this stage is ≤32-bit, the bus ≤63-bit, so the
+        // block-exact wrap-compare test cannot see an i64 wrap.
+        debug_assert!(program.mul_width() <= 32 && add_width <= 63);
+        Self {
+            window: vec![0; WINDOW * lanes],
+            cursor: vec![0; lanes],
+            acc: vec![0; lanes],
+            ovfs: vec![0; lanes],
+            add_width,
+            exact,
+            lanes,
+            program,
+        }
+    }
+
+    #[inline(always)]
+    fn tick(&mut self, x: &[i64], out: &mut [i64]) {
+        let lanes = self.lanes;
+        let add_width = self.add_width;
+        for (lane, (&v, cur)) in x.iter().zip(self.cursor.iter_mut()).enumerate() {
+            self.window[*cur * lanes + lane] = v;
+            *cur = (*cur + 1) % WINDOW;
+        }
+        if self.exact {
+            // Register-blocked exact walk (see `LaneFir::block_exact` for
+            // the pattern and the fast-path argument).
+            let mut lane0 = 0;
+            while lane0 + 16 <= lanes {
+                self.block_exact::<16>(lane0, out);
+                lane0 += 16;
+            }
+            while lane0 + 8 <= lanes {
+                self.block_exact::<8>(lane0, out);
+                lane0 += 8;
+            }
+            while lane0 + 4 <= lanes {
+                self.block_exact::<4>(lane0, out);
+                lane0 += 4;
+            }
+            while lane0 < lanes {
+                self.block_exact::<1>(lane0, out);
+                lane0 += 1;
+            }
+            return;
+        }
+        let Self {
+            program,
+            window,
+            acc,
+            ovfs,
+            ..
+        } = self;
+        // Storage-order 29-adder chain, like the scalar netlist walk.
+        acc.copy_from_slice(&window[..lanes]);
+        for slot in 1..WINDOW {
+            let row = &window[slot * lanes..(slot + 1) * lanes];
+            for ((slot_acc, o), &v) in acc.iter_mut().zip(ovfs.iter_mut()).zip(row) {
+                let sum = *slot_acc;
+                *o += u64::from(sum_overflows(sum, v, add_width));
+                *slot_acc = program.add_raw(sum, v);
+            }
+        }
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = div_round(a, WINDOW as i64);
+        }
+    }
+
+    /// The exact storage-order chain for lanes `lane0 .. lane0 + W`, with
+    /// the accumulator and overflow counter held in `W`-sized locals
+    /// (vector registers) across all [`WINDOW`] slots. Bit-identical to
+    /// the generic walk with an exact adder.
+    #[inline(always)]
+    fn block_exact<const W: usize>(&mut self, lane0: usize, out: &mut [i64]) {
+        let lanes = self.lanes;
+        let add_width = self.add_width;
+        let ext = 64 - add_width;
+        let window = &self.window;
+
+        let mut acc = [0i64; W];
+        acc.copy_from_slice(&window[lane0..lane0 + W]);
+        let mut ovf = [0u64; W];
+        for slot in 1..WINDOW {
+            let base = slot * lanes + lane0;
+            let row: &[i64; W] = window[base..base + W]
+                .try_into()
+                .expect("block width bounded by lane count");
+            for k in 0..W {
+                let v = row[k];
+                // Same wrap-compare overflow test as `LaneFir::block_exact`
+                // — equivalent to [`sum_overflows`] because no operand can
+                // wrap i64.
+                let s = acc[k].wrapping_add(v);
+                let wrapped = (s << ext) >> ext;
+                ovf[k] += u64::from(wrapped != s);
+                acc[k] = wrapped;
+            }
+        }
+        // Zip, not indexing — see `LaneFir::block_exact`.
+        for (o, v) in self.ovfs[lane0..lane0 + W].iter_mut().zip(ovf) {
+            *o += v;
+        }
+        for (o, &a) in out[lane0..lane0 + W].iter_mut().zip(acc.iter()) {
+            *o = div_round(a, WINDOW as i64);
+        }
+    }
+
+    fn reset_lane(&mut self, lane: usize) {
+        for row in self.window.chunks_exact_mut(self.lanes) {
+            row[lane] = 0;
+        }
+        self.cursor[lane] = 0;
+        self.ovfs[lane] = 0;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.window.capacity() + self.acc.capacity()) * std::mem::size_of::<i64>()
+            + self.cursor.capacity() * std::mem::size_of::<usize>()
+            + self.ovfs.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// N independent streaming detector sessions advanced in lockstep through
+/// one shared [`DetectorEngine`] — the fleet-throughput shape of
+/// [`crate::StreamingQrsDetector`].
+///
+/// Feed interleaved frames (`frames[tick * lanes + lane]`) with
+/// [`LaneBank::push`]; harvest a finished lane with
+/// [`LaneBank::finish_lane`], which returns its trailing events and
+/// [`DetectionResult`] and leaves the lane reset, ready for its next
+/// record. Every lane is bit-identical to a solo scalar run (see the
+/// [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pan_tompkins::{DetectorEngine, LaneBank, PipelineConfig, StreamingQrsDetector};
+///
+/// let mut signal = vec![0i32; 1400];
+/// for beat in 0..7 {
+///     let at = 150 + beat * 170;
+///     signal[at - 1] = 120;
+///     signal[at] = 240;
+///     signal[at + 1] = 120;
+/// }
+/// let config = PipelineConfig::exact();
+/// let engine = Arc::new(DetectorEngine::new(config));
+/// let mut bank = LaneBank::new(Arc::clone(&engine), 2);
+/// // Lane 0 carries the signal, lane 1 a flat lead.
+/// let frames: Vec<i32> = signal.iter().flat_map(|&x| [x, 0]).collect();
+/// let mut peaks = Vec::new();
+/// for event in bank.push(&frames) {
+///     if event.lane == 0 {
+///         peaks.extend(event.event.r_peak());
+///     }
+/// }
+/// let (trailing, result) = bank.finish_lane(0);
+/// peaks.extend(trailing.iter().filter_map(|e| e.r_peak()));
+/// let (_, solo) = StreamingQrsDetector::detect_chunked(config, &signal, 64);
+/// assert_eq!(result, solo);
+/// assert_eq!(peaks, solo.r_peaks());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneBank {
+    engine: Arc<DetectorEngine>,
+    lanes: usize,
+    /// Per-lane samples since the lane's last reset — the basis for the
+    /// hoisted (data-independent) op counts.
+    ticks: Vec<u64>,
+    lpf: LaneFir,
+    hpf: LaneFir,
+    der: LaneFir,
+    sqr: LaneSqr,
+    mwi: LaneMwi,
+    tails: Vec<DetectorTail>,
+    // Inter-stage scratch matrices: up to [`BLOCK_TICKS`] row-major lane
+    // rows per stage output (`m[t * lanes + lane]`), so the stage kernels
+    // run a whole block before the per-lane tails consume their columns.
+    m_x0: Vec<i64>,
+    m_a: Vec<i64>,
+    m_b: Vec<i64>,
+    m_c: Vec<i64>,
+    m_d: Vec<i64>,
+    m_e: Vec<i64>,
+    scratch_events: Vec<StreamEvent>,
+}
+
+/// Ticks the stage kernels advance between tail hand-offs. Large enough to
+/// amortise the per-lane tail-call overhead across a block, small enough
+/// that the six scratch matrices stay cache-resident and the per-lane state
+/// budget holds (`6 * BLOCK_TICKS * 8` bytes of scratch per lane).
+const BLOCK_TICKS: usize = 64;
+
+impl LaneBank {
+    /// Creates a bank of `lanes` fresh sessions over a shared engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn new(engine: Arc<DetectorEngine>, lanes: usize) -> Self {
+        assert!(lanes >= 1, "LaneBank needs at least one lane");
+        let config = *engine.config();
+        Self {
+            lpf: LaneFir::new(Arc::clone(engine.lpf_program()), lanes),
+            hpf: LaneFir::new(Arc::clone(engine.hpf_program()), lanes),
+            der: LaneFir::new(Arc::clone(engine.der_program()), lanes),
+            sqr: LaneSqr::new(Arc::clone(engine.sqr_program()), lanes),
+            mwi: LaneMwi::new(Arc::clone(engine.mwi_program()), lanes),
+            tails: (0..lanes).map(|_| DetectorTail::new(&config)).collect(),
+            ticks: vec![0; lanes],
+            m_x0: Vec::new(),
+            m_a: Vec::new(),
+            m_b: Vec::new(),
+            m_c: Vec::new(),
+            m_d: Vec::new(),
+            m_e: Vec::new(),
+            scratch_events: Vec::new(),
+            lanes,
+            engine,
+        }
+    }
+
+    /// Number of lanes in the bank.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The shared engine every lane runs on.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<DetectorEngine> {
+        &self.engine
+    }
+
+    /// Samples the given lane has ingested since its last reset.
+    #[must_use]
+    pub fn samples_seen(&self, lane: usize) -> usize {
+        self.tails[lane].samples_seen()
+    }
+
+    /// Feeds interleaved frames — `frames[t * lanes + lane]` is lane
+    /// `lane`'s sample at tick `t` — and returns the events that became
+    /// final, attributed to their lanes (grouped by lane, each lane's
+    /// subsequence in emission order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len()` is not a multiple of the lane count.
+    pub fn push(&mut self, frames: &[i32]) -> Vec<LaneEvent> {
+        self.push_impl(frames, None)
+    }
+
+    /// Like [`LaneBank::push`], additionally appending each lane's HPF
+    /// outputs (the paper's pre-processed signal) to `hpf_out[lane]` —
+    /// the lane-batched counterpart of
+    /// [`crate::StreamingQrsDetector::push_tapped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len()` is not a multiple of the lane count or
+    /// `hpf_out.len()` differs from it.
+    pub fn push_tapped(&mut self, frames: &[i32], hpf_out: &mut [Vec<i64>]) -> Vec<LaneEvent> {
+        assert_eq!(hpf_out.len(), self.lanes, "one HPF tap buffer per lane");
+        self.push_impl(frames, Some(hpf_out))
+    }
+
+    /// Runs all five stage kernels over `ticks` rows of the scratch
+    /// matrices, one tick at a time (each stage's delay line must advance
+    /// before its next input row exists). The single definition every
+    /// [`SimdLevel`] instance inlines — the multiversions below differ only
+    /// in the vector features LLVM may use.
+    #[inline(always)]
+    fn stage_block(&mut self, ticks: usize) {
+        let lanes = self.lanes;
+        for t in 0..ticks {
+            let r = t * lanes..(t + 1) * lanes;
+            self.lpf
+                .tick(&self.m_x0[r.clone()], &mut self.m_a[r.clone()]);
+            self.hpf
+                .tick(&self.m_a[r.clone()], &mut self.m_b[r.clone()]);
+            self.der
+                .tick(&self.m_b[r.clone()], &mut self.m_c[r.clone()]);
+            self.sqr
+                .tick(&self.m_c[r.clone()], &mut self.m_d[r.clone()]);
+            self.mwi.tick(&self.m_d[r.clone()], &mut self.m_e[r]);
+        }
+    }
+
+    /// [`LaneBank::stage_block`] compiled with the AVX-512 feature set
+    /// (`DQ` supplies the 64-bit vector multiply the baseline lacks).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `avx512f`, `avx512dq`, and `avx512vl` —
+    /// guaranteed when [`simd_level`] returns [`SimdLevel::Avx512`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    #[allow(unsafe_code)]
+    unsafe fn stage_block_avx512(&mut self, ticks: usize) {
+        self.stage_block(ticks);
+    }
+
+    /// [`LaneBank::stage_block`] compiled with AVX2 enabled.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `avx2` — guaranteed when [`simd_level`]
+    /// returns [`SimdLevel::Avx2`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn stage_block_avx2(&mut self, ticks: usize) {
+        self.stage_block(ticks);
+    }
+
+    #[inline]
+    #[allow(unsafe_code)]
+    fn stage_block_dispatch(&mut self, ticks: usize, level: SimdLevel) {
+        match level {
+            // SAFETY: `simd_level` only reports feature sets the running
+            // CPU advertises, so the target-feature instances are safe to
+            // enter.
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => unsafe { self.stage_block_avx512(ticks) },
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => unsafe { self.stage_block_avx2(ticks) },
+            SimdLevel::Baseline => self.stage_block(ticks),
+        }
+    }
+
+    fn push_impl(&mut self, frames: &[i32], mut taps: Option<&mut [Vec<i64>]>) -> Vec<LaneEvent> {
+        let lanes = self.lanes;
+        assert_eq!(
+            frames.len() % lanes,
+            0,
+            "frames must be whole ticks: {} samples across {lanes} lanes",
+            frames.len()
+        );
+        let config = *self.engine.config();
+        let shift = config.input_shift;
+        let level = simd_level();
+        for block in frames.chunks(BLOCK_TICKS * lanes) {
+            let ticks = block.len() / lanes;
+            let len = ticks * lanes;
+            self.m_x0.clear();
+            self.m_x0
+                .extend(block.iter().map(|&v| i64::from(v) << shift));
+            self.m_a.resize(len, 0);
+            self.m_b.resize(len, 0);
+            self.m_c.resize(len, 0);
+            self.m_d.resize(len, 0);
+            self.m_e.resize(len, 0);
+            self.stage_block_dispatch(ticks, level);
+            for (lane, tail) in self.tails.iter_mut().enumerate() {
+                let tap = taps.as_mut().map(|t| &mut t[lane]);
+                tail.ingest_batch(
+                    lanes,
+                    lane,
+                    [&self.m_a, &self.m_b, &self.m_c, &self.m_d, &self.m_e],
+                    tap,
+                );
+            }
+            for t in &mut self.ticks {
+                *t += ticks as u64;
+            }
+        }
+        let mut events = Vec::new();
+        let max_misalignment = config.max_misalignment();
+        for (lane, tail) in self.tails.iter_mut().enumerate() {
+            tail.settle(false, max_misalignment, &mut self.scratch_events);
+            events.extend(
+                self.scratch_events
+                    .drain(..)
+                    .map(|event| LaneEvent { lane, event }),
+            );
+        }
+        events
+    }
+
+    /// Ends one lane's stream: flushes its classifier and alignment queue
+    /// (clipped at the record end, like the scalar `finish`), returns its
+    /// trailing events and complete [`DetectionResult`], and resets the
+    /// lane — column state, counters, tail — so it is immediately ready
+    /// for its next record, bit-identical to a fresh session. Other lanes
+    /// are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn finish_lane(&mut self, lane: usize) -> (Vec<StreamEvent>, DetectionResult) {
+        assert!(lane < self.lanes, "lane {lane} of {} lanes", self.lanes);
+        let config = *self.engine.config();
+        let mut events = Vec::new();
+        self.tails[lane].finish(config.max_misalignment(), &mut events);
+        let t = self.ticks[lane];
+        let ops = [
+            op_counter(t * self.lpf.muls_per_tick, t * self.lpf.adds_per_tick),
+            op_counter(t * self.hpf.muls_per_tick, t * self.hpf.adds_per_tick),
+            op_counter(t * self.der.muls_per_tick, t * self.der.adds_per_tick),
+            op_counter(t, 0),
+            op_counter(0, t * (WINDOW as u64 - 1)),
+        ];
+        let saturations = [
+            self.lpf.sats[lane] + t * self.lpf.coeff_sats_per_tick,
+            self.hpf.sats[lane] + t * self.hpf.coeff_sats_per_tick,
+            self.der.sats[lane] + t * self.der.coeff_sats_per_tick,
+            self.sqr.sats[lane],
+            0,
+        ];
+        let add_overflows = [
+            self.lpf.ovfs[lane],
+            self.hpf.ovfs[lane],
+            self.der.ovfs[lane],
+            0,
+            self.mwi.ovfs[lane],
+        ];
+        let total_delay = self.engine.total_delay();
+        let result = self.tails[lane].take_result(ops, saturations, add_overflows, total_delay);
+        self.lpf.reset_lane(lane);
+        self.hpf.reset_lane(lane);
+        self.der.reset_lane(lane);
+        self.sqr.reset_lane(lane);
+        self.mwi.reset_lane(lane);
+        self.ticks[lane] = 0;
+        self.tails[lane].reset(&config);
+        (events, result)
+    }
+
+    /// Heap bytes of the bank's SoA stage state and scratch matrices — the
+    /// lane-shared kernels, excluding the tails.
+    fn soa_heap_bytes(&self) -> usize {
+        self.lpf.heap_bytes()
+            + self.hpf.heap_bytes()
+            + self.der.heap_bytes()
+            + self.sqr.heap_bytes()
+            + self.mwi.heap_bytes()
+            + (self.m_x0.capacity()
+                + self.m_a.capacity()
+                + self.m_b.capacity()
+                + self.m_c.capacity()
+                + self.m_d.capacity()
+                + self.m_e.capacity())
+                * std::mem::size_of::<i64>()
+            + self.ticks.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Total live state of the whole bank in bytes: the struct, the SoA
+    /// stage state, and every lane's tail. The shared engine is billed
+    /// separately, once, via [`DetectorEngine::engine_bytes`].
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.soa_heap_bytes()
+            + self
+                .tails
+                .iter()
+                .map(|t| std::mem::size_of::<DetectorTail>() + t.heap_bytes())
+                .sum::<usize>()
+            + self.scratch_events.capacity() * std::mem::size_of::<StreamEvent>()
+    }
+
+    /// One lane's share of the live state: its slice of the SoA stage
+    /// state and scratch matrices plus its own tail — the marginal cost of
+    /// one more session on the shared engine (~9.3 KB high-water under
+    /// [`crate::Footprint::Bounded`], matching the scalar detector).
+    #[must_use]
+    pub fn lane_state_bytes(&self, lane: usize) -> usize {
+        self.soa_heap_bytes() / self.lanes
+            + std::mem::size_of::<DetectorTail>()
+            + self.tails[lane].heap_bytes()
+    }
+
+    /// Bytes of the distinct process-wide shared per-tap product tables —
+    /// identical to the scalar detector's accounting, billed once however
+    /// many lanes run. See [`DetectorEngine::shared_table_bytes`].
+    #[must_use]
+    pub fn shared_table_bytes(&self) -> usize {
+        self.engine.shared_table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::MulEngine;
+    use crate::config::{Footprint, PipelineConfig};
+    use crate::streaming::StreamingQrsDetector;
+
+    fn pulse_train(n: usize, period: usize, first: usize) -> Vec<i32> {
+        let mut signal = vec![0i32; n];
+        let mut at = first;
+        while at + 4 < n {
+            signal[at - 2] = -60;
+            signal[at - 1] = 140;
+            signal[at] = 260;
+            signal[at + 1] = 120;
+            signal[at + 2] = -80;
+            at += period;
+        }
+        signal
+    }
+
+    fn interleave(lanes: &[Vec<i32>]) -> Vec<i32> {
+        let n = lanes[0].len();
+        assert!(lanes.iter().all(|s| s.len() == n));
+        (0..n)
+            .flat_map(|t| lanes.iter().map(move |s| s[t]))
+            .collect()
+    }
+
+    /// Drives `signals` through a bank in `ticks_per_push`-tick pushes and
+    /// returns each lane's full event stream and result.
+    fn run_bank(
+        config: PipelineConfig,
+        signals: &[Vec<i32>],
+        ticks_per_push: usize,
+    ) -> Vec<(Vec<StreamEvent>, DetectionResult)> {
+        let lanes = signals.len();
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut bank = LaneBank::new(engine, lanes);
+        let frames = interleave(signals);
+        let mut events: Vec<Vec<StreamEvent>> = vec![Vec::new(); lanes];
+        for chunk in frames.chunks(ticks_per_push * lanes) {
+            for le in bank.push(chunk) {
+                events[le.lane].push(le.event);
+            }
+        }
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(lane, mut evs)| {
+                let (trailing, result) = bank.finish_lane(lane);
+                evs.extend(trailing);
+                (evs, result)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_lane_matches_its_solo_run_in_both_footprints() {
+        let signals = vec![
+            pulse_train(3000, 170, 200),
+            pulse_train(3000, 160, 230),
+            pulse_train(3000, 181, 260),
+            vec![25i32; 3000],
+        ];
+        for footprint in [Footprint::Retain, Footprint::Bounded] {
+            let config = PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(footprint);
+            for lane_results in [
+                run_bank(config, &signals, 1),
+                run_bank(config, &signals, 64),
+                run_bank(config, &signals, 4000),
+            ] {
+                for (lane, (events, result)) in lane_results.into_iter().enumerate() {
+                    let (solo_events, solo_result) =
+                        StreamingQrsDetector::detect_chunked(config, &signals[lane], 64);
+                    assert_eq!(events, solo_events, "{footprint:?} lane {lane} events");
+                    assert_eq!(result, solo_result, "{footprint:?} lane {lane} result");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_level_engine_lanes_match_solo_runs_too() {
+        let signals = vec![pulse_train(1500, 170, 200), pulse_train(1500, 160, 230)];
+        let config =
+            PipelineConfig::least_energy([8, 10, 2, 8, 16]).with_engine(MulEngine::BitLevel);
+        for (lane, (events, result)) in run_bank(config, &signals, 50).into_iter().enumerate() {
+            let (solo_events, solo_result) =
+                StreamingQrsDetector::detect_chunked(config, &signals[lane], 50);
+            assert_eq!(events, solo_events, "lane {lane} events");
+            assert_eq!(result, solo_result, "lane {lane} result");
+        }
+    }
+
+    /// Finishing one lane mid-run starts a fresh session in that lane
+    /// without perturbing its neighbours — the MWI per-lane cursor and
+    /// the FIR rotation invariance under one shared cursor.
+    #[test]
+    fn lane_reset_mid_run_behaves_like_fresh_session() {
+        let config = PipelineConfig::exact();
+        let first = pulse_train(2000, 170, 200);
+        let second = pulse_train(2400, 181, 260);
+        let long = pulse_train(4400, 160, 230);
+
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut bank = LaneBank::new(engine, 2);
+        let mut lane0_first = Vec::new();
+        let mut lane0_second = Vec::new();
+        let mut lane1 = Vec::new();
+
+        let frames: Vec<i32> = (0..2000).flat_map(|t| [first[t], long[t]]).collect();
+        for le in bank.push(&frames) {
+            match le.lane {
+                0 => lane0_first.push(le.event),
+                _ => lane1.push(le.event),
+            }
+        }
+        let (trailing, result_first) = bank.finish_lane(0);
+        lane0_first.extend(trailing);
+        assert_eq!(bank.samples_seen(0), 0, "lane 0 should restart at zero");
+        assert_eq!(bank.samples_seen(1), 2000, "lane 1 must be untouched");
+
+        let frames: Vec<i32> = (0..2400)
+            .flat_map(|t| [second[t], long[2000 + t]])
+            .collect();
+        for le in bank.push(&frames) {
+            match le.lane {
+                0 => lane0_second.push(le.event),
+                _ => lane1.push(le.event),
+            }
+        }
+        let (trailing, result_second) = bank.finish_lane(0);
+        lane0_second.extend(trailing);
+        let (trailing, result_long) = bank.finish_lane(1);
+        lane1.extend(trailing);
+
+        let (e, r) = StreamingQrsDetector::detect_chunked(config, &first, 500);
+        assert_eq!((lane0_first, result_first), (e, r), "first record");
+        let (e, r) = StreamingQrsDetector::detect_chunked(config, &second, 500);
+        assert_eq!((lane0_second, result_second), (e, r), "reused lane");
+        let (e, r) = StreamingQrsDetector::detect_chunked(config, &long, 500);
+        assert_eq!((lane1, result_long), (e, r), "neighbour lane");
+    }
+
+    #[test]
+    fn lane_tap_matches_scalar_tap() {
+        let signals = vec![pulse_train(2200, 170, 200), pulse_train(2200, 160, 230)];
+        let config =
+            PipelineConfig::least_energy([4, 4, 2, 4, 8]).with_footprint(Footprint::Bounded);
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut bank = LaneBank::new(engine, 2);
+        let mut taps = vec![Vec::new(), Vec::new()];
+        let frames = interleave(&signals);
+        for chunk in frames.chunks(2 * 33) {
+            let _ = bank.push_tapped(chunk, &mut taps);
+        }
+        for (lane, signal) in signals.iter().enumerate() {
+            let mut det = StreamingQrsDetector::new(config);
+            let mut solo_tap = Vec::new();
+            let _ = det.push_tapped(signal, &mut solo_tap);
+            assert_eq!(taps[lane], solo_tap, "lane {lane} HPF tap");
+        }
+    }
+
+    #[test]
+    fn per_lane_state_is_bounded_and_engine_billed_once() {
+        let config =
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded);
+        let engine = Arc::new(DetectorEngine::new(config));
+        let lanes = 8;
+        let mut bank = LaneBank::new(Arc::clone(&engine), lanes);
+        let signals: Vec<Vec<i32>> = (0..lanes)
+            .map(|l| pulse_train(6000, 160 + 7 * l, 200 + 11 * l))
+            .collect();
+        let frames = interleave(&signals);
+        let mut high_water = 0usize;
+        for chunk in frames.chunks(lanes * 256) {
+            let _ = bank.push(chunk);
+            high_water = high_water.max(bank.lane_state_bytes(0));
+        }
+        // The marginal session cost stays at the scalar bounded budget,
+        // with config and tap tables billed once to the engine.
+        assert!(
+            high_water < 12 * 1024,
+            "per-lane high water {high_water} bytes"
+        );
+        assert!(high_water > 1024, "suspiciously small: {high_water}");
+        assert!(bank.state_bytes() < lanes * 16 * 1024 + 4096);
+        assert!(engine.engine_bytes() < 8 * 1024);
+        assert_eq!(
+            bank.shared_table_bytes(),
+            engine.shared_table_bytes(),
+            "lane bank must not re-bill the shared tables"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "whole ticks")]
+    fn ragged_frames_are_rejected() {
+        let engine = Arc::new(DetectorEngine::new(PipelineConfig::exact()));
+        let mut bank = LaneBank::new(engine, 4);
+        let _ = bank.push(&[1, 2, 3]);
+    }
+}

@@ -38,14 +38,19 @@
 //! assert!(result.r_peaks().len() >= 9);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the lane bank's runtime SIMD dispatch needs two
+// audited `#[target_feature]` calls (see `lane::SimdLevel`); everything
+// else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arith;
 pub mod config;
 pub mod decision;
 pub mod detector;
+pub mod engine;
 pub mod fir;
+pub mod lane;
 pub mod stages;
 pub mod streaming;
 pub mod threshold;
@@ -54,6 +59,8 @@ pub use arith::{ArithBackend, MulEngine};
 pub use config::{Footprint, PipelineConfig, StageKind};
 pub use decision::DecisionArith;
 pub use detector::{DetectionResult, QrsDetector};
+pub use engine::DetectorEngine;
 pub use fir::FirFilter;
-pub use streaming::{StreamEvent, StreamingQrsDetector};
+pub use lane::{simd_level_name, LaneBank};
+pub use streaming::{DetectorState, StreamEvent, StreamingQrsDetector};
 pub use threshold::{AdaptiveThreshold, OnlineClassifier, ThresholdConfig};

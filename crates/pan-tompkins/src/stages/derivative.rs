@@ -12,7 +12,7 @@
 use approx_arith::{OpCounter, StageArith};
 
 use crate::arith::MulEngine;
-use crate::fir::FirFilter;
+use crate::fir::{FirFilter, FirProgram};
 use crate::stages::Stage;
 
 /// The five derivative taps (newest sample first).
@@ -51,8 +51,22 @@ impl Derivative {
     /// Creates the stage with an explicit multiplier engine.
     #[must_use]
     pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
+        Self::from_program(std::sync::Arc::new(Self::program(arith, engine)))
+    }
+
+    /// Compiles the stage's shared [`FirProgram`] (taps, gain, tap tables)
+    /// for the given arithmetic — built once and shared across detector
+    /// states/lanes.
+    #[must_use]
+    pub fn program(arith: StageArith, engine: MulEngine) -> FirProgram {
+        FirProgram::new("DER", &TAPS, GAIN, arith, engine)
+    }
+
+    /// Creates a stage instance over an existing shared program.
+    #[must_use]
+    pub fn from_program(program: std::sync::Arc<FirProgram>) -> Self {
         Self {
-            fir: FirFilter::with_engine("DER", &TAPS, GAIN, arith, engine),
+            fir: FirFilter::from_program(program),
         }
     }
 }

@@ -10,7 +10,7 @@
 use approx_arith::{OpCounter, StageArith};
 
 use crate::arith::MulEngine;
-use crate::fir::FirFilter;
+use crate::fir::{FirFilter, FirProgram};
 use crate::stages::Stage;
 
 /// The 32 FIR taps of the expanded HPF transfer function.
@@ -52,10 +52,24 @@ impl HighPassFilter {
     /// Creates the stage with an explicit multiplier engine.
     #[must_use]
     pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
-        // `taps()` returns an owned array; FirFilter copies it.
+        Self::from_program(std::sync::Arc::new(Self::program(arith, engine)))
+    }
+
+    /// Compiles the stage's shared [`FirProgram`] (taps, gain, tap tables)
+    /// for the given arithmetic — built once and shared across detector
+    /// states/lanes.
+    #[must_use]
+    pub fn program(arith: StageArith, engine: MulEngine) -> FirProgram {
+        // `taps()` returns an owned array; FirProgram copies it.
         let t = taps();
+        FirProgram::new("HPF", &t, GAIN, arith, engine)
+    }
+
+    /// Creates a stage instance over an existing shared program.
+    #[must_use]
+    pub fn from_program(program: std::sync::Arc<FirProgram>) -> Self {
         Self {
-            fir: FirFilter::with_engine("HPF", &t, GAIN, arith, engine),
+            fir: FirFilter::from_program(program),
         }
     }
 }

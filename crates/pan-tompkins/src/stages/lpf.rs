@@ -9,7 +9,7 @@
 use approx_arith::{OpCounter, StageArith};
 
 use crate::arith::MulEngine;
-use crate::fir::FirFilter;
+use crate::fir::{FirFilter, FirProgram};
 use crate::stages::Stage;
 
 /// The 11-tap FIR taps of the expanded LPF transfer function.
@@ -46,8 +46,22 @@ impl LowPassFilter {
     /// Creates the stage with an explicit multiplier engine.
     #[must_use]
     pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
+        Self::from_program(std::sync::Arc::new(Self::program(arith, engine)))
+    }
+
+    /// Compiles the stage's shared [`FirProgram`] (taps, gain, tap tables)
+    /// for the given arithmetic — built once and shared across detector
+    /// states/lanes.
+    #[must_use]
+    pub fn program(arith: StageArith, engine: MulEngine) -> FirProgram {
+        FirProgram::new("LPF", &TAPS, GAIN, arith, engine)
+    }
+
+    /// Creates a stage instance over an existing shared program.
+    #[must_use]
+    pub fn from_program(program: std::sync::Arc<FirProgram>) -> Self {
         Self {
-            fir: FirFilter::with_engine("LPF", &TAPS, GAIN, arith, engine),
+            fir: FirFilter::from_program(program),
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use approx_arith::{OpCounter, StageArith};
 
-use crate::arith::{div_round, ArithBackend, MulEngine};
+use crate::arith::{div_round, ArithBackend, ArithProgram, MulEngine};
 use crate::stages::Stage;
 
 /// Window length in samples (150 ms at 200 Hz).
@@ -45,8 +45,20 @@ impl MovingWindowIntegrator {
     /// multipliers, so the engine only affects the idle multiplier block).
     #[must_use]
     pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
+        Self::from_program(std::sync::Arc::new(Self::program(arith, engine)))
+    }
+
+    /// Builds the stage's shared [`ArithProgram`] for the given arithmetic.
+    #[must_use]
+    pub fn program(arith: StageArith, engine: MulEngine) -> ArithProgram {
+        ArithProgram::new(arith, engine)
+    }
+
+    /// Creates a stage instance over an existing shared program.
+    #[must_use]
+    pub fn from_program(program: std::sync::Arc<ArithProgram>) -> Self {
         Self {
-            backend: ArithBackend::with_engine(arith, engine),
+            backend: ArithBackend::from_program(program),
             window: vec![0; WINDOW],
             cursor: 0,
         }

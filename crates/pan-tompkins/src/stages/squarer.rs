@@ -7,7 +7,7 @@
 
 use approx_arith::{OpCounter, StageArith};
 
-use crate::arith::{ArithBackend, MulEngine};
+use crate::arith::{ArithBackend, ArithProgram, MulEngine};
 use crate::stages::Stage;
 
 /// Stage D: squarer.
@@ -37,8 +37,20 @@ impl Squarer {
     /// Creates the stage with an explicit multiplier engine.
     #[must_use]
     pub fn with_engine(arith: StageArith, engine: MulEngine) -> Self {
+        Self::from_program(std::sync::Arc::new(Self::program(arith, engine)))
+    }
+
+    /// Builds the stage's shared [`ArithProgram`] for the given arithmetic.
+    #[must_use]
+    pub fn program(arith: StageArith, engine: MulEngine) -> ArithProgram {
+        ArithProgram::new(arith, engine)
+    }
+
+    /// Creates a stage instance over an existing shared program.
+    #[must_use]
+    pub fn from_program(program: std::sync::Arc<ArithProgram>) -> Self {
         Self {
-            backend: ArithBackend::with_engine(arith, engine),
+            backend: ArithBackend::from_program(program),
         }
     }
 }

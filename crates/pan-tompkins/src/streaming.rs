@@ -12,6 +12,24 @@
 //! `tests/streaming_equivalence.rs` and by CI's `ext_streaming_speed
 //! --check` gate.
 //!
+//! # The state/engine split
+//!
+//! A detector session is two halves:
+//!
+//! * a [`DetectorEngine`] (see [`crate::engine`]) — the configuration and
+//!   the five compiled stage programs, immutable while samples flow,
+//!   constructed once and shared behind an [`Arc`];
+//! * a [`DetectorState`] — the per-session mutable state: stage delay
+//!   lines, the MWI window, the classifier, and the alignment/event
+//!   bookkeeping (the [`DetectorTail`]).
+//!
+//! [`StreamingQrsDetector`] is a thin facade bundling one `Arc`'d engine
+//! with one state, so existing call sites keep working; fleet deployments
+//! (many sessions, one configuration) build the engine once and call
+//! [`StreamingQrsDetector::from_engine`] — or batch whole groups of
+//! sessions through [`crate::LaneBank`], which drives many states across
+//! the shared programs in lockstep.
+//!
 //! # How the pipeline streams
 //!
 //! The five stages were always sample-streaming (delay lines and a ring
@@ -40,7 +58,7 @@
 //! * a pruned HPF ring covering the oldest still-confirmable alignment
 //!   window (`O(longest RR interval)` samples),
 //! * the classifier's still-revisitable candidates (see
-//!   [`OnlineClassifier::with_retention`]).
+//!   [`OnlineClassifier::for_config`]).
 //!
 //! The emitted event stream is bit-for-bit identical to the retaining
 //! mode for every chunking (property-tested, and gated in CI by
@@ -95,20 +113,20 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use crate::config::{Footprint, PipelineConfig, StageKind};
+use approx_arith::OpCounter;
+
+use crate::config::{Footprint, PipelineConfig};
 use crate::detector::{
     check_alignment, check_alignment_with, Alignment, DetectionResult, OmittedBeat, StageSignals,
     ALIGNMENT_SEARCH, HPF_TO_MWI_DELAY, PRE_PROCESSING_DELAY,
 };
+use crate::engine::DetectorEngine;
 use crate::stages::{
     Derivative, HighPassFilter, LowPassFilter, MovingWindowIntegrator, Squarer, Stage,
 };
 use crate::threshold::{OnlineClassifier, PeakClass, PeakDecision, ThresholdConfig};
-
-/// Maximum tolerated HPF↔MWI misalignment (same default as the batch
-/// detector).
-const DEFAULT_MAX_MISALIGNMENT: usize = 20;
 
 /// One incremental detection outcome emitted by
 /// [`StreamingQrsDetector::push`].
@@ -160,6 +178,12 @@ impl HpfRing {
         self.buf.push_back(v);
     }
 
+    /// Bulk [`HpfRing::push`] — `VecDeque::extend` reserves once for the
+    /// whole batch instead of growth-checking per element.
+    fn extend(&mut self, vs: impl Iterator<Item = i64>) {
+        self.buf.extend(vs);
+    }
+
     /// Total samples produced so far (pruned ones included).
     fn len_total(&self) -> usize {
         self.start + self.buf.len()
@@ -170,7 +194,7 @@ impl HpfRing {
     /// # Panics
     ///
     /// Panics if `i` was pruned or not yet produced — the pruning floor in
-    /// [`StreamingQrsDetector::prune_bounded`] guarantees neither happens.
+    /// [`DetectorTail::prune_bounded`] guarantees neither happens.
     fn get(&self, i: usize) -> i64 {
         self.buf[i - self.start]
     }
@@ -204,24 +228,16 @@ enum SignalStore {
     Bounded { hpf: HpfRing },
 }
 
-/// The push-based five-stage QRS detector.
-///
-/// See the [module docs](self) for the equivalence contract, the memory
-/// policies, and latency bounds, and [`crate::QrsDetector`] for the batch
-/// counterpart.
+/// The decision-side state of one detector session: the classifier, the
+/// signal store, the alignment queue, and the event bookkeeping —
+/// everything downstream of the five stages. Shared verbatim by the scalar
+/// [`StreamingQrsDetector`] and every lane of a [`crate::LaneBank`], so
+/// the two paths cannot drift.
 #[derive(Debug, Clone)]
-pub struct StreamingQrsDetector {
-    config: PipelineConfig,
-    threshold: ThresholdConfig,
-    max_misalignment: usize,
-    lpf: LowPassFilter,
-    hpf: HighPassFilter,
-    der: Derivative,
-    sqr: Squarer,
-    mwi: MovingWindowIntegrator,
+pub(crate) struct DetectorTail {
     classifier: OnlineClassifier,
     store: SignalStore,
-    /// Samples pushed so far.
+    /// Samples ingested so far.
     n: usize,
     /// All decisions in emission (classification) order (retaining mode
     /// only — bounded mode delivers results through events).
@@ -232,23 +248,12 @@ pub struct StreamingQrsDetector {
     /// only).
     confirmed_raw: Vec<usize>,
     omitted: Vec<OmittedBeat>,
-    /// Scratch buffer for per-push classifier output.
+    /// Scratch buffer for per-sample classifier output.
     fresh: Vec<PeakDecision>,
 }
 
-impl StreamingQrsDetector {
-    /// Creates a streaming detector with default thresholding for the
-    /// given pipeline configuration (which also selects the [`Footprint`]
-    /// policy).
-    #[must_use]
-    pub fn new(config: PipelineConfig) -> Self {
-        Self::with_threshold(config, ThresholdConfig::default())
-    }
-
-    /// Creates a streaming detector with explicit thresholding parameters.
-    #[must_use]
-    pub fn with_threshold(config: PipelineConfig, threshold: ThresholdConfig) -> Self {
-        let engine = config.engine();
+impl DetectorTail {
+    pub(crate) fn new(config: &PipelineConfig) -> Self {
         let store = match config.footprint() {
             Footprint::Retain => SignalStore::Retained(StageSignals::default()),
             Footprint::Bounded => SignalStore::Bounded {
@@ -256,16 +261,7 @@ impl StreamingQrsDetector {
             },
         };
         Self {
-            lpf: LowPassFilter::with_engine(config.stage(StageKind::Lpf), engine),
-            hpf: HighPassFilter::with_engine(config.stage(StageKind::Hpf), engine),
-            der: Derivative::with_engine(config.stage(StageKind::Derivative), engine),
-            sqr: Squarer::with_engine(config.stage(StageKind::Squarer), engine),
-            mwi: MovingWindowIntegrator::with_engine(config.stage(StageKind::Mwi), engine),
-            classifier: OnlineClassifier::with_options(
-                threshold,
-                config.footprint(),
-                config.decision(),
-            ),
+            classifier: OnlineClassifier::for_config(config),
             store,
             n: 0,
             decisions: Vec::new(),
@@ -273,89 +269,169 @@ impl StreamingQrsDetector {
             confirmed_raw: Vec::new(),
             omitted: Vec::new(),
             fresh: Vec::new(),
-            config,
-            threshold,
-            max_misalignment: DEFAULT_MAX_MISALIGNMENT,
         }
     }
 
-    /// Overrides the maximum tolerated HPF↔MWI misalignment (samples).
-    #[must_use]
-    pub fn with_max_misalignment(mut self, samples: usize) -> Self {
-        self.max_misalignment = samples;
-        self
-    }
-
-    /// The pipeline configuration.
-    #[must_use]
-    pub fn config(&self) -> &PipelineConfig {
-        &self.config
-    }
-
-    /// The memory-retention policy this detector runs under.
-    #[must_use]
-    pub fn footprint(&self) -> Footprint {
-        self.config.footprint()
-    }
-
-    /// Samples pushed so far.
-    #[must_use]
-    pub fn samples_seen(&self) -> usize {
+    /// Samples ingested so far.
+    pub(crate) fn samples_seen(&self) -> usize {
         self.n
     }
 
-    /// Total pipeline group delay in samples (MWI coordinates − raw
-    /// coordinates); 37 for the paper's stages.
-    #[must_use]
-    pub fn total_delay(&self) -> usize {
-        self.lpf.group_delay()
-            + self.hpf.group_delay()
-            + self.der.group_delay()
-            + self.sqr.group_delay()
-            + self.mwi.group_delay()
-    }
-
-    /// Worst-case samples between an R-peak's MWI-signal position and the
-    /// emission of its [`StreamEvent::RPeak`], once the startup gate
-    /// ([`StreamingQrsDetector::startup_samples`]) has passed. Search-back
-    /// recoveries are exempt (see the [module docs](self)).
-    ///
-    /// Relative to the *raw* beat position, add
-    /// [`StreamingQrsDetector::total_delay`].
-    #[must_use]
-    pub fn max_event_lag(&self) -> usize {
-        // Candidate finality vs. alignment-window completion — whichever
-        // bound binds.
-        let finality = self.threshold.peak_spacing + 1;
-        let alignment = (ALIGNMENT_SEARCH + 1).saturating_sub(HPF_TO_MWI_DELAY);
-        finality.max(alignment)
-    }
-
-    /// Samples before any event can be emitted: the SPK/NPK learning
-    /// window plus the classifier's minimum-signal-length gate.
-    #[must_use]
-    pub fn startup_samples(&self) -> usize {
-        self.threshold
-            .learning
-            .max(2 * self.threshold.peak_spacing + 1)
-    }
-
-    /// Heap bytes owned by this detector right now: stage delay lines,
-    /// the signal store (full vectors when retaining, the pruned HPF ring
-    /// when bounded), the classifier's candidate state, and the event
-    /// queues. Excludes the process-wide shared per-tap product tables —
-    /// those are O(distinct configurations), not O(detectors); see
-    /// [`StreamingQrsDetector::shared_table_bytes`].
-    #[must_use]
-    pub fn heap_bytes(&self) -> usize {
-        fn heap_of<S: Stage>(stage: &S) -> usize {
-            stage.state_bytes().saturating_sub(std::mem::size_of::<S>())
+    /// Feeds one tick's five stage outputs: stores what the footprint
+    /// retains, mirrors the HPF output into `tap` when requested, and runs
+    /// the classifier on the MWI value.
+    #[inline]
+    pub(crate) fn ingest(
+        &mut self,
+        a: i64,
+        b: i64,
+        c: i64,
+        d: i64,
+        e: i64,
+        tap: Option<&mut Vec<i64>>,
+    ) {
+        match &mut self.store {
+            SignalStore::Retained(signals) => {
+                signals.lpf.push(a);
+                signals.hpf.push(b);
+                signals.der.push(c);
+                signals.sqr.push(d);
+                signals.mwi.push(e);
+            }
+            SignalStore::Bounded { hpf: ring } => ring.push(b),
         }
-        let stages = heap_of(&self.lpf)
-            + heap_of(&self.hpf)
-            + heap_of(&self.der)
-            + heap_of(&self.sqr)
-            + heap_of(&self.mwi);
+        if let Some(out) = tap {
+            out.push(b);
+        }
+        self.n += 1;
+        let mut fresh = std::mem::take(&mut self.fresh);
+        self.classifier.push(e, &mut fresh);
+        self.absorb(&mut fresh);
+        self.fresh = fresh;
+    }
+
+    /// Batched [`DetectorTail::ingest`]: absorbs one lane's column from
+    /// the row-major stage-output matrices `[lpf, hpf, der, sqr, mwi]`
+    /// (`m[t * stride + lane]`, one row per tick), equivalent to calling
+    /// `ingest` once per tick in order.
+    ///
+    /// Safe to batch because nothing inside the per-sample path reads state
+    /// across samples: the store and tap only append, [`OnlineClassifier`]
+    /// is self-contained, and `absorb` only drains decision queues (the
+    /// `n`-dependent alignment logic runs later, in [`DetectorTail::settle`]).
+    #[inline]
+    pub(crate) fn ingest_batch(
+        &mut self,
+        stride: usize,
+        lane: usize,
+        stages: [&[i64]; 5],
+        tap: Option<&mut Vec<i64>>,
+    ) {
+        let [a, b, c, d, e] = stages;
+        match &mut self.store {
+            SignalStore::Retained(signals) => {
+                signals.lpf.extend(a[lane..].iter().step_by(stride));
+                signals.hpf.extend(b[lane..].iter().step_by(stride));
+                signals.der.extend(c[lane..].iter().step_by(stride));
+                signals.sqr.extend(d[lane..].iter().step_by(stride));
+                signals.mwi.extend(e[lane..].iter().step_by(stride));
+            }
+            SignalStore::Bounded { hpf: ring } => {
+                ring.extend(b[lane..].iter().step_by(stride).copied());
+            }
+        }
+        if let Some(out) = tap {
+            out.extend(b[lane..].iter().step_by(stride));
+        }
+        let mut fresh = std::mem::take(&mut self.fresh);
+        for &v in e[lane..].iter().step_by(stride) {
+            self.n += 1;
+            self.classifier.push(v, &mut fresh);
+            if !fresh.is_empty() {
+                self.absorb(&mut fresh);
+            }
+        }
+        self.fresh = fresh;
+    }
+
+    /// End-of-chunk settlement: confirms every queued beat whose alignment
+    /// window is complete, then prunes the bounded store.
+    pub(crate) fn settle(
+        &mut self,
+        finished: bool,
+        max_misalignment: usize,
+        events: &mut Vec<StreamEvent>,
+    ) {
+        self.confirm_aligned(finished, max_misalignment, events);
+        self.prune_bounded();
+    }
+
+    /// End-of-stream flush: drains the classifier and confirms every
+    /// remaining queued beat with the alignment window clipped at the
+    /// record end, exactly like the batch path.
+    pub(crate) fn finish(&mut self, max_misalignment: usize, events: &mut Vec<StreamEvent>) {
+        let mut fresh = std::mem::take(&mut self.fresh);
+        self.classifier.finish(&mut fresh);
+        self.absorb(&mut fresh);
+        self.fresh = fresh;
+        self.confirm_aligned(true, max_misalignment, events);
+    }
+
+    /// Assembles the final [`DetectionResult`] from the accumulated run
+    /// and the stage counters, leaving the tail drained (but not reset).
+    pub(crate) fn take_result(
+        &mut self,
+        ops: [OpCounter; 5],
+        saturations: [u64; 5],
+        add_overflows: [u64; 5],
+        total_delay: usize,
+    ) -> DetectionResult {
+        let mut decisions = std::mem::take(&mut self.decisions);
+        decisions.sort_by_key(|d| d.index);
+        let mut r_peaks = std::mem::take(&mut self.confirmed_raw);
+        r_peaks.sort_unstable();
+        r_peaks.dedup();
+        let signals = match &mut self.store {
+            SignalStore::Retained(signals) => Some(std::mem::take(signals)),
+            SignalStore::Bounded { .. } => None,
+        };
+        DetectionResult {
+            r_peaks,
+            omitted: std::mem::take(&mut self.omitted),
+            decisions,
+            ops,
+            saturations,
+            add_overflows,
+            signals,
+            total_delay,
+        }
+    }
+
+    /// Resets all per-record state, keeping allocated capacity where the
+    /// containers allow it.
+    pub(crate) fn reset(&mut self, config: &PipelineConfig) {
+        self.classifier = OnlineClassifier::for_config(config);
+        match &mut self.store {
+            SignalStore::Retained(signals) => {
+                signals.lpf.clear();
+                signals.hpf.clear();
+                signals.der.clear();
+                signals.sqr.clear();
+                signals.mwi.clear();
+            }
+            SignalStore::Bounded { hpf } => hpf.clear(),
+        }
+        self.n = 0;
+        self.decisions.clear();
+        self.awaiting_alignment.clear();
+        self.confirmed_raw.clear();
+        self.omitted.clear();
+        self.fresh.clear();
+    }
+
+    /// Heap bytes owned by the tail: the classifier's candidate state, the
+    /// signal store, and the event queues.
+    pub(crate) fn heap_bytes(&self) -> usize {
         let classifier = self
             .classifier
             .state_bytes()
@@ -376,234 +452,7 @@ impl StreamingQrsDetector {
             + self.confirmed_raw.capacity() * std::mem::size_of::<usize>()
             + self.omitted.capacity() * std::mem::size_of::<OmittedBeat>()
             + self.fresh.capacity() * std::mem::size_of::<PeakDecision>();
-        stages + classifier + store + queues
-    }
-
-    /// Total live state in bytes: the detector struct plus
-    /// [`StreamingQrsDetector::heap_bytes`]. Under [`Footprint::Bounded`]
-    /// this stays flat in the record length (the CI budget gate
-    /// `ext_memory_footprint --check` measures exactly this); under
-    /// [`Footprint::Retain`] it grows linearly.
-    #[must_use]
-    pub fn state_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.heap_bytes()
-    }
-
-    /// Bytes of the distinct shared per-tap product tables the FIR stages
-    /// reference — each table counted once, even when two stages share it
-    /// (LPF and HPF at the same LSB depth share e.g. the |1| table). These
-    /// live behind `Arc`s in a process-wide cache keyed by `(width, LSBs,
-    /// kinds, |coefficient|)` and are shared by every detector with the
-    /// same configuration — amortised state, reported separately from
-    /// [`StreamingQrsDetector::state_bytes`] for honesty.
-    #[must_use]
-    pub fn shared_table_bytes(&self) -> usize {
-        let mut seen = Vec::new();
-        self.lpf.collect_shared_tables(&mut seen)
-            + self.hpf.collect_shared_tables(&mut seen)
-            + self.der.collect_shared_tables(&mut seen)
-    }
-
-    /// Convenience driver: streams a whole record through a fresh detector
-    /// in `chunk_size`-sample pushes and returns the full event sequence
-    /// plus the final result. One-stop equivalent of
-    /// `new(config)` + repeated [`StreamingQrsDetector::push`] +
-    /// [`StreamingQrsDetector::finish`] — used by the evaluator, the bench
-    /// gate, and the equivalence tests so the drive loop exists once.
-    #[must_use]
-    pub fn detect_chunked(
-        config: PipelineConfig,
-        samples: &[i32],
-        chunk_size: usize,
-    ) -> (Vec<StreamEvent>, DetectionResult) {
-        let mut detector = Self::new(config);
-        let mut events = Vec::new();
-        for chunk in samples.chunks(chunk_size.max(1)) {
-            events.extend(detector.push(chunk));
-        }
-        let (trailing, result) = detector.finish();
-        events.extend(trailing);
-        (events, result)
-    }
-
-    /// Feeds a chunk of raw samples (any size, down to one) and returns
-    /// the events that became final.
-    pub fn push(&mut self, chunk: &[i32]) -> Vec<StreamEvent> {
-        self.push_impl(chunk, None)
-    }
-
-    /// Like [`StreamingQrsDetector::push`], additionally appending the
-    /// chunk's HPF outputs (the paper's pre-processed signal, the
-    /// PSNR/SSIM evaluation point) to `hpf_out`. This is how quality gates
-    /// read the pre-processing output of a [`Footprint::Bounded`] run,
-    /// whose final result carries no signal vectors — the evaluator's
-    /// record-batched path streams the HPF tap into a reusable scratch
-    /// buffer instead of retaining five full signals per detector.
-    pub fn push_tapped(&mut self, chunk: &[i32], hpf_out: &mut Vec<i64>) -> Vec<StreamEvent> {
-        self.push_impl(chunk, Some(hpf_out))
-    }
-
-    fn push_impl(&mut self, chunk: &[i32], mut tap: Option<&mut Vec<i64>>) -> Vec<StreamEvent> {
-        let shift = self.config.input_shift;
-        let mut fresh = std::mem::take(&mut self.fresh);
-        {
-            let Self {
-                lpf,
-                hpf,
-                der,
-                sqr,
-                mwi,
-                classifier,
-                store,
-                n,
-                ..
-            } = self;
-            for &x in chunk {
-                let x = i64::from(x) << shift;
-                let a = lpf.process(x);
-                let b = hpf.process(a);
-                let c = der.process(b);
-                let d = sqr.process(c);
-                let e = mwi.process(d);
-                match store {
-                    SignalStore::Retained(signals) => {
-                        signals.lpf.push(a);
-                        signals.hpf.push(b);
-                        signals.der.push(c);
-                        signals.sqr.push(d);
-                        signals.mwi.push(e);
-                    }
-                    SignalStore::Bounded { hpf: ring } => ring.push(b),
-                }
-                if let Some(out) = &mut tap {
-                    out.push(b);
-                }
-                *n += 1;
-                classifier.push(e, &mut fresh);
-            }
-        }
-        let mut events = Vec::new();
-        self.absorb(&mut fresh);
-        self.fresh = fresh;
-        self.confirm_aligned(false, &mut events);
-        self.prune_bounded();
-        events
-    }
-
-    /// Ends the stream: flushes the classifier and the alignment queue
-    /// (clipping the final alignment windows at the record end, as the
-    /// batch path does) and returns the trailing events together with the
-    /// complete [`DetectionResult`].
-    ///
-    /// Under [`Footprint::Retain`] the result equals
-    /// [`crate::QrsDetector::detect`] over the concatenated input in every
-    /// field. Under [`Footprint::Bounded`] the result is slim — counters
-    /// and delay only, with empty peak/decision lists and
-    /// [`DetectionResult::signals`] `None` (the event stream, which is
-    /// identical to the retaining mode's, carries the beats).
-    #[must_use]
-    pub fn finish(mut self) -> (Vec<StreamEvent>, DetectionResult) {
-        self.finish_in_place()
-    }
-
-    /// Like [`StreamingQrsDetector::finish`], but leaves the detector
-    /// ready for the next record instead of consuming it: configuration
-    /// and compiled per-tap tables are kept, while all signal state,
-    /// counters, and classifier state reset — the returned result and
-    /// subsequent pushes are bit-for-bit what a freshly constructed
-    /// detector would produce. This is the record-batched evaluation
-    /// workhorse: one detector (one set of table handles, one set of
-    /// buffers) drives an entire corpus.
-    #[must_use]
-    pub fn finish_reset(&mut self) -> (Vec<StreamEvent>, DetectionResult) {
-        let out = self.finish_in_place();
-        self.reset();
-        out
-    }
-
-    /// Resets all per-record state (stages, counters, classifier, stores,
-    /// queues), keeping the configuration and compiled tables.
-    fn reset(&mut self) {
-        for stage in [
-            &mut self.lpf as &mut dyn Stage,
-            &mut self.hpf,
-            &mut self.der,
-            &mut self.sqr,
-            &mut self.mwi,
-        ] {
-            stage.reset();
-            stage.reset_counters();
-        }
-        self.classifier = OnlineClassifier::with_options(
-            self.threshold,
-            self.config.footprint(),
-            self.config.decision(),
-        );
-        match &mut self.store {
-            SignalStore::Retained(signals) => {
-                signals.lpf.clear();
-                signals.hpf.clear();
-                signals.der.clear();
-                signals.sqr.clear();
-                signals.mwi.clear();
-            }
-            SignalStore::Bounded { hpf } => hpf.clear(),
-        }
-        self.n = 0;
-        self.decisions.clear();
-        self.awaiting_alignment.clear();
-        self.confirmed_raw.clear();
-        self.omitted.clear();
-        self.fresh.clear();
-    }
-
-    fn finish_in_place(&mut self) -> (Vec<StreamEvent>, DetectionResult) {
-        let mut fresh = std::mem::take(&mut self.fresh);
-        self.classifier.finish(&mut fresh);
-        self.absorb(&mut fresh);
-        self.fresh = fresh;
-        let mut events = Vec::new();
-        self.confirm_aligned(true, &mut events);
-
-        let total_delay = self.total_delay();
-        let mut decisions = std::mem::take(&mut self.decisions);
-        decisions.sort_by_key(|d| d.index);
-        let mut r_peaks = std::mem::take(&mut self.confirmed_raw);
-        r_peaks.sort_unstable();
-        r_peaks.dedup();
-        let signals = match &mut self.store {
-            SignalStore::Retained(signals) => Some(std::mem::take(signals)),
-            SignalStore::Bounded { .. } => None,
-        };
-        let result = DetectionResult {
-            r_peaks,
-            omitted: std::mem::take(&mut self.omitted),
-            decisions,
-            ops: [
-                self.lpf.ops(),
-                self.hpf.ops(),
-                self.der.ops(),
-                self.sqr.ops(),
-                self.mwi.ops(),
-            ],
-            saturations: [
-                self.lpf.saturations(),
-                self.hpf.saturations(),
-                self.der.saturations(),
-                self.sqr.saturations(),
-                self.mwi.saturations(),
-            ],
-            add_overflows: [
-                self.lpf.add_overflows(),
-                self.hpf.add_overflows(),
-                self.der.add_overflows(),
-                self.sqr.add_overflows(),
-                self.mwi.add_overflows(),
-            ],
-            signals,
-            total_delay,
-        };
-        (events, result)
+        classifier + store + queues
     }
 
     /// Records freshly classified decisions and queues accepted beats for
@@ -624,7 +473,12 @@ impl StreamingQrsDetector {
     /// Confirms queued beats whose HPF alignment window is complete (or
     /// every remaining beat when `finished`, with the window clipped at
     /// the record end exactly like the batch path).
-    fn confirm_aligned(&mut self, finished: bool, events: &mut Vec<StreamEvent>) {
+    fn confirm_aligned(
+        &mut self,
+        finished: bool,
+        max_misalignment: usize,
+        events: &mut Vec<StreamEvent>,
+    ) {
         let n = self.n;
         while let Some(d) = self.awaiting_alignment.front() {
             let expected = d.index.saturating_sub(HPF_TO_MWI_DELAY);
@@ -637,14 +491,11 @@ impl StreamingQrsDetector {
                 .expect("front just observed");
             let alignment = match &self.store {
                 SignalStore::Retained(signals) => {
-                    check_alignment(&signals.hpf, d.index, self.max_misalignment)
+                    check_alignment(&signals.hpf, d.index, max_misalignment)
                 }
-                SignalStore::Bounded { hpf } => check_alignment_with(
-                    hpf.len_total(),
-                    |i| hpf.get(i),
-                    d.index,
-                    self.max_misalignment,
-                ),
+                SignalStore::Bounded { hpf } => {
+                    check_alignment_with(hpf.len_total(), |i| hpf.get(i), d.index, max_misalignment)
+                }
             };
             let retain = matches!(self.store, SignalStore::Retained(_));
             match alignment {
@@ -695,6 +546,359 @@ impl StreamingQrsDetector {
             keep_from = keep_from.min(d.index);
         }
         hpf.prune_below(keep_from.saturating_sub(HPF_TO_MWI_DELAY + ALIGNMENT_SEARCH));
+    }
+}
+
+/// The mutable half of the state/engine split: one session's stage delay
+/// lines, MWI window, classifier, and alignment/event bookkeeping.
+///
+/// Constructed from a shared [`DetectorEngine`]; the per-session cost is
+/// [`DetectorState::state_bytes`] (~9.4 KB high-water under
+/// [`Footprint::Bounded`]), while configuration and compiled tap tables
+/// are billed once to the engine ([`DetectorEngine::engine_bytes`]).
+#[derive(Debug, Clone)]
+pub struct DetectorState {
+    pub(crate) lpf: LowPassFilter,
+    pub(crate) hpf: HighPassFilter,
+    pub(crate) der: Derivative,
+    pub(crate) sqr: Squarer,
+    pub(crate) mwi: MovingWindowIntegrator,
+    pub(crate) tail: DetectorTail,
+}
+
+impl DetectorState {
+    /// Fresh session state over an engine's compiled programs.
+    #[must_use]
+    pub fn new(engine: &DetectorEngine) -> Self {
+        Self {
+            lpf: LowPassFilter::from_program(Arc::clone(engine.lpf_program())),
+            hpf: HighPassFilter::from_program(Arc::clone(engine.hpf_program())),
+            der: Derivative::from_program(Arc::clone(engine.der_program())),
+            sqr: Squarer::from_program(Arc::clone(engine.sqr_program())),
+            mwi: MovingWindowIntegrator::from_program(Arc::clone(engine.mwi_program())),
+            tail: DetectorTail::new(engine.config()),
+        }
+    }
+
+    /// Samples ingested so far.
+    #[must_use]
+    pub fn samples_seen(&self) -> usize {
+        self.tail.samples_seen()
+    }
+
+    /// Heap bytes owned by this session right now: stage delay lines, the
+    /// signal store (full vectors when retaining, the pruned HPF ring when
+    /// bounded), the classifier's candidate state, and the event queues.
+    /// Excludes everything shared: the engine's programs and the
+    /// process-wide per-tap product tables.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        fn heap_of<S: Stage>(stage: &S) -> usize {
+            stage.state_bytes().saturating_sub(std::mem::size_of::<S>())
+        }
+        heap_of(&self.lpf)
+            + heap_of(&self.hpf)
+            + heap_of(&self.der)
+            + heap_of(&self.sqr)
+            + heap_of(&self.mwi)
+            + self.tail.heap_bytes()
+    }
+
+    /// Total live per-session state in bytes: the struct plus
+    /// [`DetectorState::heap_bytes`]. Under [`Footprint::Bounded`] this
+    /// stays flat in the record length.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.heap_bytes()
+    }
+
+    /// Resets all per-record state (stages, counters, tail), keeping the
+    /// shared programs.
+    pub(crate) fn reset(&mut self, config: &PipelineConfig) {
+        for stage in [
+            &mut self.lpf as &mut dyn Stage,
+            &mut self.hpf,
+            &mut self.der,
+            &mut self.sqr,
+            &mut self.mwi,
+        ] {
+            stage.reset();
+            stage.reset_counters();
+        }
+        self.tail.reset(config);
+    }
+
+    /// Gathers the stage counters and drains the tail into a final result.
+    pub(crate) fn take_result(&mut self, total_delay: usize) -> DetectionResult {
+        let ops = [
+            self.lpf.ops(),
+            self.hpf.ops(),
+            self.der.ops(),
+            self.sqr.ops(),
+            self.mwi.ops(),
+        ];
+        let saturations = [
+            self.lpf.saturations(),
+            self.hpf.saturations(),
+            self.der.saturations(),
+            self.sqr.saturations(),
+            self.mwi.saturations(),
+        ];
+        let add_overflows = [
+            self.lpf.add_overflows(),
+            self.hpf.add_overflows(),
+            self.der.add_overflows(),
+            self.sqr.add_overflows(),
+            self.mwi.add_overflows(),
+        ];
+        self.tail
+            .take_result(ops, saturations, add_overflows, total_delay)
+    }
+}
+
+/// The push-based five-stage QRS detector: a thin facade over one shared
+/// [`DetectorEngine`] and one [`DetectorState`].
+///
+/// See the [module docs](self) for the equivalence contract, the memory
+/// policies, and latency bounds, and [`crate::QrsDetector`] for the batch
+/// counterpart.
+#[derive(Debug, Clone)]
+pub struct StreamingQrsDetector {
+    engine: Arc<DetectorEngine>,
+    state: DetectorState,
+}
+
+impl StreamingQrsDetector {
+    /// Creates a streaming detector for the given pipeline configuration
+    /// (which selects the arithmetic, the [`Footprint`] policy, the
+    /// thresholding, and the alignment tolerance), compiling a private
+    /// engine. To share one engine across many sessions, use
+    /// [`StreamingQrsDetector::from_engine`].
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        Self::from_engine(Arc::new(DetectorEngine::new(config)))
+    }
+
+    /// Creates a streaming detector with explicit thresholding parameters.
+    #[deprecated(note = "configure via `PipelineConfig::with_threshold`")]
+    #[must_use]
+    pub fn with_threshold(config: PipelineConfig, threshold: ThresholdConfig) -> Self {
+        Self::new(config.with_threshold(threshold))
+    }
+
+    /// Creates a session over an already-compiled shared engine. This is
+    /// the fleet shape: one [`DetectorEngine`] (configuration + tap
+    /// tables, billed once) drives any number of sessions, each paying
+    /// only [`DetectorState::state_bytes`].
+    #[must_use]
+    pub fn from_engine(engine: Arc<DetectorEngine>) -> Self {
+        let state = DetectorState::new(&engine);
+        Self { engine, state }
+    }
+
+    /// The shared engine this session runs on.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<DetectorEngine> {
+        &self.engine
+    }
+
+    /// Overrides the maximum tolerated HPF↔MWI misalignment (samples).
+    #[deprecated(note = "configure via `PipelineConfig::with_max_misalignment`")]
+    #[must_use]
+    pub fn with_max_misalignment(self, samples: usize) -> Self {
+        Self::new(self.engine.config().with_max_misalignment(samples))
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        self.engine.config()
+    }
+
+    /// The memory-retention policy this detector runs under.
+    #[must_use]
+    pub fn footprint(&self) -> Footprint {
+        self.engine.config().footprint()
+    }
+
+    /// Samples pushed so far.
+    #[must_use]
+    pub fn samples_seen(&self) -> usize {
+        self.state.samples_seen()
+    }
+
+    /// Total pipeline group delay in samples (MWI coordinates − raw
+    /// coordinates); 37 for the paper's stages.
+    #[must_use]
+    pub fn total_delay(&self) -> usize {
+        self.engine.total_delay()
+    }
+
+    /// Worst-case samples between an R-peak's MWI-signal position and the
+    /// emission of its [`StreamEvent::RPeak`], once the startup gate
+    /// ([`StreamingQrsDetector::startup_samples`]) has passed. Search-back
+    /// recoveries are exempt (see the [module docs](self)).
+    ///
+    /// Relative to the *raw* beat position, add
+    /// [`StreamingQrsDetector::total_delay`].
+    #[must_use]
+    pub fn max_event_lag(&self) -> usize {
+        // Candidate finality vs. alignment-window completion — whichever
+        // bound binds.
+        let finality = self.engine.config().threshold().peak_spacing + 1;
+        let alignment = (ALIGNMENT_SEARCH + 1).saturating_sub(HPF_TO_MWI_DELAY);
+        finality.max(alignment)
+    }
+
+    /// Samples before any event can be emitted: the SPK/NPK learning
+    /// window plus the classifier's minimum-signal-length gate.
+    #[must_use]
+    pub fn startup_samples(&self) -> usize {
+        let threshold = self.engine.config().threshold();
+        threshold.learning.max(2 * threshold.peak_spacing + 1)
+    }
+
+    /// Heap bytes owned by this detector right now — see
+    /// [`DetectorState::heap_bytes`]. Excludes the shared engine and the
+    /// process-wide per-tap product tables; see
+    /// [`StreamingQrsDetector::shared_table_bytes`].
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.state.heap_bytes()
+    }
+
+    /// Total live per-session state in bytes: the facade struct plus
+    /// [`StreamingQrsDetector::heap_bytes`]. Under [`Footprint::Bounded`]
+    /// this stays flat in the record length (the CI budget gate
+    /// `ext_memory_footprint --check` measures exactly this); under
+    /// [`Footprint::Retain`] it grows linearly. The shared engine is
+    /// reported separately by [`DetectorEngine::engine_bytes`] — billed
+    /// once per configuration, not per session.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.heap_bytes()
+    }
+
+    /// Bytes of the distinct shared per-tap product tables the FIR stages
+    /// reference — each table counted once, even when two stages share it
+    /// (LPF and HPF at the same LSB depth share e.g. the |1| table). These
+    /// live behind `Arc`s in a process-wide cache keyed by `(width, LSBs,
+    /// kinds, |coefficient|)` and are shared by every detector with the
+    /// same configuration — amortised state, reported separately from
+    /// [`StreamingQrsDetector::state_bytes`] for honesty.
+    #[must_use]
+    pub fn shared_table_bytes(&self) -> usize {
+        self.engine.shared_table_bytes()
+    }
+
+    /// Convenience driver: streams a whole record through a fresh detector
+    /// in `chunk_size`-sample pushes and returns the full event sequence
+    /// plus the final result. One-stop equivalent of
+    /// `new(config)` + repeated [`StreamingQrsDetector::push`] +
+    /// [`StreamingQrsDetector::finish`] — used by the evaluator, the bench
+    /// gate, and the equivalence tests so the drive loop exists once.
+    #[must_use]
+    pub fn detect_chunked(
+        config: PipelineConfig,
+        samples: &[i32],
+        chunk_size: usize,
+    ) -> (Vec<StreamEvent>, DetectionResult) {
+        let mut detector = Self::new(config);
+        let mut events = Vec::new();
+        for chunk in samples.chunks(chunk_size.max(1)) {
+            events.extend(detector.push(chunk));
+        }
+        let (trailing, result) = detector.finish();
+        events.extend(trailing);
+        (events, result)
+    }
+
+    /// Feeds a chunk of raw samples (any size, down to one) and returns
+    /// the events that became final.
+    pub fn push(&mut self, chunk: &[i32]) -> Vec<StreamEvent> {
+        self.push_impl(chunk, None)
+    }
+
+    /// Like [`StreamingQrsDetector::push`], additionally appending the
+    /// chunk's HPF outputs (the paper's pre-processed signal, the
+    /// PSNR/SSIM evaluation point) to `hpf_out`. This is how quality gates
+    /// read the pre-processing output of a [`Footprint::Bounded`] run,
+    /// whose final result carries no signal vectors — the evaluator's
+    /// record-batched path streams the HPF tap into a reusable scratch
+    /// buffer instead of retaining five full signals per detector.
+    pub fn push_tapped(&mut self, chunk: &[i32], hpf_out: &mut Vec<i64>) -> Vec<StreamEvent> {
+        self.push_impl(chunk, Some(hpf_out))
+    }
+
+    fn push_impl(&mut self, chunk: &[i32], mut tap: Option<&mut Vec<i64>>) -> Vec<StreamEvent> {
+        let shift = self.engine.config().input_shift;
+        let max_misalignment = self.engine.config().max_misalignment();
+        let DetectorState {
+            lpf,
+            hpf,
+            der,
+            sqr,
+            mwi,
+            tail,
+        } = &mut self.state;
+        for &x in chunk {
+            let x = i64::from(x) << shift;
+            let a = lpf.process(x);
+            let b = hpf.process(a);
+            let c = der.process(b);
+            let d = sqr.process(c);
+            let e = mwi.process(d);
+            tail.ingest(a, b, c, d, e, tap.as_deref_mut());
+        }
+        let mut events = Vec::new();
+        tail.settle(false, max_misalignment, &mut events);
+        events
+    }
+
+    /// Ends the stream: flushes the classifier and the alignment queue
+    /// (clipping the final alignment windows at the record end, as the
+    /// batch path does) and returns the trailing events together with the
+    /// complete [`DetectionResult`].
+    ///
+    /// Under [`Footprint::Retain`] the result equals
+    /// [`crate::QrsDetector::detect`] over the concatenated input in every
+    /// field. Under [`Footprint::Bounded`] the result is slim — counters
+    /// and delay only, with empty peak/decision lists and
+    /// [`DetectionResult::signals`] `None` (the event stream, which is
+    /// identical to the retaining mode's, carries the beats).
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<StreamEvent>, DetectionResult) {
+        self.finish_in_place()
+    }
+
+    /// Like [`StreamingQrsDetector::finish`], but leaves the detector
+    /// ready for the next record instead of consuming it: configuration
+    /// and compiled per-tap tables are kept, while all signal state,
+    /// counters, and classifier state reset — the returned result and
+    /// subsequent pushes are bit-for-bit what a freshly constructed
+    /// detector would produce. This is the record-batched evaluation
+    /// workhorse: one detector (one set of table handles, one set of
+    /// buffers) drives an entire corpus.
+    #[must_use]
+    pub fn finish_reset(&mut self) -> (Vec<StreamEvent>, DetectionResult) {
+        let out = self.finish_in_place();
+        self.reset();
+        out
+    }
+
+    /// Resets all per-record state (stages, counters, classifier, stores,
+    /// queues), keeping the shared engine.
+    fn reset(&mut self) {
+        let config = *self.engine.config();
+        self.state.reset(&config);
+    }
+
+    fn finish_in_place(&mut self) -> (Vec<StreamEvent>, DetectionResult) {
+        let mut events = Vec::new();
+        let max_misalignment = self.engine.config().max_misalignment();
+        self.state.tail.finish(max_misalignment, &mut events);
+        let result = self.state.take_result(self.engine.total_delay());
+        (events, result)
     }
 }
 
@@ -816,6 +1020,34 @@ mod tests {
         let batch = QrsDetector::new(config).detect(&signal);
         let (_, streamed) = run_streaming(config, &signal, 13);
         assert_eq!(streamed, batch);
+    }
+
+    /// Sessions built from one shared engine behave exactly like fresh
+    /// detectors, and the per-session bill excludes the engine.
+    #[test]
+    fn engine_shared_across_sessions_is_bit_identical() {
+        let config =
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded);
+        let engine = Arc::new(DetectorEngine::new(config));
+        for signal in [pulse_train(2400, 170, 200), pulse_train(2400, 160, 230)] {
+            let mut shared = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+            let mut events = Vec::new();
+            for chunk in signal.chunks(23) {
+                events.extend(shared.push(chunk));
+            }
+            let (trailing, result) = shared.finish();
+            events.extend(trailing);
+            let (fresh_events, fresh_result) = run_streaming(config, &signal, 23);
+            assert_eq!(events, fresh_events, "shared-engine events diverged");
+            assert_eq!(result, fresh_result, "shared-engine result diverged");
+        }
+        let session = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+        assert!(
+            session.state_bytes() < 10 * 1024,
+            "per-session state {} should exclude the engine",
+            session.state_bytes()
+        );
+        assert!(Arc::ptr_eq(session.engine(), &engine));
     }
 
     // ---- bounded-footprint mode -------------------------------------

@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use crate::config::Footprint;
+use crate::config::{Footprint, PipelineConfig};
 use crate::decision::{DecisionArith, DecisionKernel};
 
 /// Detector timing and adaptation parameters (defaults follow the original
@@ -98,6 +98,27 @@ impl Default for ThresholdConfig {
     }
 }
 
+// `fs` is an `f64`, so `Eq`/`Hash` cannot be derived. [`ThresholdConfig::
+// for_fs`] (the only constructor) rejects non-finite rates, so no NaN can
+// reach the derived `PartialEq`, and bitwise hashing of `fs` is consistent
+// with it: equal configs hash equally. This is what lets the config embed
+// in the `Eq + Hash` [`PipelineConfig`].
+impl Eq for ThresholdConfig {}
+
+impl std::hash::Hash for ThresholdConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.fs.to_bits().hash(state);
+        self.refractory.hash(state);
+        self.t_wave_window.hash(state);
+        self.learning.hash(state);
+        self.search_back_num.hash(state);
+        self.search_back_den.hash(state);
+        self.slope_window.hash(state);
+        self.peak_spacing.hash(state);
+        self.warmup.hash(state);
+    }
+}
+
 /// Why a candidate peak was classified the way it was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeakClass {
@@ -164,7 +185,21 @@ impl AdaptiveThreshold {
         }
     }
 
+    /// Creates a classifier from a pipeline configuration — the single
+    /// source of truth for the timing parameters
+    /// ([`PipelineConfig::with_threshold`]) and decision arithmetic
+    /// ([`PipelineConfig::with_decision`]).
+    #[must_use]
+    pub fn for_config(config: &PipelineConfig) -> Self {
+        Self {
+            config: config.threshold(),
+            decision: config.decision(),
+        }
+    }
+
     /// Selects the decision arithmetic (see [`crate::decision`]).
+    #[deprecated(note = "configure via `PipelineConfig::with_decision` and build with \
+                `AdaptiveThreshold::for_config`")]
     #[must_use]
     pub fn with_decision(mut self, decision: DecisionArith) -> Self {
         self.decision = decision;
@@ -204,8 +239,7 @@ impl AdaptiveThreshold {
     /// index.
     #[must_use]
     pub fn classify(&self, signal: &[i64]) -> Vec<PeakDecision> {
-        let mut online =
-            OnlineClassifier::with_options(self.config, Footprint::Retain, self.decision);
+        let mut online = OnlineClassifier::build(self.config, Footprint::Retain, self.decision);
         let mut decisions = Vec::new();
         for &x in signal {
             online.push(x, &mut decisions);
@@ -324,10 +358,14 @@ impl OnlineClassifier {
     /// (retaining every candidate, like the batch path).
     #[must_use]
     pub fn new(config: ThresholdConfig) -> Self {
-        Self::with_retention(config, Footprint::Retain)
+        Self::build(config, Footprint::Retain, DecisionArith::default())
     }
 
-    /// Creates an incremental classifier with an explicit retention policy.
+    /// Creates an incremental classifier from a pipeline configuration —
+    /// threshold timing ([`PipelineConfig::with_threshold`]), retention
+    /// policy ([`PipelineConfig::with_footprint`]), and decision arithmetic
+    /// ([`PipelineConfig::with_decision`]) are all read from the one
+    /// config.
     ///
     /// Under [`Footprint::Bounded`], candidate peaks are dropped as soon as
     /// no future search-back can revisit them and the accepted-QRS
@@ -337,19 +375,42 @@ impl OnlineClassifier {
     /// bit-for-bit identical to the retaining mode — the search-back filter
     /// (`index > last_qrs + refractory`) can never select a pruned
     /// candidate, and every decision reads only `last()` of the QRS
-    /// history.
+    /// history. Under [`DecisionArith::Fixed`] (the default everywhere) no
+    /// `f64` operation is reachable from [`OnlineClassifier::push`];
+    /// [`DecisionArith::Float`] is the legacy reference path (see
+    /// [`crate::decision`]).
+    #[must_use]
+    pub fn for_config(config: &PipelineConfig) -> Self {
+        Self::build(config.threshold(), config.footprint(), config.decision())
+    }
+
+    /// Creates an incremental classifier with an explicit retention policy.
+    #[deprecated(
+        note = "configure via `PipelineConfig::with_footprint` and build with \
+                `OnlineClassifier::for_config`"
+    )]
     #[must_use]
     pub fn with_retention(config: ThresholdConfig, retention: Footprint) -> Self {
-        Self::with_options(config, retention, DecisionArith::default())
+        Self::build(config, retention, DecisionArith::default())
     }
 
     /// Creates an incremental classifier with an explicit retention policy
-    /// *and* decision arithmetic. Under [`DecisionArith::Fixed`] (the
-    /// default everywhere) no `f64` operation is reachable from
-    /// [`OnlineClassifier::push`]; [`DecisionArith::Float`] is the legacy
-    /// reference path (see [`crate::decision`]).
+    /// *and* decision arithmetic.
+    #[deprecated(
+        note = "configure via `PipelineConfig::with_footprint`/`with_decision` \
+                and build with `OnlineClassifier::for_config`"
+    )]
     #[must_use]
     pub fn with_options(
+        config: ThresholdConfig,
+        retention: Footprint,
+        decision: DecisionArith,
+    ) -> Self {
+        Self::build(config, retention, decision)
+    }
+
+    /// The one real constructor every public entry point delegates to.
+    pub(crate) fn build(
         config: ThresholdConfig,
         retention: Footprint,
         decision: DecisionArith,
@@ -867,6 +928,26 @@ mod tests {
 
     use reference::local_maxima;
 
+    /// Classifier with explicit decision arithmetic, via the config path
+    /// (the deprecated `with_decision` builder is exercised only in
+    /// `deprecated_builders_delegate_to_config_paths`).
+    fn thresh(cfg: ThresholdConfig, arith: DecisionArith) -> AdaptiveThreshold {
+        AdaptiveThreshold::for_config(
+            &PipelineConfig::exact()
+                .with_threshold(cfg)
+                .with_decision(arith),
+        )
+    }
+
+    /// Bounded-retention online classifier via the config path.
+    fn bounded_classifier(cfg: ThresholdConfig) -> OnlineClassifier {
+        OnlineClassifier::for_config(
+            &PipelineConfig::exact()
+                .with_threshold(cfg)
+                .with_footprint(Footprint::Bounded),
+        )
+    }
+
     /// Builds an MWI-like signal: triangular bumps of `peak` height at the
     /// given positions over a noise floor.
     fn mwi_signal(len: usize, positions: &[usize], peak: i64, floor: i64) -> Vec<i64> {
@@ -1048,7 +1129,7 @@ mod tests {
     fn online_classifier_matches_reference_implementation() {
         let cfg = ThresholdConfig::default();
         for arith in [DecisionArith::Fixed, DecisionArith::Float] {
-            let det = AdaptiveThreshold::new(cfg).with_decision(arith);
+            let det = thresh(cfg, arith);
             for seed in 0..40u64 {
                 let len = 600 + (seed as usize * 137) % 2500;
                 let s = fuzz_signal(seed + 1, len);
@@ -1081,7 +1162,7 @@ mod tests {
         ];
         for cfg in configs {
             for arith in [DecisionArith::Fixed, DecisionArith::Float] {
-                let det = AdaptiveThreshold::new(cfg).with_decision(arith);
+                let det = thresh(cfg, arith);
                 for len in [0usize, 1, 10, 40, 41, 120, 399, 400, 401, 1200] {
                     let s = fuzz_signal(len as u64 + 7, len);
                     assert_eq!(
@@ -1160,9 +1241,7 @@ mod tests {
         // And Float agrees decision-for-decision at this rate too.
         assert_eq!(
             det.classify(&s),
-            AdaptiveThreshold::new(cfg)
-                .with_decision(DecisionArith::Float)
-                .classify(&s)
+            thresh(cfg, DecisionArith::Float).classify(&s)
         );
     }
 
@@ -1198,9 +1277,7 @@ mod tests {
         s.extend_from_slice(&[0; 6]);
 
         let fixed = AdaptiveThreshold::new(cfg).classify(&s);
-        let float = AdaptiveThreshold::new(cfg)
-            .with_decision(DecisionArith::Float)
-            .classify(&s);
+        let float = thresh(cfg, DecisionArith::Float).classify(&s);
         assert_eq!(fixed.len(), 1);
         assert_eq!(float.len(), 1);
         assert_eq!(
@@ -1255,7 +1332,7 @@ mod tests {
     /// bounded classifier for state inspection.
     fn lockstep_bounded(cfg: ThresholdConfig, s: &[i64]) -> OnlineClassifier {
         let mut retain = OnlineClassifier::new(cfg);
-        let mut bounded = OnlineClassifier::with_retention(cfg, Footprint::Bounded);
+        let mut bounded = bounded_classifier(cfg);
         let (mut out_r, mut out_b) = (Vec::new(), Vec::new());
         for (i, &x) in s.iter().enumerate() {
             retain.push(x, &mut out_r);
@@ -1295,8 +1372,7 @@ mod tests {
         for (a, b) in s.iter_mut().zip(&weak) {
             *a = (*a).max(*b);
         }
-        let mut bounded =
-            OnlineClassifier::with_retention(ThresholdConfig::default(), Footprint::Bounded);
+        let mut bounded = bounded_classifier(ThresholdConfig::default());
         let mut decisions = Vec::new();
         for &x in &s {
             bounded.push(x, &mut decisions);
@@ -1321,7 +1397,7 @@ mod tests {
         let positions: Vec<usize> = (0..60).map(|i| 150 + i * 170).collect();
         let s = mwi_signal(11_000, &positions, 4000, 20);
         let mut retain = OnlineClassifier::new(cfg);
-        let mut bounded = OnlineClassifier::with_retention(cfg, Footprint::Bounded);
+        let mut bounded = bounded_classifier(cfg);
         let mut sink = Vec::new();
         let mut bounded_high_water = 0usize;
         for &x in &s {
@@ -1339,6 +1415,34 @@ mod tests {
             bounded_high_water < 8 * 1024,
             "bounded classifier state hit {bounded_high_water} bytes"
         );
+    }
+
+    /// The deprecated builders still delegate to the config-driven paths
+    /// bit-for-bit — the compatibility contract of the consolidation.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_delegate_to_config_paths() {
+        let cfg = ThresholdConfig::for_fs(360.0);
+        let s = fuzz_signal(5, 1500);
+        assert_eq!(
+            AdaptiveThreshold::new(cfg)
+                .with_decision(DecisionArith::Float)
+                .classify(&s),
+            thresh(cfg, DecisionArith::Float).classify(&s)
+        );
+        let mut old = OnlineClassifier::with_options(cfg, Footprint::Bounded, DecisionArith::Fixed);
+        let mut new = bounded_classifier(cfg);
+        let (mut out_old, mut out_new) = (Vec::new(), Vec::new());
+        for &x in &s {
+            old.push(x, &mut out_old);
+            new.push(x, &mut out_new);
+        }
+        old.finish(&mut out_old);
+        new.finish(&mut out_new);
+        assert_eq!(out_old, out_new);
+        // `with_retention` routes through the same `build`.
+        let retained = OnlineClassifier::with_retention(cfg, Footprint::Retain);
+        assert_eq!(retained.decision(), DecisionArith::Fixed);
     }
 
     #[test]

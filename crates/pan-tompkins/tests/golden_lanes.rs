@@ -1,0 +1,172 @@
+//! Golden-trace regression for the lane bank: four distinct synthetic
+//! records run through one 4-lane [`LaneBank`] on a single shared
+//! [`DetectorEngine`], with every lane's R-peak positions and counters
+//! committed as a fixture. This pins the *absolute* behavior of the SoA
+//! stage kernels (not just lane↔scalar agreement), so a refactor that
+//! drifts the lanes and the scalar path in lockstep still trips.
+//!
+//! If a deliberate algorithm change invalidates the fixture, regenerate it
+//! with `cargo test -p pan-tompkins --test golden_lanes -- --ignored
+//! print_fixture --nocapture` and update the constants below.
+
+use std::sync::Arc;
+
+use pan_tompkins::{DetectorEngine, Footprint, LaneBank, PipelineConfig, StreamEvent};
+
+/// Lanes in the fixture bank.
+const LANES: usize = 4;
+
+/// Samples per lane (20 s at 200 Hz).
+const LEN: usize = 4000;
+
+/// The fixture configuration: the paper's B9 design.
+fn fixture_config() -> PipelineConfig {
+    PipelineConfig::least_energy([10, 12, 2, 8, 16])
+}
+
+/// The fixture workloads: four NSRDB morphology variants, one per lane.
+/// Lane 3 is amplitude-boosted past the 16-bit datapath so its frozen
+/// trace exercises the per-lane saturation/overflow counters.
+fn workloads() -> Vec<Vec<i32>> {
+    (0..LANES)
+        .map(|i| {
+            let gain = if i == 3 { 9 } else { 1 };
+            ecg::nsrdb::record(i)
+                .truncated(LEN)
+                .samples()
+                .iter()
+                .map(|&v| v * gain)
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-stage `(adds, muls)` for a 4000-sample lane — fixed by the netlist
+/// (11/32/4/1 multipliers, 10/31/3/0/29 adders per sample), identical for
+/// every lane.
+const GOLDEN_LANE_OPS: [(u64, u64); 5] = [
+    (40_000, 44_000),
+    (124_000, 128_000),
+    (12_000, 16_000),
+    (0, 4_000),
+    (116_000, 0),
+];
+
+/// Per-lane frozen R-peak positions (raw-sample coordinates).
+#[rustfmt::skip]
+const GOLDEN_LANE_R_PEAKS: [&[usize]; LANES] = [
+    &[92, 268, 428, 587, 762, 935, 1108, 1277, 1433, 1603, 1768, 1935, 2103,
+      2267, 2442, 2613, 2778, 2939, 3116, 3285, 3450, 3621, 3800, 3964],
+    &[94, 269, 455, 627, 813, 1001, 1185, 1360, 1550, 1731, 1901, 2073, 2257,
+      2441, 2622, 2806, 2972, 3166, 3361, 3544, 3741, 3921],
+    &[119, 277, 434, 593, 741, 904, 1052, 1208, 1359, 1532, 1669, 1823, 1982,
+      2148, 2295, 2449, 2609, 2763, 2919, 3072, 3243, 3393, 3556, 3710, 3868],
+    &[143, 313, 478, 651, 829, 1002, 1169, 1333, 1507, 1654, 1831, 2009, 2175,
+      2343, 2508, 2684, 2861, 3032, 3202, 3374, 3543, 3703, 3878],
+];
+
+/// Per-lane, per-stage multiplier-operand saturation events: only the
+/// boosted lane clamps, in the LPF (input operands) and the squarer.
+const GOLDEN_LANE_SATURATIONS: [[u64; 5]; LANES] = [[0; 5], [0; 5], [0; 5], [275, 0, 0, 322, 0]];
+
+/// Per-lane, per-stage adder-bus overflow events: the boosted lane wraps
+/// the MWI's accumulation bus.
+const GOLDEN_LANE_ADD_OVERFLOWS: [[u64; 5]; LANES] = [[0; 5], [0; 5], [0; 5], [0, 0, 0, 0, 2014]];
+
+/// Per-lane omitted-beat counts.
+const GOLDEN_LANE_OMITTED: [usize; LANES] = [0; LANES];
+
+/// Runs the fixture bank under one footprint and returns each lane's
+/// event-stream peaks and final result.
+fn run_fixture(footprint: Footprint) -> Vec<(Vec<usize>, pan_tompkins::DetectionResult)> {
+    let config = fixture_config().with_footprint(footprint);
+    let engine = Arc::new(DetectorEngine::new(config));
+    let mut bank = LaneBank::new(Arc::clone(&engine), LANES);
+    let signals = workloads();
+    let mut peaks: Vec<Vec<usize>> = vec![Vec::new(); LANES];
+    // AFE-style 50 ms pushes: 10 ticks × 4 lanes.
+    for t0 in (0..LEN).step_by(10) {
+        let frames: Vec<i32> = (t0..t0 + 10)
+            .flat_map(|t| signals.iter().map(move |s| s[t]))
+            .collect();
+        for le in bank.push(&frames) {
+            peaks[le.lane].extend(le.event.r_peak());
+        }
+    }
+    (0..LANES)
+        .map(|lane| {
+            let (trailing, result) = bank.finish_lane(lane);
+            let lane_peaks = &mut peaks[lane];
+            lane_peaks.extend(trailing.iter().filter_map(StreamEvent::r_peak));
+            lane_peaks.sort_unstable();
+            lane_peaks.dedup();
+            (std::mem::take(lane_peaks), result)
+        })
+        .collect()
+}
+
+/// Both footprints must reproduce the frozen per-lane traces — peaks via
+/// the event stream, counters via the per-lane results.
+#[test]
+fn four_lane_bank_reproduces_golden_traces() {
+    for footprint in [Footprint::Retain, Footprint::Bounded] {
+        for (lane, (peaks, result)) in run_fixture(footprint).into_iter().enumerate() {
+            let label = format!("{footprint:?}/lane {lane}");
+            assert_eq!(
+                peaks, GOLDEN_LANE_R_PEAKS[lane],
+                "{label}: event-stream r-peaks drifted from the golden trace"
+            );
+            if footprint == Footprint::Retain {
+                assert_eq!(
+                    result.r_peaks(),
+                    GOLDEN_LANE_R_PEAKS[lane],
+                    "{label}: result r-peaks drifted from the golden trace"
+                );
+            } else {
+                assert!(result.signals().is_none(), "{label}: signals retained");
+            }
+            for (i, (adds, muls)) in GOLDEN_LANE_OPS.iter().enumerate() {
+                assert_eq!(result.ops()[i].adds(), *adds, "{label}: stage {i} adds");
+                assert_eq!(result.ops()[i].muls(), *muls, "{label}: stage {i} muls");
+            }
+            assert_eq!(
+                result.saturations(),
+                &GOLDEN_LANE_SATURATIONS[lane],
+                "{label}: saturation counters"
+            );
+            assert_eq!(
+                result.add_overflows(),
+                &GOLDEN_LANE_ADD_OVERFLOWS[lane],
+                "{label}: add-overflow counters"
+            );
+            assert_eq!(
+                result.omitted().len(),
+                GOLDEN_LANE_OMITTED[lane],
+                "{label}: omitted-beat count"
+            );
+        }
+    }
+}
+
+/// Regenerates the fixture constants (run with `--ignored --nocapture`).
+#[test]
+#[ignore = "fixture generator, not a regression check"]
+fn print_fixture() {
+    let lanes = run_fixture(Footprint::Retain);
+    println!("const GOLDEN_LANE_R_PEAKS: [&[usize]; LANES] = [");
+    for (peaks, _) in &lanes {
+        println!("    &{peaks:?},");
+    }
+    println!("];");
+    let sats: Vec<_> = lanes.iter().map(|(_, r)| *r.saturations()).collect();
+    println!("saturations: {sats:?}");
+    let ovfs: Vec<_> = lanes.iter().map(|(_, r)| *r.add_overflows()).collect();
+    println!("add_overflows: {ovfs:?}");
+    let omitted: Vec<_> = lanes.iter().map(|(_, r)| r.omitted().len()).collect();
+    println!("omitted: {omitted:?}");
+    let ops: Vec<Vec<(u64, u64)>> = lanes
+        .iter()
+        .map(|(_, r)| r.ops().iter().map(|o| (o.adds(), o.muls())).collect())
+        .collect();
+    println!("ops: {ops:?}");
+}

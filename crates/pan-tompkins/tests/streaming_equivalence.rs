@@ -4,10 +4,12 @@
 //! counters — equals the batch `detect` exactly, and the event stream does
 //! not depend on how the input was split into `push` calls.
 
+use std::sync::Arc;
+
 use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
 use pan_tompkins::{
-    DecisionArith, DetectionResult, Footprint, PipelineConfig, QrsDetector, StreamEvent,
-    StreamingQrsDetector,
+    DecisionArith, DetectionResult, DetectorEngine, Footprint, LaneBank, PipelineConfig,
+    QrsDetector, StreamEvent, StreamingQrsDetector,
 };
 use proptest::prelude::*;
 
@@ -153,6 +155,80 @@ proptest! {
             &float_bounded_events, &reference,
             "float bounded events diverged for {}", config
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The lane axis of the contract: every lane of a [`LaneBank`] emits
+    /// the same event stream and final result — including every
+    /// operation/saturation/overflow counter — as its solo scalar run, for
+    /// random configurations × lane counts × signals × push granularities
+    /// × footprints × decision arithmetic.
+    #[test]
+    fn lane_bank_lanes_match_their_solo_runs(
+        seed in 0u64..10_000,
+        len in 600usize..2200,
+        lanes in 1usize..9,
+        k0 in 0u32..=16, k1 in 0u32..=16, k2 in 0u32..=16, k3 in 0u32..=16, k4 in 0u32..=16,
+        mult_idx in 0usize..3,
+        adder_idx in 0usize..6,
+        ticks_a in 1usize..40,
+        ticks_b in 1usize..400,
+        bounded in 0u8..2,
+        float_decision in 0u8..2,
+    ) {
+        let mut config = config_from([k0, k1, k2, k3, k4], mult_idx, adder_idx);
+        if bounded == 1 {
+            config = config.with_footprint(Footprint::Bounded);
+        }
+        if float_decision == 1 {
+            config = config.with_decision(DecisionArith::Float);
+        }
+
+        // One morphology per lane; trim to a common length so the frames
+        // interleave (record_samples clips at its source record's end).
+        let mut signals: Vec<Vec<i32>> = (0..lanes as u64)
+            .map(|l| record_samples(seed + 131 * l, len))
+            .collect();
+        let n = signals.iter().map(Vec::len).min().expect("lanes >= 1");
+        for s in &mut signals {
+            s.truncate(n);
+        }
+
+        // Drive the bank in alternating drawn tick counts.
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut bank = LaneBank::new(engine, lanes);
+        let mut per_lane: Vec<Vec<StreamEvent>> = vec![Vec::new(); lanes];
+        let ticks = [ticks_a, ticks_b];
+        let mut t = 0usize;
+        let mut turn = 0usize;
+        while t < n {
+            let take = ticks[turn % ticks.len()].min(n - t);
+            let frames: Vec<i32> = (t..t + take)
+                .flat_map(|tick| signals.iter().map(move |s| s[tick]))
+                .collect();
+            for le in bank.push(&frames) {
+                per_lane[le.lane].push(le.event);
+            }
+            t += take;
+            turn += 1;
+        }
+
+        for (lane, events) in per_lane.iter_mut().enumerate() {
+            let (trailing, result) = bank.finish_lane(lane);
+            events.extend(trailing);
+            let (solo_events, solo_result) = run_streaming(config, &signals[lane], &[97]);
+            prop_assert_eq!(
+                &*events, &solo_events,
+                "lane {} of {} events diverged for {}", lane, lanes, config
+            );
+            prop_assert_eq!(
+                &result, &solo_result,
+                "lane {} of {} result diverged for {}", lane, lanes, config
+            );
+        }
     }
 }
 
