@@ -1,0 +1,89 @@
+//! CLI driver for the invariant checker.
+//!
+//! ```text
+//! xanalyze [--root <dir>] [--json] [--check]
+//! ```
+//!
+//! * `--root <dir>` — workspace root (default: walk up from the current
+//!   directory to the first directory holding both `Cargo.toml` and
+//!   `DESIGN.md`);
+//! * `--json` — machine-readable findings on stdout instead of text;
+//! * `--check` — exit with status 1 when there is any finding (CI mode;
+//!   without it the process always exits 0 so the output can be piped).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::{analyze, to_json, CheckConfig};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!("usage: xanalyze [--root <dir>] [--json] [--check]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => return usage("no workspace root found (looked for Cargo.toml + DESIGN.md)"),
+    };
+
+    let findings = match analyze(&CheckConfig::workspace(root)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xanalyze: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", to_json(&findings));
+    } else if findings.is_empty() {
+        println!("xanalyze: all invariants hold");
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("xanalyze: {} finding(s)", findings.len());
+    }
+
+    if check && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the first directory containing
+/// both `Cargo.toml` and `DESIGN.md`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("DESIGN.md").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("xanalyze: {problem}");
+    eprintln!("usage: xanalyze [--root <dir>] [--json] [--check]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,29 @@
+//! `xanalyze` — the workspace's in-tree invariant checker.
+//!
+//! PRs 5 and 6 established load-bearing properties that ordinary tests
+//! cannot guard structurally: the MCU-faithful detection path is
+//! float-free, `unsafe` is confined to two audited `#[target_feature]`
+//! kernels behind one dispatcher, the hot path never panics, and design
+//! cross-references stay accurate. This crate enforces all four
+//! *statically*, from source text, with a hand-rolled lexer that is
+//! immune to keywords hiding in strings, comments, or test modules.
+//!
+//! Run it locally with:
+//!
+//! ```text
+//! cargo run -p analysis --bin xanalyze -- --check
+//! ```
+//!
+//! See `DESIGN.md` §10 for the invariant catalogue, the allowlist marker
+//! format, and the CI wiring. The crate is std-only by design: it must
+//! build in the same offline environment as the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod passes;
+pub mod report;
+
+pub use passes::{analyze, CheckConfig};
+pub use report::{to_json, Finding, Pass};

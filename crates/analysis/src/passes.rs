@@ -1,0 +1,487 @@
+//! The four invariant passes and the workspace walker that drives them.
+//!
+//! Every pass consumes [`crate::lexer::FileModel`]s, so none of them can
+//! be fooled by keywords inside strings, raw strings, comments, or
+//! `#[cfg(test)]` modules — the exact failure modes of `grep`-based
+//! enforcement. See `DESIGN.md` §10 for the rule catalogue and rationale.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{is_float_literal, FileModel, TokKind};
+use crate::report::{Finding, Pass};
+
+/// What to check and where. [`CheckConfig::workspace`] is the in-tree
+/// instance; fixture tests build bespoke ones.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Workspace root; all other paths are relative to it.
+    pub root: PathBuf,
+    /// Directories (relative) to walk for `*.rs` files.
+    pub scan_dirs: Vec<String>,
+    /// Relative path prefixes to skip (fixtures, build output).
+    pub skip_prefixes: Vec<String>,
+    /// Hot-path modules: exact relative files, or directory prefixes
+    /// ending in `/`. Scope of the float-freedom and panic-freedom passes.
+    pub hot_paths: Vec<String>,
+    /// Files permitted to carry `xanalyze: begin-allow(float)` regions.
+    pub float_allow_files: Vec<String>,
+    /// Files permitted to contain `unsafe` at all.
+    pub unsafe_files: Vec<String>,
+    /// Registered runtime-dispatch sites: the only `(file, fn)` bodies
+    /// allowed to invoke a `#[target_feature]` function.
+    pub dispatch_sites: Vec<(String, String)>,
+    /// The design document (relative) whose `§N` headings anchor doc refs.
+    pub design_doc: String,
+}
+
+impl CheckConfig {
+    /// The configuration for this repository: hot-path set, audited
+    /// `unsafe` files, and registered dispatch sites as established by
+    /// PRs 5 and 6.
+    #[must_use]
+    pub fn workspace(root: PathBuf) -> Self {
+        const HOT: &str = "crates/pan-tompkins/src/";
+        Self {
+            root,
+            scan_dirs: vec![
+                "crates".into(),
+                "src".into(),
+                "tests".into(),
+                "examples".into(),
+            ],
+            skip_prefixes: vec!["crates/analysis/tests/fixtures".into(), "target".into()],
+            hot_paths: vec![
+                format!("{HOT}decision.rs"),
+                format!("{HOT}threshold.rs"),
+                format!("{HOT}streaming.rs"),
+                format!("{HOT}lane.rs"),
+                format!("{HOT}fir.rs"),
+                format!("{HOT}engine.rs"),
+                format!("{HOT}stages/"),
+            ],
+            float_allow_files: vec![format!("{HOT}decision.rs"), format!("{HOT}threshold.rs")],
+            unsafe_files: vec![format!("{HOT}lane.rs")],
+            dispatch_sites: vec![(format!("{HOT}lane.rs"), "stage_block_dispatch".to_string())],
+            design_doc: "DESIGN.md".into(),
+        }
+    }
+
+    fn is_hot(&self, rel: &str) -> bool {
+        self.hot_paths.iter().any(|h| {
+            if h.ends_with('/') {
+                rel.starts_with(h.as_str())
+            } else {
+                rel == h
+            }
+        })
+    }
+}
+
+/// One analysed source file.
+struct SourceFile {
+    rel: String,
+    model: FileModel,
+}
+
+/// Runs all four passes over the configured tree and returns every
+/// finding, sorted by pass, file, line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree; a missing
+/// design document is a *finding*, not an error.
+pub fn analyze(config: &CheckConfig) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for dir in &config.scan_dirs {
+        let abs = config.root.join(dir);
+        if abs.is_dir() {
+            walk(&abs, &mut |p| files.push(p.to_path_buf()))?;
+        }
+    }
+    files.sort();
+
+    let mut sources = Vec::new();
+    for path in files {
+        let rel = match path.strip_prefix(&config.root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if config
+            .skip_prefixes
+            .iter()
+            .any(|s| rel.starts_with(s.as_str()))
+        {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        sources.push(SourceFile {
+            rel,
+            model: FileModel::build(&src),
+        });
+    }
+
+    let mut findings = Vec::new();
+    marker_hygiene(config, &sources, &mut findings);
+    float_freedom(config, &sources, &mut findings);
+    unsafe_audit(config, &sources, &mut findings);
+    panic_freedom(config, &sources, &mut findings);
+    doc_refs(config, &sources, &mut findings);
+
+    findings.sort_by(|a, b| {
+        (a.pass, &a.file, a.line, &a.message).cmp(&(b.pass, &b.file, b.line, &b.message))
+    });
+    Ok(findings)
+}
+
+/// Recursively collects `*.rs` files under `dir`, skipping hidden
+/// directories.
+fn walk(dir: &Path, out: &mut dyn FnMut(&Path)) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        if name.to_string_lossy().starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out(&path);
+        }
+    }
+    Ok(())
+}
+
+/// Marker comments must be well formed wherever they appear: known pass
+/// name, justification text, balanced begin/end, and only in files that
+/// are allowlisted to carry them.
+fn marker_hygiene(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in sources {
+        for err in &f.model.marker_errors {
+            out.push(Finding::new(
+                Pass::Allowlist,
+                &f.rel,
+                err.line,
+                err.message.clone(),
+            ));
+        }
+        for region in &f.model.allow_regions {
+            if region.pass != "float" {
+                out.push(Finding::new(
+                    Pass::Allowlist,
+                    &f.rel,
+                    region.start_line,
+                    format!("unknown allow pass `{}` (known: float)", region.pass),
+                ));
+                continue;
+            }
+            if !config.float_allow_files.iter().any(|p| p == &f.rel) {
+                out.push(Finding::new(
+                    Pass::Allowlist,
+                    &f.rel,
+                    region.start_line,
+                    "allow(float) region in a file not on the float allowlist".to_string(),
+                ));
+            }
+            if !region.has_reason {
+                out.push(Finding::new(
+                    Pass::Allowlist,
+                    &f.rel,
+                    region.start_line,
+                    "begin-allow(float) marker carries no justification".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Pass 1: no `f32`/`f64` type tokens and no float literals in hot-path
+/// code outside test spans and explicit allow regions.
+fn float_freedom(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in sources {
+        if !config.is_hot(&f.rel) {
+            continue;
+        }
+        let m = &f.model;
+        for (i, t) in m.tokens.iter().enumerate() {
+            if m.in_test[i] || m.in_attr[i] {
+                continue;
+            }
+            let offence = match t.kind {
+                TokKind::Ident if t.text == "f64" || t.text == "f32" => {
+                    Some(format!("`{}` type in hot-path code", t.text))
+                }
+                TokKind::Number if is_float_literal(&t.text) => {
+                    Some(format!("float literal `{}` in hot-path code", t.text))
+                }
+                _ => None,
+            };
+            if let Some(msg) = offence {
+                if !m.allowed("float", t.line) {
+                    out.push(Finding::new(Pass::Float, &f.rel, t.line, msg));
+                }
+            }
+        }
+    }
+}
+
+/// Pass 2: `unsafe` only in audited files, always under an adjacent
+/// `// SAFETY:` comment; `#[target_feature]` functions invoked only from
+/// registered dispatch sites.
+fn unsafe_audit(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    // All #[target_feature] fn definitions across the tree.
+    let mut tf_fns: Vec<(String, String, usize)> = Vec::new(); // (name, file, token idx)
+    for f in sources {
+        for (tf, idx) in &f.model.target_feature_fns {
+            tf_fns.push((tf.name.clone(), f.rel.clone(), *idx));
+        }
+    }
+
+    for f in sources {
+        let m = &f.model;
+        let audited = config.unsafe_files.iter().any(|p| p == &f.rel);
+        for (i, t) in m.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "unsafe" && !m.in_attr[i] {
+                if !audited {
+                    out.push(Finding::new(
+                        Pass::Unsafe,
+                        &f.rel,
+                        t.line,
+                        "`unsafe` outside the audited file allowlist".to_string(),
+                    ));
+                }
+                if !has_safety_comment(m, i) {
+                    out.push(Finding::new(
+                        Pass::Unsafe,
+                        &f.rel,
+                        t.line,
+                        "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                    ));
+                }
+            }
+            // Calls to #[target_feature] functions.
+            if m.in_attr[i] {
+                continue;
+            }
+            for (name, def_file, def_idx) in &tf_fns {
+                if &t.text != name || (&f.rel == def_file && i == *def_idx) {
+                    continue;
+                }
+                let site_ok = m.enclosing_fn[i].as_deref().is_some_and(|enc| {
+                    config
+                        .dispatch_sites
+                        .iter()
+                        .any(|(sf, sfn)| sf == &f.rel && sfn == enc)
+                });
+                if !site_ok {
+                    out.push(Finding::new(
+                        Pass::Unsafe,
+                        &f.rel,
+                        t.line,
+                        format!(
+                            "`{name}` is `#[target_feature]`; only registered dispatch \
+                             sites may reference it"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Is there a `// SAFETY:` comment directly above token `i` (skipping
+/// other tokens on the same line, attributes, and earlier lines of the
+/// same comment block)?
+fn has_safety_comment(m: &FileModel, i: usize) -> bool {
+    let line = m.tokens[i].line;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &m.tokens[j];
+        if t.line == line && !t.is_comment() {
+            continue; // e.g. the match-arm pattern before `=> unsafe`.
+        }
+        if m.in_attr[j] {
+            continue; // attributes may sit between the comment and the item
+        }
+        if t.is_comment() {
+            if t.text.contains("SAFETY:") {
+                return true;
+            }
+            continue; // earlier lines of a multi-line comment block
+        }
+        return false;
+    }
+    false
+}
+
+/// Pass 3: no panicking macros or `unwrap()`/`expect()` in non-test
+/// hot-path code.
+fn panic_freedom(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in sources {
+        if !config.is_hot(&f.rel) {
+            continue;
+        }
+        let m = &f.model;
+        for (i, t) in m.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident || m.in_test[i] || m.in_attr[i] {
+                continue;
+            }
+            let next = next_code_token(m, i);
+            let offence = match t.text.as_str() {
+                "unwrap" | "expect" if next == Some('(') => {
+                    Some(format!("`{}()` on the hot path", t.text))
+                }
+                "panic" | "todo" | "unimplemented" if next == Some('!') => {
+                    Some(format!("`{}!` on the hot path", t.text))
+                }
+                _ => None,
+            };
+            if let Some(msg) = offence {
+                out.push(Finding::new(Pass::Panic, &f.rel, t.line, msg));
+            }
+        }
+    }
+}
+
+/// The first non-comment token after `i`, as a single punct char if it is
+/// one.
+fn next_code_token(m: &FileModel, i: usize) -> Option<char> {
+    m.tokens[i + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map(|t| match t.kind {
+            TokKind::Punct(c) => c,
+            _ => '\0',
+        })
+}
+
+/// Pass 4: every `DESIGN.md §N` reference in comments or strings resolves
+/// to a real heading of the design document.
+fn doc_refs(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    let doc_path = config.root.join(&config.design_doc);
+    let headings = match fs::read_to_string(&doc_path) {
+        Ok(text) => design_headings(&text),
+        Err(_) => {
+            out.push(Finding::new(
+                Pass::DocRef,
+                &config.design_doc,
+                0,
+                "design document not found; §-references cannot resolve".to_string(),
+            ));
+            return;
+        }
+    };
+
+    for f in sources {
+        // Merge adjacent line comments into blocks so an anchor like
+        // "DESIGN.md" on one `//!` line still governs a `§N` on the next.
+        let mut blocks: Vec<(u32, String)> = Vec::new();
+        for t in &f.model.tokens {
+            match t.kind {
+                TokKind::Comment { block: false, .. } => {
+                    if let Some((start, text)) = blocks.last_mut() {
+                        let prev_end = *start + text.bytes().filter(|&b| b == b'\n').count() as u32;
+                        if t.line == prev_end + 1 {
+                            text.push('\n');
+                            text.push_str(&t.text);
+                            continue;
+                        }
+                    }
+                    blocks.push((t.line, t.text.clone()));
+                }
+                TokKind::Comment { block: true, .. } | TokKind::Str => {
+                    blocks.push((t.line, t.text.clone()));
+                }
+                _ => {}
+            }
+        }
+        for (start_line, text) in &blocks {
+            check_refs(&f.rel, *start_line, text, &headings, out);
+        }
+    }
+}
+
+/// Extracts the set of `§N` heading numbers from the design document.
+fn design_headings(text: &str) -> BTreeSet<u32> {
+    let mut numbers = BTreeSet::new();
+    for line in text.lines() {
+        if !line.starts_with('#') {
+            continue;
+        }
+        if let Some(at) = line.find('§') {
+            let digits: String = line[at + '§'.len_utf8()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if let Ok(n) = digits.parse() {
+                numbers.insert(n);
+            }
+        }
+    }
+    numbers
+}
+
+/// Scans one comment block or string literal for `§` references whose
+/// nearest preceding anchor is `DESIGN.md`, and reports unresolved ones.
+fn check_refs(
+    rel: &str,
+    start_line: u32,
+    text: &str,
+    headings: &BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    // Anchors that can claim a following §-reference. Only DESIGN.md refs
+    // are checkable; "paper"-anchored ones cite the source paper.
+    const ANCHORS: [&str; 5] = ["DESIGN.md", "paper", "Paper", "PAPERS.md", "EXPERIMENTS.md"];
+    let mut search = 0usize;
+    while let Some(off) = text[search..].find('§') {
+        let at = search + off;
+        search = at + '§'.len_utf8();
+        let digits: String = text[search..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if digits.is_empty() {
+            continue;
+        }
+        let after = &text[search + digits.len()..];
+        let subsection = after.starts_with('.')
+            && after[1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit());
+        let anchor = ANCHORS
+            .iter()
+            .filter_map(|a| text[..at].rfind(a).map(|p| (p, *a)))
+            .max_by_key(|(p, _)| *p)
+            .map(|(_, a)| a);
+        if anchor != Some("DESIGN.md") {
+            continue;
+        }
+        let line = start_line + text[..at].bytes().filter(|&b| b == b'\n').count() as u32;
+        let number: u32 = digits.parse().unwrap_or(u32::MAX);
+        if subsection {
+            out.push(Finding::new(
+                Pass::DocRef,
+                rel,
+                line,
+                format!("`DESIGN.md §{digits}.…` has a subsection; DESIGN.md headings are flat"),
+            ));
+        } else if !headings.contains(&number) {
+            out.push(Finding::new(
+                Pass::DocRef,
+                rel,
+                line,
+                format!("`DESIGN.md §{digits}` does not match any heading"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Adversarial hot-path fixture that must produce ZERO findings: every
+//! forbidden token below hides where only a real lexer can prove it
+//! harmless. Never compiled — consumed by `fixtures_test.rs` as text.
+//!
+//! Valid doc reference for the doc-ref pass: `DESIGN.md` §1 and §2.
+//! Paper-anchored subsections are not checked: paper §6.1 stays silent.
+
+/* A block comment mentioning f64, unwrap() and panic! is not code.
+   /* Nested block comment still mentioning unsafe — the lexer must
+      track depth, or the close just below ends the OUTER comment. */
+   Still inside the outer comment: f32 f64 unwrap() */
+
+pub fn strings_are_not_code() -> usize {
+    let plain = "f64 unsafe unwrap() panic! todo!";
+    let raw = r#"unsafe { *ptr } // xanalyze: begin-allow(float) ignored"#;
+    let deep = r##"quote-hash inside: "# still raw: f64"##;
+    let bytes = b"unsafe f64";
+    let raw_bytes = br#"expect( unwrap("#;
+    let escaped = "escaped quote \" then f64 and a backslash \\";
+    plain.len() + raw.len() + deep.len() + bytes.len() + raw_bytes.len() + escaped.len()
+}
+
+pub fn chars_and_lifetimes<'a>(x: &'a [u8]) -> (char, u8, &'a [u8]) {
+    let quote = '\'';
+    let brace = '{'; // a char-literal brace must not open a scope
+    let byte = b'"'; // a byte-char quote must not open a string
+    let _ = ('f', '6', '4', brace, quote);
+    (quote, byte, x)
+}
+
+pub fn f64_shadow_is_a_different_ident(f64_like: i64) -> i64 {
+    // Idents *containing* f64 are fine; only the exact token is the type.
+    f64_like
+}
+
+pub fn unwrap_like_names(v: i64) -> i64 {
+    // `unwrap_or` and friends are not `unwrap()`.
+    Some(v).unwrap_or(0)
+}
+
+// xanalyze: begin-allow(float) — fixture: a justified reference region.
+pub fn allowed_reference(x: i64) -> f64 {
+    x as f64 * 0.5
+}
+// xanalyze: end-allow(float)
+
+#[cfg(test)]
+mod tests {
+    // Braces inside strings must not unbalance the test span: }}} {{{
+    const WEIRD: &str = "unbalanced-looking: }}} {{{ \" }";
+
+    #[test]
+    fn floats_and_unwraps_are_test_only_privileges() {
+        let x = 1.5f64;
+        assert_eq!(WEIRD.len() + (x * 2.0) as usize, Some(40).unwrap());
+    }
+}
+
+pub fn after_the_test_module(x: i64) -> i64 {
+    // If brace matching broke on WEIRD above, this fn would still count
+    // as test code (or worse, the reverse) — keep a forbidden-token-free
+    // fn here to pin the span's end.
+    x + 1
+}

@@ -1,0 +1,39 @@
+//! Hot-path fixture with one deliberately seeded violation per pass.
+//! Never compiled — consumed by `fixtures_test.rs` as text.
+//!
+//! Line numbers are asserted by the tests; keep edits additive at the end.
+
+pub fn stray_float(x: i64) -> i64 {
+    let bad = x as f64; // seeded float-freedom violation (line 7)
+    bad as i64
+}
+
+pub fn stray_literal() -> i64 {
+    let frac = 0.5; // seeded float-literal violation (line 12)
+    frac as i64
+}
+
+pub fn hot_unwrap(v: Option<i64>) -> i64 {
+    v.unwrap() // seeded panic-freedom violation (line 17)
+}
+
+pub fn hot_panic(v: i64) -> i64 {
+    if v < 0 {
+        panic!("negative"); // seeded panic-freedom violation (line 22)
+    }
+    v
+}
+
+/// Stale reference: see `DESIGN.md` §9 for details (line 27 — not a
+/// heading in the fixture design doc).
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    // Test spans are exempt: none of these may be findings.
+    #[test]
+    fn float_and_unwrap_are_fine_here() {
+        let x = 1.5f64;
+        assert_eq!((x * 2.0) as i64, Some(3).unwrap());
+    }
+}

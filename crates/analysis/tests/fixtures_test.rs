@@ -1,0 +1,117 @@
+//! Fixture-based negative tests: each invariant pass must catch its
+//! deliberately seeded violation at the exact `file:line`, and the
+//! adversarial clean fixture must produce zero findings.
+//!
+//! The fixtures live under `tests/fixtures/` and are never compiled —
+//! `xanalyze` consumes them as text, exactly like CI consumes the tree.
+
+use std::path::PathBuf;
+
+use analysis::{analyze, CheckConfig, Finding, Pass};
+
+/// A config rooted at `tests/fixtures/<name>` with the fixture layout:
+/// `src/hot.rs` is the hot path (and float-allowlisted), `src/dispatch.rs`
+/// is the audited unsafe file with `dispatch` as the one registered site.
+fn fixture_config(name: &str) -> CheckConfig {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    assert!(root.is_dir(), "missing fixture {name}");
+    CheckConfig {
+        root,
+        scan_dirs: vec!["src".into()],
+        skip_prefixes: vec![],
+        hot_paths: vec!["src/hot.rs".into()],
+        float_allow_files: vec!["src/hot.rs".into()],
+        unsafe_files: vec!["src/dispatch.rs".into()],
+        dispatch_sites: vec![("src/dispatch.rs".into(), "dispatch".into())],
+        design_doc: "../DESIGN.md".into(),
+    }
+}
+
+fn run(name: &str) -> Vec<Finding> {
+    analyze(&fixture_config(name)).expect("fixture analysis must not error")
+}
+
+/// Asserts exactly one finding of `pass` at `file:line`.
+fn assert_hit(findings: &[Finding], pass: Pass, file: &str, line: u32) {
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.pass == pass && f.file == file && f.line == line)
+        .collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {pass:?} finding at {file}:{line}, got {findings:#?}"
+    );
+}
+
+#[test]
+fn seeded_float_violations_are_reported_with_file_and_line() {
+    let findings = run("seeded");
+    assert_hit(&findings, Pass::Float, "src/hot.rs", 7); // x as f64
+    assert_hit(&findings, Pass::Float, "src/hot.rs", 12); // 0.5 literal
+}
+
+#[test]
+fn seeded_panic_violations_are_reported_with_file_and_line() {
+    let findings = run("seeded");
+    assert_hit(&findings, Pass::Panic, "src/hot.rs", 17); // unwrap()
+    assert_hit(&findings, Pass::Panic, "src/hot.rs", 22); // panic!
+}
+
+#[test]
+fn seeded_unsafe_violations_are_reported_with_file_and_line() {
+    let findings = run("seeded");
+    // The #[target_feature] kernel lacks a SAFETY comment…
+    assert_hit(&findings, Pass::Unsafe, "src/dispatch.rs", 6);
+    // …a commented unsafe block still may not call the kernel from an
+    // unregistered fn…
+    assert_hit(&findings, Pass::Unsafe, "src/dispatch.rs", 19);
+    // …and a plain unsafe block without a SAFETY comment is flagged.
+    assert_hit(&findings, Pass::Unsafe, "src/dispatch.rs", 23);
+}
+
+#[test]
+fn seeded_stale_design_reference_is_reported_with_file_and_line() {
+    let findings = run("seeded");
+    assert_hit(&findings, Pass::DocRef, "src/hot.rs", 27); // §9 unresolved
+}
+
+#[test]
+fn seeded_fixture_reports_nothing_else() {
+    // The seeded tree contains exactly the violations asserted above —
+    // in particular nothing from the #[cfg(test)] module, the registered
+    // dispatch site, or the trailing prose comments.
+    let findings = run("seeded");
+    assert_eq!(
+        findings.len(),
+        8,
+        "unexpected extra findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn adversarial_clean_fixture_produces_zero_findings() {
+    let findings = run("clean");
+    assert!(
+        findings.is_empty(),
+        "clean fixture must not trip any pass: {findings:#?}"
+    );
+}
+
+#[test]
+fn the_real_tree_is_clean() {
+    // The same self-check CI runs: every invariant holds on the actual
+    // workspace. A regression in the hot path fails `cargo test`, not
+    // just the dedicated CI step.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let findings = analyze(&CheckConfig::workspace(root)).expect("workspace analysis");
+    assert!(
+        findings.is_empty(),
+        "workspace invariants violated: {findings:#?}"
+    );
+}

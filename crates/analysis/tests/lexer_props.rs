@@ -1,0 +1,142 @@
+//! Property tests for the analyzer's lexer on adversarial inputs: forbidden
+//! tokens hidden in raw strings, block comments, and `#[cfg(test)]` modules
+//! whose strings look brace-unbalanced must never surface as code — i.e.
+//! zero false positives for the passes built on top.
+
+use analysis::lexer::{FileModel, TokKind};
+use proptest::prelude::*;
+
+/// Words every pass treats as offensive when they appear as *code*.
+const FORBIDDEN: [&str; 6] = ["unsafe", "f64", "f32", "unwrap", "expect", "panic"];
+
+/// Fragments the generators splice into strings and comments. Each is
+/// legal inside a plain `"…"` literal, a `r##"…"##` raw string (no `"#`
+/// runs), and a block comment (no `*/` or `/*` runs).
+const PAYLOAD: [&str; 12] = [
+    "unsafe ",
+    "f64 ",
+    "f32;",
+    "unwrap()",
+    "expect(",
+    "panic!",
+    "todo!",
+    "}}} ",
+    "{{{ ",
+    "' ",
+    "DESIGN.md ",
+    " xanalyze: begin-allow(float)",
+];
+
+/// Splices payload fragments by index; the proptest shim gives us index
+/// vectors, the table keeps every sample legal in all three contexts.
+fn splice(picks: &[usize]) -> String {
+    picks.iter().map(|&i| PAYLOAD[i % PAYLOAD.len()]).collect()
+}
+
+/// Idents of `model` whose text is in [`FORBIDDEN`].
+fn forbidden_idents(model: &FileModel) -> Vec<(String, bool)> {
+    model
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind == TokKind::Ident && FORBIDDEN.contains(&t.text.as_str()))
+        .map(|(i, t)| (t.text.clone(), model.in_test[i]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Raw strings swallow everything — including quote-hash runs shorter
+    /// than the delimiter and marker-comment syntax.
+    #[test]
+    fn raw_strings_hide_forbidden_words(
+        picks in prop::collection::vec(0usize..PAYLOAD.len(), 0usize..8),
+        hashes in 2usize..5,
+    ) {
+        let guts = splice(&picks);
+        let fence = "#".repeat(hashes);
+        let src = format!(
+            "pub fn carrier() -> usize {{\n    let s = r{fence}\"{guts}\"{fence};\n    s.len()\n}}\n"
+        );
+        let model = FileModel::build(&src);
+        prop_assert_eq!(forbidden_idents(&model), vec![]);
+        // The literal must lex as exactly one string token…
+        let strs = model.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+        prop_assert_eq!(strs, 1);
+        // …and the code after it must survive (no runaway literal).
+        prop_assert!(model.tokens.iter().any(|t| t.text == "len"));
+    }
+
+    /// Nested block comments never leak their contents into code, and the
+    /// lexer resurfaces afterwards.
+    #[test]
+    fn block_comments_hide_forbidden_words(
+        picks in prop::collection::vec(0usize..PAYLOAD.len(), 0usize..8),
+        inner in prop::collection::vec(0usize..PAYLOAD.len(), 0usize..4),
+    ) {
+        let outer = splice(&picks);
+        let nested = splice(&inner);
+        let src = format!(
+            "/* {outer} /* nested: {nested} */ tail: {outer} */\npub fn sentinel() {{}}\n"
+        );
+        let model = FileModel::build(&src);
+        prop_assert_eq!(forbidden_idents(&model), vec![]);
+        prop_assert!(model.tokens.iter().any(|t| t.text == "sentinel"));
+    }
+
+    /// Brace-looking strings inside a `#[cfg(test)]` module do not bend
+    /// the test span: floats inside stay test-exempt, code after the
+    /// module is plain code again.
+    #[test]
+    fn cfg_test_spans_survive_unbalanced_looking_strings(
+        picks in prop::collection::vec(0usize..PAYLOAD.len(), 0usize..8),
+        escapes in 0usize..4,
+    ) {
+        let guts = splice(&picks).replace('"', "");
+        let tricky: String = "\\\"".repeat(escapes) + &guts + "}}} {{{";
+        let src = format!(
+            "#[cfg(test)]\nmod tests {{\n    const W: &str = \"{tricky}\";\n    fn probe() {{ let x = 1.5f64; let _ = W.len(); x as i64; }}\n}}\npub fn outside() {{ let works = 1; }}\n"
+        );
+        let model = FileModel::build(&src);
+        // Every forbidden ident (the f64) is inside the test span.
+        for (word, in_test) in forbidden_idents(&model) {
+            prop_assert!(in_test, "`{}` leaked out of the cfg(test) span", word);
+        }
+        // And the code after the module is *not* swallowed by the span.
+        let outside = model
+            .tokens
+            .iter()
+            .position(|t| t.text == "works")
+            .expect("sentinel after the module must lex");
+        prop_assert!(!model.in_test[outside], "test span leaked past its closing brace");
+    }
+
+    /// Char literals and lifetimes never merge with neighbouring tokens:
+    /// a quoted brace is not a scope brace, `'a` is a lifetime, `'a'` is
+    /// a char.
+    #[test]
+    fn chars_and_lifetimes_do_not_confuse_scopes(
+        reps in 1usize..6,
+    ) {
+        let chars = "let c = ('{', '}', '\\'', 'a');".repeat(reps);
+        let src = format!(
+            "pub fn f<'a>(x: &'a [u8]) -> &'a [u8] {{ {chars} x }}\npub fn g() {{ let balanced = 2; }}\n"
+        );
+        let model = FileModel::build(&src);
+        let braces: i64 = model
+            .tokens
+            .iter()
+            .map(|t| match t.kind {
+                TokKind::Punct('{') => 1,
+                TokKind::Punct('}') => -1,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(braces, 0, "quoted braces must not count as scope braces");
+        let lifetimes = model.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        prop_assert_eq!(lifetimes, 3, "the three `'a` positions are lifetimes");
+        let chars_found = model.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        prop_assert_eq!(chars_found, 4 * reps, "each quoted char is one literal");
+    }
+}

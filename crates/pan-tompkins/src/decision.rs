@@ -95,6 +95,9 @@ pub enum DecisionArith {
 /// workload, whose sums stay far below 2^53) the two are bit-identical;
 /// once any running sum would have rounded, the new seed is the more
 /// accurate one.
+// xanalyze: begin-allow(float) — DecisionArith::Float is the deliberate
+// f64 reference arm the Fixed path is proven against; it is never active
+// in Fixed mode, the MCU-faithful default (see DESIGN.md §8 and §10).
 #[derive(Debug, Clone, Copy)]
 pub struct FloatDecision {
     spk: f64,
@@ -154,6 +157,7 @@ impl FloatDecision {
         self.npk = 0.125 * amp as f64 + 0.875 * self.npk;
     }
 }
+// xanalyze: end-allow(float)
 
 /// The fixed-point decision state: SPK/NPK as Q-format integers
 /// (`value · 2^FRAC_BITS`) with exact integer comparisons.

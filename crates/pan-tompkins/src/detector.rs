@@ -325,10 +325,18 @@ pub(crate) fn check_alignment_with(
             misalignment: usize::MAX,
         };
     }
-    let (hpf_index, _) = (lo..hi)
-        .map(|i| (i, value_at(i)))
-        .max_by_key(|(_, v)| v.abs())
-        .expect("non-empty window");
+    // Last-maximum scan (`>=` keeps the later index on ties), matching
+    // `max_by_key`'s documented last-wins tie-break without an `Option`
+    // on a window the guard above already proved non-empty.
+    let mut hpf_index = lo;
+    let mut best = value_at(lo).abs();
+    for i in lo + 1..hi {
+        let v = value_at(i).abs();
+        if v >= best {
+            best = v;
+            hpf_index = i;
+        }
+    }
     let misalignment = hpf_index.abs_diff(expected);
     if misalignment <= max_misalignment {
         Alignment::Ok { hpf_index }

@@ -368,9 +368,11 @@ impl LaneFir {
             if c == 0 {
                 continue;
             }
-            let frame: &[i64; W] = self.delay[base..base + W]
-                .try_into()
-                .expect("block width bounded by lane count");
+            // A by-value `[i64; W]` row instead of a fallible `&[i64; W]`
+            // cast: `copy_from_slice` of a W-slice into a W-array has no
+            // failure path, and the locals stay in vector registers.
+            let mut frame = [0i64; W];
+            frame.copy_from_slice(&self.delay[base..base + W]);
             let cb = c.clamp(-mul_limit, mul_limit - 1);
             if first {
                 for k in 0..W {
@@ -602,9 +604,10 @@ impl LaneMwi {
         let mut ovf = [0u64; W];
         for slot in 1..WINDOW {
             let base = slot * lanes + lane0;
-            let row: &[i64; W] = window[base..base + W]
-                .try_into()
-                .expect("block width bounded by lane count");
+            // Same by-value row idiom as `LaneFir::block_exact`: no
+            // fallible cast, contents land in vector registers.
+            let mut row = [0i64; W];
+            row.copy_from_slice(&window[base..base + W]);
             for k in 0..W {
                 let v = row[k];
                 // Same wrap-compare overflow test as `LaneFir::block_exact`
@@ -818,6 +821,11 @@ impl LaneBank {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
     #[allow(unsafe_code)]
+    // SAFETY: precondition — the executing CPU supports avx512f, avx512dq
+    // and avx512vl; otherwise the vector instructions LLVM emits here are
+    // undefined. The body is the safe `stage_block` (no raw pointers, no
+    // intrinsics): the *only* obligation is the CPU-feature check, which
+    // `stage_block_dispatch` performs via `simd_level()` before every call.
     unsafe fn stage_block_avx512(&mut self, ticks: usize) {
         self.stage_block(ticks);
     }
@@ -831,6 +839,10 @@ impl LaneBank {
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     #[allow(unsafe_code)]
+    // SAFETY: precondition — the executing CPU supports avx2. The body is
+    // the safe `stage_block`, so the feature check is the entire
+    // obligation; `stage_block_dispatch` establishes it via `simd_level()`
+    // before every call.
     unsafe fn stage_block_avx2(&mut self, ticks: usize) {
         self.stage_block(ticks);
     }
@@ -839,12 +851,15 @@ impl LaneBank {
     #[allow(unsafe_code)]
     fn stage_block_dispatch(&mut self, ticks: usize, level: SimdLevel) {
         match level {
-            // SAFETY: `simd_level` only reports feature sets the running
-            // CPU advertises, so the target-feature instances are safe to
-            // enter.
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `simd_level()` returns `Avx512` only when
+            // `is_x86_feature_detected!` confirmed avx512f+avx512dq+avx512vl
+            // on the running CPU — exactly the kernel's precondition.
             SimdLevel::Avx512 => unsafe { self.stage_block_avx512(ticks) },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `simd_level()` returns `Avx2` only when
+            // `is_x86_feature_detected!("avx2")` held on the running CPU —
+            // exactly the kernel's precondition.
             SimdLevel::Avx2 => unsafe { self.stage_block_avx2(ticks) },
             SimdLevel::Baseline => self.stage_block(ticks),
         }

@@ -480,15 +480,12 @@ impl DetectorTail {
         events: &mut Vec<StreamEvent>,
     ) {
         let n = self.n;
-        while let Some(d) = self.awaiting_alignment.front() {
+        while let Some(&d) = self.awaiting_alignment.front() {
             let expected = d.index.saturating_sub(HPF_TO_MWI_DELAY);
             if !finished && n < expected + ALIGNMENT_SEARCH + 1 {
                 break;
             }
-            let d = self
-                .awaiting_alignment
-                .pop_front()
-                .expect("front just observed");
+            self.awaiting_alignment.pop_front();
             let alignment = match &self.store {
                 SignalStore::Retained(signals) => {
                     check_alignment(&signals.hpf, d.index, max_misalignment)

@@ -28,6 +28,10 @@ use crate::decision::{DecisionArith, DecisionKernel};
 /// rate — a hand-rolled literal that changes `fs` without rescaling the
 /// windows silently runs the wrong timing (the bug `for_fs` exists to
 /// close).
+// xanalyze: begin-allow(float) — construction-time only: `fs` and the
+// ms→samples rescaling in `for_fs` run once when a config is built, never
+// inside `OnlineClassifier::push`; every per-sample decision is integer
+// (DESIGN.md §8).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdConfig {
     /// Sampling rate, Hz — the rate the sample-count fields below were
@@ -97,6 +101,7 @@ impl Default for ThresholdConfig {
         Self::for_fs(200.0)
     }
 }
+// xanalyze: end-allow(float)
 
 // `fs` is an `f64`, so `Eq`/`Hash` cannot be derived. [`ThresholdConfig::
 // for_fs`] (the only constructor) rejects non-finite rates, so no NaN can
@@ -622,11 +627,7 @@ impl OnlineClassifier {
                     *p = cand;
                 }
             }
-            pending @ Some(_) => {
-                self.candidates
-                    .push(pending.take().expect("pending candidate"));
-                *pending = Some(cand);
-            }
+            Some(p) => self.candidates.push(std::mem::replace(p, cand)),
             pending @ None => *pending = Some(cand),
         }
     }
@@ -738,16 +739,15 @@ impl OnlineClassifier {
         // Every read of these histories is `.last()` (max index, newest
         // slope), so bounded retention keeps exactly one entry of each.
         if self.retention == Footprint::Bounded {
-            if self.qrs_indices.len() > 1 {
-                let keep = *self.qrs_indices.last().expect("just inserted");
-                self.qrs_indices.clear();
-                self.qrs_indices.push(keep);
-            }
-            if self.qrs_slopes.len() > 1 {
-                let keep = *self.qrs_slopes.last().expect("just pushed");
-                self.qrs_slopes.clear();
-                self.qrs_slopes.push(keep);
-            }
+            // `swap(0, len-1)` + truncate keeps the newest entry without
+            // an `Option` unwrap: both vectors are provably non-empty
+            // right after the pushes above.
+            let last = self.qrs_indices.len() - 1;
+            self.qrs_indices.swap(0, last);
+            self.qrs_indices.truncate(1);
+            let last = self.qrs_slopes.len() - 1;
+            self.qrs_slopes.swap(0, last);
+            self.qrs_slopes.truncate(1);
         }
         out.push(PeakDecision {
             index: cand.index,

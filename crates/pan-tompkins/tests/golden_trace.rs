@@ -10,6 +10,10 @@
 //! print_fixture --nocapture` and update the constants below with the
 //! printed values.
 
+// Integration-test helper fns sit outside clippy's `#[test]`/cfg(test)
+// exemption; panicking on a broken fixture is exactly right here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use pan_tompkins::{
     DecisionArith, Footprint, PipelineConfig, QrsDetector, StreamEvent, StreamingQrsDetector,
 };
