@@ -60,6 +60,7 @@ impl CheckConfig {
                 format!("{HOT}lane.rs"),
                 format!("{HOT}fir.rs"),
                 format!("{HOT}engine.rs"),
+                format!("{HOT}snapshot.rs"),
                 format!("{HOT}stages/"),
             ],
             float_allow_files: vec![format!("{HOT}decision.rs"), format!("{HOT}threshold.rs")],

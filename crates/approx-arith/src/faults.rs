@@ -9,7 +9,7 @@
 //! compare the damage against an LSB-approximate adder of equal cell count.
 //!
 //! This implements the failure-injection extension listed in `DESIGN.md`
-//! §11; the experiment lives in `xbiosip-bench --bin ext_fault_injection`.
+//! §12; the experiment lives in `xbiosip-bench --bin ext_fault_injection`.
 
 use crate::full_adder::FullAdderKind;
 use crate::word::Word;

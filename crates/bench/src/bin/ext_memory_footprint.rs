@@ -71,8 +71,29 @@ fn record_of_len(len: usize) -> EcgRecord {
     EcgRecord::new("cycled", base.fs(), base.gain(), samples, peaks)
 }
 
+/// Allowance for live-state bytes that legitimately do not appear in a
+/// snapshot blob: struct sizes (`size_of::<DetectorState>` and friends),
+/// scratch queues, and the slack between `Vec`/`VecDeque` *capacity*
+/// (what [`StreamingQrsDetector::state_bytes`] bills) and *length* (what
+/// the codec serializes) for the fixed-size containers. The growth-
+/// proportional capacity slack of the retained signals is covered
+/// separately at the call site: amortized `Vec` growth doubles, so
+/// capacity can reach 2x length right after a doubling and the billed
+/// state may exceed the serialized lengths by up to one extra blob.
+const SNAPSHOT_SLACK_BYTES: usize = 16 * 1024;
+
 /// Streams `record` through a detector with the given footprint, returning
 /// the event stream and the state-bytes high-water mark.
+///
+/// En route (mid-record and at the last push boundary) it cross-checks the
+/// accounting against the snapshot codec: everything `state_bytes` bills
+/// must be serializable and vice versa, so the blob can never exceed the
+/// billed live state (plus its 32-byte header), and the billed state can
+/// exceed the blob only by capacity slack (at most one extra blob, from
+/// `Vec` doubling on the retained signals) plus the documented
+/// [`SNAPSHOT_SLACK_BYTES`] struct/scratch allowance. An accounting drift
+/// in either direction — a field serialized but not billed, or billed
+/// but not serialized — trips this before it reaches a release.
 fn stream_high_water(
     config: PipelineConfig,
     footprint: Footprint,
@@ -81,9 +102,35 @@ fn stream_high_water(
     let mut det = StreamingQrsDetector::new(config.with_footprint(footprint));
     let mut events = Vec::new();
     let mut high_water = det.state_bytes();
-    for chunk in record.samples().chunks(CHUNK) {
+    let checkpoints = [record.len() / 2 / CHUNK, record.len().div_ceil(CHUNK) - 1];
+    for (i, chunk) in record.samples().chunks(CHUNK).enumerate() {
         events.extend(det.push(chunk));
         high_water = high_water.max(det.state_bytes());
+        if checkpoints.contains(&i) {
+            let blob = det.snapshot().unwrap_or_else(|e| {
+                eprintln!("ACCOUNTING: {config} {footprint:?}: snapshot failed: {e}");
+                std::process::exit(1);
+            });
+            let state = det.state_bytes();
+            let header = pan_tompkins::snapshot::HEADER_BYTES;
+            if blob.len() > state + header {
+                eprintln!(
+                    "ACCOUNTING: {config} {footprint:?}: snapshot ({} B) exceeds \
+                     billed live state ({state} B) — state_bytes under-accounts",
+                    blob.len()
+                );
+                std::process::exit(1);
+            }
+            if state > 2 * blob.len() + SNAPSHOT_SLACK_BYTES {
+                eprintln!(
+                    "ACCOUNTING: {config} {footprint:?}: billed live state ({state} B) \
+                     exceeds snapshot ({} B) beyond capacity slack + {SNAPSHOT_SLACK_BYTES} B \
+                     — state_bytes over-accounts or the codec dropped a field",
+                    blob.len()
+                );
+                std::process::exit(1);
+            }
+        }
     }
     let (trailing, _result) = det.finish();
     events.extend(trailing);

@@ -8,8 +8,8 @@ use std::sync::Arc;
 use ecg::EcgRecord;
 use hwmodel::{CalibratedModel, StageCost};
 use pan_tompkins::{
-    DetectionResult, DetectorEngine, Footprint, LaneBank, PipelineConfig, QrsDetector, StageKind,
-    StreamEvent, StreamingQrsDetector,
+    DetectionResult, DetectorEngine, Footprint, LaneBank, PipelineConfig, QrsDetector,
+    SnapshotError, StageKind, StreamEvent, StreamingQrsDetector,
 };
 use quality::{psnr, PeakMatcher, Ssim};
 
@@ -180,6 +180,50 @@ impl Evaluator {
         run.absorb(trailing);
         run.seal();
         self.score_parts(config, &hpf, &run)
+    }
+
+    /// Like [`Evaluator::evaluate_streaming`], but interrupting the run at
+    /// each of `checkpoints` (sample offsets, applied at the nearest push
+    /// boundary at or after the offset): the live session is serialized
+    /// with [`StreamingQrsDetector::snapshot`], dropped, and thawed from
+    /// the blob before the stream continues — the shape of an edge node
+    /// persisting its session across power cycles. Snapshot/restore is
+    /// bit-invisible, so the report equals [`Evaluator::evaluate`] and
+    /// [`Evaluator::evaluate_streaming`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] surfaced by the codec round-trip (none occur
+    /// for a live in-process session; the path exists so callers exercise
+    /// exactly what a persisted deployment would run).
+    pub fn evaluate_streaming_checkpointed(
+        &self,
+        config: &PipelineConfig,
+        chunk_size: usize,
+        checkpoints: &[usize],
+    ) -> Result<QualityReport, SnapshotError> {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let engine = Arc::new(DetectorEngine::new(*config));
+        let mut detector = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+        let mut pending: Vec<usize> = checkpoints.to_vec();
+        pending.sort_unstable();
+        let mut hpf: Vec<i64> = Vec::with_capacity(self.record.len());
+        let mut run = StreamRun::default();
+        let mut fed = 0usize;
+        for chunk in self.record.samples().chunks(chunk_size.max(1)) {
+            run.absorb(detector.push_tapped(chunk, &mut hpf));
+            fed += chunk.len();
+            if pending.first().is_some_and(|&at| at <= fed) {
+                pending.retain(|&at| at > fed);
+                let blob = detector.snapshot()?;
+                drop(detector);
+                detector = StreamingQrsDetector::restore(Arc::clone(&engine), &blob)?;
+            }
+        }
+        let (trailing, _result) = detector.finish();
+        run.absorb(trailing);
+        run.seal();
+        Ok(self.score_parts(config, &hpf, &run))
     }
 
     /// Scores one finished detection run against the cached references.
@@ -696,6 +740,32 @@ mod tests {
                 ev.evaluate_streaming(&float.with_footprint(Footprint::Bounded), 20),
                 "bounded streaming reports diverged for {config}"
             );
+        }
+    }
+
+    /// The checkpoint/resume path: freezing, dropping, and thawing the
+    /// session mid-record — including inside the learning window and at
+    /// several later boundaries — leaves the report bit-identical to the
+    /// uninterrupted batch evaluation, in both footprints.
+    #[test]
+    fn checkpointed_streaming_matches_batch_exactly() {
+        let record = short_record();
+        let ev = Evaluator::new(&record);
+        for config in [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded),
+        ] {
+            let batch = ev.evaluate(&config.with_footprint(Footprint::Retain));
+            for checkpoints in [&[150usize, 2000, 4700] as &[usize], &[399], &[1]] {
+                let report = ev
+                    .evaluate_streaming_checkpointed(&config, 20, checkpoints)
+                    .expect("in-process checkpoint round-trip");
+                assert_eq!(
+                    report, batch,
+                    "checkpointed report diverged for {config} at {checkpoints:?}"
+                );
+            }
         }
     }
 

@@ -309,6 +309,81 @@ impl PipelineConfig {
     pub fn is_exact(&self) -> bool {
         self.stages.iter().all(StageArith::is_exact)
     }
+
+    /// A stable 64-bit fingerprint of the complete configuration —
+    /// FNV-1a over a canonical little-endian field encoding. Unlike
+    /// `Hash`/`DefaultHasher` output, this value is identical across Rust
+    /// versions, platforms, and processes, which is what lets a
+    /// [`crate::snapshot`] blob written on one host refuse restoration
+    /// into a detector built from a different configuration on another.
+    ///
+    /// Enum variants are encoded by their position in the respective
+    /// stable `ALL`/declaration order, never by `as`-cast discriminants,
+    /// so reordering source declarations cannot silently change blobs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use approx_arith::{FullAdderKind, Mult2x2Kind};
+
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        fn pos<T: PartialEq>(all: &[T], v: &T) -> u8 {
+            // Every variant is in its ALL table by construction; 0xFF would
+            // only appear if a future variant forgot to register itself,
+            // and then only as a distinct (still deterministic) code.
+            all.iter().position(|x| x == v).unwrap_or(0xFF) as u8
+        }
+
+        let mut h = FNV_OFFSET;
+        for s in &self.stages {
+            fold(&mut h, &s.approx_lsbs.to_le_bytes());
+            fold(&mut h, &[pos(&Mult2x2Kind::ALL, &s.mult_kind)]);
+            fold(&mut h, &[pos(&FullAdderKind::ALL, &s.adder_kind)]);
+        }
+        fold(&mut h, &self.input_shift.to_le_bytes());
+        fold(
+            &mut h,
+            &[match self.engine {
+                MulEngine::Compiled => 0,
+                MulEngine::BitLevel => 1,
+            }],
+        );
+        fold(
+            &mut h,
+            &[match self.footprint {
+                Footprint::Retain => 0,
+                Footprint::Bounded => 1,
+            }],
+        );
+        fold(
+            &mut h,
+            &[match self.decision {
+                DecisionArith::Fixed => 0,
+                DecisionArith::Float => 1,
+            }],
+        );
+        let t = &self.threshold;
+        fold(&mut h, &t.fs.to_bits().to_le_bytes());
+        for window in [
+            t.refractory,
+            t.t_wave_window,
+            t.learning,
+            t.slope_window,
+            t.peak_spacing,
+            t.warmup,
+        ] {
+            fold(&mut h, &(window as u64).to_le_bytes());
+        }
+        fold(&mut h, &t.search_back_num.to_le_bytes());
+        fold(&mut h, &t.search_back_den.to_le_bytes());
+        fold(&mut h, &(self.max_misalignment as u64).to_le_bytes());
+        h
+    }
 }
 
 impl Default for PipelineConfig {
@@ -425,6 +500,39 @@ mod tests {
         // Both knobs participate in configuration identity.
         assert_ne!(custom, cfg);
         assert_ne!(cfg.with_max_misalignment(7), cfg);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_sensitive() {
+        let base = PipelineConfig::exact();
+        assert_eq!(base.fingerprint(), PipelineConfig::exact().fingerprint());
+        // Every identity-bearing knob must move the fingerprint.
+        assert_ne!(
+            base.fingerprint(),
+            base.with_footprint(Footprint::Bounded).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.with_decision(DecisionArith::Float).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.with_max_misalignment(7).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.with_threshold(ThresholdConfig::for_fs(360.0))
+                .fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.with_engine(crate::arith::MulEngine::BitLevel)
+                .fingerprint()
+        );
     }
 
     #[test]

@@ -288,6 +288,48 @@ impl DecisionKernel {
         }
     }
 
+    /// The kernel's two adaptive state words `(SPK, NPK)` as integers: the
+    /// Q-format `i128`s directly for [`DecisionArith::Fixed`], the IEEE-754
+    /// bit patterns (zero-extended to `i128`) for [`DecisionArith::Float`].
+    /// Every other kernel field is a constant derived from
+    /// [`ThresholdConfig`], so these two words are the kernel's entire
+    /// snapshot payload.
+    #[must_use]
+    pub(crate) fn state_words(&self) -> (i128, i128) {
+        match self {
+            DecisionKernel::Fixed(k) => (k.spk, k.npk),
+            // xanalyze: begin-allow(float) — bit-pattern transport of the
+            // f64 reference arm's state; no float arithmetic happens here.
+            DecisionKernel::Float(k) => (i128::from(k.spk.to_bits()), i128::from(k.npk.to_bits())), // xanalyze: end-allow(float)
+        }
+    }
+
+    /// Rebuilds a kernel from [`DecisionKernel::state_words`] output plus
+    /// the config-derived constants — the exact inverse of `state_words`
+    /// for the same `arith` and `config`.
+    #[must_use]
+    pub(crate) fn from_state_words(
+        arith: DecisionArith,
+        config: &ThresholdConfig,
+        spk_word: i128,
+        npk_word: i128,
+    ) -> Self {
+        let mut kernel = Self::new(arith, config);
+        match &mut kernel {
+            DecisionKernel::Fixed(k) => {
+                k.spk = spk_word;
+                k.npk = npk_word;
+            }
+            // xanalyze: begin-allow(float) — bit-pattern transport of the
+            // f64 reference arm's state; no float arithmetic happens here.
+            DecisionKernel::Float(k) => {
+                k.spk = f64::from_bits(spk_word as u64);
+                k.npk = f64::from_bits(npk_word as u64);
+            } // xanalyze: end-allow(float)
+        }
+        kernel
+    }
+
     /// Seeds SPK from the largest learning-window excursion (`max0`,
     /// already floored at 1 by the caller) and NPK from half the window
     /// mean — `learn_sum` is the exact `i128` sum of the first

@@ -46,10 +46,11 @@ use std::sync::Arc;
 
 use approx_arith::OpCounter;
 
-use crate::arith::{div_round, sum_overflows, ArithProgram};
+use crate::arith::{div_round, sum_overflows, ArithCounters, ArithProgram};
 use crate::detector::DetectionResult;
 use crate::engine::DetectorEngine;
 use crate::fir::FirProgram;
+use crate::snapshot::{self, Reader, SnapshotError, Writer};
 use crate::stages::mwi::WINDOW;
 use crate::streaming::{DetectorTail, StreamEvent};
 
@@ -442,6 +443,28 @@ impl LaneFir {
         self.ovfs[lane] = 0;
     }
 
+    /// One lane's delay column, rotation-normalized newest sample first —
+    /// the same canonical order [`crate::fir::FirFilter::delay_snapshot`]
+    /// emits, so lane and solo snapshots interchange freely.
+    fn lane_delay_snapshot(&self, lane: usize) -> Vec<i64> {
+        let rows = self.program.taps().len();
+        (0..rows)
+            .map(|r| self.delay[((self.cursor + r) % rows) * self.lanes + lane])
+            .collect()
+    }
+
+    /// Writes a newest-first ring snapshot into one lane's delay column at
+    /// the bank's *current* shared cursor (legal by rotation invariance —
+    /// an FIR output depends only on contents relative to the cursor).
+    /// The caller must have validated `snap.len()` against the tap count.
+    fn load_lane_delay_snapshot(&mut self, lane: usize, snap: &[i64]) {
+        let rows = self.program.taps().len();
+        debug_assert_eq!(snap.len(), rows);
+        for (r, &v) in snap.iter().enumerate() {
+            self.delay[((self.cursor + r) % rows) * self.lanes + lane] = v;
+        }
+    }
+
     fn heap_bytes(&self) -> usize {
         (self.delay.capacity() + self.acc.capacity()) * std::mem::size_of::<i64>()
             + (self.sats.capacity() + self.ovfs.capacity()) * std::mem::size_of::<u64>()
@@ -634,6 +657,27 @@ impl LaneMwi {
         }
         self.cursor[lane] = 0;
         self.ovfs[lane] = 0;
+    }
+
+    /// One lane's window column in storage (slot) order — identical to the
+    /// scalar [`crate::stages::MovingWindowIntegrator`] snapshot order, so
+    /// the storage-order adder chain resumes bit-identically.
+    fn lane_window_snapshot(&self, lane: usize) -> Vec<i64> {
+        (0..WINDOW)
+            .map(|slot| self.window[slot * self.lanes + lane])
+            .collect()
+    }
+
+    /// Loads a storage-order window column and re-derives the lane's write
+    /// cursor from `samples_seen` (the tick loop writes then increments,
+    /// so the cursor is always `samples_seen % WINDOW`). The caller must
+    /// have validated `snap.len() == WINDOW`.
+    fn load_lane_window(&mut self, lane: usize, snap: &[i64], samples_seen: usize) {
+        debug_assert_eq!(snap.len(), WINDOW);
+        for (slot, &v) in snap.iter().enumerate() {
+            self.window[slot * self.lanes + lane] = v;
+        }
+        self.cursor[lane] = samples_seen % WINDOW;
     }
 
     fn heap_bytes(&self) -> usize {
@@ -964,6 +1008,185 @@ impl LaneBank {
         (events, result)
     }
 
+    /// Serializes one lane's live session into a versioned blob with the
+    /// **same body format** as [`crate::StreamingQrsDetector::snapshot`]:
+    /// a lane snapshot restores into a solo detector, a solo snapshot into
+    /// any bank lane, and lanes migrate between banks of different widths
+    /// and SIMD levels — always resuming bit-identically. The lane's
+    /// hoisted per-tick op counts are materialized into the solo per-stage
+    /// counter form on the way out.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::LaneOutOfRange`] if `lane` is out of range.
+    pub fn snapshot_lane(&self, lane: usize) -> Result<Vec<u8>, SnapshotError> {
+        if lane >= self.lanes {
+            return Err(SnapshotError::LaneOutOfRange {
+                lane,
+                lanes: self.lanes,
+            });
+        }
+        if self.tails[lane].is_finished() {
+            return Err(SnapshotError::Finished);
+        }
+        let mut w = Writer::new();
+        w.put_seq_i64(&self.lpf.lane_delay_snapshot(lane));
+        w.put_seq_i64(&self.hpf.lane_delay_snapshot(lane));
+        w.put_seq_i64(&self.der.lane_delay_snapshot(lane));
+        w.put_seq_i64(&self.mwi.lane_window_snapshot(lane));
+        let t = self.ticks[lane];
+        let ops = [
+            op_counter(t * self.lpf.muls_per_tick, t * self.lpf.adds_per_tick),
+            op_counter(t * self.hpf.muls_per_tick, t * self.hpf.adds_per_tick),
+            op_counter(t * self.der.muls_per_tick, t * self.der.adds_per_tick),
+            op_counter(t, 0),
+            op_counter(0, t * (WINDOW as u64 - 1)),
+        ];
+        let saturations = [
+            self.lpf.sats[lane] + t * self.lpf.coeff_sats_per_tick,
+            self.hpf.sats[lane] + t * self.hpf.coeff_sats_per_tick,
+            self.der.sats[lane] + t * self.der.coeff_sats_per_tick,
+            self.sqr.sats[lane],
+            0,
+        ];
+        let add_overflows = [
+            self.lpf.ovfs[lane],
+            self.hpf.ovfs[lane],
+            self.der.ovfs[lane],
+            0,
+            self.mwi.ovfs[lane],
+        ];
+        for stage in 0..5 {
+            w.put_u64(ops[stage].adds());
+            w.put_u64(ops[stage].muls());
+            w.put_u64(saturations[stage]);
+            w.put_u64(add_overflows[stage]);
+        }
+        self.tails[lane].encode(&mut w);
+        Ok(snapshot::seal(
+            self.engine.config().fingerprint(),
+            &w.into_body(),
+        ))
+    }
+
+    /// Rebuilds one lane from a snapshot blob — taken from a solo
+    /// [`crate::StreamingQrsDetector`] or any bank's [`LaneBank::snapshot_lane`]
+    /// under the same configuration — replacing whatever session the lane
+    /// was running. Sibling lanes are untouched (the delay column is
+    /// rewritten relative to the shared ring cursor, which is legal by
+    /// rotation invariance; the MWI cursor is per-lane).
+    ///
+    /// Beyond the container checks, the lane form validates what the SoA
+    /// kernels hoist: the blob's data-independent op counts must equal the
+    /// counts its sample count implies, and the FIR saturation totals must
+    /// contain the program's constant per-tick coefficient share.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]; on error the lane keeps its previous state —
+    /// corrupt input can never produce a silently-diverging lane.
+    pub fn restore_lane(&mut self, lane: usize, blob: &[u8]) -> Result<(), SnapshotError> {
+        if lane >= self.lanes {
+            return Err(SnapshotError::LaneOutOfRange {
+                lane,
+                lanes: self.lanes,
+            });
+        }
+        let config = *self.engine.config();
+        let body = snapshot::open(blob, config.fingerprint())?;
+        let mut r = Reader::new(body);
+        let lpf_ring = r.take_seq_i64()?;
+        let hpf_ring = r.take_seq_i64()?;
+        let der_ring = r.take_seq_i64()?;
+        let mwi_window = r.take_seq_i64()?;
+        let mut counters = [ArithCounters::default(); 5];
+        for c in &mut counters {
+            let adds = r.take_u64()?;
+            let muls = r.take_u64()?;
+            c.ops.count_adds(adds);
+            c.ops.count_muls(muls);
+            c.mul_saturations = r.take_u64()?;
+            c.add_overflows = r.take_u64()?;
+        }
+        let tail = DetectorTail::decode(&config, &mut r)?;
+        r.finish()?;
+
+        // Validate everything before touching the lane: a failed restore
+        // must leave the previous session intact.
+        if lpf_ring.len() != self.lpf.program.taps().len() {
+            return Err(SnapshotError::Corrupt(
+                "LPF delay ring has the wrong length",
+            ));
+        }
+        if hpf_ring.len() != self.hpf.program.taps().len() {
+            return Err(SnapshotError::Corrupt(
+                "HPF delay ring has the wrong length",
+            ));
+        }
+        if der_ring.len() != self.der.program.taps().len() {
+            return Err(SnapshotError::Corrupt(
+                "derivative delay ring has the wrong length",
+            ));
+        }
+        if mwi_window.len() != WINDOW {
+            return Err(SnapshotError::Corrupt("MWI window has the wrong length"));
+        }
+        let n = tail.samples_seen();
+        let t = n as u64;
+        let expected_ops = [
+            (t * self.lpf.muls_per_tick, t * self.lpf.adds_per_tick),
+            (t * self.hpf.muls_per_tick, t * self.hpf.adds_per_tick),
+            (t * self.der.muls_per_tick, t * self.der.adds_per_tick),
+            (t, 0),
+            (0, t * (WINDOW as u64 - 1)),
+        ];
+        for (c, &(muls, adds)) in counters.iter().zip(expected_ops.iter()) {
+            if c.ops.muls() != muls || c.ops.adds() != adds {
+                return Err(SnapshotError::Corrupt(
+                    "stage operation counts do not match the sample count",
+                ));
+            }
+        }
+        // The FIR totals fold in a constant coefficient-side share per
+        // tick; the data-dependent remainder is what the lane arrays hold.
+        let fir_sat = |total: u64, per_tick: u64| {
+            total
+                .checked_sub(t * per_tick)
+                .ok_or(SnapshotError::Corrupt(
+                    "FIR saturation count below the coefficient-side floor",
+                ))
+        };
+        let lpf_sats = fir_sat(counters[0].mul_saturations, self.lpf.coeff_sats_per_tick)?;
+        let hpf_sats = fir_sat(counters[1].mul_saturations, self.hpf.coeff_sats_per_tick)?;
+        let der_sats = fir_sat(counters[2].mul_saturations, self.der.coeff_sats_per_tick)?;
+        if counters[4].mul_saturations != 0 {
+            return Err(SnapshotError::Corrupt(
+                "MWI saturation count must be zero (the stage has no multipliers)",
+            ));
+        }
+        if counters[3].add_overflows != 0 {
+            return Err(SnapshotError::Corrupt(
+                "squarer overflow count must be zero (the stage has no adders)",
+            ));
+        }
+
+        self.lpf.load_lane_delay_snapshot(lane, &lpf_ring);
+        self.hpf.load_lane_delay_snapshot(lane, &hpf_ring);
+        self.der.load_lane_delay_snapshot(lane, &der_ring);
+        self.mwi.load_lane_window(lane, &mwi_window, n);
+        self.lpf.sats[lane] = lpf_sats;
+        self.hpf.sats[lane] = hpf_sats;
+        self.der.sats[lane] = der_sats;
+        self.sqr.sats[lane] = counters[3].mul_saturations;
+        self.lpf.ovfs[lane] = counters[0].add_overflows;
+        self.hpf.ovfs[lane] = counters[1].add_overflows;
+        self.der.ovfs[lane] = counters[2].add_overflows;
+        self.mwi.ovfs[lane] = counters[4].add_overflows;
+        self.ticks[lane] = t;
+        self.tails[lane] = tail;
+        Ok(())
+    }
+
     /// Heap bytes of the bank's SoA stage state and scratch matrices — the
     /// lane-shared kernels, excluding the tails.
     fn soa_heap_bytes(&self) -> usize {
@@ -1220,5 +1443,177 @@ mod tests {
         let engine = Arc::new(DetectorEngine::new(PipelineConfig::exact()));
         let mut bank = LaneBank::new(engine, 4);
         let _ = bank.push(&[1, 2, 3]);
+    }
+
+    /// The tentpole migration contract: a lane snapshot restores into a
+    /// solo session, and a solo snapshot into a lane of a *different-width*
+    /// bank whose shared ring cursor is mid-rotation — both resuming
+    /// bit-identically with the uninterrupted solo run.
+    #[test]
+    fn lane_and_solo_snapshots_interchange_bit_identically() {
+        for config in [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded),
+        ] {
+            let signal = pulse_train(3000, 170, 200);
+            let sibling = pulse_train(3000, 160, 230);
+            let (ref_events, ref_result) =
+                StreamingQrsDetector::detect_chunked(config, &signal, 64);
+
+            // Lane → solo at sample 1100.
+            let engine = Arc::new(DetectorEngine::new(config));
+            let mut bank = LaneBank::new(Arc::clone(&engine), 2);
+            let mut events = Vec::new();
+            let frames: Vec<i32> = (0..1100).flat_map(|t| [signal[t], sibling[t]]).collect();
+            for le in bank.push(&frames) {
+                if le.lane == 0 {
+                    events.push(le.event);
+                }
+            }
+            let blob = bank.snapshot_lane(0).expect("lane snapshot");
+            let mut solo =
+                StreamingQrsDetector::restore(Arc::clone(&engine), &blob).expect("solo restore");
+            events.extend(solo.push(&signal[1100..]));
+            let (trailing, result) = solo.finish();
+            events.extend(trailing);
+            assert_eq!(events, ref_events, "lane→solo events");
+            assert_eq!(result, ref_result, "lane→solo result");
+
+            // Solo → widest lane of a 3-lane bank at sample 700, with the
+            // destination bank pre-warmed 500 ticks so the shared FIR
+            // cursor sits mid-rotation when the session lands.
+            let mut solo = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+            let mut events = solo.push(&signal[..700]);
+            let blob = solo.snapshot().expect("solo snapshot");
+            let mut bank = LaneBank::new(Arc::clone(&engine), 3);
+            let warm: Vec<i32> = (0..500).flat_map(|t| [0, sibling[t], 0]).collect();
+            let _ = bank.push(&warm);
+            bank.restore_lane(2, &blob).expect("lane restore");
+            assert_eq!(bank.samples_seen(2), 700, "restored lane sample count");
+            let frames: Vec<i32> = (700..3000)
+                .flat_map(|t| [0, sibling[t - 700], signal[t]])
+                .collect();
+            for le in bank.push(&frames) {
+                if le.lane == 2 {
+                    events.push(le.event);
+                }
+            }
+            let (trailing, result) = bank.finish_lane(2);
+            events.extend(trailing);
+            assert_eq!(events, ref_events, "solo→lane events");
+            assert_eq!(result, ref_result, "solo→lane result");
+        }
+    }
+
+    /// Satellite 1: a finished lane re-seeds cleanly with a fresh *or* a
+    /// restored session — bit-identical to the solo runs — while its
+    /// sibling lane's stream is untouched, under an approximate bounded
+    /// configuration.
+    #[test]
+    fn finished_lane_reseeds_fresh_or_restored_without_disturbing_siblings() {
+        let config =
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded);
+        let first = pulse_train(1600, 170, 200);
+        let second = pulse_train(2000, 181, 260);
+        let long = pulse_train(3200, 160, 230);
+        let engine = Arc::new(DetectorEngine::new(config));
+
+        // A donor solo session snapshotted 400 samples into `second`.
+        let mut donor = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+        let mut lane0_second = donor.push(&second[..400]);
+        let donor_blob = donor.snapshot().expect("donor snapshot");
+
+        let mut bank = LaneBank::new(Arc::clone(&engine), 2);
+        let mut lane0_first = Vec::new();
+        let mut lane1 = Vec::new();
+        let frames: Vec<i32> = (0..1600).flat_map(|t| [first[t], long[t]]).collect();
+        for le in bank.push(&frames) {
+            match le.lane {
+                0 => lane0_first.push(le.event),
+                _ => lane1.push(le.event),
+            }
+        }
+        let (trailing, result_first) = bank.finish_lane(0);
+        lane0_first.extend(trailing);
+
+        // Re-seed the harvested lane with the donor's mid-record state.
+        bank.restore_lane(0, &donor_blob).expect("re-seed restore");
+        let frames: Vec<i32> = (0..2000 - 400)
+            .flat_map(|t| [second[400 + t], long[1600 + t]])
+            .collect();
+        for le in bank.push(&frames) {
+            match le.lane {
+                0 => lane0_second.push(le.event),
+                _ => lane1.push(le.event),
+            }
+        }
+        let (trailing, result_second) = bank.finish_lane(0);
+        lane0_second.extend(trailing);
+        let (trailing, result_long) = bank.finish_lane(1);
+        lane1.extend(trailing);
+
+        let (e, r) = StreamingQrsDetector::detect_chunked(config, &first, 64);
+        assert_eq!((lane0_first, result_first), (e, r), "first record");
+        let (e, r) = StreamingQrsDetector::detect_chunked(config, &second, 64);
+        assert_eq!((lane0_second, result_second), (e, r), "restored re-seed");
+        let (e, r) = StreamingQrsDetector::detect_chunked(config, &long, 64);
+        assert_eq!((lane1, result_long), (e, r), "sibling lane");
+    }
+
+    /// A failed restore — wrong lane, wrong config, tampered body — leaves
+    /// the lane's previous session fully intact.
+    #[test]
+    fn failed_lane_restore_leaves_previous_session_intact() {
+        let config = PipelineConfig::exact();
+        let signal = pulse_train(2400, 170, 200);
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut bank = LaneBank::new(Arc::clone(&engine), 2);
+        let mut events = Vec::new();
+        let frames: Vec<i32> = (0..900).flat_map(|t| [signal[t], 0]).collect();
+        for le in bank.push(&frames) {
+            if le.lane == 0 {
+                events.push(le.event);
+            }
+        }
+        let blob = bank.snapshot_lane(0).expect("snapshot");
+
+        assert!(matches!(
+            bank.snapshot_lane(7),
+            Err(SnapshotError::LaneOutOfRange { lane: 7, lanes: 2 })
+        ));
+        assert!(matches!(
+            bank.restore_lane(7, &blob),
+            Err(SnapshotError::LaneOutOfRange { lane: 7, lanes: 2 })
+        ));
+
+        // Wrong configuration: fingerprint mismatch.
+        let other = PipelineConfig::least_energy([4, 4, 2, 4, 8]);
+        let mut other_bank = LaneBank::new(Arc::new(DetectorEngine::new(other)), 1);
+        assert!(matches!(
+            other_bank.restore_lane(0, &blob),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+
+        // Tampered body: flip one byte past the header.
+        let mut bad = blob.clone();
+        let at = crate::snapshot::HEADER_BYTES + 40;
+        bad[at] ^= 0x55;
+        assert!(matches!(
+            bank.restore_lane(0, &bad),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+
+        // The lane keeps streaming exactly as if nothing happened.
+        let frames: Vec<i32> = (900..2400).flat_map(|t| [signal[t], 0]).collect();
+        for le in bank.push(&frames) {
+            if le.lane == 0 {
+                events.push(le.event);
+            }
+        }
+        let (trailing, result) = bank.finish_lane(0);
+        events.extend(trailing);
+        let (ref_events, ref_result) = StreamingQrsDetector::detect_chunked(config, &signal, 64);
+        assert_eq!(events, ref_events, "events after failed restores");
+        assert_eq!(result, ref_result, "result after failed restores");
     }
 }

@@ -51,6 +51,7 @@ pub mod detector;
 pub mod engine;
 pub mod fir;
 pub mod lane;
+pub mod snapshot;
 pub mod stages;
 pub mod streaming;
 pub mod threshold;
@@ -62,5 +63,6 @@ pub use detector::{DetectionResult, QrsDetector};
 pub use engine::DetectorEngine;
 pub use fir::FirFilter;
 pub use lane::{simd_level_name, LaneBank};
+pub use snapshot::SnapshotError;
 pub use streaming::{DetectorState, StreamEvent, StreamingQrsDetector};
 pub use threshold::{AdaptiveThreshold, OnlineClassifier, ThresholdConfig};

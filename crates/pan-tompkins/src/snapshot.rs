@@ -1,0 +1,458 @@
+//! Deterministic snapshot/restore of live detector state — the versioned,
+//! endian-fixed binary codec behind
+//! [`crate::StreamingQrsDetector::snapshot`],
+//! [`crate::StreamingQrsDetector::restore`],
+//! [`crate::LaneBank::snapshot_lane`] and
+//! [`crate::LaneBank::restore_lane`]. See `DESIGN.md` §11.
+//!
+//! A blob is a 32-byte header followed by a little-endian body:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"XBSP"
+//!      4     2  codec version (currently 1), u16 LE
+//!      6     2  reserved (0)
+//!      8     8  PipelineConfig fingerprint, u64 LE
+//!     16     8  body length in bytes, u64 LE
+//!     24     8  FNV-1a checksum of the body, u64 LE
+//! ```
+//!
+//! The body is the canonical serialization of everything
+//! [`crate::StreamingQrsDetector::state_bytes`] accounts for: stage delay
+//! rings (rotation-normalized, newest first), the MWI window, per-stage
+//! op/saturation/overflow counters, the [`crate::OnlineClassifier`]'s Q32
+//! `i128` EWMA state and candidate lists, and the footprint-dependent
+//! signal store (retained stage signals or the bounded HPF ring).
+//!
+//! Design rules, all load-bearing:
+//!
+//! - **Canonical**: a given detector state has exactly one encoding, so
+//!   `encode(decode(blob)) == blob` — golden fixtures can anchor the format
+//!   across versions byte-for-byte.
+//! - **Config-free**: the body carries no configuration, only state.
+//!   Everything derivable from [`crate::PipelineConfig`] is rebuilt at
+//!   restore; the header fingerprint
+//!   ([`crate::PipelineConfig::fingerprint`]) guarantees the rebuild uses
+//!   the same configuration that produced the blob.
+//! - **Total**: decoding never panics and never allocates more than the
+//!   blob length — corrupt, truncated, oversized-length, or wrong-version
+//!   input returns a typed [`SnapshotError`]. This module is registered
+//!   with xanalyze's panic-freedom and float-freedom passes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Leading magic of every snapshot blob.
+pub const MAGIC: [u8; 4] = *b"XBSP";
+
+/// Codec version this build writes (and the only one it reads).
+pub const VERSION: u16 = 1;
+
+/// Fixed header size in bytes preceding the body.
+pub const HEADER_BYTES: usize = 32;
+
+/// Why a snapshot could not be taken or restored. Restoration failures
+/// leave the target detector/lane untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The blob ends before its declared structure does.
+    Truncated,
+    /// The first four bytes are not the `XBSP` magic.
+    BadMagic,
+    /// The blob was written by a codec version this build does not speak.
+    UnsupportedVersion(u16),
+    /// The body does not match the header's FNV-1a checksum (bit rot or
+    /// tampering between header and payload).
+    ChecksumMismatch,
+    /// The blob was taken from a detector built with a different
+    /// [`crate::PipelineConfig`] (fingerprints shown: what the restoring
+    /// detector expected vs. what the header carries).
+    ConfigMismatch {
+        /// Fingerprint of the restoring detector's configuration.
+        expected: u64,
+        /// Fingerprint recorded in the blob header.
+        found: u64,
+    },
+    /// The body is structurally invalid for this configuration; the
+    /// message names the first offending field.
+    Corrupt(&'static str),
+    /// The source session had already been finished — there is no live
+    /// state left to snapshot.
+    Finished,
+    /// The lane index is outside the bank's width.
+    LaneOutOfRange {
+        /// Requested lane.
+        lane: usize,
+        /// Bank width.
+        lanes: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => f.write_str("snapshot blob is truncated"),
+            SnapshotError::BadMagic => f.write_str("snapshot blob lacks the XBSP magic"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "snapshot codec version {v} is not supported (this build speaks {VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch => {
+                f.write_str("snapshot body does not match its header checksum")
+            }
+            SnapshotError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot config fingerprint {found:#018x} does not match the \
+                 restoring detector's {expected:#018x}"
+            ),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot body is corrupt: {what}"),
+            SnapshotError::Finished => {
+                f.write_str("session is already finished; no live state to snapshot")
+            }
+            SnapshotError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range for a {lanes}-lane bank")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// FNV-1a over a byte slice — the body checksum. Deliberately not a crypto
+/// hash: the threat model is bit rot and truncation, not adversaries.
+#[must_use]
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Wraps a finished body in the versioned header.
+#[must_use]
+pub(crate) fn seal(fingerprint: u64, body: &[u8]) -> Vec<u8> {
+    let mut blob = Vec::with_capacity(HEADER_BYTES + body.len());
+    blob.extend_from_slice(&MAGIC);
+    blob.extend_from_slice(&VERSION.to_le_bytes());
+    blob.extend_from_slice(&0u16.to_le_bytes());
+    blob.extend_from_slice(&fingerprint.to_le_bytes());
+    blob.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    blob.extend_from_slice(&fnv1a(body).to_le_bytes());
+    blob.extend_from_slice(body);
+    blob
+}
+
+/// Validates the header against the restoring detector's configuration
+/// fingerprint and returns the checked body slice.
+pub(crate) fn open(blob: &[u8], expected_fingerprint: u64) -> Result<&[u8], SnapshotError> {
+    if blob.len() < HEADER_BYTES {
+        return Err(SnapshotError::Truncated);
+    }
+    if blob[0..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u16::from_le_bytes([blob[4], blob[5]]);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    if blob[6..8] != [0, 0] {
+        return Err(SnapshotError::Corrupt("reserved header bytes are non-zero"));
+    }
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&blob[8..16]);
+    let found = u64::from_le_bytes(w);
+    if found != expected_fingerprint {
+        return Err(SnapshotError::ConfigMismatch {
+            expected: expected_fingerprint,
+            found,
+        });
+    }
+    w.copy_from_slice(&blob[16..24]);
+    let body_len = u64::from_le_bytes(w);
+    let body = &blob[HEADER_BYTES..];
+    if u64::try_from(body.len()) != Ok(body_len) {
+        // Shorter *or longer* than declared: either way the blob is not
+        // the bytes that were sealed.
+        return Err(if (body.len() as u64) < body_len {
+            SnapshotError::Truncated
+        } else {
+            SnapshotError::Corrupt("trailing bytes after the declared body")
+        });
+    }
+    w.copy_from_slice(&blob[24..32]);
+    if fnv1a(body) != u64::from_le_bytes(w) {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Little-endian body writer. Each `put_*` has a matching
+/// [`Reader::take_*`]; keeping the pairs adjacent in the call sites is
+/// what keeps the codec canonical.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn into_body(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    pub(crate) fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A length-prefixed `i64` sequence.
+    pub(crate) fn put_seq_i64(&mut self, vs: &[i64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_i64(v);
+        }
+    }
+
+    /// A length-prefixed `usize` sequence (as u64s).
+    pub(crate) fn put_seq_usize(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+}
+
+/// Little-endian body reader over a checked body slice. All `take_*`
+/// methods return [`SnapshotError::Truncated`] past the end; length
+/// prefixes are validated against the bytes actually remaining before any
+/// allocation, so a hostile length field cannot balloon memory.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(body: &'a [u8]) -> Self {
+        Self { body, at: 0 }
+    }
+
+    /// Fails unless every body byte was consumed — catches blobs whose
+    /// sections decode individually but disagree about the total layout.
+    pub(crate) fn finish(self) -> Result<(), SnapshotError> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(
+                "unconsumed bytes after the last field",
+            ))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.at.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.body.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.body[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("boolean field is neither 0 nor 1")),
+        }
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    pub(crate) fn take_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| SnapshotError::Corrupt("count does not fit in usize"))
+    }
+
+    pub(crate) fn take_i64(&mut self) -> Result<i64, SnapshotError> {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(self.take(8)?);
+        Ok(i64::from_le_bytes(w))
+    }
+
+    pub(crate) fn take_i128(&mut self) -> Result<i128, SnapshotError> {
+        let mut w = [0u8; 16];
+        w.copy_from_slice(self.take(16)?);
+        Ok(i128::from_le_bytes(w))
+    }
+
+    /// A sequence length, validated so that `len · elem_bytes` still fits
+    /// in the remaining body.
+    pub(crate) fn take_len(&mut self, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let len = self.take_usize()?;
+        let need = len
+            .checked_mul(elem_bytes)
+            .ok_or(SnapshotError::Corrupt("sequence length overflows"))?;
+        if need > self.body.len() - self.at {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(len)
+    }
+
+    /// Inverse of [`Writer::put_seq_i64`].
+    pub(crate) fn take_seq_i64(&mut self) -> Result<Vec<i64>, SnapshotError> {
+        let len = self.take_len(8)?;
+        let mut vs = Vec::with_capacity(len);
+        for _ in 0..len {
+            vs.push(self.take_i64()?);
+        }
+        Ok(vs)
+    }
+
+    /// Inverse of [`Writer::put_seq_usize`].
+    pub(crate) fn take_seq_usize(&mut self) -> Result<Vec<usize>, SnapshotError> {
+        let len = self.take_len(8)?;
+        let mut vs = Vec::with_capacity(len);
+        for _ in 0..len {
+            vs.push(self.take_usize()?);
+        }
+        Ok(vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-12345);
+        w.put_i128(-(1i128 << 100));
+        w.put_seq_i64(&[1, -2, 3]);
+        w.put_seq_usize(&[9, 0]);
+        let body = w.into_body();
+        let mut r = Reader::new(&body);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.take_i64().unwrap(), -12345);
+        assert_eq!(r.take_i128().unwrap(), -(1i128 << 100));
+        assert_eq!(r.take_seq_i64().unwrap(), vec![1, -2, 3]);
+        assert_eq!(r.take_seq_usize().unwrap(), vec![9, 0]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_round_trip_and_rejections() {
+        let body = vec![1u8, 2, 3, 4, 5];
+        let blob = seal(0xABCD, &body);
+        assert_eq!(blob.len(), HEADER_BYTES + body.len());
+        assert_eq!(open(&blob, 0xABCD).unwrap(), &body[..]);
+
+        // Too short for a header.
+        assert_eq!(open(&blob[..10], 0xABCD), Err(SnapshotError::Truncated));
+        // Bad magic.
+        let mut bad = blob.clone();
+        bad[0] = b'Y';
+        assert_eq!(open(&bad, 0xABCD), Err(SnapshotError::BadMagic));
+        // Future version.
+        let mut bad = blob.clone();
+        bad[4] = 99;
+        assert_eq!(
+            open(&bad, 0xABCD),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+        // Wrong config.
+        assert_eq!(
+            open(&blob, 0xEF01),
+            Err(SnapshotError::ConfigMismatch {
+                expected: 0xEF01,
+                found: 0xABCD
+            })
+        );
+        // Truncated body.
+        assert_eq!(
+            open(&blob[..blob.len() - 1], 0xABCD),
+            Err(SnapshotError::Truncated)
+        );
+        // Trailing garbage.
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(matches!(
+            open(&long, 0xABCD),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Flipped body bit.
+        let mut flipped = blob.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(open(&flipped, 0xABCD), Err(SnapshotError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn hostile_length_fields_fail_without_allocating() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // absurd sequence length
+        let body = w.into_body();
+        let mut r = Reader::new(&body);
+        assert!(r.take_seq_i64().is_err());
+    }
+
+    #[test]
+    fn every_take_reports_truncation() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.take_u64(), Err(SnapshotError::Truncated));
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.take_u8(), Err(SnapshotError::Truncated));
+        assert_eq!(Reader::new(&[3]).take_i128(), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn display_messages_are_specific() {
+        let s = SnapshotError::UnsupportedVersion(9).to_string();
+        assert!(s.contains('9'), "{s}");
+        let s = SnapshotError::LaneOutOfRange { lane: 4, lanes: 4 }.to_string();
+        assert!(s.contains("lane 4"), "{s}");
+        assert!(SnapshotError::Corrupt("x").to_string().contains('x'));
+    }
+}

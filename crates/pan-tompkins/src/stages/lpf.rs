@@ -64,6 +64,16 @@ impl LowPassFilter {
             fir: FirFilter::from_program(program),
         }
     }
+
+    /// Inner FIR access for the snapshot codec.
+    pub(crate) fn fir(&self) -> &FirFilter {
+        &self.fir
+    }
+
+    /// Mutable inner FIR access for the snapshot codec.
+    pub(crate) fn fir_mut(&mut self) -> &mut FirFilter {
+        &mut self.fir
+    }
 }
 
 impl Stage for LowPassFilter {

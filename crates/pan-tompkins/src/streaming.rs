@@ -123,6 +123,7 @@ use crate::detector::{
     ALIGNMENT_SEARCH, HPF_TO_MWI_DELAY, PRE_PROCESSING_DELAY,
 };
 use crate::engine::DetectorEngine;
+use crate::snapshot::{self, Reader, SnapshotError, Writer};
 use crate::stages::{
     Derivative, HighPassFilter, LowPassFilter, MovingWindowIntegrator, Squarer, Stage,
 };
@@ -455,6 +456,138 @@ impl DetectorTail {
         classifier + store + queues
     }
 
+    /// Whether the session has been finished (drained) — a finished tail
+    /// has no live state to snapshot.
+    pub(crate) fn is_finished(&self) -> bool {
+        self.classifier.is_finished()
+    }
+
+    /// Serializes the tail: classifier state, the footprint's signal
+    /// store, the alignment queue, and the retained bookkeeping. `fresh`
+    /// is not written — it is a scratch buffer that
+    /// [`DetectorTail::absorb`] drains before every
+    /// push/settle boundary returns, so it is empty whenever a snapshot
+    /// can be taken.
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        self.classifier.encode(w);
+        w.put_usize(self.n);
+        match &self.store {
+            SignalStore::Retained(s) => {
+                w.put_seq_i64(&s.lpf);
+                w.put_seq_i64(&s.hpf);
+                w.put_seq_i64(&s.der);
+                w.put_seq_i64(&s.sqr);
+                w.put_seq_i64(&s.mwi);
+            }
+            SignalStore::Bounded { hpf } => {
+                w.put_usize(hpf.start);
+                w.put_usize(hpf.buf.len());
+                for &v in &hpf.buf {
+                    w.put_i64(v);
+                }
+            }
+        }
+        w.put_usize(self.awaiting_alignment.len());
+        for d in &self.awaiting_alignment {
+            put_decision(w, d);
+        }
+        w.put_usize(self.decisions.len());
+        for d in &self.decisions {
+            put_decision(w, d);
+        }
+        w.put_seq_usize(&self.confirmed_raw);
+        w.put_usize(self.omitted.len());
+        for o in &self.omitted {
+            w.put_usize(o.mwi_index);
+            w.put_usize(o.hpf_index);
+            w.put_usize(o.misalignment);
+        }
+    }
+
+    /// Inverse of [`DetectorTail::encode`], validating the structural
+    /// invariants that tie the sections together (classifier and tail
+    /// sample counts, signal-store lengths vs. samples seen).
+    pub(crate) fn decode(
+        config: &PipelineConfig,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let classifier =
+            OnlineClassifier::decode(config.threshold(), config.footprint(), config.decision(), r)?;
+        let n = r.take_usize()?;
+        if classifier.samples_seen() != n {
+            return Err(SnapshotError::Corrupt(
+                "classifier and tail disagree about samples seen",
+            ));
+        }
+        let store = match config.footprint() {
+            Footprint::Retain => {
+                let lpf = r.take_seq_i64()?;
+                let hpf = r.take_seq_i64()?;
+                let der = r.take_seq_i64()?;
+                let sqr = r.take_seq_i64()?;
+                let mwi = r.take_seq_i64()?;
+                if [&lpf, &hpf, &der, &sqr, &mwi].iter().any(|s| s.len() != n) {
+                    return Err(SnapshotError::Corrupt(
+                        "retained stage signal length disagrees with samples seen",
+                    ));
+                }
+                SignalStore::Retained(StageSignals {
+                    lpf,
+                    hpf,
+                    der,
+                    sqr,
+                    mwi,
+                })
+            }
+            Footprint::Bounded => {
+                let start = r.take_usize()?;
+                let buf = r.take_seq_i64()?;
+                if start.checked_add(buf.len()) != Some(n) {
+                    return Err(SnapshotError::Corrupt(
+                        "bounded HPF ring extent disagrees with samples seen",
+                    ));
+                }
+                SignalStore::Bounded {
+                    hpf: HpfRing {
+                        buf: VecDeque::from(buf),
+                        start,
+                    },
+                }
+            }
+        };
+        // index + amplitude + class per decision.
+        let await_len = r.take_len(8 + 8 + 1)?;
+        let mut awaiting_alignment = VecDeque::with_capacity(await_len);
+        for _ in 0..await_len {
+            awaiting_alignment.push_back(take_decision(r)?);
+        }
+        let dec_len = r.take_len(8 + 8 + 1)?;
+        let mut decisions = Vec::with_capacity(dec_len);
+        for _ in 0..dec_len {
+            decisions.push(take_decision(r)?);
+        }
+        let confirmed_raw = r.take_seq_usize()?;
+        let omit_len = r.take_len(3 * 8)?;
+        let mut omitted = Vec::with_capacity(omit_len);
+        for _ in 0..omit_len {
+            omitted.push(OmittedBeat {
+                mwi_index: r.take_usize()?,
+                hpf_index: r.take_usize()?,
+                misalignment: r.take_usize()?,
+            });
+        }
+        Ok(Self {
+            classifier,
+            store,
+            n,
+            decisions,
+            awaiting_alignment,
+            confirmed_raw,
+            omitted,
+            fresh: Vec::new(),
+        })
+    }
+
     /// Records freshly classified decisions and queues accepted beats for
     /// alignment confirmation. Bounded mode keeps only the queue — the
     /// decision log exists for the retaining result.
@@ -546,6 +679,36 @@ impl DetectorTail {
     }
 }
 
+/// Serializes one [`PeakDecision`] (index, amplitude, class code).
+fn put_decision(w: &mut Writer, d: &PeakDecision) {
+    w.put_usize(d.index);
+    w.put_i64(d.amplitude);
+    w.put_u8(match d.class {
+        PeakClass::Qrs => 0,
+        PeakClass::SearchBack => 1,
+        PeakClass::Noise => 2,
+        PeakClass::TWave => 3,
+    });
+}
+
+/// Inverse of [`put_decision`].
+fn take_decision(r: &mut Reader<'_>) -> Result<PeakDecision, SnapshotError> {
+    let index = r.take_usize()?;
+    let amplitude = r.take_i64()?;
+    let class = match r.take_u8()? {
+        0 => PeakClass::Qrs,
+        1 => PeakClass::SearchBack,
+        2 => PeakClass::Noise,
+        3 => PeakClass::TWave,
+        _ => return Err(SnapshotError::Corrupt("unknown peak class code")),
+    };
+    Ok(PeakDecision {
+        index,
+        amplitude,
+        class,
+    })
+}
+
 /// The mutable half of the state/engine split: one session's stage delay
 /// lines, MWI window, classifier, and alignment/event bookkeeping.
 ///
@@ -623,6 +786,81 @@ impl DetectorState {
             stage.reset_counters();
         }
         self.tail.reset(config);
+    }
+
+    /// Serializes the full session state: the four stage delay rings
+    /// (rotation-normalized, newest sample first; the squarer is
+    /// stateless), per-stage activity counters, and the decision tail.
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_seq_i64(&self.lpf.fir().delay_snapshot());
+        w.put_seq_i64(&self.hpf.fir().delay_snapshot());
+        w.put_seq_i64(&self.der.fir().delay_snapshot());
+        w.put_seq_i64(self.mwi.window());
+        for stage in [
+            &self.lpf as &dyn Stage,
+            &self.hpf,
+            &self.der,
+            &self.sqr,
+            &self.mwi,
+        ] {
+            w.put_u64(stage.ops().adds());
+            w.put_u64(stage.ops().muls());
+            w.put_u64(stage.saturations());
+            w.put_u64(stage.add_overflows());
+        }
+        self.tail.encode(w);
+    }
+
+    /// Inverse of [`DetectorState::encode`]: builds a fresh state over the
+    /// engine and loads every serialized field into it. Ring lengths are
+    /// validated against the engine's programs; the priming level and MWI
+    /// cursor are re-derived from the tail's sample count.
+    pub(crate) fn decode(
+        engine: &DetectorEngine,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let lpf_ring = r.take_seq_i64()?;
+        let hpf_ring = r.take_seq_i64()?;
+        let der_ring = r.take_seq_i64()?;
+        let mwi_window = r.take_seq_i64()?;
+        let mut counters = [crate::arith::ArithCounters::default(); 5];
+        for c in &mut counters {
+            let adds = r.take_u64()?;
+            let muls = r.take_u64()?;
+            c.ops.count_adds(adds);
+            c.ops.count_muls(muls);
+            c.mul_saturations = r.take_u64()?;
+            c.add_overflows = r.take_u64()?;
+        }
+        let tail = DetectorTail::decode(engine.config(), r)?;
+        let n = tail.samples_seen();
+
+        let mut state = Self::new(engine);
+        if !state.lpf.fir_mut().load_delay_snapshot(&lpf_ring, n) {
+            return Err(SnapshotError::Corrupt(
+                "LPF delay ring has the wrong length",
+            ));
+        }
+        if !state.hpf.fir_mut().load_delay_snapshot(&hpf_ring, n) {
+            return Err(SnapshotError::Corrupt(
+                "HPF delay ring has the wrong length",
+            ));
+        }
+        if !state.der.fir_mut().load_delay_snapshot(&der_ring, n) {
+            return Err(SnapshotError::Corrupt(
+                "derivative delay ring has the wrong length",
+            ));
+        }
+        if !state.mwi.load_window(&mwi_window, n) {
+            return Err(SnapshotError::Corrupt("MWI window has the wrong length"));
+        }
+        state.lpf.fir_mut().backend_mut().set_counters(counters[0]);
+        state.hpf.fir_mut().backend_mut().set_counters(counters[1]);
+        state.der.fir_mut().backend_mut().set_counters(counters[2]);
+        state.sqr.backend_mut().set_counters(counters[3]);
+        state.mwi.backend_mut().set_counters(counters[4]);
+        state.tail = tail;
+        Ok(state)
     }
 
     /// Gathers the stage counters and drains the tail into a final result.
@@ -896,6 +1134,53 @@ impl StreamingQrsDetector {
         self.state.tail.finish(max_misalignment, &mut events);
         let result = self.state.take_result(self.engine.total_delay());
         (events, result)
+    }
+
+    /// Serializes the complete live session state into a versioned,
+    /// endian-fixed blob (see [`crate::snapshot`] for the format). The
+    /// blob captures everything [`StreamingQrsDetector::state_bytes`]
+    /// accounts for — delay rings, the classifier's adaptive state,
+    /// the footprint's signal store, per-stage counters — so that
+    /// [`StreamingQrsDetector::restore`] on any host resumes the stream
+    /// bit-identically: same future events, same decisions, same final
+    /// counters as the uninterrupted run.
+    ///
+    /// Snapshots may be taken at any `push` boundary, including inside the
+    /// warmup/learning window.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Finished`] if the session was already finished.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        if self.state.tail.is_finished() {
+            return Err(SnapshotError::Finished);
+        }
+        let mut w = Writer::new();
+        self.state.encode(&mut w);
+        Ok(snapshot::seal(
+            self.engine.config().fingerprint(),
+            &w.into_body(),
+        ))
+    }
+
+    /// Rebuilds a live session from a [`StreamingQrsDetector::snapshot`]
+    /// blob over a shared engine. The engine's configuration must be the
+    /// one the blob was taken under (checked via
+    /// [`crate::PipelineConfig::fingerprint`]); the restored session then
+    /// continues exactly where the source left off.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: truncated or tampered blobs, wrong codec
+    /// version, wrong configuration, or a structurally invalid body. On
+    /// error nothing is constructed; corrupt input can never produce a
+    /// silently-diverging detector.
+    pub fn restore(engine: Arc<DetectorEngine>, blob: &[u8]) -> Result<Self, SnapshotError> {
+        let body = snapshot::open(blob, engine.config().fingerprint())?;
+        let mut r = Reader::new(body);
+        let state = DetectorState::decode(&engine, &mut r)?;
+        r.finish()?;
+        Ok(Self { engine, state })
     }
 }
 
@@ -1206,5 +1491,172 @@ mod tests {
             assert_eq!(events_second, fresh_events_second, "{footprint:?}: events");
             assert!(!fresh_events_first.is_empty());
         }
+    }
+
+    /// Runs `signal` with a snapshot/drop/restore cycle at `cut`, returning
+    /// the stitched event stream and final result.
+    fn run_with_snapshot(
+        config: PipelineConfig,
+        signal: &[i32],
+        cut: usize,
+    ) -> (Vec<StreamEvent>, DetectionResult) {
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut det = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+        let mut events = det.push(&signal[..cut]);
+        let blob = det.snapshot().expect("snapshot");
+        drop(det);
+        let mut det = StreamingQrsDetector::restore(engine, &blob).expect("restore");
+        events.extend(det.push(&signal[cut..]));
+        let (trailing, result) = det.finish();
+        events.extend(trailing);
+        (events, result)
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let signal = pulse_train(3000, 170, 200);
+        use crate::decision::DecisionArith;
+        for footprint in [Footprint::Retain, Footprint::Bounded] {
+            for decision in [DecisionArith::Fixed, DecisionArith::Float] {
+                let config = PipelineConfig::least_energy([10, 12, 2, 8, 16])
+                    .with_footprint(footprint)
+                    .with_decision(decision);
+                let reference = run_streaming(config, &signal, 64);
+                for cut in [1usize, 137, 1024, 2999] {
+                    let resumed = run_with_snapshot(config, &signal, cut);
+                    assert_eq!(resumed, reference, "{footprint:?}/{decision:?} cut {cut}");
+                }
+            }
+        }
+    }
+
+    /// Snapshots are canonical: re-encoding a restored session reproduces
+    /// the source blob byte for byte.
+    #[test]
+    fn snapshot_of_restored_session_is_byte_identical() {
+        let signal = pulse_train(2000, 170, 200);
+        let config =
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded);
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut det = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+        let _ = det.push(&signal[..1500]);
+        let blob = det.snapshot().expect("snapshot");
+        let restored = StreamingQrsDetector::restore(engine, &blob).expect("restore");
+        assert_eq!(restored.snapshot().expect("re-snapshot"), blob);
+    }
+
+    /// Satellite 4: a snapshot inside the learning window (first 400
+    /// samples at the default 200 Hz thresholds) resumes exactly — the
+    /// learning accumulator, seed maximum, and unseeded kernel all travel.
+    #[test]
+    fn snapshot_inside_warmup_resumes_exactly() {
+        let signal = pulse_train(2600, 170, 200);
+        for config in [
+            PipelineConfig::exact(),
+            PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded),
+        ] {
+            let reference = run_streaming(config, &signal, 64);
+            for cut in [37usize, 150, 399, 400] {
+                let resumed = run_with_snapshot(config, &signal, cut);
+                assert_eq!(resumed, reference, "warmup cut {cut}");
+            }
+        }
+    }
+
+    /// Satellite 4: snapshots straddling a search-back recovery — right at
+    /// the missed beats and around the RR-miss trigger — resume exactly,
+    /// in both footprints (the bounded HPF ring must travel with enough
+    /// history for the alignment search).
+    #[test]
+    fn snapshot_at_search_back_rr_miss_boundary_resumes_exactly() {
+        let mut signal = pulse_train(4000, 170, 200);
+        let misses = [200usize + 10 * 170, 200 + 15 * 170];
+        for miss in misses {
+            for sample in &mut signal[miss - 2..=miss + 2] {
+                *sample = *sample * 9 / 20;
+            }
+        }
+        let config = PipelineConfig::exact();
+        let batch = QrsDetector::new(config).detect(&signal);
+        assert!(
+            batch
+                .decisions()
+                .iter()
+                .any(|d| d.class == PeakClass::SearchBack),
+            "workload failed to trigger search-back"
+        );
+        for footprint in [Footprint::Retain, Footprint::Bounded] {
+            let config = config.with_footprint(footprint);
+            let reference = run_streaming(config, &signal, 64);
+            for cut in [
+                misses[0] - 1,
+                misses[0] + 40,
+                misses[1],
+                misses[1] + 170, // inside the window the RR-miss scan covers
+            ] {
+                let resumed = run_with_snapshot(config, &signal, cut);
+                assert_eq!(resumed, reference, "{footprint:?} cut {cut}");
+            }
+        }
+    }
+
+    /// Satellite 4: hostile blobs — truncations at every prefix length,
+    /// bit flips in header and body, a bumped version, the wrong config —
+    /// fail with typed errors and never construct a detector; a finished
+    /// session refuses to snapshot.
+    #[test]
+    fn hostile_blobs_fail_typed_and_finished_sessions_refuse() {
+        let signal = pulse_train(1400, 170, 200);
+        let config = PipelineConfig::exact();
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut det = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+        let _ = det.push(&signal);
+        let blob = det.snapshot().expect("snapshot");
+
+        // Every strict prefix fails and never panics.
+        for len in 0..blob.len() {
+            assert!(
+                StreamingQrsDetector::restore(Arc::clone(&engine), &blob[..len]).is_err(),
+                "truncated blob of {len} bytes restored"
+            );
+        }
+        // Flip a bit in every header byte and a sweep of body bytes.
+        for at in (0..crate::snapshot::HEADER_BYTES)
+            .chain((crate::snapshot::HEADER_BYTES..blob.len()).step_by(97))
+        {
+            let mut bad = blob.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                StreamingQrsDetector::restore(Arc::clone(&engine), &bad).is_err(),
+                "bit flip at {at} accepted"
+            );
+        }
+        // A future codec version is refused by number.
+        let mut future = blob.clone();
+        future[4] = (crate::snapshot::VERSION + 1) as u8;
+        assert!(matches!(
+            StreamingQrsDetector::restore(Arc::clone(&engine), &future),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+        // Wrong configuration is refused by fingerprint.
+        let other = Arc::new(DetectorEngine::new(
+            config.with_footprint(Footprint::Bounded),
+        ));
+        assert!(matches!(
+            StreamingQrsDetector::restore(other, &blob),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+        // Trailing garbage is refused even below the checksum.
+        let mut padded = blob.clone();
+        padded.push(0);
+        assert!(StreamingQrsDetector::restore(Arc::clone(&engine), &padded).is_err());
+
+        // A finished session refuses to snapshot; after `finish_reset` the
+        // fresh session snapshots again.
+        let (_, _) = det.finish_reset();
+        let _ = det.push(&signal[..64]);
+        assert!(det.snapshot().is_ok(), "reset session must snapshot again");
+        let _ = det.finish_in_place();
+        assert!(matches!(det.snapshot(), Err(SnapshotError::Finished)));
     }
 }

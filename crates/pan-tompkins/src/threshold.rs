@@ -19,6 +19,7 @@ use std::fmt;
 
 use crate::config::{Footprint, PipelineConfig};
 use crate::decision::{DecisionArith, DecisionKernel};
+use crate::snapshot::{Reader, SnapshotError, Writer};
 
 /// Detector timing and adaptation parameters (defaults follow the original
 /// paper at 200 Hz).
@@ -552,6 +553,135 @@ impl OnlineClassifier {
             + self.qrs_indices.capacity() * std::mem::size_of::<usize>()
             + self.qrs_slopes.capacity() * std::mem::size_of::<i64>()
             + self.rr_history.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Whether [`OnlineClassifier::finish`] has run (a finished classifier
+    /// has no live state left to snapshot).
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Serializes the mutable state in declared field order. Configuration
+    /// (`config`, `retention`, the kernel's config-derived constants) is
+    /// not written: the restore side rebuilds it from the pipeline config,
+    /// and the snapshot header's fingerprint guarantees that config
+    /// matches the one that produced this encoding.
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.n);
+        w.put_seq_i64(&self.recent);
+        w.put_usize(self.learn_len);
+        w.put_i64(self.learn_max);
+        w.put_i128(self.learn_sum);
+        let (spk, npk) = self.kernel.state_words();
+        w.put_i128(spk);
+        w.put_i128(npk);
+        w.put_bool(self.seeded);
+        w.put_usize(self.candidates.len());
+        for c in &self.candidates {
+            w.put_usize(c.index);
+            w.put_i64(c.amplitude);
+            w.put_i64(c.slope);
+        }
+        match self.pending {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_usize(p.index);
+                w.put_i64(p.amplitude);
+                w.put_i64(p.slope);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.next_unclassified);
+        w.put_seq_usize(&self.qrs_indices);
+        w.put_seq_i64(&self.qrs_slopes);
+        w.put_seq_usize(&self.rr_history);
+    }
+
+    /// Inverse of [`OnlineClassifier::encode`]: rebuilds a live (never
+    /// finished) classifier over the given configuration, validating every
+    /// structural invariant the push path relies on.
+    pub(crate) fn decode(
+        config: ThresholdConfig,
+        retention: Footprint,
+        decision: DecisionArith,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let n = r.take_usize()?;
+        let recent = r.take_seq_i64()?;
+        if recent.len() != ring_len(config.slope_window) {
+            return Err(SnapshotError::Corrupt(
+                "classifier sample ring has the wrong length",
+            ));
+        }
+        let learn_len = r.take_usize()?;
+        if learn_len != n.min(config.learning) {
+            return Err(SnapshotError::Corrupt(
+                "learning-window length disagrees with samples seen",
+            ));
+        }
+        let learn_max = r.take_i64()?;
+        let learn_sum = r.take_i128()?;
+        let spk = r.take_i128()?;
+        let npk = r.take_i128()?;
+        let kernel = DecisionKernel::from_state_words(decision, &config, spk, npk);
+        let seeded = r.take_bool()?;
+        // index + amplitude + slope per candidate.
+        let cand_len = r.take_len(3 * 8)?;
+        let mut candidates = Vec::with_capacity(cand_len);
+        for _ in 0..cand_len {
+            candidates.push(Candidate {
+                index: r.take_usize()?,
+                amplitude: r.take_i64()?,
+                slope: r.take_i64()?,
+            });
+        }
+        if candidates.windows(2).any(|w| w[0].index > w[1].index) {
+            return Err(SnapshotError::Corrupt(
+                "candidate list is not in index order",
+            ));
+        }
+        let pending = if r.take_bool()? {
+            Some(Candidate {
+                index: r.take_usize()?,
+                amplitude: r.take_i64()?,
+                slope: r.take_i64()?,
+            })
+        } else {
+            None
+        };
+        let next_unclassified = r.take_usize()?;
+        if next_unclassified > candidates.len() {
+            return Err(SnapshotError::Corrupt(
+                "next_unclassified points past the candidate list",
+            ));
+        }
+        let qrs_indices = r.take_seq_usize()?;
+        if qrs_indices.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SnapshotError::Corrupt("QRS indices are not sorted"));
+        }
+        let qrs_slopes = r.take_seq_i64()?;
+        let rr_history = r.take_seq_usize()?;
+        if rr_history.len() > 8 {
+            return Err(SnapshotError::Corrupt("RR history longer than its bound"));
+        }
+        Ok(Self {
+            config,
+            retention,
+            n,
+            recent,
+            learn_len,
+            learn_max,
+            learn_sum,
+            kernel,
+            seeded,
+            candidates,
+            pending,
+            next_unclassified,
+            qrs_indices,
+            qrs_slopes,
+            rr_history,
+            finished: false,
+        })
     }
 
     /// Ends the stream: classifies every remaining candidate (using the

@@ -232,6 +232,98 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The snapshot axis of the contract: freezing a session at a random
+    /// push boundary, dropping it, and restoring from the blob — first
+    /// into a solo detector, then migrating through a random lane of a
+    /// random-width [`LaneBank`] and back out — is invisible: the stitched
+    /// event stream, every decision, and every counter of the final result
+    /// equal the uninterrupted run, for random configurations × records ×
+    /// partitions × snapshot points × footprints × decision arithmetic.
+    #[test]
+    fn snapshot_restore_is_invisible_at_any_boundary(
+        seed in 0u64..10_000,
+        len in 600usize..2400,
+        k0 in 0u32..=16, k1 in 0u32..=16, k2 in 0u32..=16, k3 in 0u32..=16, k4 in 0u32..=16,
+        mult_idx in 0usize..3,
+        adder_idx in 0usize..6,
+        chunk_a in 1usize..40,
+        chunk_b in 1usize..400,
+        cut_num in 0usize..1000,
+        cut2_num in 0usize..1000,
+        lanes in 1usize..5,
+        warm_ticks in 0usize..200,
+        bounded in 0u8..2,
+        float_decision in 0u8..2,
+    ) {
+        let mut config = config_from([k0, k1, k2, k3, k4], mult_idx, adder_idx);
+        if bounded == 1 {
+            config = config.with_footprint(Footprint::Bounded);
+        }
+        if float_decision == 1 {
+            config = config.with_decision(DecisionArith::Float);
+        }
+        let signal = record_samples(seed, len);
+        let n = signal.len();
+        // Two snapshot points: cut inside the record, cut2 in [cut, n].
+        let cut = (n * cut_num / 1000).min(n - 1).max(1);
+        let cut2 = cut + (n - cut) * cut2_num / 1000;
+        let lane = lanes - 1;
+
+        let reference = run_streaming(config, &signal, &[chunk_a, chunk_b]);
+
+        // Leg 1: solo up to `cut`, freeze, drop, thaw into a fresh solo.
+        let engine = Arc::new(DetectorEngine::new(config));
+        let mut det = StreamingQrsDetector::from_engine(Arc::clone(&engine));
+        let mut events = Vec::new();
+        for chunk in signal[..cut].chunks(chunk_a) {
+            events.extend(det.push(chunk));
+        }
+        let blob = det.snapshot().expect("solo snapshot");
+        drop(det);
+
+        // Leg 2: thaw into a lane of a pre-warmed bank (shared FIR ring
+        // cursor mid-rotation), stream to `cut2`, freeze the lane back out.
+        let mut bank = LaneBank::new(Arc::clone(&engine), lanes);
+        if warm_ticks > 0 {
+            let _ = bank.push(&vec![0i32; warm_ticks * lanes]);
+        }
+        bank.restore_lane(lane, &blob).expect("lane restore");
+        for chunk in signal[cut..cut2].chunks(chunk_b.max(1)) {
+            let frames: Vec<i32> = chunk
+                .iter()
+                .flat_map(|&x| (0..lanes).map(move |l| if l == lane { x } else { 0 }))
+                .collect();
+            for le in bank.push(&frames) {
+                if le.lane == lane {
+                    events.push(le.event);
+                }
+            }
+        }
+        let blob = bank.snapshot_lane(lane).expect("lane snapshot");
+
+        // Leg 3: thaw back into a solo session and run to the end.
+        let mut det = StreamingQrsDetector::restore(Arc::clone(&engine), &blob)
+            .expect("solo restore");
+        for chunk in signal[cut2..].chunks(chunk_a) {
+            events.extend(det.push(chunk));
+        }
+        let (trailing, result) = det.finish();
+        events.extend(trailing);
+
+        prop_assert_eq!(
+            &events, &reference.0,
+            "migrated events diverged for {} cut {}/{} via {} lanes", config, cut, cut2, lanes
+        );
+        prop_assert_eq!(
+            &result, &reference.1,
+            "migrated result diverged for {} cut {}/{} via {} lanes", config, cut, cut2, lanes
+        );
+    }
+}
+
 /// Saturation-heavy input (large amplitudes force datapath clamps and adder
 /// wraps): the counters in the result must still match exactly.
 #[test]
