@@ -62,6 +62,9 @@ impl CheckConfig {
                 format!("{HOT}engine.rs"),
                 format!("{HOT}snapshot.rs"),
                 format!("{HOT}stages/"),
+                // PR 9: the session hub's shard workers sit on the same
+                // hot path as the detector — float- and panic-free.
+                "crates/service/src/".to_string(),
             ],
             float_allow_files: vec![format!("{HOT}decision.rs"), format!("{HOT}threshold.rs")],
             unsafe_files: vec![format!("{HOT}lane.rs")],

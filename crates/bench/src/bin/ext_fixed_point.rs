@@ -113,7 +113,7 @@ fn decision_throughput() -> (f64, f64) {
     // so the classifier (not the harness) dominates the timing.
     let record = xbiosip_bench::experiment_record();
     let result = QrsDetector::new(PipelineConfig::exact()).detect(record.samples());
-    let mwi = &result.signals().expect("batch retains signals").mwi;
+    let mwi = &result.expect_signals().mwi;
     let workload: Vec<i64> = mwi.iter().copied().cycle().take(mwi.len() * 10).collect();
 
     let run = |arith: DecisionArith| -> f64 {

@@ -12,7 +12,7 @@
 //!    bench-smoke job runs it via `--check`.
 //! 2. **Footprint table** — bounded vs retaining live-state bytes across
 //!    record lengths, plus the shared (amortised) tap-table bytes.
-//! 3. **Record-batched evaluation** — `evaluate_records_streaming` (one
+//! 3. **Record-batched evaluation** — `evaluate_records_with` (one
 //!    reused bounded detector per config) against
 //!    `evaluate_across_records` (fresh evaluator + batch detector per
 //!    record), same reports, wall-clock compared.
@@ -27,7 +27,7 @@ use std::time::Instant;
 use ecg::EcgRecord;
 use hwmodel::report::fmt_f64;
 use pan_tompkins::{Footprint, PipelineConfig, StreamEvent, StreamingQrsDetector};
-use xbiosip::quality_eval::{evaluate_across_records, Evaluator};
+use xbiosip::quality_eval::{evaluate_across_records, EvalOptions, Evaluator};
 
 /// The fixed live-state budget the bounded mode must stay under,
 /// independent of record length: 64 KiB — sensor-node SRAM scale.
@@ -213,7 +213,8 @@ fn record_batched_eval() -> (f64, f64) {
     let total_samples: usize = records.len() * configs.len() * 8_500; // ~mean
 
     let t0 = Instant::now();
-    let batched = Evaluator::evaluate_records_streaming(&records, &configs, CHUNK);
+    let batched =
+        Evaluator::evaluate_records_with(&records, &configs, &EvalOptions::streaming(CHUNK));
     let t_batched = t0.elapsed();
     let t0 = Instant::now();
     let reference = evaluate_across_records(&records, &configs);
@@ -227,7 +228,7 @@ fn record_batched_eval() -> (f64, f64) {
         configs.len()
     );
     println!(
-        "  evaluate_records_streaming: {:>12} samples/s   ({t_batched:.2?})",
+        "  evaluate_records_with:      {:>12} samples/s   ({t_batched:.2?})",
         fmt_f64(rate(t_batched), 0)
     );
     println!(

@@ -18,7 +18,7 @@ fn main() {
     );
 
     let accurate = QrsDetector::new(PipelineConfig::exact()).detect(record.samples());
-    let accurate_hpf = &accurate.signals().expect("batch retains signals").hpf;
+    let accurate_hpf = &accurate.expect_signals().hpf;
 
     // The paper's exact setting (4 LSBs at all five stages) plus a deeper
     // setting that lands in the paper's *visibly degraded* PSNR regime on
@@ -40,7 +40,7 @@ fn main() {
     let mut excerpt: Vec<i64> = Vec::new();
     for (label, lsbs) in cases {
         let approx = QrsDetector::new(PipelineConfig::least_energy(lsbs)).detect(record.samples());
-        let approx_hpf = &approx.signals().expect("batch retains signals").hpf;
+        let approx_hpf = &approx.expect_signals().hpf;
         let signal: Vec<f64> = approx_hpf[start..].iter().map(|v| *v as f64).collect();
         let db = psnr(&reference, &signal);
         let ssim = Ssim::default().mean(&reference, &signal);

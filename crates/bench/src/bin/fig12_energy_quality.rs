@@ -11,7 +11,7 @@ use hwmodel::report::fmt_f64;
 use hwmodel::Table;
 use xbiosip::configs::{paper_configs, Realization, SOFTWARE_ENERGY_ORDERS};
 use xbiosip::pareto::{pareto_frontier, ParetoPoint};
-use xbiosip::quality_eval::Evaluator;
+use xbiosip::quality_eval::{EvalOptions, Evaluator};
 
 fn main() {
     let record = xbiosip_bench::experiment_record();
@@ -55,7 +55,9 @@ fn main() {
             ]);
             continue;
         }
-        let report = evaluator.evaluate(&named.config);
+        let report = evaluator
+            .evaluate_with(&named.config, &EvalOptions::batch())
+            .expect("non-checkpointed evaluation is infallible");
         pareto_inputs.push((
             named.name.to_owned(),
             ParetoPoint::new(report.peak_accuracy, report.energy_reduction_calibrated),

@@ -41,7 +41,7 @@ fn analyze(name: &str, record: &ecg::EcgRecord, mut detector: QrsDetector) {
         100.0 * tp as f64 / total.max(1) as f64,
         result.omitted().len()
     );
-    let signals = result.signals().expect("batch retains signals");
+    let signals = result.expect_signals();
     for o in result.omitted().iter().take(5) {
         println!(
             "  omitted beat: MWI peak @ {} -> expected HPF peak @ {}, found @ {} (misalignment {} samples)",

@@ -10,7 +10,7 @@
 use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
 use pan_tompkins::{PipelineConfig, StageKind};
 
-use crate::quality_eval::{Evaluator, QualityConstraint, QualityReport};
+use crate::quality_eval::{EvalOptions, Evaluator, QualityConstraint, QualityReport};
 
 /// One evaluated grid point of a baseline search.
 #[derive(Debug, Clone)]
@@ -162,7 +162,15 @@ pub fn heuristic_search_sequential(
     base: PipelineConfig,
 ) -> SearchResult {
     let configs = heuristic_grid(stages, add, mult, base);
-    let reports: Vec<QualityReport> = configs.iter().map(|c| evaluator.evaluate(c)).collect();
+    let options = EvalOptions::batch();
+    let reports: Vec<QualityReport> = configs
+        .iter()
+        .map(|c| {
+            evaluator
+                .evaluate_with(c, &options)
+                .expect("non-checkpointed evaluation is infallible")
+        })
+        .collect();
     collect_result(configs, reports, constraint)
 }
 

@@ -24,7 +24,7 @@
 use approx_arith::{FullAdderKind, Mult2x2Kind, StageArith};
 use pan_tompkins::{PipelineConfig, StageKind};
 
-use crate::quality_eval::{Evaluator, QualityConstraint, QualityReport};
+use crate::quality_eval::{EvalOptions, Evaluator, QualityConstraint, QualityReport};
 
 /// The search space of one application stage: which LSB counts may be
 /// approximated (the paper's per-stage `LSBList`, bounded by the
@@ -203,7 +203,10 @@ impl<'a> DesignGenerator<'a> {
         for d in &chosen {
             config = config.with_stage(d.stage, d.arith);
         }
-        let report = self.evaluator.evaluate(&config);
+        let report = self
+            .evaluator
+            .evaluate_with(&config, &EvalOptions::batch())
+            .expect("non-checkpointed evaluation is infallible");
         GenerationOutcome {
             chosen,
             config,
@@ -220,7 +223,10 @@ impl<'a> DesignGenerator<'a> {
         for d in designs {
             config = config.with_stage(d.stage, d.arith);
         }
-        let report = self.evaluator.evaluate(&config);
+        let report = self
+            .evaluator
+            .evaluate_with(&config, &EvalOptions::batch())
+            .expect("non-checkpointed evaluation is infallible");
         let satisfied = self.constraint.is_satisfied_by(&report);
         self.explored.push(ExploredPoint {
             phase,

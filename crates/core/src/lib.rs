@@ -27,13 +27,15 @@
 //! # Example
 //!
 //! ```no_run
-//! use xbiosip::quality_eval::Evaluator;
+//! use xbiosip::quality_eval::{EvalOptions, Evaluator};
 //! use pan_tompkins::PipelineConfig;
 //!
 //! // Score the paper's B9 design on the synthetic NSRDB record.
 //! let record = ecg::nsrdb::paper_record();
-//! let mut evaluator = Evaluator::new(&record);
-//! let report = evaluator.evaluate(&PipelineConfig::least_energy([10, 12, 2, 8, 16]));
+//! let evaluator = Evaluator::new(&record);
+//! let report = evaluator
+//!     .evaluate_with(&PipelineConfig::least_energy([10, 12, 2, 8, 16]), &EvalOptions::batch())
+//!     .expect("non-checkpointed evaluation is infallible");
 //! println!("accuracy {:.1}%", report.peak_accuracy * 100.0);
 //! ```
 
@@ -52,5 +54,5 @@ pub mod resilience;
 pub use configs::{paper_configs, NamedConfig};
 pub use generation::{DesignGenerator, GenerationOutcome, StageSearchSpace};
 pub use pareto::{pareto_frontier, ParetoPoint};
-pub use quality_eval::{Evaluator, QualityConstraint, QualityReport};
+pub use quality_eval::{EvalMode, EvalOptions, Evaluator, QualityConstraint, QualityReport};
 pub use resilience::{ResiliencePoint, ResilienceProfile};

@@ -73,6 +73,140 @@ pub struct QualityReport {
     pub energy_reduction_calibrated: f64,
 }
 
+/// How [`Evaluator::evaluate_with`] feeds the record through the pipeline.
+///
+/// Every mode produces a bit-identical [`QualityReport`] (streaming is
+/// event- and tap-identical to batch for every chunking — see
+/// [`pan_tompkins::streaming`]); the mode chooses the *execution shape*,
+/// not the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// One [`QrsDetector::detect`] call over the whole record.
+    #[default]
+    Batch,
+    /// Chunked pushes through a [`StreamingQrsDetector`] — the
+    /// deployment-shaped path an AFE would drive.
+    Streaming,
+}
+
+/// Options for the unified evaluation entry points
+/// [`Evaluator::evaluate_with`] and [`Evaluator::evaluate_records_with`]:
+/// execution mode, chunking, checkpointing, footprint, and (for the
+/// record-batched path) lane-bank width.
+///
+/// The default is a plain batch evaluation. Builders refine it:
+///
+/// ```
+/// use xbiosip::quality_eval::EvalOptions;
+/// use pan_tompkins::Footprint;
+///
+/// let batch = EvalOptions::batch();
+/// let deployment = EvalOptions::streaming(64).with_footprint(Footprint::Bounded);
+/// let persisted = EvalOptions::streaming(64).with_checkpoints(&[1000, 3000]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOptions {
+    mode: EvalMode,
+    chunk_size: usize,
+    checkpoints: Vec<usize>,
+    footprint: Option<Footprint>,
+    lanes: Option<usize>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            mode: EvalMode::Batch,
+            chunk_size: 4096,
+            checkpoints: Vec::new(),
+            footprint: None,
+            lanes: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Batch evaluation (the default): one detector call per record.
+    #[must_use]
+    pub fn batch() -> Self {
+        Self::default()
+    }
+
+    /// Streaming evaluation in `chunk_size`-sample pushes (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn streaming(chunk_size: usize) -> Self {
+        Self {
+            mode: EvalMode::Streaming,
+            chunk_size: chunk_size.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Interrupts the run at each checkpoint (sample offsets, applied at
+    /// the nearest push boundary at or after the offset): the live session
+    /// is serialized with [`StreamingQrsDetector::snapshot`], dropped, and
+    /// thawed from the blob before the stream continues. A non-empty
+    /// checkpoint list forces the streaming path regardless of
+    /// [`EvalMode`]; the record-batched entry point ignores checkpoints.
+    #[must_use]
+    pub fn with_checkpoints(mut self, checkpoints: &[usize]) -> Self {
+        self.checkpoints = checkpoints.to_vec();
+        self
+    }
+
+    /// Overrides the configuration's [`Footprint`] for the run. Without
+    /// this, [`Evaluator::evaluate_with`] honors the configuration as
+    /// given and the record-batched path defaults to
+    /// [`Footprint::Bounded`].
+    #[must_use]
+    pub fn with_footprint(mut self, footprint: Footprint) -> Self {
+        self.footprint = Some(footprint);
+        self
+    }
+
+    /// Routes [`Evaluator::evaluate_records_with`] through a
+    /// `lanes`-wide [`LaneBank`] (the fleet-throughput path, always
+    /// bounded-footprint). Ignored by the per-record entry point.
+    ///
+    /// `lanes` is clamped to at least 1.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes.max(1));
+        self
+    }
+
+    /// The execution mode.
+    #[must_use]
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// The streaming push size.
+    #[must_use]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// The snapshot/restore interruption points.
+    #[must_use]
+    pub fn checkpoints(&self) -> &[usize] {
+        &self.checkpoints
+    }
+
+    /// The footprint override, if any.
+    #[must_use]
+    pub fn footprint(&self) -> Option<Footprint> {
+        self.footprint
+    }
+
+    /// The lane-bank width for the record-batched path, if any.
+    #[must_use]
+    pub fn lanes(&self) -> Option<usize> {
+        self.lanes
+    }
+}
+
 /// Evaluates pipeline configurations against one record, caching the
 /// accurate reference run.
 ///
@@ -111,8 +245,7 @@ impl Evaluator {
         let mut exact = QrsDetector::new(reference);
         let result = exact.detect(record.samples());
         let reference_hpf: Vec<f64> = result
-            .signals()
-            .expect("batch reference run retains signals")
+            .expect_signals()
             .hpf
             .iter()
             .map(|v| *v as f64)
@@ -148,8 +281,48 @@ impl Evaluator {
         self.evaluations.load(Ordering::Relaxed)
     }
 
+    /// Runs the pipeline under `config` the way `options` prescribes and
+    /// scores it — the single evaluation entry point. Every option
+    /// combination yields a bit-identical report; the options choose the
+    /// execution shape (batch vs. chunked streaming vs. checkpointed
+    /// streaming, and the footprint), not the answer.
+    ///
+    /// A non-empty [`EvalOptions::with_checkpoints`] list forces the
+    /// streaming path regardless of [`EvalMode`];
+    /// [`EvalOptions::with_lanes`] is ignored here (it only routes the
+    /// record-batched entry point).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] surfaced by a checkpoint round-trip. Runs
+    /// without checkpoints are infallible (none occur for a live
+    /// in-process session either; the path exists so callers exercise
+    /// exactly what a persisted deployment would run).
+    pub fn evaluate_with(
+        &self,
+        config: &PipelineConfig,
+        options: &EvalOptions,
+    ) -> Result<QualityReport, SnapshotError> {
+        let config = match options.footprint {
+            Some(fp) => config.with_footprint(fp),
+            None => *config,
+        };
+        if !options.checkpoints.is_empty() {
+            return self.run_checkpointed(&config, options.chunk_size, &options.checkpoints);
+        }
+        Ok(match options.mode {
+            EvalMode::Batch => self.run_batch(&config),
+            EvalMode::Streaming => self.run_streaming(&config, options.chunk_size),
+        })
+    }
+
     /// Runs the pipeline under `config` and scores it.
+    #[deprecated(note = "use `evaluate_with(config, &EvalOptions::batch())`")]
     pub fn evaluate(&self, config: &PipelineConfig) -> QualityReport {
+        self.run_batch(config)
+    }
+
+    fn run_batch(&self, config: &PipelineConfig) -> QualityReport {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         let mut detector = QrsDetector::new(*config);
         let result = detector.detect(self.record.samples());
@@ -168,7 +341,12 @@ impl Evaluator {
     /// honors the configuration's [`Footprint`]: under
     /// [`Footprint::Bounded`] the detector never materialises stage
     /// signals, and the report is *still* identical to the batch one.
+    #[deprecated(note = "use `evaluate_with(config, &EvalOptions::streaming(chunk_size))`")]
     pub fn evaluate_streaming(&self, config: &PipelineConfig, chunk_size: usize) -> QualityReport {
+        self.run_streaming(config, chunk_size)
+    }
+
+    fn run_streaming(&self, config: &PipelineConfig, chunk_size: usize) -> QualityReport {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         let mut detector = StreamingQrsDetector::new(*config);
         let mut hpf: Vec<i64> = Vec::with_capacity(self.record.len());
@@ -196,7 +374,19 @@ impl Evaluator {
     /// Any [`SnapshotError`] surfaced by the codec round-trip (none occur
     /// for a live in-process session; the path exists so callers exercise
     /// exactly what a persisted deployment would run).
+    #[deprecated(
+        note = "use `evaluate_with(config, &EvalOptions::streaming(chunk_size).with_checkpoints(checkpoints))`"
+    )]
     pub fn evaluate_streaming_checkpointed(
+        &self,
+        config: &PipelineConfig,
+        chunk_size: usize,
+        checkpoints: &[usize],
+    ) -> Result<QualityReport, SnapshotError> {
+        self.run_checkpointed(config, chunk_size, checkpoints)
+    }
+
+    fn run_checkpointed(
         &self,
         config: &PipelineConfig,
         chunk_size: usize,
@@ -232,14 +422,7 @@ impl Evaluator {
             r_peaks: result.r_peaks().to_vec(),
             omitted: result.omitted().len(),
         };
-        self.score_parts(
-            config,
-            &result
-                .signals()
-                .expect("batch detection retains signals")
-                .hpf,
-            &run,
-        )
+        self.score_parts(config, &result.expect_signals().hpf, &run)
     }
 
     fn score_parts(&self, config: &PipelineConfig, hpf: &[i64], run: &StreamRun) -> QualityReport {
@@ -272,10 +455,72 @@ impl Evaluator {
     /// streaming is event- and tap-identical to batch detection, and the
     /// scoring arithmetic is shared.
     #[must_use]
+    #[deprecated(
+        note = "use `evaluate_records_with(records, configs, &EvalOptions::streaming(chunk_size))`"
+    )]
     pub fn evaluate_records_streaming(
         records: &[EcgRecord],
         configs: &[PipelineConfig],
         chunk_size: usize,
+    ) -> Vec<Vec<QualityReport>> {
+        Self::records_streaming(records, configs, chunk_size, None)
+    }
+
+    /// Scores many records × many configurations the way `options`
+    /// prescribes — the record-batched face of
+    /// [`Evaluator::evaluate_with`]. Reports come back in
+    /// `[record][config]` order and are bit-for-bit equal across every
+    /// option combination (and to the per-record entry point): the
+    /// options choose the execution shape, not the answer.
+    ///
+    /// Routing:
+    /// - [`EvalOptions::with_lanes`] drives the corpus through one
+    ///   [`LaneBank`] per configuration (the fleet-throughput path,
+    ///   always bounded-footprint).
+    /// - [`EvalMode::Streaming`] reuses one bounded streaming detector
+    ///   per configuration across the whole corpus.
+    /// - [`EvalMode::Batch`] builds one [`Evaluator`] per record (the
+    ///   [`evaluate_across_records`] shape).
+    ///
+    /// Checkpoints are ignored here; use [`Evaluator::evaluate_with`]
+    /// for snapshot/restore interruption.
+    #[must_use]
+    pub fn evaluate_records_with(
+        records: &[EcgRecord],
+        configs: &[PipelineConfig],
+        options: &EvalOptions,
+    ) -> Vec<Vec<QualityReport>> {
+        if let Some(lanes) = options.lanes {
+            return Self::evaluate_records_lanes(records, configs, lanes);
+        }
+        match options.mode {
+            EvalMode::Streaming => {
+                Self::records_streaming(records, configs, options.chunk_size, options.footprint)
+            }
+            EvalMode::Batch => parallel_map(records.len(), |i| {
+                let evaluator = Evaluator::new(&records[i]);
+                let per_config = EvalOptions {
+                    lanes: None,
+                    checkpoints: Vec::new(),
+                    ..options.clone()
+                };
+                configs
+                    .iter()
+                    .map(|c| {
+                        evaluator
+                            .evaluate_with(c, &per_config)
+                            .expect("non-checkpointed evaluation is infallible")
+                    })
+                    .collect()
+            }),
+        }
+    }
+
+    fn records_streaming(
+        records: &[EcgRecord],
+        configs: &[PipelineConfig],
+        chunk_size: usize,
+        footprint: Option<Footprint>,
     ) -> Vec<Vec<QualityReport>> {
         let refs = record_refs(records);
         let calibrated = CalibratedModel::paper();
@@ -286,7 +531,9 @@ impl Evaluator {
         // One bounded detector per configuration, reused across records.
         let per_config: Vec<Vec<QualityReport>> = parallel_map(configs.len(), |c| {
             let config = configs[c];
-            let mut detector = StreamingQrsDetector::new(config.with_footprint(Footprint::Bounded));
+            let mut detector = StreamingQrsDetector::new(
+                config.with_footprint(footprint.unwrap_or(Footprint::Bounded)),
+            );
             let mut hpf: Vec<i64> = Vec::new();
             records
                 .iter()
@@ -441,7 +688,11 @@ impl Evaluator {
     /// evaluation counter advances by `configs.len()`.
     #[must_use]
     pub fn evaluate_batch(&self, configs: &[PipelineConfig]) -> Vec<QualityReport> {
-        parallel_map(configs.len(), |i| self.evaluate(&configs[i]))
+        let options = EvalOptions::batch();
+        parallel_map(configs.len(), |i| {
+            self.evaluate_with(&configs[i], &options)
+                .expect("non-checkpointed evaluation is infallible")
+        })
     }
 
     /// Calibrated energy reduction of the *pre-processing* section only
@@ -468,7 +719,15 @@ pub fn evaluate_across_records(
 ) -> Vec<Vec<QualityReport>> {
     parallel_map(records.len(), |i| {
         let evaluator = Evaluator::new(&records[i]);
-        configs.iter().map(|c| evaluator.evaluate(c)).collect()
+        let options = EvalOptions::batch();
+        configs
+            .iter()
+            .map(|c| {
+                evaluator
+                    .evaluate_with(c, &options)
+                    .expect("non-checkpointed evaluation is infallible")
+            })
+            .collect()
     })
 }
 
@@ -489,8 +748,7 @@ fn record_refs(records: &[EcgRecord]) -> Vec<RecordRef> {
         let end = record.len().saturating_sub(SCORE_TAIL);
         RecordRef {
             hpf: result
-                .signals()
-                .expect("batch reference run retains signals")
+                .expect_signals()
                 .hpf
                 .iter()
                 .map(|v| *v as f64)
@@ -624,11 +882,21 @@ mod tests {
         ecg::nsrdb::paper_record().truncated(6000)
     }
 
+    fn eval_batch(ev: &Evaluator, config: &PipelineConfig) -> QualityReport {
+        ev.evaluate_with(config, &EvalOptions::batch())
+            .expect("non-checkpointed evaluation is infallible")
+    }
+
+    fn eval_streaming(ev: &Evaluator, config: &PipelineConfig, chunk: usize) -> QualityReport {
+        ev.evaluate_with(config, &EvalOptions::streaming(chunk))
+            .expect("non-checkpointed evaluation is infallible")
+    }
+
     #[test]
     fn exact_config_scores_perfectly() {
         let record = short_record();
         let ev = Evaluator::new(&record);
-        let r = ev.evaluate(&PipelineConfig::exact());
+        let r = eval_batch(&ev, &PipelineConfig::exact());
         assert!(r.psnr_db.is_infinite(), "exact PSNR should be infinite");
         assert!((r.ssim - 1.0).abs() < 1e-9);
         assert!(r.peak_accuracy >= 0.97, "accuracy {}", r.peak_accuracy);
@@ -645,10 +913,10 @@ mod tests {
             PipelineConfig::least_energy([10, 12, 2, 8, 16]),
             PipelineConfig::least_energy([4, 4, 2, 4, 8]),
         ] {
-            let batch = ev.evaluate(&config);
+            let batch = eval_batch(&ev, &config);
             for chunk in [1usize, 20, 4096] {
                 assert_eq!(
-                    ev.evaluate_streaming(&config, chunk),
+                    eval_streaming(&ev, &config, chunk),
                     batch,
                     "streaming report diverged for {config} at chunk {chunk}"
                 );
@@ -657,7 +925,7 @@ mod tests {
             // yet the report — scored from events and the HPF tap — is
             // still bit-for-bit the batch report.
             assert_eq!(
-                ev.evaluate_streaming(&config.with_footprint(Footprint::Bounded), 20),
+                eval_streaming(&ev, &config.with_footprint(Footprint::Bounded), 20),
                 batch,
                 "bounded streaming report diverged for {config}"
             );
@@ -678,7 +946,8 @@ mod tests {
             PipelineConfig::least_energy([10, 12, 2, 8, 16]),
             PipelineConfig::least_energy([4, 4, 2, 4, 8]),
         ];
-        let batched = Evaluator::evaluate_records_streaming(&records, &configs, 64);
+        let batched =
+            Evaluator::evaluate_records_with(&records, &configs, &EvalOptions::streaming(64));
         let reference = evaluate_across_records(&records, &configs);
         assert_eq!(batched.len(), reference.len());
         for (r, (got, want)) in batched.iter().zip(&reference).enumerate() {
@@ -704,10 +973,15 @@ mod tests {
             PipelineConfig::exact(),
             PipelineConfig::least_energy([10, 12, 2, 8, 16]),
         ];
-        let reference = Evaluator::evaluate_records_streaming(&records, &configs, 64);
+        let reference =
+            Evaluator::evaluate_records_with(&records, &configs, &EvalOptions::streaming(64));
         for lanes in [1usize, 2, 4] {
             assert_eq!(
-                Evaluator::evaluate_records_lanes(&records, &configs, lanes),
+                Evaluator::evaluate_records_with(
+                    &records,
+                    &configs,
+                    &EvalOptions::batch().with_lanes(lanes)
+                ),
                 reference,
                 "{lanes}-lane evaluation diverged from record-batched streaming"
             );
@@ -731,13 +1005,13 @@ mod tests {
             let fixed = config.with_decision(DecisionArith::Fixed);
             let float = config.with_decision(DecisionArith::Float);
             assert_eq!(
-                ev.evaluate(&fixed),
-                ev.evaluate(&float),
+                eval_batch(&ev, &fixed),
+                eval_batch(&ev, &float),
                 "batch reports diverged for {config}"
             );
             assert_eq!(
-                ev.evaluate_streaming(&fixed.with_footprint(Footprint::Bounded), 20),
-                ev.evaluate_streaming(&float.with_footprint(Footprint::Bounded), 20),
+                eval_streaming(&ev, &fixed.with_footprint(Footprint::Bounded), 20),
+                eval_streaming(&ev, &float.with_footprint(Footprint::Bounded), 20),
                 "bounded streaming reports diverged for {config}"
             );
         }
@@ -756,10 +1030,13 @@ mod tests {
             PipelineConfig::least_energy([10, 12, 2, 8, 16]),
             PipelineConfig::least_energy([10, 12, 2, 8, 16]).with_footprint(Footprint::Bounded),
         ] {
-            let batch = ev.evaluate(&config.with_footprint(Footprint::Retain));
+            let batch = eval_batch(&ev, &config.with_footprint(Footprint::Retain));
             for checkpoints in [&[150usize, 2000, 4700] as &[usize], &[399], &[1]] {
                 let report = ev
-                    .evaluate_streaming_checkpointed(&config, 20, checkpoints)
+                    .evaluate_with(
+                        &config,
+                        &EvalOptions::streaming(20).with_checkpoints(checkpoints),
+                    )
                     .expect("in-process checkpoint round-trip");
                 assert_eq!(
                     report, batch,
@@ -769,13 +1046,44 @@ mod tests {
         }
     }
 
+    /// The deprecated entry points are thin wrappers over
+    /// [`Evaluator::evaluate_with`]: every legacy call produces the
+    /// bit-identical report of its `EvalOptions` spelling.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_evaluate_with() {
+        let record = short_record();
+        let ev = Evaluator::new(&record);
+        let config = PipelineConfig::least_energy([10, 12, 2, 8, 16]);
+        assert_eq!(ev.evaluate(&config), eval_batch(&ev, &config));
+        assert_eq!(
+            ev.evaluate_streaming(&config, 64),
+            eval_streaming(&ev, &config, 64)
+        );
+        assert_eq!(
+            ev.evaluate_streaming_checkpointed(&config, 20, &[1500])
+                .expect("in-process checkpoint round-trip"),
+            ev.evaluate_with(
+                &config,
+                &EvalOptions::streaming(20).with_checkpoints(&[1500])
+            )
+            .expect("in-process checkpoint round-trip"),
+        );
+        let records = vec![record];
+        let configs = [config];
+        assert_eq!(
+            Evaluator::evaluate_records_streaming(&records, &configs, 64),
+            Evaluator::evaluate_records_with(&records, &configs, &EvalOptions::streaming(64)),
+        );
+    }
+
     #[test]
     fn evaluation_counter_increments() {
         let record = short_record();
         let ev = Evaluator::new(&record);
         assert_eq!(ev.evaluations(), 0);
-        let _ = ev.evaluate(&PipelineConfig::exact());
-        let _ = ev.evaluate(&PipelineConfig::least_energy([2, 0, 0, 0, 0]));
+        let _ = eval_batch(&ev, &PipelineConfig::exact());
+        let _ = eval_batch(&ev, &PipelineConfig::least_energy([2, 0, 0, 0, 0]));
         assert_eq!(ev.evaluations(), 2);
     }
 
@@ -783,8 +1091,8 @@ mod tests {
     fn approximation_reduces_psnr_and_energy_together() {
         let record = short_record();
         let ev = Evaluator::new(&record);
-        let mild = ev.evaluate(&PipelineConfig::least_energy([2, 2, 0, 0, 0]));
-        let heavy = ev.evaluate(&PipelineConfig::least_energy([10, 10, 0, 0, 0]));
+        let mild = eval_batch(&ev, &PipelineConfig::least_energy([2, 2, 0, 0, 0]));
+        let heavy = eval_batch(&ev, &PipelineConfig::least_energy([10, 10, 0, 0, 0]));
         assert!(mild.psnr_db > heavy.psnr_db, "PSNR should degrade with k");
         assert!(
             heavy.energy_reduction_calibrated > mild.energy_reduction_calibrated,
@@ -797,8 +1105,8 @@ mod tests {
     fn ssim_degrades_with_approximation() {
         let record = short_record();
         let ev = Evaluator::new(&record);
-        let mild = ev.evaluate(&PipelineConfig::least_energy([2, 2, 0, 0, 0]));
-        let heavy = ev.evaluate(&PipelineConfig::least_energy([12, 12, 0, 0, 0]));
+        let mild = eval_batch(&ev, &PipelineConfig::least_energy([2, 2, 0, 0, 0]));
+        let heavy = eval_batch(&ev, &PipelineConfig::least_energy([12, 12, 0, 0, 0]));
         assert!(mild.ssim > heavy.ssim);
         assert!(mild.ssim <= 1.0);
     }
@@ -853,7 +1161,7 @@ mod tests {
             .iter()
             .map(|k| PipelineConfig::least_energy([*k, *k, 0, 0, 0]))
             .collect();
-        let sequential: Vec<QualityReport> = configs.iter().map(|c| ev.evaluate(c)).collect();
+        let sequential: Vec<QualityReport> = configs.iter().map(|c| eval_batch(&ev, c)).collect();
         let batch = ev.evaluate_batch(&configs);
         assert_eq!(batch.len(), sequential.len());
         for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
@@ -877,7 +1185,7 @@ mod tests {
         for (record, reports) in records.iter().zip(&parallel) {
             let evaluator = Evaluator::new(record);
             for (config, report) in configs.iter().zip(reports) {
-                assert_eq!(*report, evaluator.evaluate(config));
+                assert_eq!(*report, eval_batch(&evaluator, config));
             }
         }
     }

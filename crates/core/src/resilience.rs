@@ -12,7 +12,7 @@ use hwmodel::module::Reductions;
 use hwmodel::{CalibratedModel, StageCost};
 use pan_tompkins::{PipelineConfig, StageKind};
 
-use crate::quality_eval::{Evaluator, QualityReport};
+use crate::quality_eval::{EvalOptions, Evaluator, QualityReport};
 
 /// One point of a resilience sweep.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +68,7 @@ impl ResilienceProfile {
 
     /// Sweeps one stage over *many records at once* through the
     /// record-batched bounded-streaming path
-    /// ([`Evaluator::evaluate_records_streaming`]): one reused detector per
+    /// ([`Evaluator::evaluate_records_with`]): one reused detector per
     /// sweep point drives the whole corpus, so no per-record signal vectors
     /// or filter states are reallocated. Returns one profile per record, in
     /// record order; each profile's points are bit-for-bit what a
@@ -81,7 +81,11 @@ impl ResilienceProfile {
         chunk_size: usize,
     ) -> Vec<Self> {
         let (ariths, configs) = Self::sweep_grid(stage, max_lsbs);
-        let per_record = Evaluator::evaluate_records_streaming(records, &configs, chunk_size);
+        let per_record = Evaluator::evaluate_records_with(
+            records,
+            &configs,
+            &EvalOptions::streaming(chunk_size),
+        );
         per_record
             .into_iter()
             .map(|reports| Self::assemble(stage, &ariths, reports))

@@ -113,6 +113,33 @@ impl DetectionResult {
         self.signals.as_ref()
     }
 
+    /// The intermediate stage signals of a retaining run, asserting they
+    /// exist.
+    ///
+    /// This is the ergonomic accessor for the contexts where retention is
+    /// a structural invariant — batch detection and
+    /// [`crate::Footprint::Retain`] streaming always populate the
+    /// signals. When the footprint is data-dependent, use the panic-free
+    /// [`DetectionResult::signals`] and handle `None` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run never materialised stage signals, i.e. it came
+    /// from a [`crate::Footprint::Bounded`] streaming session.
+    #[must_use]
+    #[allow(clippy::panic)] // the documented panicking accessor; `signals()` is the panic-free path
+    pub fn expect_signals(&self) -> &StageSignals {
+        match self.signals.as_ref() {
+            Some(s) => s,
+            None => panic!(
+                "stage signals were not retained: this result came from a \
+                 Footprint::Bounded run, which never materialises per-stage \
+                 waveforms; run under Footprint::Retain (or batch detection), \
+                 or handle the None via DetectionResult::signals()"
+            ),
+        }
+    }
+
     /// Word-level operation counts per stage (pipeline order).
     #[must_use]
     pub fn ops(&self) -> &[OpCounter; 5] {
@@ -403,7 +430,7 @@ mod tests {
         let (signal, _) = pulse_train(1000, 170, 200);
         let mut det = QrsDetector::new(PipelineConfig::exact());
         let result = det.detect(&signal);
-        let signals = result.signals().expect("batch detect retains signals");
+        let signals = result.expect_signals();
         assert_eq!(signals.lpf.len(), 1000);
         assert_eq!(signals.mwi.len(), 1000);
     }
@@ -468,8 +495,8 @@ mod tests {
         let rf = fast.detect(&signal);
         let rs = slow.detect(&signal);
         assert_eq!(
-            rf.signals().expect("retained"),
-            rs.signals().expect("retained"),
+            rf.expect_signals(),
+            rs.expect_signals(),
             "stage signals diverged"
         );
         assert_eq!(rf.r_peaks(), rs.r_peaks());

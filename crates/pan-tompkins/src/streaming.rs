@@ -1458,7 +1458,7 @@ mod tests {
         assert!(slim.signals().is_none());
         assert_eq!(
             tap,
-            retained.signals().expect("retained").hpf,
+            retained.expect_signals().hpf,
             "tap diverged from the retained HPF signal"
         );
     }

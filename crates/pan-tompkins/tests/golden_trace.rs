@@ -165,7 +165,7 @@ fn check(golden: &Golden, decision: DecisionArith, label: &str) {
     );
     assert_eq!(
         sink,
-        batch.signals().expect("batch retains").hpf,
+        batch.expect_signals().hpf,
         "{label}/bounded: HPF tap drifted from the batch signal"
     );
     for (i, (adds, muls)) in golden.ops.iter().enumerate() {

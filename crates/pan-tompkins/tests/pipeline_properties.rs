@@ -95,8 +95,8 @@ proptest! {
         let r2 = d2.detect(&inverted);
         // Squaring removes the sign, so the MWI signals are identical.
         prop_assert_eq!(
-            &r1.signals().expect("batch retains").mwi,
-            &r2.signals().expect("batch retains").mwi
+            &r1.expect_signals().mwi,
+            &r2.expect_signals().mwi
         );
     }
 
@@ -138,6 +138,6 @@ proptest! {
             k_lpf, k_hpf, k_der, k_sqr, k_mwi,
         ]));
         let result = det.detect(record.samples());
-        prop_assert_eq!(result.signals().expect("batch retains").mwi.len(), record.len());
+        prop_assert_eq!(result.expect_signals().mwi.len(), record.len());
     }
 }

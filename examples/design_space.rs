@@ -7,10 +7,9 @@
 //! cargo run --release --example design_space
 //! ```
 
-use pan_tompkins::{PipelineConfig, StageKind};
 use xbiosip::generation::{DesignGenerator, StageSearchSpace};
-use xbiosip::quality_eval::{Evaluator, QualityConstraint};
 use xbiosip::resilience::ResilienceProfile;
+use xbiosip_repro::prelude::*;
 
 fn main() {
     let record = ecg::nsrdb::paper_record().truncated(10_000);

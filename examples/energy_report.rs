@@ -11,7 +11,7 @@
 
 use hwmodel::report::fmt_f64;
 use hwmodel::{CalibratedModel, StageCost, Table, SENSOR_NODES};
-use pan_tompkins::{PipelineConfig, StageKind};
+use xbiosip_repro::prelude::*;
 
 fn main() {
     let args: Vec<u32> = std::env::args()

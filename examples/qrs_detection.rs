@@ -7,8 +7,8 @@
 
 use ecg::noise::NoiseConfig;
 use ecg::synth::{EcgSynthesizer, SynthConfig};
-use pan_tompkins::{PipelineConfig, QrsDetector};
 use quality::{psnr::psnr, PeakMatcher, Ssim};
+use xbiosip_repro::prelude::*;
 
 fn main() {
     // Synthesize a 60-second ambulatory ECG at the paper's 200 Hz / 16-bit
@@ -56,11 +56,11 @@ fn main() {
     }
 
     // Signal-quality comparison on the physician-facing HPF output.
-    let reference: Vec<f64> = exact_result.signals().expect("batch retains signals").hpf[400..]
+    let reference: Vec<f64> = exact_result.expect_signals().hpf[400..]
         .iter()
         .map(|v| *v as f64)
         .collect();
-    let signal: Vec<f64> = approx_result.signals().expect("batch retains signals").hpf[400..]
+    let signal: Vec<f64> = approx_result.expect_signals().hpf[400..]
         .iter()
         .map(|v| *v as f64)
         .collect();

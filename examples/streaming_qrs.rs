@@ -12,10 +12,7 @@ use std::sync::Arc;
 
 use ecg::noise::NoiseConfig;
 use ecg::synth::{EcgSynthesizer, SynthConfig};
-use pan_tompkins::{
-    DetectorEngine, Footprint, LaneBank, PipelineConfig, QrsDetector, StreamEvent,
-    StreamingQrsDetector,
-};
+use xbiosip_repro::prelude::*;
 
 fn main() {
     // A 45-second ambulatory ECG at 200 Hz with exact ground truth.

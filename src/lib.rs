@@ -22,6 +22,13 @@
 //! * [`xbiosip`] — the XBioSiP methodology: resilience analysis, the
 //!   three-phase design-generation algorithm, and the paper's evaluated
 //!   configurations.
+//! * [`service`] — the sharded million-session hub packing live detector
+//!   sessions into lane banks behind one client API.
+//!
+//! For everyday use, `use xbiosip_repro::prelude::*;` pulls in the one
+//! obvious import surface: the detector and its engine/state split, the
+//! lane bank, the session hub, the config builders, the snapshot types,
+//! and the evaluation entry points.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
 //! record of every table and figure.
@@ -31,4 +38,34 @@ pub use ecg;
 pub use hwmodel;
 pub use pan_tompkins;
 pub use quality;
+pub use service;
 pub use xbiosip;
+
+/// The one obvious import surface for the whole reproduction.
+///
+/// Everything a deployment-shaped caller needs in a single glob:
+///
+/// * **Detection** — [`QrsDetector`] / [`DetectionResult`] batch runs,
+///   [`StreamingQrsDetector`] with its compiled [`DetectorEngine`] and
+///   per-session [`DetectorState`] split, [`StreamEvent`]s, and the
+///   multi-lane [`LaneBank`].
+/// * **Configuration** — [`PipelineConfig`] and its stage/threshold
+///   builders, [`StageKind`], [`Footprint`], [`DecisionArith`].
+/// * **Persistence** — [`SnapshotError`] and the snapshot codec riding on
+///   the streaming detector.
+/// * **Service** — the sharded [`SessionHub`] and its [`Client`] face:
+///   [`ServiceConfig`], [`SessionId`], [`SessionEvent`],
+///   [`SessionOutput`], [`ServiceError`]/[`PushError`], [`HubMetrics`].
+/// * **Evaluation** — [`Evaluator`] with [`EvalOptions`]/[`EvalMode`],
+///   [`QualityReport`], [`QualityConstraint`].
+pub mod prelude {
+    pub use pan_tompkins::{
+        DecisionArith, DetectionResult, DetectorEngine, DetectorState, Footprint, LaneBank,
+        PipelineConfig, QrsDetector, SnapshotError, StageKind, StreamEvent, StreamingQrsDetector,
+    };
+    pub use service::{
+        Client, HubMetrics, PushError, ServiceConfig, ServiceError, SessionEvent, SessionHub,
+        SessionId, SessionOutput,
+    };
+    pub use xbiosip::{EvalMode, EvalOptions, Evaluator, QualityConstraint, QualityReport};
+}

@@ -4,7 +4,7 @@
 use pan_tompkins::{PipelineConfig, QrsDetector, StageKind};
 use quality::PeakMatcher;
 use xbiosip::configs::{config_by_name, paper_configs};
-use xbiosip::quality_eval::{Evaluator, QualityConstraint};
+use xbiosip::quality_eval::{EvalOptions, Evaluator, QualityConstraint};
 
 fn record() -> ecg::EcgRecord {
     ecg::nsrdb::paper_record()
@@ -16,7 +16,9 @@ fn b9_design_detects_all_peaks_with_large_energy_reduction() {
     let record = record();
     let evaluator = Evaluator::new(&record);
     let b9 = config_by_name("B9").expect("B9 exists");
-    let report = evaluator.evaluate(&b9.config);
+    let report = evaluator
+        .evaluate_with(&b9.config, &EvalOptions::batch())
+        .expect("non-checkpointed evaluation is infallible");
     assert!(
         report.peak_accuracy >= 0.99,
         "B9 accuracy {:.3}",
@@ -34,7 +36,9 @@ fn b10_design_reaches_22x_within_one_percent_loss() {
     let record = record();
     let evaluator = Evaluator::new(&record);
     let b10 = config_by_name("B10").expect("B10 exists");
-    let report = evaluator.evaluate(&b10.config);
+    let report = evaluator
+        .evaluate_with(&b10.config, &EvalOptions::batch())
+        .expect("non-checkpointed evaluation is infallible");
     assert!(
         report.peak_accuracy >= 0.99,
         "B10 lost more than 1%: {:.3}",
@@ -56,7 +60,9 @@ fn every_b_design_clears_the_95_percent_threshold() {
         if !named.name.starts_with('B') {
             continue;
         }
-        let report = evaluator.evaluate(&named.config);
+        let report = evaluator
+            .evaluate_with(&named.config, &EvalOptions::batch())
+            .expect("non-checkpointed evaluation is infallible");
         assert!(
             report.peak_accuracy >= 0.95,
             "{} fell below 95%: {:.3}",

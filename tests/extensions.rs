@@ -142,11 +142,20 @@ fn bounded_streaming_is_edge_deployable_end_to_end() {
     // The facade's record-batched path agrees with per-record evaluation.
     let records = vec![record.truncated(5_000), record.truncated(8_000)];
     let configs = [PipelineConfig::exact(), config];
-    let batched = xbiosip::Evaluator::evaluate_records_streaming(&records, &configs, 20);
+    let batched = xbiosip::Evaluator::evaluate_records_with(
+        &records,
+        &configs,
+        &xbiosip::EvalOptions::streaming(20),
+    );
     for (record, reports) in records.iter().zip(&batched) {
         let evaluator = xbiosip::Evaluator::new(record);
         for (cfg, report) in configs.iter().zip(reports) {
-            assert_eq!(*report, evaluator.evaluate(cfg));
+            assert_eq!(
+                *report,
+                evaluator
+                    .evaluate_with(cfg, &xbiosip::EvalOptions::batch())
+                    .expect("non-checkpointed evaluation is infallible")
+            );
         }
     }
 }
