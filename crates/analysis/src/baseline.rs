@@ -1,0 +1,328 @@
+//! Findings-baseline ratchet.
+//!
+//! A committed baseline file (the exact `--json` output of a previous
+//! run) turns `xanalyze --check` into a ratchet: findings recorded in
+//! the baseline are tolerated, anything *new* fails, and entries that no
+//! longer fire are reported so the baseline can only shrink. Matching
+//! deliberately ignores line numbers — refactors move code, but a
+//! baselined finding is identified by what is wrong and where
+//! (pass + file + message), not by where exactly it sits today.
+//!
+//! The parser consumes only the subset of JSON that [`crate::to_json`]
+//! emits (a flat array of objects with string/number fields), keeping
+//! the crate std-only. See `DESIGN.md` §13 for the ratchet policy.
+
+use crate::report::{Finding, Pass};
+
+/// One tolerated finding from the committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The pass that fired when the baseline was recorded.
+    pub pass: Pass,
+    /// Workspace-relative file.
+    pub file: String,
+    /// The finding message (must match exactly).
+    pub message: String,
+}
+
+/// The result of screening findings against a baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Screened {
+    /// Findings not covered by the baseline: these fail `--check`.
+    pub new: Vec<Finding>,
+    /// Findings tolerated by a baseline entry.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that no longer fire — ratchet candidates.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Splits `findings` into new vs baselined and reports stale entries.
+/// Each baseline entry tolerates any number of findings with the same
+/// pass, file, and message (one entry covers a repeated pattern).
+#[must_use]
+pub fn screen(findings: &[Finding], baseline: &[BaselineEntry]) -> Screened {
+    let covers = |f: &Finding| {
+        baseline
+            .iter()
+            .any(|b| b.pass == f.pass && b.file == f.file && b.message == f.message)
+    };
+    let (baselined, new): (Vec<Finding>, Vec<Finding>) = findings.iter().cloned().partition(covers);
+    let stale = baseline
+        .iter()
+        .filter(|b| {
+            !findings
+                .iter()
+                .any(|f| b.pass == f.pass && b.file == f.file && b.message == f.message)
+        })
+        .cloned()
+        .collect();
+    Screened {
+        new,
+        baselined,
+        stale,
+    }
+}
+
+/// Parses a baseline file: the JSON array format [`crate::to_json`]
+/// writes. Unknown object keys are skipped; unknown pass names, missing
+/// fields, and structural errors are reported with byte offsets.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural problem.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.eat(b']') {
+        return p.finish(out);
+    }
+    loop {
+        out.push(p.object()?);
+        p.skip_ws();
+        if p.eat(b',') {
+            p.skip_ws();
+            continue;
+        }
+        p.expect(b']')?;
+        return p.finish(out);
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn finish(&mut self, out: Vec<BaselineEntry>) -> Result<Vec<BaselineEntry>, String> {
+        self.skip_ws();
+        if self.at != self.bytes.len() {
+            return Err(format!("trailing content at byte {}", self.at));
+        }
+        Ok(out)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.at))
+        }
+    }
+
+    /// One `{"pass": …, "file": …, "line": …, "message": …}` object.
+    fn object(&mut self) -> Result<BaselineEntry, String> {
+        self.expect(b'{')?;
+        let (mut pass, mut file, mut message) = (None, None, None);
+        loop {
+            self.skip_ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "pass" => {
+                    let name = self.string()?;
+                    pass = Some(Pass::from_name(&name).ok_or_else(|| {
+                        format!("unknown pass name `{name}` at byte {}", self.at)
+                    })?);
+                }
+                "file" => file = Some(self.string()?),
+                "message" => message = Some(self.string()?),
+                _ => self.skip_value()?,
+            }
+            self.skip_ws();
+            if !self.eat(b',') {
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        match (pass, file, message) {
+            (Some(pass), Some(file), Some(message)) => Ok(BaselineEntry {
+                pass,
+                file,
+                message,
+            }),
+            _ => Err(format!(
+                "baseline object before byte {} lacks pass/file/message",
+                self.at
+            )),
+        }
+    }
+
+    /// A value we do not interpret (the `line` number).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.bytes.get(self.at) {
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b) if b.is_ascii_digit() || *b == b'-' => {
+                self.at += 1;
+                while self.bytes.get(self.at).is_some_and(u8::is_ascii_digit) {
+                    self.at += 1;
+                }
+                Ok(())
+            }
+            _ => Err(format!("unsupported value at byte {}", self.at)),
+        }
+    }
+
+    /// A JSON string with the escapes [`crate::to_json`] produces.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.at) else {
+                return Err("unterminated string in baseline".to_string());
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.at) else {
+                        return Err("dangling escape in baseline".to_string());
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
+                            self.at += 4;
+                            out.push(hex);
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported escape `\\{}` at byte {}",
+                                char::from(other),
+                                self.at
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    // Recover the full UTF-8 character starting at b.
+                    let start = self.at - 1;
+                    let width = utf8_width(b);
+                    let slice = self
+                        .bytes
+                        .get(start..start + width)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| format!("invalid UTF-8 at byte {start}"))?;
+                    out.push_str(slice);
+                    self.at = start + width;
+                }
+            }
+        }
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b`.
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::to_json;
+
+    fn finding(pass: Pass, file: &str, line: u32, msg: &str) -> Finding {
+        Finding::new(pass, file, line, msg.to_string())
+    }
+
+    #[test]
+    fn round_trips_the_json_renderer() {
+        let findings = vec![
+            finding(Pass::Alloc, "a.rs", 3, "`push()` in scope `tick`"),
+            finding(Pass::Schema, "b.rs", 9, "drift: \"quoted\"\npaths\\win"),
+        ];
+        let parsed = parse(&to_json(&findings)).expect("own format parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].pass, Pass::Alloc);
+        assert_eq!(parsed[1].message, "drift: \"quoted\"\npaths\\win");
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert_eq!(parse("[]").expect("empty"), vec![]);
+        assert_eq!(parse("[\n]\n").expect("empty with ws"), vec![]);
+    }
+
+    #[test]
+    fn rejects_unknown_pass_and_trailing_garbage() {
+        assert!(parse("[{\"pass\": \"nope\", \"file\": \"a\", \"message\": \"m\"}]").is_err());
+        assert!(parse("[] extra").is_err());
+        assert!(parse("[{\"file\": \"a\"}]").is_err());
+    }
+
+    #[test]
+    fn screen_partitions_new_baselined_and_stale() {
+        let live = vec![
+            finding(Pass::Cast, "x.rs", 10, "cast A"),
+            finding(Pass::Cast, "x.rs", 44, "cast A"),
+            finding(Pass::Alloc, "y.rs", 2, "brand new"),
+        ];
+        let baseline = vec![
+            BaselineEntry {
+                pass: Pass::Cast,
+                file: "x.rs".into(),
+                message: "cast A".into(),
+            },
+            BaselineEntry {
+                pass: Pass::Blocking,
+                file: "gone.rs".into(),
+                message: "fixed long ago".into(),
+            },
+        ];
+        let s = screen(&live, &baseline);
+        // One entry covers both identical casts; lines are ignored.
+        assert_eq!(s.baselined.len(), 2);
+        assert_eq!(s.new, vec![live[2].clone()]);
+        assert_eq!(s.stale.len(), 1);
+        assert_eq!(s.stale[0].file, "gone.rs");
+    }
+}

@@ -1,25 +1,31 @@
 //! CLI driver for the invariant checker.
 //!
 //! ```text
-//! xanalyze [--root <dir>] [--json] [--check]
+//! xanalyze [--root <dir>] [--json] [--check] [--baseline <file>]
 //! ```
 //!
 //! * `--root <dir>` — workspace root (default: walk up from the current
 //!   directory to the first directory holding both `Cargo.toml` and
 //!   `DESIGN.md`);
 //! * `--json` — machine-readable findings on stdout instead of text;
-//! * `--check` — exit with status 1 when there is any finding (CI mode;
-//!   without it the process always exits 0 so the output can be piped).
+//! * `--check` — exit with status 1 when there is any non-baselined
+//!   finding (CI mode; without it the process always exits 0 so the
+//!   output can be piped);
+//! * `--baseline <file>` — a committed findings file (the `--json`
+//!   format, relative paths resolved against the root) whose entries are
+//!   tolerated: the ratchet. New findings still fail `--check`; stale
+//!   baseline entries are reported so the file can only shrink.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use analysis::{analyze, to_json, CheckConfig};
+use analysis::{analyze, parse_baseline, screen, to_json, CheckConfig};
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut check = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,8 +35,12 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory argument"),
             },
+            "--baseline" => match args.next() {
+                Some(file) => baseline_path = Some(PathBuf::from(file)),
+                None => return usage("--baseline needs a file argument"),
+            },
             "--help" | "-h" => {
-                println!("usage: xanalyze [--root <dir>] [--json] [--check]");
+                println!("usage: xanalyze [--root <dir>] [--json] [--check] [--baseline <file>]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -42,6 +52,31 @@ fn main() -> ExitCode {
         None => return usage("no workspace root found (looked for Cargo.toml + DESIGN.md)"),
     };
 
+    let baseline = match &baseline_path {
+        None => Vec::new(),
+        Some(p) => {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(p)
+            };
+            let text = match std::fs::read_to_string(&abs) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("xanalyze: cannot read baseline {}: {e}", abs.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("xanalyze: malformed baseline {}: {e}", abs.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
     let findings = match analyze(&CheckConfig::workspace(root)) {
         Ok(f) => f,
         Err(e) => {
@@ -49,19 +84,36 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let screened = screen(&findings, &baseline);
 
     if json {
+        // JSON mode always reports every live finding (baselined or not);
+        // the artifact is what a future baseline would be committed from.
         println!("{}", to_json(&findings));
-    } else if findings.is_empty() {
+    } else if findings.is_empty() && screened.stale.is_empty() {
         println!("xanalyze: all invariants hold");
     } else {
-        for f in &findings {
+        for f in &screened.new {
             println!("{f}");
         }
-        println!("xanalyze: {} finding(s)", findings.len());
+        for f in &screened.baselined {
+            println!("(baselined) {f}");
+        }
+        for b in &screened.stale {
+            println!(
+                "stale baseline entry no longer fires — ratchet it out: [{}] {}: {}",
+                b.pass, b.file, b.message
+            );
+        }
+        println!(
+            "xanalyze: {} new finding(s), {} baselined, {} stale baseline entr(ies)",
+            screened.new.len(),
+            screened.baselined.len(),
+            screened.stale.len()
+        );
     }
 
-    if check && !findings.is_empty() {
+    if check && !screened.new.is_empty() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -84,6 +136,6 @@ fn find_workspace_root() -> Option<PathBuf> {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("xanalyze: {problem}");
-    eprintln!("usage: xanalyze [--root <dir>] [--json] [--check]");
+    eprintln!("usage: xanalyze [--root <dir>] [--json] [--check] [--baseline <file>]");
     ExitCode::from(2)
 }

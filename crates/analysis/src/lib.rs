@@ -4,9 +4,16 @@
 //! cannot guard structurally: the MCU-faithful detection path is
 //! float-free, `unsafe` is confined to two audited `#[target_feature]`
 //! kernels behind one dispatcher, the hot path never panics, and design
-//! cross-references stay accurate. This crate enforces all four
-//! *statically*, from source text, with a hand-rolled lexer that is
-//! immune to keywords hiding in strings, comments, or test modules.
+//! cross-references stay accurate. PRs 8 and 9 added the snapshot codec
+//! and the sharded session hub, whose invariants this crate also
+//! enforces: registered per-sample loops never allocate, shard workers
+//! never block (bounded sends, blocking receives, locks held across
+//! codec calls), truncating casts on hot-path files carry `// WIDTH:`
+//! justifications, and snapshot encode/decode call sequences mirror
+//! exactly. All of it is checked *statically*, from source text, with a
+//! hand-rolled lexer that is immune to keywords hiding in strings,
+//! comments, or test modules, and a committed findings baseline turns
+//! the checker into a ratchet.
 //!
 //! Run it locally with:
 //!
@@ -14,16 +21,19 @@
 //! cargo run -p analysis --bin xanalyze -- --check
 //! ```
 //!
-//! See `DESIGN.md` §10 for the invariant catalogue, the allowlist marker
-//! format, and the CI wiring. The crate is std-only by design: it must
+//! See `DESIGN.md` §10 for the original invariant catalogue and §13 for
+//! the service-era passes, the allowlist marker format, the baseline
+//! ratchet, and the CI wiring. The crate is std-only by design: it must
 //! build in the same offline environment as the rest of the workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod lexer;
 pub mod passes;
 pub mod report;
 
+pub use baseline::{parse as parse_baseline, screen, BaselineEntry, Screened};
 pub use passes::{analyze, CheckConfig};
 pub use report::{to_json, Finding, Pass};

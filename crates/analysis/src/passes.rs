@@ -1,9 +1,11 @@
-//! The four invariant passes and the workspace walker that drives them.
+//! The eight invariant passes and the workspace walker that drives them.
 //!
 //! Every pass consumes [`crate::lexer::FileModel`]s, so none of them can
 //! be fooled by keywords inside strings, raw strings, comments, or
 //! `#[cfg(test)]` modules — the exact failure modes of `grep`-based
-//! enforcement. See `DESIGN.md` §10 for the rule catalogue and rationale.
+//! enforcement. See `DESIGN.md` §10 for the original rule catalogue and
+//! §13 for the service-era passes (alloc-freedom, blocking-discipline,
+//! cast-audit, schema-drift).
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -35,6 +37,23 @@ pub struct CheckConfig {
     pub dispatch_sites: Vec<(String, String)>,
     /// The design document (relative) whose `§N` headings anchor doc refs.
     pub design_doc: String,
+    /// Registered per-sample scopes for the alloc-freedom pass: every fn
+    /// named `.1` in file `.0` (free fn or method, any impl) is covered.
+    pub alloc_scopes: Vec<(String, String)>,
+    /// Files permitted to carry `xanalyze: begin-allow(alloc)` regions.
+    pub alloc_allow_files: Vec<String>,
+    /// Files permitted to carry `xanalyze: begin-allow(width)` regions.
+    pub width_allow_files: Vec<String>,
+    /// Shard-worker-scope files: every non-test fn in them is held to the
+    /// blocking discipline (no bounded sends, no blocking receives, no
+    /// lock guards outliving one statement or spanning a codec call).
+    pub worker_files: Vec<String>,
+    /// Receiver identifiers naming unbounded channels — the only `.send`
+    /// targets legal from worker scope (e.g. `events`).
+    pub unbounded_send_receivers: Vec<String>,
+    /// Files whose encode/decode fn pairs the schema-drift pass mirrors,
+    /// and whose `seal`/`open` fns must reference the `VERSION` constant.
+    pub codec_files: Vec<String>,
 }
 
 impl CheckConfig {
@@ -70,6 +89,44 @@ impl CheckConfig {
             unsafe_files: vec![format!("{HOT}lane.rs")],
             dispatch_sites: vec![(format!("{HOT}lane.rs"), "stage_block_dispatch".to_string())],
             design_doc: "DESIGN.md".into(),
+            // PR 10: the per-sample loops of the service era. Streaming
+            // push + ingest, the decision tail, the lane stage kernels,
+            // and the shard workers' tick path may not allocate.
+            alloc_scopes: [
+                (format!("{HOT}streaming.rs"), "push"),
+                (format!("{HOT}streaming.rs"), "push_impl"),
+                (format!("{HOT}streaming.rs"), "ingest"),
+                (format!("{HOT}threshold.rs"), "push"),
+                (format!("{HOT}lane.rs"), "tick"),
+                (format!("{HOT}lane.rs"), "accumulate_generic"),
+                (format!("{HOT}lane.rs"), "block_exact"),
+                (format!("{HOT}lane.rs"), "stage_block"),
+                (format!("{HOT}lane.rs"), "stage_block_avx512"),
+                (format!("{HOT}lane.rs"), "stage_block_avx2"),
+                (format!("{HOT}lane.rs"), "stage_block_dispatch"),
+                ("crates/service/src/shard.rs".to_string(), "tick"),
+                ("crates/service/src/shard.rs".to_string(), "tick_bank"),
+                ("crates/service/src/shard.rs".to_string(), "tick_solos"),
+                ("crates/service/src/shard.rs".to_string(), "next_sample"),
+            ]
+            .into_iter()
+            .map(|(f, s)| (f, s.to_string()))
+            .collect(),
+            alloc_allow_files: vec![
+                format!("{HOT}streaming.rs"),
+                format!("{HOT}threshold.rs"),
+                format!("{HOT}lane.rs"),
+                "crates/service/src/shard.rs".to_string(),
+            ],
+            width_allow_files: vec![],
+            worker_files: vec!["crates/service/src/shard.rs".to_string()],
+            unbounded_send_receivers: vec!["events".to_string()],
+            codec_files: vec![
+                format!("{HOT}snapshot.rs"),
+                format!("{HOT}streaming.rs"),
+                format!("{HOT}threshold.rs"),
+                format!("{HOT}lane.rs"),
+            ],
         }
     }
 
@@ -90,7 +147,7 @@ struct SourceFile {
     model: FileModel,
 }
 
-/// Runs all four passes over the configured tree and returns every
+/// Runs all eight passes over the configured tree and returns every
 /// finding, sorted by pass, file, line.
 ///
 /// # Errors
@@ -133,6 +190,10 @@ pub fn analyze(config: &CheckConfig) -> io::Result<Vec<Finding>> {
     unsafe_audit(config, &sources, &mut findings);
     panic_freedom(config, &sources, &mut findings);
     doc_refs(config, &sources, &mut findings);
+    alloc_freedom(config, &sources, &mut findings);
+    blocking_discipline(config, &sources, &mut findings);
+    cast_audit(config, &sources, &mut findings);
+    schema_drift(config, &sources, &mut findings);
 
     findings.sort_by(|a, b| {
         (a.pass, &a.file, a.line, &a.message).cmp(&(b.pass, &b.file, b.line, &b.message))
@@ -174,21 +235,29 @@ fn marker_hygiene(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Fi
             ));
         }
         for region in &f.model.allow_regions {
-            if region.pass != "float" {
+            let allow_files = match region.pass.as_str() {
+                "float" => &config.float_allow_files,
+                "alloc" => &config.alloc_allow_files,
+                "width" => &config.width_allow_files,
+                other => {
+                    out.push(Finding::new(
+                        Pass::Allowlist,
+                        &f.rel,
+                        region.start_line,
+                        format!("unknown allow pass `{other}` (known: alloc, float, width)"),
+                    ));
+                    continue;
+                }
+            };
+            if !allow_files.iter().any(|p| p == &f.rel) {
                 out.push(Finding::new(
                     Pass::Allowlist,
                     &f.rel,
                     region.start_line,
-                    format!("unknown allow pass `{}` (known: float)", region.pass),
-                ));
-                continue;
-            }
-            if !config.float_allow_files.iter().any(|p| p == &f.rel) {
-                out.push(Finding::new(
-                    Pass::Allowlist,
-                    &f.rel,
-                    region.start_line,
-                    "allow(float) region in a file not on the float allowlist".to_string(),
+                    format!(
+                        "allow({}) region in a file not on the {} allowlist",
+                        region.pass, region.pass
+                    ),
                 ));
             }
             if !region.has_reason {
@@ -196,7 +265,10 @@ fn marker_hygiene(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Fi
                     Pass::Allowlist,
                     &f.rel,
                     region.start_line,
-                    "begin-allow(float) marker carries no justification".to_string(),
+                    format!(
+                        "begin-allow({}) marker carries no justification",
+                        region.pass
+                    ),
                 ));
             }
         }
@@ -304,6 +376,13 @@ fn unsafe_audit(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Find
 /// other tokens on the same line, attributes, and earlier lines of the
 /// same comment block)?
 fn has_safety_comment(m: &FileModel, i: usize) -> bool {
+    has_comment_above(m, i, "SAFETY:")
+}
+
+/// Is there a comment containing `needle` directly above token `i`
+/// (skipping other tokens on the same line, attributes, and earlier
+/// lines of the same comment block)?
+fn has_comment_above(m: &FileModel, i: usize, needle: &str) -> bool {
     let line = m.tokens[i].line;
     let mut j = i;
     while j > 0 {
@@ -316,7 +395,7 @@ fn has_safety_comment(m: &FileModel, i: usize) -> bool {
             continue; // attributes may sit between the comment and the item
         }
         if t.is_comment() {
-            if t.text.contains("SAFETY:") {
+            if t.text.contains(needle) {
                 return true;
             }
             continue; // earlier lines of a multi-line comment block
@@ -324,6 +403,16 @@ fn has_safety_comment(m: &FileModel, i: usize) -> bool {
         return false;
     }
     false
+}
+
+/// Is there a comment containing `needle` later on token `i`'s line
+/// (the idiomatic trailing `// WIDTH: …` spot)?
+fn has_trailing_comment(m: &FileModel, i: usize, needle: &str) -> bool {
+    let line = m.tokens[i].line;
+    m.tokens[i + 1..]
+        .iter()
+        .take_while(|t| t.line == line)
+        .any(|t| t.is_comment() && t.text.contains(needle))
 }
 
 /// Pass 3: no panicking macros or `unwrap()`/`expect()` in non-test
@@ -358,13 +447,23 @@ fn panic_freedom(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Fin
 /// The first non-comment token after `i`, as a single punct char if it is
 /// one.
 fn next_code_token(m: &FileModel, i: usize) -> Option<char> {
+    next_code_idx(m, i).map(|j| match m.tokens[j].kind {
+        TokKind::Punct(c) => c,
+        _ => '\0',
+    })
+}
+
+/// Index of the first non-comment token after `i`.
+fn next_code_idx(m: &FileModel, i: usize) -> Option<usize> {
     m.tokens[i + 1..]
         .iter()
-        .find(|t| !t.is_comment())
-        .map(|t| match t.kind {
-            TokKind::Punct(c) => c,
-            _ => '\0',
-        })
+        .position(|t| !t.is_comment())
+        .map(|off| i + 1 + off)
+}
+
+/// Index of the first non-comment token before `i`.
+fn prev_code_idx(m: &FileModel, i: usize) -> Option<usize> {
+    m.tokens[..i].iter().rposition(|t| !t.is_comment())
 }
 
 /// Pass 4: every `DESIGN.md §N` reference in comments or strings resolves
@@ -487,5 +586,522 @@ fn check_refs(
                 format!("`DESIGN.md §{digits}` does not match any heading"),
             ));
         }
+    }
+}
+
+/// Method names whose call allocates (or may allocate) on the heap.
+/// `Vec::new`/`String::new` are absent on purpose: they are const and
+/// allocation-free until first growth.
+const ALLOC_CALLS: [&str; 16] = [
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "with_capacity",
+    "reserve",
+    "reserve_exact",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "clone",
+    "extend",
+    "extend_from_slice",
+    "resize",
+    "append",
+];
+
+/// Pass 5: registered per-sample scopes never allocate. Every fn named in
+/// [`CheckConfig::alloc_scopes`] (free fn or method, every impl in the
+/// file) is scanned for allocating calls, `format!`/`vec!`, and
+/// `Box::new`; `// xanalyze: begin-allow(alloc) — why` regions exempt
+/// amortized growth with a recorded justification.
+///
+/// The check is lexical, per registered body: a nested *named* fn opens
+/// its own scope (register it too if it is hot), and callees are not
+/// chased — register each fn on the per-sample path.
+fn alloc_freedom(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in sources {
+        let scopes: Vec<&str> = config
+            .alloc_scopes
+            .iter()
+            .filter(|(file, _)| file == &f.rel)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        if scopes.is_empty() {
+            continue;
+        }
+        let m = &f.model;
+        for (i, t) in m.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident || m.in_test[i] || m.in_attr[i] {
+                continue;
+            }
+            let Some(enc) = m.enclosing_fn[i].as_deref() else {
+                continue;
+            };
+            if !scopes.contains(&enc) {
+                continue;
+            }
+            let next = next_code_token(m, i);
+            let name = t.text.as_str();
+            let offence = if ALLOC_CALLS.contains(&name) && next == Some('(') {
+                Some(format!(
+                    "`{name}()` allocates in registered per-sample scope `{enc}`"
+                ))
+            } else if (name == "format" || name == "vec") && next == Some('!') {
+                Some(format!(
+                    "`{name}!` allocates in registered per-sample scope `{enc}`"
+                ))
+            } else if name == "Box" && is_path_call(m, i, "new") {
+                Some(format!(
+                    "`Box::new` allocates in registered per-sample scope `{enc}`"
+                ))
+            } else {
+                None
+            };
+            if let Some(msg) = offence {
+                if !m.allowed("alloc", t.line) {
+                    out.push(Finding::new(Pass::Alloc, &f.rel, t.line, msg));
+                }
+            }
+        }
+    }
+}
+
+/// Does `Ident :: method (` follow token `i` (e.g. `Box::new(…)`)?
+fn is_path_call(m: &FileModel, i: usize, method: &str) -> bool {
+    let Some(c1) = next_code_idx(m, i) else {
+        return false;
+    };
+    let Some(c2) = next_code_idx(m, c1) else {
+        return false;
+    };
+    let Some(name) = next_code_idx(m, c2) else {
+        return false;
+    };
+    m.tokens[c1].kind == TokKind::Punct(':')
+        && m.tokens[c2].kind == TokKind::Punct(':')
+        && m.tokens[name].kind == TokKind::Ident
+        && m.tokens[name].text == method
+        && next_code_token(m, name) == Some('(')
+}
+
+/// Codec entry points a worker must not call under a lock: holding a
+/// shard lock across (de)serialization stalls every peer on the shard.
+const CODEC_CALLS: [&str; 8] = [
+    "encode",
+    "decode",
+    "snapshot",
+    "restore",
+    "snapshot_lane",
+    "restore_lane",
+    "seal",
+    "open",
+];
+
+/// Pass 6: shard-worker blocking discipline. In worker files, fn bodies
+/// may not call bounded-channel `send` (only registered unbounded
+/// receivers such as `events`), may not call blocking `recv`
+/// (`try_recv`/`recv_timeout`/`recv_deadline` are fine — they are
+/// different identifiers), and may take locks only as single-statement
+/// temporaries that do not span a snapshot-codec call.
+fn blocking_discipline(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    const LOCK_CALLS: [&str; 2] = ["lock", "lock_alloc"];
+    for f in sources {
+        if !config.worker_files.iter().any(|p| p == &f.rel) {
+            continue;
+        }
+        let m = &f.model;
+        for (i, t) in m.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident || m.in_test[i] || m.in_attr[i] {
+                continue;
+            }
+            if m.enclosing_fn[i].is_none() {
+                continue;
+            }
+            if next_code_token(m, i) != Some('(') {
+                continue;
+            }
+            match t.text.as_str() {
+                "send" => {
+                    let recv = receiver_ident(m, i);
+                    let unbounded = recv
+                        .is_some_and(|r| config.unbounded_send_receivers.iter().any(|u| u == r));
+                    if !unbounded {
+                        let who = recv.unwrap_or("<unknown>");
+                        out.push(Finding::new(
+                            Pass::Blocking,
+                            &f.rel,
+                            t.line,
+                            format!(
+                                "`{who}.send()` from worker scope; only registered unbounded \
+                                 channels may be sent without backpressure risk (use `try_send`)"
+                            ),
+                        ));
+                    }
+                }
+                "recv" => {
+                    out.push(Finding::new(
+                        Pass::Blocking,
+                        &f.rel,
+                        t.line,
+                        "blocking `recv()` in worker scope; use `try_recv` or `recv_timeout`"
+                            .to_string(),
+                    ));
+                }
+                lock if LOCK_CALLS.contains(&lock) => {
+                    if statement_has_let_before(m, i) {
+                        out.push(Finding::new(
+                            Pass::Blocking,
+                            &f.rel,
+                            t.line,
+                            format!(
+                                "`{lock}()` guard bound by `let` in worker scope; hold locks \
+                                 only as single-statement temporaries"
+                            ),
+                        ));
+                    }
+                    if let Some(codec) = codec_call_in_statement_after(m, i) {
+                        out.push(Finding::new(
+                            Pass::Blocking,
+                            &f.rel,
+                            t.line,
+                            format!("`{lock}()` held across snapshot-codec call `{codec}()`"),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The identifier before `.` before token `i` (the method receiver), if
+/// the call is a plain `recv.method(…)` form.
+fn receiver_ident(m: &FileModel, i: usize) -> Option<&str> {
+    let mut j = i;
+    let mut dot = false;
+    while j > 0 {
+        j -= 1;
+        let t = &m.tokens[j];
+        if t.is_comment() {
+            continue;
+        }
+        if !dot {
+            if t.kind == TokKind::Punct('.') {
+                dot = true;
+                continue;
+            }
+            return None;
+        }
+        return match t.kind {
+            TokKind::Ident => Some(&t.text),
+            _ => None,
+        };
+    }
+    None
+}
+
+/// Does a `let` open the statement containing token `i`?
+fn statement_has_let_before(m: &FileModel, i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &m.tokens[j];
+        match t.kind {
+            TokKind::Punct(';' | '{' | '}') => return false,
+            TokKind::Ident if t.text == "let" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The first snapshot-codec call between token `i` and the end of its
+/// statement (`;` or a block brace), if any.
+fn codec_call_in_statement_after(m: &FileModel, i: usize) -> Option<&str> {
+    for j in i + 1..m.tokens.len() {
+        let t = &m.tokens[j];
+        match t.kind {
+            TokKind::Punct(';' | '{' | '}') => return None,
+            TokKind::Ident
+                if CODEC_CALLS.contains(&t.text.as_str()) && next_code_token(m, j) == Some('(') =>
+            {
+                return Some(&t.text);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pass 7: truncating `as` casts on hot-path files carry an adjacent
+/// `// WIDTH:` justification (trailing on the cast's line, on the line
+/// above, or via an `allow(width)` region). Casts to sub-64-bit integer
+/// types always truncate lexically; casts to 64-bit types are flagged
+/// only when the statement mentions `i128`/`u128` (the chained-narrowing
+/// case type inference hides). Widths are judged for the 64-bit targets
+/// this workspace supports.
+fn cast_audit(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    const NARROW: [&str; 6] = ["i8", "u8", "i16", "u16", "i32", "u32"];
+    const WIDE: [&str; 4] = ["i64", "u64", "isize", "usize"];
+    for f in sources {
+        if !config.is_hot(&f.rel) {
+            continue;
+        }
+        let m = &f.model;
+        for (i, t) in m.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident || t.text != "as" || m.in_test[i] || m.in_attr[i] {
+                continue;
+            }
+            let Some(j) = next_code_idx(m, i) else {
+                continue;
+            };
+            let ty = &m.tokens[j];
+            if ty.kind != TokKind::Ident {
+                continue;
+            }
+            let narrow = NARROW.contains(&ty.text.as_str());
+            let chained = WIDE.contains(&ty.text.as_str()) && statement_mentions_128(m, i);
+            if !(narrow || chained) {
+                continue;
+            }
+            if m.allowed("width", t.line)
+                || has_comment_above(m, i, "WIDTH:")
+                || has_trailing_comment(m, j, "WIDTH:")
+            {
+                continue;
+            }
+            out.push(Finding::new(
+                Pass::Cast,
+                &f.rel,
+                t.line,
+                format!(
+                    "truncating `as {}` cast without an adjacent `// WIDTH:` justification",
+                    ty.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Does the statement containing token `i` mention a 128-bit integer
+/// type or literal suffix before `i`?
+fn statement_mentions_128(m: &FileModel, i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &m.tokens[j];
+        match t.kind {
+            TokKind::Punct(';' | '{' | '}') => return false,
+            TokKind::Ident if t.text == "i128" || t.text == "u128" => return true,
+            TokKind::Number if t.text.ends_with("i128") || t.text.ends_with("u128") => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// One contiguous non-test fn body in a codec file, with its linearized
+/// codec operations.
+struct CodecFn {
+    name: String,
+    line: u32,
+    /// Normalized `(op, line)` sequence: `put_x`/`take_x` → `x`,
+    /// `take_len` → `usize`, `_iter` variants folded, nested
+    /// `encode(`/`decode(` calls → one `nested encode/decode` step.
+    ops: Vec<(String, u32)>,
+    writes: bool,
+    reads: bool,
+    mentions_version: bool,
+}
+
+/// Pass 8: snapshot schema symmetry. In each registered codec file, every
+/// writer fn (calls `put_*` or a nested `encode`) is paired, in source
+/// order, with the reader fn (calls `take_*` or a nested `decode`) at the
+/// same position, and their linearized call sequences must match step for
+/// step — write order, field count, and nesting. `seal`/`open` must both
+/// reference the `VERSION` constant. Convention the linearization relies
+/// on: encode/decode halves alternate in the file, and `match` arms
+/// appear in the same order on both sides.
+fn schema_drift(config: &CheckConfig, sources: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in sources {
+        if !config.codec_files.iter().any(|p| p == &f.rel) {
+            continue;
+        }
+        let m = &f.model;
+        let mut fns: Vec<CodecFn> = Vec::new();
+        let mut current: Option<String> = None;
+        for (i, t) in m.tokens.iter().enumerate() {
+            let Some(name) = m.enclosing_fn[i].as_deref().filter(|_| !m.in_test[i]) else {
+                current = None;
+                continue;
+            };
+            if current.as_deref() != Some(name) {
+                fns.push(CodecFn {
+                    name: name.to_string(),
+                    line: t.line,
+                    ops: Vec::new(),
+                    writes: false,
+                    reads: false,
+                    mentions_version: false,
+                });
+                current = Some(name.to_string());
+            }
+            if t.kind != TokKind::Ident || m.in_attr[i] {
+                continue;
+            }
+            let Some(fi) = fns.last_mut() else {
+                continue;
+            };
+            if t.text == "VERSION" {
+                fi.mentions_version = true;
+            }
+            if next_code_token(m, i) != Some('(') {
+                continue;
+            }
+            // `put_*`/`take_*` count as codec steps only as free-fn/path
+            // calls or methods on a conventional codec binding — so an
+            // ordinary method that merely starts with `take_` (e.g.
+            // `state.take_result()`, `tails[lane].take_result()`) is not
+            // mistaken for a field read.
+            let codec_recv = match prev_code_idx(m, i) {
+                Some(p) if m.tokens[p].kind == TokKind::Punct('.') => matches!(
+                    receiver_ident(m, i),
+                    Some("w" | "r" | "writer" | "reader" | "self")
+                ),
+                _ => true, // free fn or `Writer::put_x(…)` path call
+            };
+            if let Some(field) = t.text.strip_prefix("put_").filter(|_| codec_recv) {
+                fi.writes = true;
+                fi.ops.push((normalize_field(field), t.line));
+            } else if let Some(field) = t.text.strip_prefix("take_").filter(|_| codec_recv) {
+                fi.reads = true;
+                fi.ops.push((normalize_field(field), t.line));
+            } else if t.text == "encode" {
+                fi.writes = true;
+                fi.ops.push(("nested encode/decode".to_string(), t.line));
+            } else if t.text == "decode" {
+                fi.reads = true;
+                fi.ops.push(("nested encode/decode".to_string(), t.line));
+            }
+        }
+
+        for fi in &fns {
+            if (fi.name == "seal" || fi.name == "open") && !fi.mentions_version {
+                out.push(Finding::new(
+                    Pass::Schema,
+                    &f.rel,
+                    fi.line,
+                    format!(
+                        "`{}` does not reference the snapshot `VERSION` constant",
+                        fi.name
+                    ),
+                ));
+            }
+        }
+
+        // Vocabulary fns (`put_*`/`take_*` definitions) and fns that both
+        // write and read (round-trip helpers) are not codec halves.
+        let half = |fi: &&CodecFn| {
+            !fi.name.starts_with("put_") && !fi.name.starts_with("take_") && !fi.ops.is_empty()
+        };
+        let writers: Vec<&CodecFn> = fns
+            .iter()
+            .filter(half)
+            .filter(|fi| fi.writes && !fi.reads)
+            .collect();
+        let readers: Vec<&CodecFn> = fns
+            .iter()
+            .filter(half)
+            .filter(|fi| fi.reads && !fi.writes)
+            .collect();
+        if writers.len() != readers.len() {
+            let list = |v: &[&CodecFn]| {
+                v.iter()
+                    .map(|fi| fi.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push(Finding::new(
+                Pass::Schema,
+                &f.rel,
+                0,
+                format!(
+                    "codec file has {} writer fn(s) [{}] but {} reader fn(s) [{}]; \
+                     every encode half needs its decode half",
+                    writers.len(),
+                    list(&writers),
+                    readers.len(),
+                    list(&readers)
+                ),
+            ));
+            continue;
+        }
+        for (w, r) in writers.iter().zip(&readers) {
+            compare_halves(w, r, &f.rel, out);
+        }
+    }
+}
+
+/// `put_len`/`take_len` move a `usize`; `_iter` writers emit the same
+/// bytes as their slice counterparts.
+fn normalize_field(field: &str) -> String {
+    let base = field.strip_suffix("_iter").unwrap_or(field);
+    if base == "len" {
+        "usize".to_string()
+    } else {
+        base.to_string()
+    }
+}
+
+/// Reports the first divergence between one writer/reader pair.
+fn compare_halves(w: &CodecFn, r: &CodecFn, rel: &str, out: &mut Vec<Finding>) {
+    let n = w.ops.len().min(r.ops.len());
+    for k in 0..n {
+        if w.ops[k].0 != r.ops[k].0 {
+            out.push(Finding::new(
+                Pass::Schema,
+                rel,
+                r.ops[k].1,
+                format!(
+                    "schema drift between `{}` and `{}`: step {} writes `{}` but reads `{}`",
+                    w.name,
+                    r.name,
+                    k + 1,
+                    w.ops[k].0,
+                    r.ops[k].0
+                ),
+            ));
+            return;
+        }
+    }
+    if w.ops.len() != r.ops.len() {
+        let (line, message) = if w.ops.len() > r.ops.len() {
+            (
+                w.ops[n].1,
+                format!(
+                    "`{}` writes {} step(s) but `{}` reads only {}",
+                    w.name,
+                    w.ops.len(),
+                    r.name,
+                    r.ops.len()
+                ),
+            )
+        } else {
+            (
+                r.ops[n].1,
+                format!(
+                    "`{}` reads {} step(s) but `{}` writes only {}",
+                    r.name,
+                    r.ops.len(),
+                    w.name,
+                    w.ops.len()
+                ),
+            )
+        };
+        out.push(Finding::new(Pass::Schema, rel, line, message));
     }
 }

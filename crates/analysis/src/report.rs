@@ -15,6 +15,14 @@ pub enum Pass {
     Panic,
     /// `DESIGN.md §N` reference resolution.
     DocRef,
+    /// Allocation-freedom of registered per-sample loops.
+    Alloc,
+    /// Shard-worker blocking discipline (channels, locks vs codec).
+    Blocking,
+    /// Truncating-cast `// WIDTH:` audit on hot-path files.
+    Cast,
+    /// Snapshot encode/decode schema symmetry.
+    Schema,
 }
 
 impl Pass {
@@ -27,7 +35,34 @@ impl Pass {
             Pass::Unsafe => "unsafe-audit",
             Pass::Panic => "panic-freedom",
             Pass::DocRef => "doc-ref",
+            Pass::Alloc => "alloc-freedom",
+            Pass::Blocking => "blocking-discipline",
+            Pass::Cast => "cast-audit",
+            Pass::Schema => "schema-drift",
         }
+    }
+
+    /// Every pass, in report order. Used by the baseline parser to map
+    /// stable names back to variants.
+    #[must_use]
+    pub fn all() -> &'static [Pass] {
+        &[
+            Pass::Allowlist,
+            Pass::Float,
+            Pass::Unsafe,
+            Pass::Panic,
+            Pass::DocRef,
+            Pass::Alloc,
+            Pass::Blocking,
+            Pass::Cast,
+            Pass::Schema,
+        ]
+    }
+
+    /// Resolves a stable name back to its pass.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Pass> {
+        Pass::all().iter().copied().find(|p| p.name() == name)
     }
 }
 

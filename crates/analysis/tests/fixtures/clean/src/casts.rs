@@ -1,0 +1,37 @@
+//! Adversarial cast fixture (on the fixture hot path): every truncation
+//! below is justified — trailing comment, comment above, or an
+//! `allow(width)` region — and the lookalikes are not casts at all.
+//! Zero findings required.
+
+pub fn widening(x: u32) -> u64 {
+    x as u64 // widening 64-bit cast: never flagged
+}
+
+pub fn trailing(x: u64) -> u32 {
+    (x >> 32) as u32 // WIDTH: fixture — the high word is the payload.
+}
+
+pub fn above(x: u64) -> u16 {
+    // WIDTH: fixture — the low 16 bits are the payload by contract.
+    x as u16
+}
+
+// xanalyze: begin-allow(width) — fixture: a justified cast region.
+pub fn regioned(x: u64) -> u8 {
+    x as u8
+}
+// xanalyze: end-allow(width)
+
+pub fn not_code() -> usize {
+    // Prose may say `x as u32` without being a cast.
+    let doc = "x as u32";
+    doc.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_truncate() {
+        assert_eq!(300u64 as u8, 44);
+    }
+}

@@ -1,0 +1,118 @@
+//! Adversarial schema fixture: mirrored halves, a folded `_iter` writer,
+//! `put_len`/`take_usize` equivalence, nested `encode`/`decode`,
+//! vocabulary fns, a round-trip probe, and `take_`-prefixed methods on
+//! ordinary receivers. Zero findings required.
+
+pub const VERSION: u16 = 3;
+
+pub struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    pub fn put_i64(&mut self, v: i64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        // Vocabulary fns may call each other without becoming halves.
+        self.put_i64(v as i64);
+    }
+}
+
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn take_i64(&mut self) -> i64 {
+        self.at += 8;
+        i64::from(self.bytes[self.at - 1])
+    }
+
+    pub fn take_usize(&mut self) -> usize {
+        self.take_i64() as usize
+    }
+}
+
+pub struct Child {
+    x: i64,
+}
+
+impl Child {
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_i64(self.x);
+    }
+
+    pub fn decode(r: &mut Reader) -> Child {
+        Child { x: r.take_i64() }
+    }
+}
+
+pub struct State {
+    seq: i64,
+    window: Vec<i64>,
+    child: Child,
+}
+
+pub fn encode_state(w: &mut Writer, s: &State) {
+    w.put_i64(s.seq);
+    w.put_seq_i64_iter(s.window.iter().copied());
+    w.put_len(s.window.len());
+    s.child.encode(w);
+}
+
+pub fn decode_state(r: &mut Reader) -> State {
+    let seq = r.take_i64();
+    let window = r.take_seq_i64();
+    let n = r.take_usize();
+    let _ = n;
+    let child = Child::decode(r);
+    State { seq, window, child }
+}
+
+pub fn roundtrip_probe(w: &mut Writer, r: &mut Reader) -> bool {
+    // A fn that both writes and reads is a probe, not a codec half.
+    w.put_i64(9);
+    r.take_i64() == 9
+}
+
+pub fn harvest(slots: &mut [Child]) -> i64 {
+    let mut total = 0;
+    for c in slots.iter_mut() {
+        // A method merely *named* take_… on an ordinary receiver is not a
+        // field read.
+        total += c.take_result();
+    }
+    total
+}
+
+pub fn not_code() -> usize {
+    let doc = "w.put_i64(x); r.take_u32(); // schema prose, not calls";
+    doc.len()
+}
+
+pub fn seal(out: &mut Vec<u8>) {
+    out.extend_from_slice(&VERSION.to_le_bytes());
+}
+
+pub fn open(bytes: &[u8]) -> bool {
+    bytes.first().copied() == Some(VERSION as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_in_tests_is_invisible() {
+        let mut w = Writer { bytes: Vec::new() };
+        w.put_i64(1);
+        let mut r = Reader {
+            bytes: &[0u8; 8],
+            at: 0,
+        };
+        let _ = r.take_usize();
+    }
+}

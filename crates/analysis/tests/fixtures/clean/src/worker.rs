@@ -1,0 +1,45 @@
+//! Adversarial blocking fixture: every fn here is worker scope, and the
+//! legal-but-similar calls below must not be mistaken for blocking ones.
+//! Zero findings required.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub fn emit(events: &Sender<u64>, v: u64) {
+    let _ = events.send(v); // registered unbounded channel: legal
+}
+
+pub fn drain(rx: &Receiver<u64>) -> usize {
+    let mut n = 0;
+    while rx.try_recv().is_ok() {
+        n += 1;
+    }
+    let _ = rx.recv_timeout(Duration::from_millis(1)); // bounded wait: legal
+    n
+}
+
+pub fn quick_lock(state: &Mutex<Vec<u8>>) {
+    state.lock().unwrap().clear(); // single-statement temporary: legal
+}
+
+pub fn not_code() -> usize {
+    // Prose may say reply.send(x) or rx.recv() without tripping the pass.
+    let doc = "reply.send(x); rx.recv(); let held = state.lock();";
+    doc.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn tests_may_block() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        tx.send(1u64).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        let state = Mutex::new(Vec::<u8>::new());
+        let held = state.lock().unwrap();
+        drop(held);
+    }
+}

@@ -1,0 +1,20 @@
+//! Cast-audit fixture: this file is on the fixture hot path. Never
+//! compiled — consumed by `fixtures_test.rs` as text; line numbers are
+//! asserted by the tests.
+
+pub fn pack(x: u64) -> u32 {
+    x as u32 // seeded truncating-cast violation (line 6)
+}
+
+pub fn fold(x: i128) -> i64 {
+    (x * 3i128) as i64 // seeded 128-bit-chain violation (line 10)
+}
+
+pub fn widening(x: u32) -> u64 {
+    x as u64 // widening: not a finding
+}
+
+pub fn justified(x: u64) -> u16 {
+    // WIDTH: fixture — the low 16 bits are the payload by contract.
+    x as u16
+}

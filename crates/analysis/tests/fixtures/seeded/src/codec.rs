@@ -1,0 +1,33 @@
+//! Schema-drift fixture: writer/reader halves pair in source order, and
+//! `seal`/`open` must reference `VERSION`. Never compiled — consumed by
+//! `fixtures_test.rs` as text; line numbers are asserted by the tests.
+
+pub const VERSION: u16 = 3;
+
+pub fn encode_state(w: &mut Writer, a: i64, b: u32) {
+    w.put_i64(a);
+    w.put_u32(b);
+}
+
+pub fn decode_state(r: &mut Reader) -> (i64, u32) {
+    let b = r.take_u32(); // seeded reordered-field drift (line 13)
+    let a = r.take_i64();
+    (a, b)
+}
+
+pub fn encode_extra(w: &mut Writer, n: usize, flag: bool) {
+    w.put_usize(n);
+    w.put_bool(flag); // seeded unread trailing field (line 20)
+}
+
+pub fn decode_extra(r: &mut Reader) -> usize {
+    r.take_usize()
+}
+
+pub fn seal(out: &mut Vec<u8>) {
+    out.extend_from_slice(&VERSION.to_le_bytes());
+}
+
+pub fn open(bytes: &[u8]) -> bool {
+    bytes.len() >= 2 // seeded missing-VERSION check (line 32)
+}

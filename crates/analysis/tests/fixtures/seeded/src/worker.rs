@@ -1,0 +1,30 @@
+//! Blocking-discipline fixture: every fn here is worker scope. Never
+//! compiled — consumed by `fixtures_test.rs` as text; line numbers are
+//! asserted by the tests.
+
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Mutex;
+
+pub fn respond(reply: &SyncSender<u64>, events: &Sender<u64>) {
+    let _ = events.send(7); // registered unbounded channel: fine
+    let _ = reply.send(7); // seeded bounded-send violation (line 10)
+}
+
+pub fn wait(rx: &Receiver<u64>) {
+    let _ = rx.try_recv(); // non-blocking: fine
+    let _ = rx.recv(); // seeded blocking-recv violation (line 15)
+}
+
+pub fn guard(state: &Mutex<Vec<u8>>) {
+    let held = state.lock(); // seeded let-bound guard violation (line 19)
+    drop(held);
+    state.lock().unwrap().clear(); // single-statement temporary: fine
+}
+
+pub fn sealed(state: &Mutex<Vec<u8>>, n: u64) {
+    state.lock().unwrap().extend(encode(n)); // seeded lock-across-codec violation (line 25)
+}
+
+fn encode(_n: u64) -> Vec<u8> {
+    Vec::new()
+}

@@ -5,13 +5,19 @@
 //! The fixtures live under `tests/fixtures/` and are never compiled —
 //! `xanalyze` consumes them as text, exactly like CI consumes the tree.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::path::PathBuf;
 
 use analysis::{analyze, CheckConfig, Finding, Pass};
 
 /// A config rooted at `tests/fixtures/<name>` with the fixture layout:
-/// `src/hot.rs` is the hot path (and float-allowlisted), `src/dispatch.rs`
-/// is the audited unsafe file with `dispatch` as the one registered site.
+/// `src/hot.rs` and `src/casts.rs` are the hot path (hot.rs is
+/// float-allowlisted), `src/dispatch.rs` is the audited unsafe file with
+/// `dispatch` as the one registered site, `src/loops.rs` holds the
+/// registered per-sample scopes `push`/`tick`, `src/worker.rs` is worker
+/// scope (with `events` as the one unbounded channel), and `src/codec.rs`
+/// is the schema-mirrored codec file.
 fn fixture_config(name: &str) -> CheckConfig {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
@@ -21,11 +27,20 @@ fn fixture_config(name: &str) -> CheckConfig {
         root,
         scan_dirs: vec!["src".into()],
         skip_prefixes: vec![],
-        hot_paths: vec!["src/hot.rs".into()],
+        hot_paths: vec!["src/hot.rs".into(), "src/casts.rs".into()],
         float_allow_files: vec!["src/hot.rs".into()],
         unsafe_files: vec!["src/dispatch.rs".into()],
         dispatch_sites: vec![("src/dispatch.rs".into(), "dispatch".into())],
         design_doc: "../DESIGN.md".into(),
+        alloc_scopes: vec![
+            ("src/loops.rs".into(), "push".into()),
+            ("src/loops.rs".into(), "tick".into()),
+        ],
+        alloc_allow_files: vec!["src/loops.rs".into()],
+        width_allow_files: vec!["src/casts.rs".into()],
+        worker_files: vec!["src/worker.rs".into()],
+        unbounded_send_receivers: vec!["events".into()],
+        codec_files: vec!["src/codec.rs".into()],
     }
 }
 
@@ -79,14 +94,51 @@ fn seeded_stale_design_reference_is_reported_with_file_and_line() {
 }
 
 #[test]
+fn seeded_alloc_violations_are_reported_with_file_and_line() {
+    let findings = run("seeded");
+    assert_hit(&findings, Pass::Alloc, "src/loops.rs", 12); // buf.push
+    assert_hit(&findings, Pass::Alloc, "src/loops.rs", 13); // Box::new
+    assert_hit(&findings, Pass::Alloc, "src/loops.rs", 18); // format!
+    assert_hit(&findings, Pass::Alloc, "src/loops.rs", 22); // reserve
+}
+
+#[test]
+fn seeded_blocking_violations_are_reported_with_file_and_line() {
+    let findings = run("seeded");
+    assert_hit(&findings, Pass::Blocking, "src/worker.rs", 10); // reply.send
+    assert_hit(&findings, Pass::Blocking, "src/worker.rs", 15); // rx.recv
+    assert_hit(&findings, Pass::Blocking, "src/worker.rs", 19); // let guard
+    assert_hit(&findings, Pass::Blocking, "src/worker.rs", 25); // lock across encode()
+}
+
+#[test]
+fn seeded_cast_violations_are_reported_with_file_and_line() {
+    let findings = run("seeded");
+    assert_hit(&findings, Pass::Cast, "src/casts.rs", 6); // x as u32
+    assert_hit(&findings, Pass::Cast, "src/casts.rs", 10); // i128 chain as i64
+}
+
+#[test]
+fn seeded_schema_violations_are_reported_with_file_and_line() {
+    let findings = run("seeded");
+    // The deliberately reordered snapshot field: step 1 writes i64 but
+    // reads u32.
+    assert_hit(&findings, Pass::Schema, "src/codec.rs", 13);
+    // The writer's trailing field the reader never takes.
+    assert_hit(&findings, Pass::Schema, "src/codec.rs", 20);
+    // `open` never checks VERSION (reported at its first body line).
+    assert_hit(&findings, Pass::Schema, "src/codec.rs", 32);
+}
+
+#[test]
 fn seeded_fixture_reports_nothing_else() {
     // The seeded tree contains exactly the violations asserted above —
-    // in particular nothing from the #[cfg(test)] module, the registered
-    // dispatch site, or the trailing prose comments.
+    // in particular nothing from the #[cfg(test)] modules, the registered
+    // dispatch site, the allow regions, or the trailing prose comments.
     let findings = run("seeded");
     assert_eq!(
         findings.len(),
-        8,
+        21,
         "unexpected extra findings: {findings:#?}"
     );
 }

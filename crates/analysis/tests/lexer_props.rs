@@ -140,3 +140,100 @@ proptest! {
         prop_assert_eq!(chars_found, 4 * reps, "each quoted char is one literal");
     }
 }
+
+/// The allow-marker pass names share one grammar. These properties pin it
+/// for the service-era names (`alloc`, `width`) alongside `float`.
+const MARKER_PASSES: [&str; 3] = ["alloc", "float", "width"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// A `begin-allow(p) — why` / `end-allow(p)` pair covers exactly its
+    /// line span for every registered pass name, even with forbidden-
+    /// looking callables hidden in raw strings in between — and never
+    /// covers any *other* pass name.
+    #[test]
+    fn allow_regions_cover_exact_lines_for_each_pass(
+        pass_idx in 0usize..MARKER_PASSES.len(),
+        pre in 0usize..5,
+        mid in 1usize..5,
+    ) {
+        let pass = MARKER_PASSES[pass_idx];
+        let filler = "    let filler = 0;\n".repeat(pre);
+        let guts = "    let s = r#\"buf.push(v); x as u32; 1.5f64\"#;\n".repeat(mid);
+        let src = format!(
+            "pub fn f() {{\n{filler}    // xanalyze: begin-allow({pass}) — proptest reason\n{guts}    // xanalyze: end-allow({pass})\n    let after = 1;\n}}\n"
+        );
+        let model = FileModel::build(&src);
+        prop_assert!(model.marker_errors.is_empty(), "{:?}", model.marker_errors);
+        prop_assert_eq!(model.allow_regions.len(), 1);
+        let (region_pass, start, end, has_reason) = {
+            let r = &model.allow_regions[0];
+            (r.pass.clone(), r.start_line, r.end_line, r.has_reason)
+        };
+        prop_assert_eq!(region_pass, pass);
+        prop_assert!(has_reason, "justification after the marker must register");
+        let begin = 2 + pre as u32;
+        let close = begin + mid as u32 + 1;
+        prop_assert_eq!((start, end), (begin, close));
+        for line in begin..=close {
+            prop_assert!(model.allowed(pass, line));
+        }
+        prop_assert!(!model.allowed(pass, begin - 1));
+        prop_assert!(!model.allowed(pass, close + 1));
+        for other in MARKER_PASSES {
+            if other != pass {
+                prop_assert!(!model.allowed(other, begin), "region leaked to pass `{}`", other);
+            }
+        }
+    }
+
+    /// Marker syntax hidden in raw strings, or merely *mentioned*
+    /// mid-sentence in prose comments, is not a marker: no regions, no
+    /// errors, and nothing becomes allowed.
+    #[test]
+    fn marker_lookalikes_are_not_markers(
+        pass_idx in 0usize..MARKER_PASSES.len(),
+        hashes in 1usize..4,
+    ) {
+        let pass = MARKER_PASSES[pass_idx];
+        let fence = "#".repeat(hashes);
+        let src = format!(
+            "pub fn f() -> usize {{\n    // prose that mentions xanalyze: begin-allow({pass}) mid-sentence\n    let s = r{fence}\"// xanalyze: begin-allow({pass}) — hidden in a raw string\"{fence};\n    s.len()\n}}\n"
+        );
+        let model = FileModel::build(&src);
+        prop_assert!(model.allow_regions.is_empty(), "{:?}", model.allow_regions);
+        prop_assert!(model.marker_errors.is_empty(), "{:?}", model.marker_errors);
+        for line in 1..=5u32 {
+            prop_assert!(!model.allowed(pass, line));
+        }
+    }
+
+    /// Unbalanced markers are grammar errors: an orphan `end-allow` opens
+    /// nothing, and an unclosed `begin-allow` is reported once but still
+    /// honoured to end-of-file (one error, not a cascade of findings).
+    #[test]
+    fn unbalanced_markers_are_reported(
+        pass_idx in 0usize..MARKER_PASSES.len(),
+        orphan_end in 0usize..2,
+    ) {
+        let orphan_end = orphan_end == 1;
+        let pass = MARKER_PASSES[pass_idx];
+        let src = if orphan_end {
+            format!("pub fn f() {{\n    // xanalyze: end-allow({pass})\n    let x = 1;\n}}\n")
+        } else {
+            format!("pub fn f() {{\n    // xanalyze: begin-allow({pass}) — justified\n    let x = 1;\n}}\n")
+        };
+        let model = FileModel::build(&src);
+        prop_assert_eq!(model.marker_errors.len(), 1, "{:?}", model.marker_errors);
+        if orphan_end {
+            prop_assert!(model.allow_regions.is_empty());
+            prop_assert!(model.marker_errors[0].message.contains("without a matching"));
+        } else {
+            prop_assert!(model.marker_errors[0].message.contains("never closed"));
+            // Honoured to EOF: the rest of the file is covered.
+            prop_assert!(model.allowed(pass, 3));
+            prop_assert!(model.allowed(pass, 4000));
+        }
+    }
+}

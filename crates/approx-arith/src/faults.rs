@@ -9,7 +9,7 @@
 //! compare the damage against an LSB-approximate adder of equal cell count.
 //!
 //! This implements the failure-injection extension listed in `DESIGN.md`
-//! §13; the experiment lives in `xbiosip-bench --bin ext_fault_injection`.
+//! §14; the experiment lives in `xbiosip-bench --bin ext_fault_injection`.
 
 use crate::full_adder::FullAdderKind;
 use crate::word::Word;

@@ -1,7 +1,7 @@
 //! Shared harness utilities for the table/figure-regenerating binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
-//! (see `DESIGN.md` §13 for the index and `EXPERIMENTS.md` for
+//! (see `DESIGN.md` §14 for the index and `EXPERIMENTS.md` for
 //! paper-vs-measured numbers). They all print plain-text tables to stdout
 //! so their output can be diffed across runs.
 

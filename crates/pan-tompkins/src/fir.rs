@@ -117,6 +117,8 @@ impl FirProgram {
     /// Number of multiplier blocks (nonzero taps).
     #[must_use]
     pub fn multipliers(&self) -> u32 {
+        // WIDTH: tap counts are bounded by the filter order (tens), far
+        // below u32::MAX.
         self.taps.iter().filter(|t| **t != 0).count() as u32
     }
 

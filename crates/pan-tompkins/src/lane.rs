@@ -842,16 +842,12 @@ impl LaneBank {
     fn stage_block(&mut self, ticks: usize) {
         let lanes = self.lanes;
         for t in 0..ticks {
-            let r = t * lanes..(t + 1) * lanes;
-            self.lpf
-                .tick(&self.m_x0[r.clone()], &mut self.m_a[r.clone()]);
-            self.hpf
-                .tick(&self.m_a[r.clone()], &mut self.m_b[r.clone()]);
-            self.der
-                .tick(&self.m_b[r.clone()], &mut self.m_c[r.clone()]);
-            self.sqr
-                .tick(&self.m_c[r.clone()], &mut self.m_d[r.clone()]);
-            self.mwi.tick(&self.m_d[r.clone()], &mut self.m_e[r]);
+            let (lo, hi) = (t * lanes, (t + 1) * lanes);
+            self.lpf.tick(&self.m_x0[lo..hi], &mut self.m_a[lo..hi]);
+            self.hpf.tick(&self.m_a[lo..hi], &mut self.m_b[lo..hi]);
+            self.der.tick(&self.m_b[lo..hi], &mut self.m_c[lo..hi]);
+            self.sqr.tick(&self.m_c[lo..hi], &mut self.m_d[lo..hi]);
+            self.mwi.tick(&self.m_d[lo..hi], &mut self.m_e[lo..hi]);
         }
     }
 

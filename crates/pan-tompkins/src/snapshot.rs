@@ -241,6 +241,19 @@ impl Writer {
         }
     }
 
+    /// A length-prefixed `i64` sequence from an iterator — byte-identical
+    /// to [`Writer::put_seq_i64`], for non-contiguous sources such as a
+    /// `VecDeque` ring. `ExactSizeIterator` keeps the prefix honest.
+    pub(crate) fn put_seq_i64_iter<I>(&mut self, vs: I)
+    where
+        I: ExactSizeIterator<Item = i64>,
+    {
+        self.put_usize(vs.len());
+        for v in vs {
+            self.put_i64(v);
+        }
+    }
+
     /// A length-prefixed `usize` sequence (as u64s).
     pub(crate) fn put_seq_usize(&mut self, vs: &[usize]) {
         self.put_usize(vs.len());

@@ -115,6 +115,7 @@ impl Stage for MovingWindowIntegrator {
     }
 
     fn adders(&self) -> u32 {
+        // WIDTH: `WINDOW` is a small compile-time constant (30 taps).
         (WINDOW - 1) as u32
     }
 

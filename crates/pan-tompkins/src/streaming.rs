@@ -176,7 +176,11 @@ struct HpfRing {
 
 impl HpfRing {
     fn push(&mut self, v: i64) {
+        // xanalyze: begin-allow(alloc) — amortized ring append: the prune
+        // floor keeps the deque at a bounded steady-state capacity, so no
+        // reallocation happens after warm-up.
         self.buf.push_back(v);
+        // xanalyze: end-allow(alloc)
     }
 
     /// Bulk [`HpfRing::push`] — `VecDeque::extend` reserves once for the
@@ -291,6 +295,10 @@ impl DetectorTail {
         e: i64,
         tap: Option<&mut Vec<i64>>,
     ) {
+        // xanalyze: begin-allow(alloc) — the retained-mode store appends by
+        // contract (it *is* the batch-result shape); the bounded ring and
+        // the HPF tap are pruned/cleared by the caller to a constant
+        // window, so growth is amortized to warm-up only.
         match &mut self.store {
             SignalStore::Retained(signals) => {
                 signals.lpf.push(a);
@@ -304,9 +312,13 @@ impl DetectorTail {
         if let Some(out) = tap {
             out.push(b);
         }
+        // xanalyze: end-allow(alloc)
         self.n += 1;
         let mut fresh = std::mem::take(&mut self.fresh);
+        // xanalyze: begin-allow(alloc) — `classifier.push` is the audited
+        // decision kernel entry (threshold.rs), not a container append.
         self.classifier.push(e, &mut fresh);
+        // xanalyze: end-allow(alloc)
         self.absorb(&mut fresh);
         self.fresh = fresh;
     }
@@ -481,10 +493,10 @@ impl DetectorTail {
             }
             SignalStore::Bounded { hpf } => {
                 w.put_usize(hpf.start);
-                w.put_usize(hpf.buf.len());
-                for &v in &hpf.buf {
-                    w.put_i64(v);
-                }
+                // Mirrors `take_seq_i64` in decode step for step; the
+                // iter form writes the same length-prefixed bytes as
+                // `put_seq_i64` would for a contiguous buffer.
+                w.put_seq_i64_iter(hpf.buf.iter().copied());
             }
         }
         w.put_usize(self.awaiting_alignment.len());

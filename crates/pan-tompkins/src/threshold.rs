@@ -492,7 +492,11 @@ impl OnlineClassifier {
         // `peak_spacing` of the pending candidate, it is immutable.
         if let Some(p) = self.pending {
             if self.n > p.index + self.config.peak_spacing {
+                // xanalyze: begin-allow(alloc) — candidate growth is
+                // amortized and bounded: `prune_dead_candidates` keeps
+                // bounded-retention sessions at a constant live window.
                 self.candidates.push(p);
+                // xanalyze: end-allow(alloc)
                 self.pending = None;
             }
         }
@@ -582,14 +586,13 @@ impl OnlineClassifier {
             w.put_i64(c.amplitude);
             w.put_i64(c.slope);
         }
-        match self.pending {
-            Some(p) => {
-                w.put_bool(true);
-                w.put_usize(p.index);
-                w.put_i64(p.amplitude);
-                w.put_i64(p.slope);
-            }
-            None => w.put_bool(false),
+        // One presence flag, then the fields — the same shape decode
+        // reads, so the write/read sequences stay step-for-step mirrors.
+        w.put_bool(self.pending.is_some());
+        if let Some(p) = self.pending {
+            w.put_usize(p.index);
+            w.put_i64(p.amplitude);
+            w.put_i64(p.slope);
         }
         w.put_usize(self.next_unclassified);
         w.put_seq_usize(&self.qrs_indices);

@@ -59,6 +59,9 @@ impl SessionId {
 
     /// The 24-bit generation the id was minted with.
     pub(crate) fn generation(self) -> u32 {
+        // WIDTH: deliberate truncation — the generation field occupies the
+        // low `GEN_BITS` (24) bits after the shift, and `GEN_MASK` clears
+        // the rest anyway.
         ((self.0 >> SLOT_BITS) as u32) & GEN_MASK
     }
 

